@@ -1,0 +1,25 @@
+"""Ablation — serial vs double-buffered decompressor front end.
+
+The paper's architecture loads the full C_E code before decoding
+(serial), which costs a 1/k tax on the download improvement.  This bench
+quantifies what the natural double-buffering extension would recover:
+the buffered improvement must approach the compression ratio at modest
+clock ratios.
+"""
+
+from conftest import run_table
+
+from repro.experiments import ablation_architecture
+
+
+def test_ablation_architecture(benchmark, lab):
+    table = run_table(
+        benchmark, ablation_architecture, lab, "ablation_architecture"
+    )
+    for row_index, name in enumerate(table.column("Test")):
+        ratio = float(table.column("ratio")[row_index])
+        serial10 = float(table.column("serial@10x")[row_index])
+        buffered10 = float(table.column("buffered@10x")[row_index])
+        assert buffered10 > serial10, name
+        # Buffered at 10x should sit within a couple points of the ratio.
+        assert ratio - buffered10 < 3.0, name

@@ -1,0 +1,24 @@
+"""Ablation — dynamic assignment vs static pre-fills (Section 5 claim).
+
+The paper reports that every pre-processing fill it tried produced only
+40-60% compression, and that the published results required assigning
+the don't-cares *inside* the LZW loop.  The bench regenerates that
+comparison and asserts the dynamic scheme wins every circuit.
+"""
+
+from conftest import run_table
+
+from repro.experiments import ablation_dontcare
+from repro.core.dontcare import STATIC_FILLS
+
+
+def test_ablation_dontcare(benchmark, lab):
+    table = run_table(benchmark, ablation_dontcare, lab, "ablation_dontcare")
+    for row_index, name in enumerate(table.column("Test")):
+        dynamic = float(table.column("dynamic")[row_index])
+        statics = [
+            float(table.column(f"static:{f}")[row_index]) for f in STATIC_FILLS
+        ]
+        assert dynamic > max(statics), (
+            f"{name}: dynamic assignment must beat every static fill"
+        )

@@ -1,0 +1,24 @@
+"""Ablation — dynamic-assignment heuristic and sliding-window depth.
+
+DESIGN.md flags the exact child-selection rule as the paper's main
+under-specification; this bench quantifies how much the choice matters:
+the bounded-lookahead policy must beat the naive lowest-code policy, and
+deeper windows must not hurt.
+"""
+
+from conftest import run_table
+
+from repro.experiments import ablation_lookahead
+
+WINDOWS = (1, 2, 4, 8)
+
+
+def test_ablation_lookahead(benchmark, lab):
+    table = run_table(benchmark, ablation_lookahead, lab, "ablation_lookahead")
+    for row_index, name in enumerate(table.column("Test")):
+        first = float(table.column("policy:first")[row_index])
+        w4 = float(table.column("W=4")[row_index])
+        assert w4 >= first - 0.25, f"{name}: lookahead should beat 'first'"
+        deep = float(table.column("W=8")[row_index])
+        shallow = float(table.column("W=1")[row_index])
+        assert deep >= shallow - 0.75, f"{name}: deeper window hurt badly"

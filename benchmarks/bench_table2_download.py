@@ -1,0 +1,26 @@
+"""Table 2 — download-time improvement vs decompressor clock ratio.
+
+Shape checks: improvement grows with the clock ratio and stays below the
+compression ratio (the serial architecture's 1/k tax), approaching it as
+the ratio increases — exactly the paper's 4x/8x/10x progression.
+"""
+
+from conftest import run_table
+
+from repro.experiments import table1, table2
+
+
+def test_table2_download(benchmark, lab):
+    table = run_table(benchmark, table2, lab, "table2")
+    t1 = table1(lab)
+    ratios = {
+        row[0]: float(ratio) for row, ratio in zip(t1.rows, t1.column("LZW"))
+    }
+    for row_index, name in enumerate(table.column("Test")):
+        k4 = float(table.column("4x")[row_index])
+        k8 = float(table.column("8x")[row_index])
+        k10 = float(table.column("10x")[row_index])
+        assert k4 < k8 < k10, f"{name}: improvement must grow with clock"
+        assert k10 < ratios[name], f"{name}: serial time beats its own ratio?"
+        # At 10x the gap to the ratio is the 1/k tax plus small overheads.
+        assert ratios[name] - k10 < 16.0, f"{name}: gap too large"

@@ -1,0 +1,37 @@
+"""Table 3 — the full ISCAS89 + ITC99 benchmark sweep.
+
+Shape check: compression tracks the don't-care density (the paper's
+"the amount of compression is proportional to the Don't-Care data
+ratio"), verified as a positive rank correlation across the 12 rows.
+"""
+
+from conftest import run_table
+
+from repro.experiments import table3
+
+
+def _rank_correlation(xs, ys):
+    """Spearman rank correlation, no scipy needed for 12 points."""
+    def ranks(values):
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        out = [0.0] * len(values)
+        for rank, i in enumerate(order):
+            out[i] = float(rank)
+        return out
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1 - 6 * d2 / (n * (n**2 - 1))
+
+
+def test_table3_benchmarks(benchmark, lab):
+    table = run_table(benchmark, table3, lab, "table3")
+    density = [float(v) for v in table.column("Don't cares %")]
+    ratio = [float(v) for v in table.column("Compression")]
+    assert len(table.rows) == 12
+    rho = _rank_correlation(density, ratio)
+    assert rho > 0.5, f"compression should track X density (rho={rho:.2f})"
+    # Densities must match the published profiles they were matched to.
+    for name, x in zip(table.column("Test"), density):
+        assert 20.0 < x < 98.0, name

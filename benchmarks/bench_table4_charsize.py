@@ -1,0 +1,20 @@
+"""Table 4 — compression vs LZW character size (N=1024, C_MDATA=63).
+
+Shape checks: the ratio improves from 1-bit toward 7-bit characters, and
+collapses to ~0 at C_C=10 where the 1024 base codes exhaust the
+dictionary ("there are no more compress codes available").
+"""
+
+from conftest import run_table
+
+from repro.experiments import table4
+
+
+def test_table4_charsize(benchmark, lab):
+    table = run_table(benchmark, table4, lab, "table4")
+    for row_index, name in enumerate(table.column("Test")):
+        c1 = float(table.column("C_C=1")[row_index])
+        c7 = float(table.column("C_C=7")[row_index])
+        c10 = float(table.column("C_C=10")[row_index])
+        assert c7 > c1, f"{name}: bigger characters should help X assignment"
+        assert abs(c10) < 1.0, f"{name}: C_C=10 must collapse to ~0%"

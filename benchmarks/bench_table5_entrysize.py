@@ -1,0 +1,23 @@
+"""Table 5 — compression vs dictionary entry width (N=1024, C_C=7).
+
+Shape checks: "the larger the dictionary entry, the higher the
+compression", saturating once the longest phrase fits.
+"""
+
+from conftest import run_table
+
+from repro.experiments import table5
+
+ENTRY_SIZES = (63, 127, 255, 511)
+
+
+def test_table5_entrysize(benchmark, lab):
+    table = run_table(benchmark, table5, lab, "table5")
+    for row_index, name in enumerate(table.column("Test")):
+        values = [
+            float(table.column(f"C_MDATA={e}")[row_index]) for e in ENTRY_SIZES
+        ]
+        # Non-decreasing up to a small plateau tolerance.
+        for a, b in zip(values, values[1:]):
+            assert b >= a - 0.75, f"{name}: larger entries should not hurt"
+        assert values[-1] >= values[0], name

@@ -1,0 +1,31 @@
+"""Table 6 — download performance vs entry width, with longest strings.
+
+Shape checks: performance at a 10x clock grows with C_MDATA and levels
+out, and the "longest string" column explains the saturation — once
+C_MDATA exceeds the longest phrase the encoder forms, growing the
+memory word buys nothing.
+"""
+
+from conftest import run_table
+
+from repro.experiments import table6
+
+ENTRY_SIZES = (63, 127, 255)
+
+
+def test_table6_performance(benchmark, lab):
+    table = run_table(benchmark, table6, lab, "table6")
+    for row_index, name in enumerate(table.column("Test")):
+        longest = int(table.column("Longest string (bits)")[row_index])
+        perf = [
+            float(table.column(f"perf@{e}")[row_index]) for e in ENTRY_SIZES
+        ]
+        for a, b in zip(perf, perf[1:]):
+            assert b >= a - 0.75, f"{name}: perf must not drop with C_MDATA"
+        assert longest > 0 and longest % 7 == 0, name
+        # Saturation: once C_MDATA >= longest string, perf stops moving.
+        saturated = [
+            p for e, p in zip(ENTRY_SIZES, perf) if e >= longest
+        ]
+        for a, b in zip(saturated, saturated[1:]):
+            assert abs(a - b) < 0.5, f"{name}: no gain expected past {longest}"

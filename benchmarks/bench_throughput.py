@@ -1,0 +1,46 @@
+"""Microbenchmarks — raw throughput of the core engines.
+
+Unlike the table benches (one-shot experiments), these are true
+pytest-benchmark measurements over repeated rounds: encoder, software
+decoder and the cycle-accurate hardware model on a fixed mid-size
+workload, so regressions in the hot loops show up as timing changes.
+"""
+
+import pytest
+
+from repro.core import LZWConfig, LZWEncoder, decode
+from repro.hardware import DecompressorModel
+from repro.workloads import build_testset
+
+CONFIG = LZWConfig(char_bits=7, dict_size=1024, entry_bits=63)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return build_testset("s9234f", scale=0.25).to_stream()
+
+
+@pytest.fixture(scope="module")
+def compressed(stream):
+    return LZWEncoder(CONFIG).encode(stream)
+
+
+def test_encoder_throughput(benchmark, stream):
+    result = benchmark(lambda: LZWEncoder(CONFIG).encode(stream))
+    assert result.num_codes > 0
+
+
+def test_decoder_throughput(benchmark, compressed):
+    result = benchmark(lambda: decode(compressed))
+    assert len(result) == compressed.original_bits
+
+
+def test_hardware_model_throughput(benchmark, compressed):
+    bits = compressed.to_bits()
+
+    def run():
+        model = DecompressorModel(CONFIG, clock_ratio=10)
+        return model.run(bits, compressed.original_bits)
+
+    result = benchmark(run)
+    assert result.codes_processed == compressed.num_codes

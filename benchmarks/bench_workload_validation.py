@@ -1,0 +1,34 @@
+"""Guard bench — every matched workload must validate against its profile.
+
+The substitution argument (DESIGN.md §3) holds only while the synthetic
+sets actually exhibit the published statistics; this bench regenerates
+all twelve and runs the structural validator over them.
+"""
+
+import pytest
+
+from conftest import bench_scale
+
+from repro.workloads import (
+    TABLE3_CIRCUITS,
+    build_testset,
+    validate_testset,
+)
+
+
+def test_workload_validation(benchmark):
+    scale = bench_scale()
+
+    def run():
+        reports = {}
+        for name in TABLE3_CIRCUITS:
+            ts = build_testset(name, scale=scale)
+            reports[name] = validate_testset(ts, name)
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, report in reports.items():
+        # Geometry is scale-adjusted, so check the structural properties.
+        assert report.checks["x_density"], (name, report.messages)
+        assert report.checks["clustering"], (name, report.messages)
+        assert report.checks["similarity"], (name, report.messages)

@@ -1,0 +1,38 @@
+"""Shared infrastructure for the table benchmarks.
+
+Each ``bench_tableN`` module regenerates one paper table at full scale
+(override with ``REPRO_BENCH_SCALE=0.2`` for a quick pass), times the
+run via pytest-benchmark (one round — these are experiments, not
+microbenchmarks), prints the rendered table and archives it under
+``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Lab
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Workload scale for this run (env-overridable)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def lab():
+    """One shared workload/compression cache across every table bench."""
+    return Lab(scale=bench_scale())
+
+
+def run_table(benchmark, runner, lab, name: str):
+    """Generate a table once under the benchmark timer, then archive it."""
+    table = benchmark.pedantic(lambda: runner(lab), rounds=1, iterations=1)
+    text = table.render()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return table

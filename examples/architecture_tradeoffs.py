@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Engineering trade-offs of the decompressor (the paper's Section 6).
+
+For one benchmark this script sweeps the three hardware knobs —
+character width C_C, dictionary size N, entry width C_MDATA — and the
+internal clock ratio, then picks the best configuration under an
+embedded-memory budget, exactly the optimisation the paper walks through
+("if s13207f is an embedded core and optimal compression is desired...").
+
+Run:  python examples/architecture_tradeoffs.py [benchmark] [memory_kbits]
+"""
+
+import sys
+
+from repro.core import LZWConfig, compress
+from repro.experiments import Table
+from repro.hardware import MemoryRequirements, analyze_download, estimate_area
+from repro.workloads import build_testset, get_benchmark
+
+
+def sweep(stream, bench_name: str) -> None:
+    """Tables 4/5/6 for a single circuit, on one page."""
+    t4 = Table(f"{bench_name}: ratio % vs character width (N=1024, C_MDATA=63)",
+               ["C_C", "ratio %", "codes free"])
+    for char_bits in (1, 2, 4, 7, 10):
+        config = LZWConfig(char_bits=char_bits, dict_size=1024, entry_bits=63)
+        result = compress(stream, config)
+        t4.add_row(char_bits, result.ratio_percent, config.free_codes)
+    print(t4.render(), "\n")
+
+    t5 = Table(f"{bench_name}: ratio % vs entry width (N=1024, C_C=7)",
+               ["C_MDATA", "ratio %", "longest entry", "perf @10x %"])
+    for entry_bits in (63, 127, 255, 511):
+        config = LZWConfig(char_bits=7, dict_size=1024, entry_bits=entry_bits)
+        result = compress(stream, config)
+        report = analyze_download(result.compressed, 10)
+        t5.add_row(entry_bits, result.ratio_percent,
+                   result.longest_entry_bits, report.improvement_percent)
+    print(t5.render(), "\n")
+
+    t2 = Table(f"{bench_name}: download improvement % vs clock ratio",
+               ["clock", "serial", "double-buffered"])
+    config = LZWConfig(char_bits=7, dict_size=1024, entry_bits=63)
+    result = compress(stream, config)
+    for k in (2, 4, 8, 10, 16):
+        serial = analyze_download(result.compressed, k)
+        buffered = analyze_download(result.compressed, k, double_buffered=True)
+        t2.add_row(f"{k}x", serial.improvement_percent,
+                   buffered.improvement_percent)
+    print(t2.render(), "\n")
+
+
+def optimise(stream, bench_name: str, budget_bits: int) -> None:
+    """Best configuration whose dictionary fits the memory budget."""
+    best = None
+    for char_bits in (4, 7, 10):
+        for dict_size in (256, 512, 1024, 2048):
+            if dict_size < (1 << char_bits):
+                continue
+            for entry_bits in (63, 127, 255):
+                config = LZWConfig(char_bits=char_bits, dict_size=dict_size,
+                                   entry_bits=entry_bits)
+                memory = MemoryRequirements.for_config(config)
+                if memory.total_bits > budget_bits:
+                    continue
+                result = compress(stream, config)
+                if best is None or result.ratio > best[0].ratio:
+                    best = (result, config, memory)
+    if best is None:
+        print(f"no configuration fits {budget_bits} memory bits")
+        return
+    result, config, memory = best
+    area = estimate_area(config)
+    print(f"best under {budget_bits // 1000}k memory bits for {bench_name}:")
+    print(f"  {config.describe()}")
+    print(f"  ratio {result.ratio_percent:.2f}%, memory {memory.geometry}, "
+          f"datapath ~{area.datapath_ge:.0f} gate equivalents")
+
+
+def main() -> None:
+    bench_name = sys.argv[1] if len(sys.argv) > 1 else "s9234f"
+    budget_kbits = int(sys.argv[2]) if len(sys.argv) > 2 else 80
+    bench = get_benchmark(bench_name)
+    print(f"{bench_name}: {bench.vectors} vectors x {bench.width} bits, "
+          f"{bench.x_percent}% X, paper used N={bench.dict_size}\n")
+    stream = build_testset(bench_name).to_stream()
+    sweep(stream, bench_name)
+    optimise(stream, bench_name, budget_kbits * 1000)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scheme shootout: LZW vs LZ77 vs Golomb RLE vs fixed RLE vs Huffman.
+
+Reproduces the paper's Table 1 comparison on any benchmark (plus the two
+schemes the paper only cites), and shows *why* LZW wins: the dynamic
+don't-care assignment buys it match flexibility the others lack, which
+the static-fill ablation makes visible.
+
+Run:  python examples/baseline_shootout.py [benchmark] [scale]
+"""
+
+import sys
+import time
+
+from repro.baselines import (
+    AlternatingRLECompressor,
+    GolombCompressor,
+    LZ77Compressor,
+    LZWCompressorAdapter,
+    SelectiveHuffmanCompressor,
+)
+from repro.core import LZWConfig, compress, static_fill
+from repro.core.dontcare import STATIC_FILLS
+from repro.experiments import Table
+from repro.workloads import build_testset, get_benchmark
+
+
+def main() -> None:
+    bench_name = sys.argv[1] if len(sys.argv) > 1 else "s13207f"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    bench = get_benchmark(bench_name)
+    test_set = build_testset(bench_name, scale=scale)
+    print(test_set.summary(), "\n")
+    stream = test_set.to_stream()
+
+    config = LZWConfig(char_bits=7, dict_size=bench.dict_size, entry_bits=63)
+    schemes = [
+        LZWCompressorAdapter(config),
+        LZ77Compressor(),
+        GolombCompressor(),
+        AlternatingRLECompressor(),
+        SelectiveHuffmanCompressor(),
+    ]
+
+    table = Table(
+        f"Compression shootout on {bench_name} (scale {scale})",
+        ["Scheme", "ratio %", "compressed bits", "seconds"],
+    )
+    for scheme in schemes:
+        start = time.perf_counter()
+        result = scheme.compress(stream)
+        elapsed = time.perf_counter() - start
+        assert result.verify(stream), f"{scheme.name} broke a care bit!"
+        table.add_row(
+            result.scheme, result.ratio_percent, result.compressed_bits, elapsed
+        )
+    print(table.render(), "\n")
+
+    # Why dynamic assignment matters: the same LZW engine fed statically
+    # pre-filled streams (the strawmen of the paper's Section 5).
+    ablation = Table(
+        "LZW with static pre-fills instead of dynamic assignment",
+        ["Fill", "ratio %"],
+    )
+    ablation.add_row("dynamic (paper)", compress(stream, config).ratio_percent)
+    for rule in STATIC_FILLS:
+        filled = static_fill(stream, rule, seed=0)
+        ablation.add_row(f"static {rule}", compress(filled, config).ratio_percent)
+    print(ablation.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e .`` works on minimal offline environments
+where the ``wheel`` package (required by the PEP 660 editable path)
+is unavailable; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

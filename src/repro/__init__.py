@@ -1,0 +1,34 @@
+"""Reproduction of Knieser et al., "A Technique for High Ratio LZW
+Compression" (DATE 2003): don't-care-aware LZW scan test compression,
+its baselines, a hardware decompressor model and an ATPG substrate.
+
+Quick use::
+
+    from repro import LZWConfig, TernaryVector, compress
+
+    cubes = TernaryVector("01XX10XXX1" * 100)
+    result = compress(cubes, LZWConfig(char_bits=7, dict_size=1024))
+    print(result.ratio_percent)
+"""
+
+from .bitstream import TernaryVector, X
+from .core import (
+    CompressedStream,
+    CompressionResult,
+    LZWConfig,
+    compress,
+    decompress,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedStream",
+    "CompressionResult",
+    "LZWConfig",
+    "TernaryVector",
+    "X",
+    "compress",
+    "decompress",
+    "__version__",
+]

@@ -1,0 +1,183 @@
+"""Test-set analysis: structure, compressibility and scan power.
+
+A DFT engineer deciding whether this scheme fits a core wants three
+things quantified before compressing anything:
+
+* **structure** — X density, per-cell care statistics, how clustered the
+  care bits are (:func:`testset_profile`);
+* **compressibility bounds** — an order-0 entropy estimate of the
+  care-bit content, the floor any coder that keeps every care bit must
+  respect (:func:`entropy_lower_bound`);
+* **scan power** — the weighted transition count (WTM, Sankaralingam et
+  al.) of the *assigned* stream.  Don't-care assignment trades
+  compression against shift power: repeat-last fill minimises
+  transitions while LZW's dictionary-driven fill does not, and
+  :func:`power_report` quantifies that cost (an explicit trade-off the
+  alternating-run-length literature the paper cites cares about).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .bitstream import TernaryVector
+from .circuit.scan import TestSet
+
+__all__ = [
+    "TestSetProfile",
+    "testset_profile",
+    "entropy_lower_bound",
+    "weighted_transition_count",
+    "PowerReport",
+    "power_report",
+]
+
+
+@dataclass(frozen=True)
+class TestSetProfile:
+    """Structural statistics of one test set."""
+
+    name: str
+    vectors: int
+    width: int
+    total_bits: int
+    care_bits: int
+    x_percent: float
+    ones_percent_of_care: float
+    care_adjacency: float  # fraction of care bits whose neighbour cares
+    per_cell_care: Dict[str, int]
+
+    @property
+    def hottest_cells(self) -> List[str]:
+        """Cells specified most often (top 10)."""
+        ranked = sorted(
+            self.per_cell_care.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [name for name, _count in ranked[:10]]
+
+
+def testset_profile(test_set: TestSet) -> TestSetProfile:
+    """Compute the structural statistics of a test set."""
+    care_bits = 0
+    ones = 0
+    adjacent = 0
+    per_cell = {name: 0 for name in test_set.input_names}
+    for cube in test_set:
+        care_mask = cube.care_mask
+        care_bits += cube.care_count
+        ones += bin(cube.value_mask).count("1")
+        adjacent += bin(care_mask & (care_mask >> 1)).count("1")
+        remaining = care_mask
+        while remaining:
+            low = remaining & -remaining
+            per_cell[test_set.input_names[low.bit_length() - 1]] += 1
+            remaining ^= low
+    total = test_set.total_bits
+    return TestSetProfile(
+        name=test_set.name,
+        vectors=len(test_set),
+        width=test_set.width,
+        total_bits=total,
+        care_bits=care_bits,
+        x_percent=100.0 * (total - care_bits) / total if total else 0.0,
+        ones_percent_of_care=100.0 * ones / care_bits if care_bits else 0.0,
+        care_adjacency=adjacent / care_bits if care_bits else 0.0,
+        per_cell_care=per_cell,
+    )
+
+
+def entropy_lower_bound(test_set: TestSet, block_bits: int = 8) -> float:
+    """Order-0 entropy estimate of the care content, in bits.
+
+    Blocks the zero-filled stream and sums ``-log2 p(block)`` under the
+    empirical distribution — a coarse floor for block-based coders on
+    this particular fill.  It is an *estimate* (a different X fill has a
+    different entropy; the true optimum minimises over fills), but it
+    calibrates how much headroom a measured ratio leaves.
+    """
+    if block_bits < 1:
+        raise ValueError("block_bits must be >= 1")
+    stream = test_set.to_stream().fill(0)
+    counts: Dict[int, int] = {}
+    blocks = 0
+    for chunk in stream.chunks(block_bits):
+        if len(chunk) < block_bits:
+            break
+        value = chunk.to_int()
+        counts[value] = counts.get(value, 0) + 1
+        blocks += 1
+    if not blocks:
+        return 0.0
+    bits = 0.0
+    for count in counts.values():
+        p = count / blocks
+        bits += -count * math.log2(p)
+    return bits
+
+
+def weighted_transition_count(vector: TernaryVector) -> int:
+    """WTM of one fully specified scan vector.
+
+    A transition while shifting bit position ``i`` (0 = scanned in
+    first, i.e. ends up deepest) is weighted by how many cells it
+    traverses: ``weight = width - i - 1`` under the usual convention.
+    """
+    if not vector.is_fully_specified:
+        raise ValueError("WTM needs a fully specified vector; fill the Xs")
+    width = len(vector)
+    value = vector.value_mask
+    total = 0
+    for i in range(width - 1):
+        if ((value >> i) & 1) != ((value >> (i + 1)) & 1):
+            total += width - i - 1
+    return total
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Scan-shift power comparison of X-assignment strategies."""
+
+    name: str
+    wtm: Dict[str, int]  # strategy -> total weighted transitions
+
+    def overhead_percent(self, strategy: str, baseline: str = "repeat") -> float:
+        """How much more shift power ``strategy`` costs than ``baseline``."""
+        base = self.wtm[baseline]
+        if base == 0:
+            return 0.0
+        return 100.0 * (self.wtm[strategy] - base) / base
+
+
+def power_report(
+    test_set: TestSet,
+    assigned_streams: Optional[Dict[str, TernaryVector]] = None,
+) -> PowerReport:
+    """WTM of the standard fills plus any caller-supplied assignments.
+
+    ``assigned_streams`` maps strategy names to fully specified streams
+    of the same geometry (e.g. the LZW encoder's assignment), letting
+    the caller weigh compression against shift power.
+    """
+    streams: Dict[str, TernaryVector] = {}
+    original = test_set.to_stream()
+    streams["zero"] = original.fill(0)
+    streams["one"] = original.fill(1)
+    streams["repeat"] = original.fill_repeat_last(0)
+    if assigned_streams:
+        for name, stream in assigned_streams.items():
+            if len(stream) != len(original):
+                raise ValueError(
+                    f"assigned stream {name!r} has {len(stream)} bits, "
+                    f"expected {len(original)}"
+                )
+            streams[name] = stream
+    wtm: Dict[str, int] = {}
+    width = test_set.width
+    for name, stream in streams.items():
+        total = 0
+        for start in range(0, len(stream), width):
+            total += weighted_transition_count(stream[start : start + width])
+        wtm[name] = total
+    return PowerReport(name=test_set.name, wtm=wtm)

@@ -1,0 +1,26 @@
+"""ATPG substrate: PODEM, fault simulation, compaction and the driver."""
+
+from .compact import compact_cubes
+from .engine import ATPGConfig, ATPGResult, generate_tests
+from .faultsim import FaultSimReport, fault_simulate, simulate_fault
+from .hybrid import HybridConfig, HybridResult, hybrid_generate, prpg_patterns
+from .podem import PodemEngine, PodemResult
+from .ppsfp import pack_vectors, parallel_fault_simulate
+
+__all__ = [
+    "ATPGConfig",
+    "ATPGResult",
+    "FaultSimReport",
+    "HybridConfig",
+    "HybridResult",
+    "PodemEngine",
+    "PodemResult",
+    "compact_cubes",
+    "fault_simulate",
+    "generate_tests",
+    "hybrid_generate",
+    "pack_vectors",
+    "prpg_patterns",
+    "parallel_fault_simulate",
+    "simulate_fault",
+]

@@ -1,0 +1,37 @@
+"""Static test-cube compaction.
+
+ATPG emits one cube per targeted fault; many are pairwise compatible
+(they disagree on no specified bit) and can merge into a single vector.
+Greedy first-fit merging is the standard static compaction used by the
+tools the paper's flow relies on; it reduces vector count without
+touching detection (a merged cube covers both originals).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bitstream import TernaryVector
+
+__all__ = ["compact_cubes"]
+
+
+def compact_cubes(cubes: List[TernaryVector]) -> List[TernaryVector]:
+    """Greedy first-fit merging of pairwise-compatible cubes.
+
+    Cubes are considered most-specified first, so dense cubes seed the
+    merged vectors and sparse ones fold into them.  The result covers
+    every input cube (each original is compatible with — and less
+    specified than — the merged vector it joined).
+    """
+    order = sorted(range(len(cubes)), key=lambda i: -cubes[i].care_count)
+    merged: List[TernaryVector] = []
+    for index in order:
+        cube = cubes[index]
+        for slot, existing in enumerate(merged):
+            if existing.compatible(cube):
+                merged[slot] = existing.merge(cube)
+                break
+        else:
+            merged.append(cube)
+    return merged

@@ -1,0 +1,108 @@
+"""ATPG driver: collapse → PODEM → fault-drop → compact.
+
+This is the "Test Insertion and Generation Program" box of the paper's
+Figure 1, rebuilt on the in-package substrates.  It produces a
+:class:`~repro.circuit.scan.TestSet` of ternary cubes whose X bits are
+genuine ATPG don't-cares — the raw material of the compression study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuit.faults import Fault, collapse_faults
+from ..circuit.netlist import Circuit
+from ..circuit.scan import TestSet
+from .compact import compact_cubes
+from .fastsim import CompiledView
+from .podem import PodemEngine
+
+__all__ = ["ATPGConfig", "ATPGResult", "generate_tests"]
+
+
+@dataclass(frozen=True)
+class ATPGConfig:
+    """Knobs of the generation loop."""
+
+    backtrack_limit: int = 100
+    compact: bool = True
+    drop_faults: bool = True
+
+
+@dataclass(frozen=True)
+class ATPGResult:
+    """Test set plus bookkeeping of the generation run."""
+
+    test_set: TestSet
+    detected: int
+    untestable: int
+    aborted: int
+    total_faults: int
+    cubes_before_compaction: int
+    per_fault_status: Dict[Fault, str] = field(repr=False, default_factory=dict)
+
+    @property
+    def coverage_percent(self) -> float:
+        """Detected / (total - untestable), the usual test-coverage metric."""
+        testable = self.total_faults - self.untestable
+        return 100.0 * self.detected / testable if testable else 0.0
+
+
+def generate_tests(
+    circuit: Circuit,
+    config: Optional[ATPGConfig] = None,
+) -> ATPGResult:
+    """Generate a compacted ternary test set for all collapsed faults."""
+    config = config or ATPGConfig()
+    view = circuit.combinational_view()
+    compiled = CompiledView(view)
+    engine = PodemEngine(
+        view, backtrack_limit=config.backtrack_limit, compiled=compiled
+    )
+    faults = collapse_faults(circuit)
+
+    status: Dict[Fault, str] = {}
+    cubes = []
+    detected = untestable = aborted = 0
+    pending: List[Fault] = list(faults)
+    while pending:
+        fault = pending.pop(0)
+        result = engine.generate(fault)
+        if not result.detected:
+            status[fault] = result.status
+            if result.status == "untestable":
+                untestable += 1
+            else:
+                aborted += 1
+            continue
+        cube = result.cube
+        assert cube is not None
+        cubes.append(cube)
+        status[fault] = "detected"
+        detected += 1
+        if config.drop_faults and pending:
+            seed = compiled.cube_values(cube)
+            good = compiled.evaluate(list(seed))
+            survivors = []
+            for other in pending:
+                if compiled.detects(good, seed, compiled.compile_fault(other)):
+                    status[other] = "detected"
+                    detected += 1
+                else:
+                    survivors.append(other)
+            pending = survivors
+
+    raw_count = len(cubes)
+    if config.compact:
+        cubes = compact_cubes(cubes)
+    test_set = TestSet(view.test_inputs, cubes, name=f"{circuit.name}-atpg")
+    return ATPGResult(
+        test_set=test_set,
+        detected=detected,
+        untestable=untestable,
+        aborted=aborted,
+        total_faults=len(faults),
+        cubes_before_compaction=raw_count,
+        per_fault_status=status,
+    )

@@ -1,0 +1,197 @@
+"""Index-compiled 3-valued simulation kernel.
+
+:mod:`repro.circuit.simulate` is the readable reference simulator; ATPG
+and serial fault simulation need the same semantics thousands of times
+per circuit, so this module compiles a
+:class:`~repro.circuit.netlist.CombinationalView` once into flat integer
+arrays (net -> index, gates as ``(out, opcode, fanins)`` triples in
+topological order) and evaluates with list indexing only.
+
+Values are encoded ``0``, ``1`` and ``2`` (X); converters to and from
+the reference ``0/1/None`` convention are provided, and a test
+cross-checks both simulators gate-for-gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bitstream import TernaryVector
+from ..circuit.faults import Fault
+from ..circuit.netlist import CombinationalView, GateType
+
+__all__ = ["X2", "CompiledView"]
+
+#: The X value of the packed encoding.
+X2 = 2
+
+_OP_AND, _OP_NAND, _OP_OR, _OP_NOR, _OP_XOR, _OP_XNOR, _OP_BUF, _OP_NOT = range(8)
+
+_OPCODES = {
+    GateType.AND: _OP_AND,
+    GateType.NAND: _OP_NAND,
+    GateType.OR: _OP_OR,
+    GateType.NOR: _OP_NOR,
+    GateType.XOR: _OP_XOR,
+    GateType.XNOR: _OP_XNOR,
+    GateType.BUFF: _OP_BUF,
+    GateType.NOT: _OP_NOT,
+}
+
+_NOT3 = (1, 0, 2)
+
+
+class CompiledView:
+    """A full-scan view compiled for fast repeated evaluation."""
+
+    def __init__(self, view: CombinationalView) -> None:
+        self.view = view
+        circuit = view.circuit
+        order = circuit.topological_order()
+        self.net_index: Dict[str, int] = {name: i for i, name in enumerate(order)}
+        self.net_names: List[str] = list(order)
+        self.n_nets = len(order)
+
+        self.input_indices: List[int] = [
+            self.net_index[name] for name in view.test_inputs
+        ]
+        self.output_indices: List[int] = [
+            self.net_index[name] for name in view.test_outputs
+        ]
+        # Gates in evaluation order: (out_index, opcode, fanin index tuple).
+        self.ops: List[Tuple[int, int, Tuple[int, ...]]] = []
+        for name in order:
+            gate = circuit.gates[name]
+            if gate.gate_type in (GateType.INPUT, GateType.DFF):
+                continue
+            self.ops.append(
+                (
+                    self.net_index[name],
+                    _OPCODES[gate.gate_type],
+                    tuple(self.net_index[f] for f in gate.fanins),
+                )
+            )
+        # Fanout successors (op list positions) per net, for X-path walks.
+        self.fanout_ops: List[List[int]] = [[] for _ in range(self.n_nets)]
+        for pos, (_out, _op, fanins) in enumerate(self.ops):
+            for f in fanins:
+                self.fanout_ops[f].append(pos)
+
+    # ------------------------------------------------------------------
+    def compile_fault(self, fault: Fault) -> Tuple[int, int, int, int]:
+        """Pack a fault as ``(net_index, stuck, branch_op_position, pin)``.
+
+        ``branch_op_position`` is -1 for stem faults; otherwise the
+        position in :attr:`ops` of the gate whose input pin ``pin`` is
+        faulted.
+        """
+        net = self.net_index[fault.net]
+        if fault.branch is None:
+            return (net, fault.stuck, -1, -1)
+        gate_name, pin = fault.branch
+        out_idx = self.net_index[gate_name]
+        for pos, (out, _op, _fanins) in enumerate(self.ops):
+            if out == out_idx:
+                return (net, fault.stuck, pos, pin)
+        raise ValueError(f"fault {fault} names a non-combinational gate")
+
+    def assignment_values(
+        self, assignment: Dict[str, Optional[int]]
+    ) -> List[int]:
+        """Seed a value array from a name->0/1/None mapping."""
+        values = [X2] * self.n_nets
+        for name, v in assignment.items():
+            if v is not None:
+                values[self.net_index[name]] = v
+        return values
+
+    def cube_values(self, cube: TernaryVector) -> List[int]:
+        """Seed a value array from a test cube (view input order)."""
+        if len(cube) != len(self.input_indices):
+            raise ValueError("cube width does not match the view")
+        values = [X2] * self.n_nets
+        for idx, bit in zip(self.input_indices, cube):
+            if bit is not None:
+                values[idx] = bit
+        return values
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        values: List[int],
+        fault: Optional[Tuple[int, int, int, int]] = None,
+    ) -> List[int]:
+        """Evaluate in place and return ``values`` (sources pre-seeded).
+
+        ``fault`` is a packed fault from :meth:`compile_fault`.
+        """
+        fnet = fstuck = fpos = fpin = -1
+        if fault is not None:
+            fnet, fstuck, fpos, fpin = fault
+            if fpos == -1:
+                # Stem fault: force now so consumers of a faulty *source*
+                # net see it; gate-output stems are re-forced in the loop.
+                values[fnet] = fstuck
+        for pos, (out, op, fanins) in enumerate(self.ops):
+            if fault is not None and fpos == pos:
+                vs = [
+                    fstuck if j == fpin else values[f]
+                    for j, f in enumerate(fanins)
+                ]
+            else:
+                vs = [values[f] for f in fanins]
+            if op == _OP_AND or op == _OP_NAND:
+                r = 1
+                for v in vs:
+                    if v == 0:
+                        r = 0
+                        break
+                    if v == X2:
+                        r = X2
+                if op == _OP_NAND:
+                    r = _NOT3[r]
+            elif op == _OP_OR or op == _OP_NOR:
+                r = 0
+                for v in vs:
+                    if v == 1:
+                        r = 1
+                        break
+                    if v == X2:
+                        r = X2
+                if op == _OP_NOR:
+                    r = _NOT3[r]
+            elif op == _OP_XOR or op == _OP_XNOR:
+                r = 0
+                for v in vs:
+                    if v == X2:
+                        r = X2
+                        break
+                    r ^= v
+                if op == _OP_XNOR:
+                    r = _NOT3[r]
+            elif op == _OP_BUF:
+                r = vs[0]
+            else:  # _OP_NOT
+                r = _NOT3[vs[0]]
+            if fault is not None and fpos == -1 and out == fnet:
+                r = fstuck
+            values[out] = r
+        return values
+
+    def good_values(self, seeded: Sequence[int]) -> List[int]:
+        """Evaluate the good machine from a seeded source array."""
+        return self.evaluate(list(seeded))
+
+    def detects(
+        self,
+        good: Sequence[int],
+        seeded: Sequence[int],
+        fault: Tuple[int, int, int, int],
+    ) -> bool:
+        """True when the faulty machine differs at an observable output."""
+        faulty = self.evaluate(list(seeded), fault)
+        for idx in self.output_indices:
+            g, f = good[idx], faulty[idx]
+            if g != X2 and f != X2 and g != f:
+                return True
+        return False

@@ -1,0 +1,178 @@
+"""Hybrid pseudo-random + deterministic test generation.
+
+The standard industrial flow the paper's BIST discussion alludes to:
+blast cheap pseudo-random patterns first (an LFSR models the on-chip
+PRPG), drop everything they detect with the bit-parallel fault
+simulator, and spend PODEM effort only on the random-resistant faults.
+The deterministic top-up cubes keep their X bits, so the hybrid's
+output is still compression-friendly — only the targeted top-up
+patterns ever cross the ATE interface in such a flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..bitstream import TernaryVector
+from ..circuit.faults import collapse_faults
+from ..circuit.netlist import Circuit
+from ..circuit.scan import TestSet
+from ..hardware.misr import LFSR, STANDARD_POLYNOMIALS
+from .compact import compact_cubes
+from .fastsim import CompiledView
+from .podem import PodemEngine
+from .ppsfp import parallel_fault_simulate
+
+__all__ = ["HybridConfig", "HybridResult", "hybrid_generate"]
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Knobs of the hybrid flow."""
+
+    random_patterns: int = 256
+    prpg_polynomial: int = STANDARD_POLYNOMIALS[16]
+    prpg_seed: int = 0xACE1
+    backtrack_limit: int = 100
+    compact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.random_patterns < 0:
+            raise ValueError("random_patterns must be non-negative")
+        if self.prpg_seed == 0:
+            raise ValueError("an all-zero PRPG seed locks the LFSR up")
+
+
+@dataclass(frozen=True)
+class HybridResult:
+    """Outcome of the hybrid flow.
+
+    ``random_patterns`` is what BIST hardware would apply on-chip;
+    ``top_up`` is the deterministic cube set the ATE must still download
+    — the part the paper's compressor operates on.
+    """
+
+    random_patterns: List[TernaryVector]
+    random_detected: int
+    top_up: TestSet
+    deterministic_detected: int
+    untestable: int
+    aborted: int
+    total_faults: int
+
+    @property
+    def detected(self) -> int:
+        """Faults covered by either phase."""
+        return self.random_detected + self.deterministic_detected
+
+    @property
+    def coverage_percent(self) -> float:
+        """Detected / (total - untestable)."""
+        testable = self.total_faults - self.untestable
+        return 100.0 * self.detected / testable if testable else 0.0
+
+    @property
+    def random_coverage_percent(self) -> float:
+        """Coverage of the pseudo-random phase alone."""
+        return (
+            100.0 * self.random_detected / self.total_faults
+            if self.total_faults
+            else 0.0
+        )
+
+
+def prpg_patterns(
+    width: int,
+    count: int,
+    polynomial: int,
+    seed: int,
+) -> List[TernaryVector]:
+    """``count`` fully specified patterns from a serial PRPG.
+
+    The LFSR output bit streams into a ``width``-bit scan chain, exactly
+    as an on-chip PRPG would feed it: consecutive patterns are
+    overlapping windows of the LFSR's bit sequence.
+    """
+    lfsr = LFSR(polynomial, seed=seed)
+    bits = lfsr.sequence(width * count)
+    patterns = []
+    for p in range(count):
+        value = 0
+        for i in range(width):
+            if bits[p * width + i]:
+                value |= 1 << i
+        patterns.append(TernaryVector.from_int(value, width))
+    return patterns
+
+
+def hybrid_generate(
+    circuit: Circuit,
+    config: Optional[HybridConfig] = None,
+) -> HybridResult:
+    """Run the pseudo-random phase, then PODEM on what survives."""
+    config = config or HybridConfig()
+    view = circuit.combinational_view()
+    compiled = CompiledView(view)
+    faults = collapse_faults(circuit)
+
+    # Phase 1: pseudo-random patterns, bit-parallel simulation.
+    patterns = prpg_patterns(
+        view.width,
+        config.random_patterns,
+        config.prpg_polynomial,
+        config.prpg_seed,
+    )
+    if patterns:
+        random_report = parallel_fault_simulate(
+            view, patterns, faults, compiled=compiled
+        )
+        survivors = random_report.undetected
+        random_detected = len(random_report.detected)
+    else:
+        survivors = list(faults)
+        random_detected = 0
+
+    # Phase 2: deterministic top-up on the random-resistant faults.
+    engine = PodemEngine(
+        view, backtrack_limit=config.backtrack_limit, compiled=compiled
+    )
+    cubes: List[TernaryVector] = []
+    detected = untestable = aborted = 0
+    pending = list(survivors)
+    while pending:
+        fault = pending.pop(0)
+        result = engine.generate(fault)
+        if not result.detected:
+            if result.status == "untestable":
+                untestable += 1
+            else:
+                aborted += 1
+            continue
+        cube = result.cube
+        assert cube is not None
+        cubes.append(cube)
+        detected += 1
+        if pending:
+            seed = compiled.cube_values(cube)
+            good = compiled.evaluate(list(seed))
+            still = []
+            for other in pending:
+                if compiled.detects(good, seed, compiled.compile_fault(other)):
+                    detected += 1
+                else:
+                    still.append(other)
+            pending = still
+
+    if config.compact:
+        cubes = compact_cubes(cubes)
+    top_up = TestSet(view.test_inputs, cubes, name=f"{circuit.name}-topup")
+    return HybridResult(
+        random_patterns=patterns,
+        random_detected=random_detected,
+        top_up=top_up,
+        deterministic_detected=detected,
+        untestable=untestable,
+        aborted=aborted,
+        total_faults=len(faults),
+    )

@@ -1,0 +1,272 @@
+"""PODEM test generation for single stuck-at faults.
+
+Classic PODEM (Goel, 1981) over the full-scan combinational view: all
+value decisions are made at (pseudo) primary inputs, each decision is
+followed by forward implication — two 3-valued simulations of the good
+and faulty machines on the compiled kernel of
+:mod:`repro.atpg.fastsim` — and the search backtracks on failure.
+
+The produced *test cube* assigns only the inputs the proof needed;
+everything else stays X.  Those X bits are precisely the don't-cares the
+paper's compressor feeds on, so the ATPG path exercises the entire
+pipeline on genuine data.
+
+A SCOAP-like controllability estimate steers the backtrace; an X-path
+check prunes branches whose fault effect can no longer reach an output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..bitstream import TernaryVector
+from ..circuit.faults import Fault
+from ..circuit.netlist import CombinationalView
+from .fastsim import X2, CompiledView, _OP_AND, _OP_NAND, _OP_NOR, _OP_OR
+
+__all__ = ["PodemResult", "PodemEngine"]
+
+#: Controlling input value per opcode (absent = no controlling value).
+_CONTROLLING = {
+    _OP_AND: 0,
+    _OP_NAND: 0,
+    _OP_OR: 1,
+    _OP_NOR: 1,
+}
+
+#: Opcodes whose output inverts the driven polarity during backtrace.
+_INVERTING_OPS = frozenset({1, 3, 5, 7})  # NAND, NOR, XNOR, NOT
+
+
+@dataclass(frozen=True)
+class PodemResult:
+    """Outcome of one PODEM run."""
+
+    fault: Fault
+    status: str  # "detected" | "untestable" | "aborted"
+    cube: Optional[TernaryVector]
+    backtracks: int
+    decisions: int
+
+    @property
+    def detected(self) -> bool:
+        """True when a test cube was found."""
+        return self.status == "detected"
+
+
+class PodemEngine:
+    """Reusable PODEM engine for one full-scan view."""
+
+    def __init__(
+        self,
+        view: CombinationalView,
+        backtrack_limit: int = 100,
+        compiled: Optional[CompiledView] = None,
+    ) -> None:
+        if backtrack_limit < 1:
+            raise ValueError("backtrack_limit must be >= 1")
+        self.view = view
+        self.backtrack_limit = backtrack_limit
+        self.cv = compiled or CompiledView(view)
+        cv = self.cv
+        self._is_source = [True] * cv.n_nets
+        self._gate_at: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+        for out, op, fanins in cv.ops:
+            self._is_source[out] = False
+            self._gate_at[out] = (op, fanins)
+        self._cc = _scoap_controllability(cv)
+        self._input_set = set(cv.input_indices)
+
+    # ------------------------------------------------------------------
+    def generate(self, fault: Fault) -> PodemResult:
+        """Search for a test cube detecting ``fault``."""
+        cv = self.cv
+        pf = cv.compile_fault(fault)
+        seed = [X2] * cv.n_nets
+        # Decision stack: (net_index, value, tried_both).
+        stack: List[Tuple[int, int, bool]] = []
+        backtracks = 0
+        decisions = 0
+
+        while True:
+            good = cv.evaluate(list(seed))
+            faulty = cv.evaluate(list(seed), pf)
+            if self._detected(good, faulty):
+                return PodemResult(
+                    fault, "detected", self._cube(seed), backtracks, decisions
+                )
+            objective = self._objective(pf, good, faulty)
+            pi = None
+            if objective is not None:
+                pi, pi_value = self._backtrace(objective, good)
+            if pi is not None:
+                seed[pi] = pi_value
+                stack.append((pi, pi_value, False))
+                decisions += 1
+                continue
+            # Dead end: flip the most recent untried decision.
+            backtracked = False
+            while stack:
+                net, value, tried_both = stack.pop()
+                seed[net] = X2
+                if not tried_both:
+                    flipped = 1 - value
+                    seed[net] = flipped
+                    stack.append((net, flipped, True))
+                    backtracks += 1
+                    backtracked = True
+                    break
+            if not backtracked:
+                return PodemResult(fault, "untestable", None, backtracks, decisions)
+            if backtracks >= self.backtrack_limit:
+                return PodemResult(fault, "aborted", None, backtracks, decisions)
+
+    # ------------------------------------------------------------------
+    def _detected(self, good: List[int], faulty: List[int]) -> bool:
+        for idx in self.cv.output_indices:
+            g, f = good[idx], faulty[idx]
+            if g != X2 and f != X2 and g != f:
+                return True
+        return False
+
+    def _cube(self, seed: List[int]) -> TernaryVector:
+        return TernaryVector(
+            (seed[i] if seed[i] != X2 else None) for i in self.cv.input_indices
+        )
+
+    def _objective(
+        self,
+        pf: Tuple[int, int, int, int],
+        good: List[int],
+        faulty: List[int],
+    ) -> Optional[Tuple[int, int]]:
+        """Next (net_index, value) goal, or None when the branch is hopeless."""
+        fnet, fstuck, _fpos, _fpin = pf
+        # 1. Activate: the fault site must carry the opposite value.
+        site_good = good[fnet]
+        if site_good == X2:
+            return (fnet, 1 - fstuck)
+        if site_good == fstuck:
+            return None  # site pinned to the stuck value: cannot activate
+        # 2. Propagate: drive a D-frontier gate.
+        frontier = self._d_frontier(good, faulty, pf)
+        if not frontier:
+            return None
+        reachable = self._x_reach(good, faulty)
+        for pos in frontier:
+            out, _op, _fanins = self.cv.ops[pos]
+            if not reachable[out]:
+                continue
+            op, fanins = self._gate_at[out]
+            control = _CONTROLLING.get(op)
+            # Want every X side-input at the non-controlling value (for
+            # XOR any defined value works; aim for 0).
+            want = (1 - control) if control is not None else 0
+            for f in fanins:
+                if good[f] == X2:
+                    return (f, want)
+        return None
+
+    def _d_frontier(
+        self,
+        good: List[int],
+        faulty: List[int],
+        pf: Tuple[int, int, int, int],
+    ) -> List[int]:
+        """Op positions with undetermined output but a fault effect at input.
+
+        A branch fault shows no difference on the shared fanin net, only
+        at the faulted pin, so that pin is checked against the forced
+        value explicitly.
+        """
+        fnet, fstuck, fpos, fpin = pf
+        frontier = []
+        for pos, (out, _op, fanins) in enumerate(self.cv.ops):
+            if good[out] != X2 and faulty[out] != X2:
+                continue
+            for j, f in enumerate(fanins):
+                g, fl = good[f], faulty[f]
+                if fpos == pos and j == fpin:
+                    fl = fstuck
+                if g != X2 and fl != X2 and g != fl:
+                    frontier.append(pos)
+                    break
+        return frontier
+
+    def _x_reach(self, good: List[int], faulty: List[int]) -> List[bool]:
+        """Per-net flag: an undetermined path reaches an observable output.
+
+        Net indices follow topological order, so one reverse sweep
+        propagates reachability from the observables back to every net.
+        """
+        cv = self.cv
+        reach = [False] * cv.n_nets
+        observable = set(cv.output_indices)
+        for net in range(cv.n_nets - 1, -1, -1):
+            if good[net] != X2 and faulty[net] != X2:
+                continue  # decided nets block the X path
+            if net in observable:
+                reach[net] = True
+                continue
+            for succ_pos in cv.fanout_ops[net]:
+                if reach[cv.ops[succ_pos][0]]:
+                    reach[net] = True
+                    break
+        return reach
+
+    def _backtrace(
+        self, objective: Tuple[int, int], good: List[int]
+    ) -> Tuple[Optional[int], int]:
+        """Walk the objective back to an unassigned input."""
+        net, value = objective
+        guard = 0
+        limit = self.cv.n_nets + 1
+        while True:
+            guard += 1
+            if guard > limit:
+                return (None, 0)  # defensive: malformed traversal
+            if self._is_source[net]:
+                if good[net] != X2 or net not in self._input_set:
+                    return (None, 0)
+                return (net, value)
+            op, fanins = self._gate_at[net]
+            if op in _INVERTING_OPS:
+                value = 1 - value
+            # Choose the X fanin that is cheapest to set to ``value``.
+            best = None
+            best_cost = None
+            for f in fanins:
+                if good[f] != X2:
+                    continue
+                cost = self._cc[f][value]
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = f, cost
+            if best is None:
+                return (None, 0)
+            net = best
+
+
+def _scoap_controllability(cv: CompiledView) -> List[Tuple[int, int]]:
+    """SCOAP-style (CC0, CC1) per net index; sources cost 1."""
+    from .fastsim import _OP_BUF, _OP_NOT, _OP_XNOR, _OP_XOR
+
+    cc: List[Tuple[int, int]] = [(1, 1)] * cv.n_nets
+    for out, op, fanins in cv.ops:
+        fanin_cc = [cc[f] for f in fanins]
+        if op == _OP_BUF:
+            cc[out] = (fanin_cc[0][0] + 1, fanin_cc[0][1] + 1)
+        elif op == _OP_NOT:
+            cc[out] = (fanin_cc[0][1] + 1, fanin_cc[0][0] + 1)
+        elif op in (_OP_AND, _OP_NAND):
+            all1 = sum(c[1] for c in fanin_cc) + 1
+            any0 = min(c[0] for c in fanin_cc) + 1
+            cc[out] = (any0, all1) if op == _OP_AND else (all1, any0)
+        elif op in (_OP_OR, _OP_NOR):
+            all0 = sum(c[0] for c in fanin_cc) + 1
+            any1 = min(c[1] for c in fanin_cc) + 1
+            cc[out] = (any1, all0) if op == _OP_OR else (all0, any1)
+        elif op in (_OP_XOR, _OP_XNOR):
+            total = sum(min(c) for c in fanin_cc) + 1
+            cc[out] = (total, total)
+    return cc

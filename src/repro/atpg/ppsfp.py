@@ -1,0 +1,153 @@
+"""Parallel-pattern single-fault propagation (PPSFP) fault simulation.
+
+Serial fault simulation evaluates one vector against one fault at a
+time; PPSFP packs a *batch* of fully specified vectors into the bit
+positions of machine words and evaluates all of them with one pass of
+bitwise operations — the classic industrial speedup, here over Python's
+arbitrary-width integers so a batch can be any size.
+
+Restricted to fully specified vectors (two-valued logic): that is
+exactly the post-decompression situation, where the paper's flow needs
+to confirm that the reconstructed vectors keep the silicon coverage.
+For ternary cubes use :func:`repro.atpg.faultsim.fault_simulate`; the
+test suite cross-checks both engines on X-free inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..bitstream import TernaryVector
+from ..circuit.faults import Fault
+from ..circuit.netlist import CombinationalView
+from .fastsim import (
+    CompiledView,
+    _OP_AND,
+    _OP_BUF,
+    _OP_NAND,
+    _OP_NOR,
+    _OP_OR,
+    _OP_XNOR,
+    _OP_XOR,
+)
+from .faultsim import FaultSimReport
+
+__all__ = ["parallel_fault_simulate", "pack_vectors"]
+
+
+def pack_vectors(
+    cv: CompiledView, vectors: Sequence[TernaryVector]
+) -> List[int]:
+    """Pack a batch of fully specified vectors into per-net word seeds.
+
+    Bit ``v`` of net word ``i`` carries vector ``v``'s value on net
+    ``i``; only source nets are seeded.
+    """
+    words = [0] * cv.n_nets
+    for v, vector in enumerate(vectors):
+        if not vector.is_fully_specified:
+            raise ValueError(
+                "PPSFP needs fully specified vectors; fill the X bits first"
+            )
+        if len(vector) != len(cv.input_indices):
+            raise ValueError("vector width does not match the view")
+        value = vector.value_mask
+        for bit_pos, net in enumerate(cv.input_indices):
+            if (value >> bit_pos) & 1:
+                words[net] |= 1 << v
+    return words
+
+
+def _evaluate_packed(
+    cv: CompiledView,
+    words: List[int],
+    mask: int,
+    fault: Tuple[int, int, int, int] = None,
+) -> List[int]:
+    """Two-valued batch evaluation with optional fault forcing."""
+    fnet = fstuck = fpos = fpin = -1
+    if fault is not None:
+        fnet, fstuck, fpos, fpin = fault
+        if fpos == -1:
+            words[fnet] = mask if fstuck else 0
+    for pos, (out, op, fanins) in enumerate(cv.ops):
+        if fault is not None and fpos == pos:
+            vs = [
+                (mask if fstuck else 0) if j == fpin else words[f]
+                for j, f in enumerate(fanins)
+            ]
+        else:
+            vs = [words[f] for f in fanins]
+        if op == _OP_AND or op == _OP_NAND:
+            r = mask
+            for v in vs:
+                r &= v
+            if op == _OP_NAND:
+                r = ~r & mask
+        elif op == _OP_OR or op == _OP_NOR:
+            r = 0
+            for v in vs:
+                r |= v
+            if op == _OP_NOR:
+                r = ~r & mask
+        elif op == _OP_XOR or op == _OP_XNOR:
+            r = 0
+            for v in vs:
+                r ^= v
+            if op == _OP_XNOR:
+                r = ~r & mask
+        elif op == _OP_BUF:
+            r = vs[0]
+        else:  # _OP_NOT
+            r = ~vs[0] & mask
+        if fault is not None and fpos == -1 and out == fnet:
+            r = mask if fstuck else 0
+        words[out] = r
+    return words
+
+
+def parallel_fault_simulate(
+    view: CombinationalView,
+    vectors: Sequence[TernaryVector],
+    faults: Iterable[Fault],
+    batch_size: int = 64,
+    compiled: CompiledView = None,
+) -> FaultSimReport:
+    """Batch fault simulation with fault dropping between batches.
+
+    Semantically identical to the serial engine on fully specified
+    vectors: a fault is detected iff some vector makes an observable
+    output differ, and ``detected[fault]`` records the first such
+    vector's index.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    cv = compiled or CompiledView(view)
+    remaining = [(fault, cv.compile_fault(fault)) for fault in faults]
+    detected: Dict[Fault, int] = {}
+
+    for start in range(0, len(vectors), batch_size):
+        if not remaining:
+            break
+        batch = vectors[start : start + batch_size]
+        mask = (1 << len(batch)) - 1
+        seeds = pack_vectors(cv, batch)
+        good = _evaluate_packed(cv, list(seeds), mask)
+        survivors = []
+        for fault, packed in remaining:
+            faulty = _evaluate_packed(cv, list(seeds), mask, packed)
+            # Union over every output: the first detecting vector may
+            # differ per output, and the serial engine's index is the
+            # earliest across all of them.
+            diff = 0
+            for net in cv.output_indices:
+                diff |= (good[net] ^ faulty[net]) & mask
+            if diff:
+                first = (diff & -diff).bit_length() - 1
+                detected[fault] = start + first
+            else:
+                survivors.append((fault, packed))
+        remaining = survivors
+    return FaultSimReport(
+        detected=detected, undetected=[f for f, _p in remaining]
+    )

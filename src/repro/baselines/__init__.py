@@ -1,0 +1,35 @@
+"""Comparison compressors: LZ77, Golomb/plain RLE and selective Huffman."""
+
+from .base import BaselineResult, Compressor
+from .golomb import GolombCompressor, GolombConfig, decode_golomb, encode_golomb
+from .huffman import (
+    HuffmanConfig,
+    SelectiveHuffmanCompressor,
+    build_huffman_codes,
+    decode_selective_huffman,
+)
+from .lz77 import LZ77Compressor, LZ77Config, decode_lz77, encode_tokens
+from .lzw_adapter import LZWCompressorAdapter
+from .rle import AlternatingRLECompressor, RLEConfig, decode_rle, encode_rle
+
+__all__ = [
+    "AlternatingRLECompressor",
+    "BaselineResult",
+    "Compressor",
+    "GolombCompressor",
+    "GolombConfig",
+    "HuffmanConfig",
+    "LZ77Compressor",
+    "LZ77Config",
+    "LZWCompressorAdapter",
+    "RLEConfig",
+    "SelectiveHuffmanCompressor",
+    "build_huffman_codes",
+    "decode_golomb",
+    "decode_lz77",
+    "decode_rle",
+    "decode_selective_huffman",
+    "encode_golomb",
+    "encode_rle",
+    "encode_tokens",
+]

@@ -1,0 +1,81 @@
+"""Common interface for every compressor compared in the paper's Table 1.
+
+Each scheme takes the same ternary scan stream, is free to assign the X
+bits however suits it, and reports its compressed size in bits.  The
+uniform :class:`BaselineResult` lets the experiment harness rank schemes
+and lets the tests enforce the shared correctness invariant: the decoded
+stream must cover the original cubes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..bitstream import TernaryVector
+
+__all__ = ["BaselineResult", "Compressor"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of one compression run by any scheme.
+
+    ``assigned_stream`` is the fully specified stream the decompressor
+    reproduces (original cubes with X resolved); ``extra`` carries
+    scheme-specific diagnostics (chosen Golomb ``m``, token counts...).
+    """
+
+    scheme: str
+    original_bits: int
+    compressed_bits: int
+    assigned_stream: TernaryVector
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``1 - compressed/original``."""
+        if self.original_bits == 0:
+            return 0.0
+        return 1.0 - self.compressed_bits / self.original_bits
+
+    @property
+    def ratio_percent(self) -> float:
+        """Ratio in percent, the unit of the paper's tables."""
+        return 100.0 * self.ratio
+
+    def verify(self, original: TernaryVector) -> bool:
+        """True iff the reproduced stream preserves every specified bit."""
+        return self.assigned_stream.covers(original)
+
+
+class Compressor(abc.ABC):
+    """A test-data compression scheme operating on ternary scan streams."""
+
+    #: Short name used in tables ("LZW", "LZ77", "RLE"...).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def compress(self, stream: TernaryVector) -> BaselineResult:
+        """Compress ``stream``, choosing X assignments to suit the scheme."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} ({self.name})>"
+
+
+def make_result(
+    compressor: Compressor,
+    original: TernaryVector,
+    compressed_bits: int,
+    assigned: TernaryVector,
+    extra: Optional[Dict[str, object]] = None,
+) -> BaselineResult:
+    """Convenience constructor enforcing the common bookkeeping."""
+    return BaselineResult(
+        scheme=compressor.name,
+        original_bits=len(original),
+        compressed_bits=compressed_bits,
+        assigned_stream=assigned,
+        extra=extra or {},
+    )

@@ -1,0 +1,118 @@
+"""Golomb run-length baseline (Chandra & Chakrabarty, TCAD 2001).
+
+The "RLE" column of the paper's Table 1 cites the Golomb-coded
+run-length scheme: the don't-cares are filled with 0 (making the scan
+stream a sparse sequence of 1s separated by long 0-runs), and the length
+of the 0-run preceding each 1 is Golomb-coded with a power-of-two group
+size ``m = 2**k``: the quotient ``run // m`` in unary (that many 1s, a 0
+terminator), the remainder in ``k`` plain bits.
+
+The run after the final 1 carries no information — the decompressor
+pads with 0s to the known test length — so it costs nothing, matching
+the accounting used in the literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..bitstream import BitReader, BitWriter, TernaryVector
+from .base import BaselineResult, Compressor, make_result
+
+__all__ = ["GolombConfig", "GolombCompressor", "decode_golomb", "golomb_size"]
+
+#: Group sizes tried when ``m`` is left unset (the usual design sweep).
+_CANDIDATE_M = (2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class GolombConfig:
+    """Golomb parameters; ``m = None`` selects the best group size."""
+
+    m: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.m is not None and (self.m < 2 or self.m & (self.m - 1)):
+            raise ValueError("m must be a power of two >= 2")
+
+
+class GolombCompressor(Compressor):
+    """Zero-fill + Golomb-coded 0-run lengths."""
+
+    name = "RLE"
+
+    def __init__(self, config: GolombConfig = GolombConfig()) -> None:
+        self.config = config
+
+    def compress(self, stream: TernaryVector) -> BaselineResult:
+        assigned = stream.fill(0)
+        runs = _zero_runs(assigned)
+        if self.config.m is not None:
+            m = self.config.m
+            size = golomb_size(runs, m)
+        else:
+            m, size = _best_m(runs)
+        return make_result(
+            self,
+            stream,
+            size,
+            assigned,
+            extra={"m": m, "ones": len(runs)},
+        )
+
+
+def _zero_runs(assigned: TernaryVector) -> List[int]:
+    """Lengths of the 0-runs preceding each 1 bit."""
+    runs = []
+    run = 0
+    value = assigned.value_mask
+    for i in range(len(assigned)):
+        if (value >> i) & 1:
+            runs.append(run)
+            run = 0
+        else:
+            run += 1
+    return runs
+
+
+def _best_m(runs: List[int]) -> Tuple[int, int]:
+    best = None
+    for m in _CANDIDATE_M:
+        size = golomb_size(runs, m)
+        if best is None or size < best[1]:
+            best = (m, size)
+    assert best is not None
+    return best
+
+
+def golomb_size(runs: List[int], m: int) -> int:
+    """Compressed size in bits of the given runs under group size ``m``."""
+    k = m.bit_length() - 1
+    return sum(run // m + 1 + k for run in runs)
+
+
+def encode_golomb(runs: List[int], m: int) -> List[int]:
+    """Serialise run lengths to a Golomb bit stream."""
+    k = m.bit_length() - 1
+    writer = BitWriter()
+    for run in runs:
+        writer.write_unary(run // m, stop_bit=0)
+        writer.write(run % m, k)
+    return writer.getbits()
+
+
+def decode_golomb(bits: List[int], m: int, original_bits: int) -> TernaryVector:
+    """Decode a Golomb stream; pads trailing 0s to ``original_bits``."""
+    k = m.bit_length() - 1
+    reader = BitReader(bits)
+    out_value = 0
+    pos = 0
+    while not reader.exhausted:
+        run = reader.read_unary(stop_bit=0) * m + reader.read(k)
+        pos += run
+        if pos >= original_bits:
+            raise ValueError("decoded 1 bit beyond the declared test length")
+        out_value |= 1 << pos
+        pos += 1
+    return TernaryVector.from_int(out_value, original_bits)

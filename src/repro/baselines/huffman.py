@@ -1,0 +1,198 @@
+"""Selective-Huffman statistical baseline (Jas, Ghosh-Dastidar & Touba).
+
+The paper's related-work section lists statistical coding among the
+classical alternatives; this module implements the selective variant
+used in the scan-compression literature: the stream splits into
+``block_bits``-wide blocks, don't-cares are merged greedily so ternary
+blocks collapse onto few concrete patterns, and only the ``coded_patterns``
+most frequent patterns receive Huffman codes (prefixed ``1``); all other
+blocks ship raw (prefixed ``0``).
+
+The pattern table itself is assumed to live in the on-chip decoder, as
+in the original scheme, so its bits are not charged to the stream; the
+``extra`` diagnostics report the table size for honest area accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..bitstream import BitReader, BitWriter, TernaryVector, to_characters
+from .base import BaselineResult, Compressor, make_result
+
+__all__ = [
+    "HuffmanConfig",
+    "SelectiveHuffmanCompressor",
+    "build_huffman_codes",
+    "decode_selective_huffman",
+]
+
+
+@dataclass(frozen=True)
+class HuffmanConfig:
+    """Block width and how many patterns receive Huffman codes."""
+
+    block_bits: int = 8
+    coded_patterns: int = 16
+
+    def __post_init__(self) -> None:
+        if self.block_bits < 1:
+            raise ValueError("block_bits must be >= 1")
+        if self.coded_patterns < 1:
+            raise ValueError("coded_patterns must be >= 1")
+
+
+class SelectiveHuffmanCompressor(Compressor):
+    """X-merging block coder with a selective Huffman back end."""
+
+    name = "Huffman"
+
+    def __init__(self, config: HuffmanConfig = HuffmanConfig()) -> None:
+        self.config = config
+
+    def compress(self, stream: TernaryVector) -> BaselineResult:
+        cfg = self.config
+        blocks = to_characters(stream, cfg.block_bits)
+        concrete = _merge_blocks(blocks, cfg.block_bits)
+        counts: Dict[int, int] = {}
+        for b in concrete:
+            counts[b] = counts.get(b, 0) + 1
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        coded = dict(ranked[: cfg.coded_patterns])
+        codes = build_huffman_codes(coded)
+        writer = BitWriter()
+        for b in concrete:
+            if b in codes:
+                writer.write_bit(1)
+                code, width = codes[b]
+                writer.write(code, width)
+            else:
+                writer.write_bit(0)
+                writer.write(b, cfg.block_bits)
+        assigned = _blocks_to_stream(concrete, cfg.block_bits, len(stream))
+        table_bits = len(codes) * cfg.block_bits
+        return make_result(
+            self,
+            stream,
+            writer.bit_length,
+            assigned,
+            extra={
+                "distinct_patterns": len(counts),
+                "coded_patterns": len(codes),
+                "decoder_table_bits": table_bits,
+                "codes": codes,
+                "bits": writer.getbits(),
+            },
+        )
+
+
+def _merge_blocks(blocks: List[TernaryVector], width: int) -> List[int]:
+    """Greedy X-merging: map each ternary block onto a popular pattern.
+
+    Fully specified blocks keep their value; a block with X bits adopts
+    the most frequent already-seen compatible pattern, falling back to a
+    zero fill.  Two passes: the first builds frequencies from the fully
+    specified blocks, the second assigns.
+    """
+    counts: Dict[int, int] = {}
+    for b in blocks:
+        if b.is_fully_specified:
+            v = b.to_int()
+            counts[v] = counts.get(v, 0) + 1
+    out: List[int] = []
+    for b in blocks:
+        if b.is_fully_specified:
+            v = b.to_int()
+        else:
+            care = b.care_mask
+            value = b.value_mask
+            best = None
+            best_count = 0
+            for pattern, count in counts.items():
+                if (pattern & care) == value and count > best_count:
+                    best = pattern
+                    best_count = count
+            v = best if best is not None else value  # zero fill fallback
+        counts[v] = counts.get(v, 0) + 1
+        out.append(v)
+    return out
+
+
+def build_huffman_codes(
+    frequencies: Dict[int, int],
+) -> Dict[int, Tuple[int, int]]:
+    """Canonical Huffman codes ``symbol -> (code, width)``.
+
+    A single-symbol alphabet gets the 1-bit code ``0`` (a zero-width
+    code would make the flag-prefixed stream undecodable in theory and
+    unreadable in practice).
+    """
+    if not frequencies:
+        return {}
+    if len(frequencies) == 1:
+        symbol = next(iter(frequencies))
+        return {symbol: (0, 1)}
+    # Huffman depth per symbol via a pairing heap; ties broken on symbol
+    # order for determinism.
+    heap: List[Tuple[int, int, List[int]]] = []
+    for order, (symbol, freq) in enumerate(sorted(frequencies.items())):
+        heapq.heappush(heap, (freq, order, [symbol]))
+    depths: Dict[int, int] = {s: 0 for s in frequencies}
+    counter = len(heap)
+    while len(heap) > 1:
+        f1, _o1, s1 = heapq.heappop(heap)
+        f2, _o2, s2 = heapq.heappop(heap)
+        for s in s1 + s2:
+            depths[s] += 1
+        heapq.heappush(heap, (f1 + f2, counter, s1 + s2))
+        counter += 1
+    # Canonical assignment: sort by (depth, symbol), count codes upward.
+    ordered = sorted(depths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_depth = ordered[0][1]
+    for symbol, depth in ordered:
+        code <<= depth - prev_depth
+        codes[symbol] = (code, depth)
+        prev_depth = depth
+        code += 1
+    return codes
+
+
+def decode_selective_huffman(
+    bits: List[int],
+    codes: Dict[int, Tuple[int, int]],
+    config: HuffmanConfig,
+    original_bits: int,
+) -> TernaryVector:
+    """Decode a selective-Huffman stream back to the assigned stream."""
+    # Invert to a (width, code) -> symbol map for prefix decoding.
+    inverse = {(width, code): sym for sym, (code, width) in codes.items()}
+    reader = BitReader(bits)
+    blocks: List[int] = []
+    total_blocks = -(-original_bits // config.block_bits)
+    while len(blocks) < total_blocks:
+        if reader.read_bit() == 1:
+            code = 0
+            width = 0
+            while True:
+                code = (code << 1) | reader.read_bit()
+                width += 1
+                sym = inverse.get((width, code))
+                if sym is not None:
+                    blocks.append(sym)
+                    break
+                if width > 64:
+                    raise ValueError("undecodable Huffman prefix")
+        else:
+            blocks.append(reader.read(config.block_bits))
+    return _blocks_to_stream(blocks, config.block_bits, original_bits)
+
+
+def _blocks_to_stream(
+    blocks: List[int], width: int, original_bits: int
+) -> TernaryVector:
+    parts = [TernaryVector.from_int(b, width) for b in blocks]
+    return TernaryVector.concat_all(parts)[:original_bits]

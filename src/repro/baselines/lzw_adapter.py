@@ -1,0 +1,40 @@
+"""Adapter exposing the paper's LZW scheme through the baseline interface.
+
+Table 1 ranks LZW against LZ77 and RLE on identical inputs; wrapping the
+core pipeline in :class:`~repro.baselines.base.Compressor` lets the
+experiment harness treat all schemes uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bitstream import TernaryVector
+from ..core import LZWConfig, compress
+from .base import BaselineResult, Compressor, make_result
+
+__all__ = ["LZWCompressorAdapter"]
+
+
+class LZWCompressorAdapter(Compressor):
+    """The don't-care-aware LZW scheme behind the common interface."""
+
+    name = "LZW"
+
+    def __init__(self, config: Optional[LZWConfig] = None) -> None:
+        self.config = config or LZWConfig()
+
+    def compress(self, stream: TernaryVector) -> BaselineResult:
+        result = compress(stream, self.config)
+        return make_result(
+            self,
+            stream,
+            result.compressed_bits,
+            result.assigned_stream,
+            extra={
+                "num_codes": result.compressed.num_codes,
+                "entries_allocated": result.stats.entries_allocated,
+                "longest_entry_bits": result.longest_entry_bits,
+                "config": self.config,
+            },
+        )

@@ -1,0 +1,111 @@
+"""Plain fixed-width run-length baseline.
+
+A simple run-length coder kept alongside the Golomb scheme for the
+ablation benches: the don't-cares are filled by repeating the last
+specified bit (which maximises run lengths), then each run is emitted as
+one token of ``1 + L`` bits — the run's value followed by its length in
+an ``L``-bit field (biased by -1).  Runs longer than ``2**L`` bits split
+into multiple tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..bitstream import BitReader, BitWriter, TernaryVector
+from .base import BaselineResult, Compressor, make_result
+
+__all__ = ["RLEConfig", "AlternatingRLECompressor", "encode_rle", "decode_rle"]
+
+
+@dataclass(frozen=True)
+class RLEConfig:
+    """``length_bits`` fixes the run-length field width ``L``."""
+
+    length_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.length_bits < 1:
+            raise ValueError("length_bits must be >= 1")
+
+    @property
+    def max_run(self) -> int:
+        """Longest run one token can carry (``2**L``)."""
+        return 1 << self.length_bits
+
+
+class AlternatingRLECompressor(Compressor):
+    """Repeat-last fill + fixed-width ``(value, length)`` run tokens."""
+
+    name = "RLE-fixed"
+
+    def __init__(self, config: RLEConfig = RLEConfig()) -> None:
+        self.config = config
+
+    def compress(self, stream: TernaryVector) -> BaselineResult:
+        assigned = stream.fill_repeat_last(0)
+        runs = _runs(assigned)
+        bits = encode_rle(runs, self.config)
+        return make_result(
+            self,
+            stream,
+            len(bits),
+            assigned,
+            extra={"runs": len(runs)},
+        )
+
+
+def _runs(assigned: TernaryVector) -> List[Tuple[int, int]]:
+    """``(value, length)`` runs of a fully specified stream."""
+    runs: List[Tuple[int, int]] = []
+    value_mask = assigned.value_mask
+    current = None
+    length = 0
+    for i in range(len(assigned)):
+        bit = (value_mask >> i) & 1
+        if bit == current:
+            length += 1
+        else:
+            if current is not None:
+                runs.append((current, length))
+            current = bit
+            length = 1
+    if current is not None:
+        runs.append((current, length))
+    return runs
+
+
+def encode_rle(runs: List[Tuple[int, int]], config: RLEConfig) -> List[int]:
+    """Serialise runs as ``value`` bit + ``L``-bit length tokens."""
+    writer = BitWriter()
+    max_run = config.max_run
+    width = config.length_bits
+    for value, length in runs:
+        if length < 1:
+            raise ValueError("run lengths must be >= 1")
+        while length > 0:
+            piece = min(length, max_run)
+            writer.write_bit(value)
+            writer.write(piece - 1, width)
+            length -= piece
+    return writer.getbits()
+
+
+def decode_rle(
+    bits: List[int], config: RLEConfig, original_bits: int
+) -> TernaryVector:
+    """Decode an RLE stream back to the assigned scan stream."""
+    reader = BitReader(bits)
+    out_value = 0
+    pos = 0
+    width = config.length_bits
+    while pos < original_bits:
+        value = reader.read_bit()
+        length = reader.read(width) + 1
+        if pos + length > original_bits:
+            raise ValueError("run overflows the declared test length")
+        if value:
+            out_value |= ((1 << length) - 1) << pos
+        pos += length
+    return TernaryVector.from_int(out_value, original_bits)

@@ -1,0 +1,15 @@
+"""Bit-level substrate: ternary vectors, chunking and variable-width I/O."""
+
+from .bitio import BitReader, BitWriter
+from .packing import from_characters, pad_length, to_characters
+from .ternary import TernaryVector, X
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "TernaryVector",
+    "X",
+    "from_characters",
+    "pad_length",
+    "to_characters",
+]

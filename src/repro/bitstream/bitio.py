@@ -1,0 +1,126 @@
+"""Variable-width bit-level I/O.
+
+Every compressor in the library emits codes of odd widths (10-bit LZW
+codes, Golomb codewords, LZ77 triples...).  :class:`BitWriter` packs
+them MSB-first into a byte stream; :class:`BitReader` unpacks the same
+stream.  MSB-first packing matches how an ATE would shift a code into
+the decompressor's input shift register, most significant bit leading.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates variable-width unsigned fields, MSB-first."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` (most significant first)."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        if value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bit(self, bit: int) -> None:
+        """Append one bit."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self._bits.append(bit)
+
+    def write_unary(self, count: int, stop_bit: int = 0) -> None:
+        """Append ``count`` copies of ``1 - stop_bit`` followed by ``stop_bit``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        run_bit = 1 - stop_bit
+        self._bits.extend([run_bit] * count)
+        self._bits.append(stop_bit)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._bits)
+
+    def getbits(self) -> List[int]:
+        """The written bits as a list (a copy)."""
+        return list(self._bits)
+
+    def to_bytes(self) -> bytes:
+        """Pack into bytes, zero-padding the final partial byte."""
+        out = bytearray()
+        acc = 0
+        n = 0
+        for bit in self._bits:
+            acc = (acc << 1) | bit
+            n += 1
+            if n == 8:
+                out.append(acc)
+                acc = 0
+                n = 0
+        if n:
+            out.append(acc << (8 - n))
+        return bytes(out)
+
+
+class BitReader:
+    """Reads variable-width unsigned fields written by :class:`BitWriter`."""
+
+    def __init__(self, bits: Iterable[int]) -> None:
+        self._bits = list(bits)
+        self._pos = 0
+        for bit in self._bits:
+            if bit not in (0, 1):
+                raise ValueError("bit stream may only contain 0 and 1")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, bit_length: int) -> "BitReader":
+        """Unpack ``bit_length`` MSB-first bits from ``data``."""
+        if bit_length > len(data) * 8:
+            raise ValueError("bit_length exceeds available data")
+        bits = []
+        for i in range(bit_length):
+            byte = data[i // 8]
+            bits.append((byte >> (7 - (i % 8))) & 1)
+        return cls(bits)
+
+    def read(self, width: int) -> int:
+        """Consume ``width`` bits and return them as an unsigned value."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if self._pos + width > len(self._bits):
+            raise EOFError("bit stream exhausted")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self._bits[self._pos]
+            self._pos += 1
+        return value
+
+    def read_bit(self) -> int:
+        """Consume and return a single bit."""
+        return self.read(1)
+
+    def read_unary(self, stop_bit: int = 0) -> int:
+        """Consume a unary run terminated by ``stop_bit``; return run length."""
+        count = 0
+        while self.read_bit() != stop_bit:
+            count += 1
+        return count
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return len(self._bits) - self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every bit has been consumed."""
+        return self._pos >= len(self._bits)

@@ -1,0 +1,45 @@
+"""Gate-level circuit substrate: netlists, `.bench` I/O, simulation,
+faults, scan chains and a synthetic circuit generator."""
+
+from .bench import (
+    BUILTIN_CIRCUITS,
+    load_bench,
+    load_builtin,
+    parse_bench,
+    write_bench,
+)
+from .faults import Fault, collapse_faults, full_fault_list
+from .netlist import (
+    COMBINATIONAL_GATES,
+    Circuit,
+    CircuitError,
+    CombinationalView,
+    Gate,
+    GateType,
+)
+from .scan import ScanChain, TestSet
+from .simulate import evaluate, outputs_of, simulate_cube
+from .synth import random_circuit
+
+__all__ = [
+    "BUILTIN_CIRCUITS",
+    "COMBINATIONAL_GATES",
+    "Circuit",
+    "CircuitError",
+    "CombinationalView",
+    "Fault",
+    "Gate",
+    "GateType",
+    "ScanChain",
+    "TestSet",
+    "collapse_faults",
+    "evaluate",
+    "full_fault_list",
+    "load_bench",
+    "load_builtin",
+    "outputs_of",
+    "parse_bench",
+    "random_circuit",
+    "simulate_cube",
+    "write_bench",
+]

@@ -1,0 +1,120 @@
+"""ISCAS89 `.bench` format reader and writer.
+
+The `.bench` netlist format used by the ISCAS89 and ITC99 benchmark
+distributions::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G10 = NOR(G14, G11)
+
+Users with the real benchmark files can load them directly; the package
+also ships two literature classics (``c17``, ``s27``) and three
+hand-crafted functional blocks (``counter4``, ``mux41``, ``parity8``)
+under ``repro/circuit/data`` for self-contained runs.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Union
+
+try:  # Python 3.9+: importlib.resources.files
+    from importlib.resources import files as _resource_files
+except ImportError:  # pragma: no cover - very old interpreters
+    _resource_files = None
+
+from .netlist import Circuit, CircuitError, Gate, GateType
+
+__all__ = ["parse_bench", "load_bench", "load_builtin", "write_bench", "BUILTIN_CIRCUITS"]
+
+#: Netlists shipped with the package: two literature classics plus three
+#: hand-crafted functional blocks used by the simulator tests.
+BUILTIN_CIRCUITS = ("c17", "s27", "counter4", "mux41", "parity8")
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w\.\[\]]+)\s*=\s*(?P<type>\w+)\s*\((?P<ins>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(INPUT|OUTPUT)\s*\(\s*([\w\.\[\]]+)\s*\)\s*$")
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUFF,
+    "BUFF": GateType.BUFF,
+    "DFF": GateType.DFF,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse `.bench` source text into a :class:`Circuit`."""
+    gates: List[Gate] = []
+    outputs: List[str] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, net = io_match.groups()
+            if kind == "INPUT":
+                gates.append(Gate(net, GateType.INPUT))
+            else:
+                outputs.append(net)
+            continue
+        gate_match = _LINE_RE.match(line)
+        if not gate_match:
+            raise CircuitError(f"{name}:{lineno}: unparseable line {raw!r}")
+        out = gate_match.group("out")
+        raw_type = gate_match.group("type").upper()
+        gate_type = _TYPE_ALIASES.get(raw_type)
+        if gate_type is None:
+            raise CircuitError(f"{name}:{lineno}: unknown gate type {raw_type!r}")
+        fanins = tuple(
+            s.strip() for s in gate_match.group("ins").split(",") if s.strip()
+        )
+        # Single-input AND/OR appear in some distributions; read as BUFF.
+        if gate_type in (GateType.AND, GateType.OR) and len(fanins) == 1:
+            gate_type = GateType.BUFF
+        gates.append(Gate(out, gate_type, fanins))
+    return Circuit(name, gates, outputs)
+
+
+def load_bench(path: Union[str, Path]) -> Circuit:
+    """Load a `.bench` file from disk; the circuit is named after the file."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def load_builtin(name: str) -> Circuit:
+    """Load one of the shipped netlists (see :data:`BUILTIN_CIRCUITS`)."""
+    if name not in BUILTIN_CIRCUITS:
+        raise ValueError(f"unknown builtin {name!r}; have {BUILTIN_CIRCUITS}")
+    if _resource_files is not None:
+        text = (_resource_files("repro.circuit") / "data" / f"{name}.bench").read_text()
+    else:  # pragma: no cover
+        text = (Path(__file__).parent / "data" / f"{name}.bench").read_text()
+    return parse_bench(text, name=name)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Render a :class:`Circuit` back to `.bench` text (round-trippable)."""
+    lines: List[str] = [f"# {circuit.name}"]
+    for net in circuit.inputs:
+        lines.append(f"INPUT({net})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({net})")
+    for gate in circuit.gates.values():
+        if gate.gate_type == GateType.INPUT:
+            continue
+        fanins = ", ".join(gate.fanins)
+        lines.append(f"{gate.name} = {gate.gate_type}({fanins})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,146 @@
+"""Single stuck-at fault model with structural equivalence collapsing.
+
+The fault universe contains, for each net, stem faults (the net stuck at
+0/1 everywhere) and, for each gate input whose source net fans out to
+more than one consumer, branch faults (stuck only at that input pin —
+the checkpoint positions).  :func:`collapse_faults` then merges the
+classic gate-local equivalences:
+
+* ``BUFF``: input sa-v ≡ output sa-v;   ``NOT``: input sa-v ≡ output sa-(1-v)
+* ``AND``:  any input sa-0 ≡ output sa-0;  ``NAND``: input sa-0 ≡ output sa-1
+* ``OR``:   any input sa-1 ≡ output sa-1;  ``NOR``:  input sa-1 ≡ output sa-0
+
+keeping one representative per equivalence class (XOR/XNOR contribute no
+structural equivalences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .netlist import Circuit, GateType
+
+__all__ = ["Fault", "full_fault_list", "collapse_faults"]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault.
+
+    ``branch`` is ``None`` for a stem fault on ``net``; for a branch
+    fault it names ``(consuming_gate, fanin_index)`` and ``net`` is the
+    source net feeding that pin.
+    """
+
+    net: str
+    stuck: int
+    branch: Optional[Tuple[str, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.stuck not in (0, 1):
+            raise ValueError("stuck value must be 0 or 1")
+
+    @property
+    def sort_key(self):
+        """Total-order key (branch faults sort after their stem)."""
+        return (self.net, self.branch is not None, self.branch or ("", -1), self.stuck)
+
+    def __str__(self) -> str:
+        site = self.net
+        if self.branch is not None:
+            site = f"{self.net}->{self.branch[0]}.{self.branch[1]}"
+        return f"{site} sa{self.stuck}"
+
+
+def full_fault_list(circuit: Circuit) -> List[Fault]:
+    """Every stem fault plus branch faults at fanout points."""
+    fanout_count: Dict[str, int] = {name: 0 for name in circuit.gates}
+    for gate in circuit.gates.values():
+        for fanin in gate.fanins:
+            fanout_count[fanin] += 1
+    faults: List[Fault] = []
+    for name in circuit.gates:
+        faults.append(Fault(name, 0))
+        faults.append(Fault(name, 1))
+    for gate in circuit.gates.values():
+        if gate.gate_type in (GateType.INPUT, GateType.DFF):
+            # A branch fault at a scan-flop data pin is dominated by the
+            # stem fault: in full scan the pin is itself a pseudo primary
+            # output, so activating the stem already detects the branch.
+            continue
+        for index, fanin in enumerate(gate.fanins):
+            if fanout_count[fanin] > 1:
+                faults.append(Fault(fanin, 0, branch=(gate.name, index)))
+                faults.append(Fault(fanin, 1, branch=(gate.name, index)))
+    return faults
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Fault, Fault] = {}
+
+    def find(self, fault: Fault) -> Fault:
+        parent = self._parent.setdefault(fault, fault)
+        if parent is fault or parent == fault:
+            return fault
+        root = self.find(parent)
+        self._parent[fault] = root
+        return root
+
+    def union(self, a: Fault, b: Fault) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            # Deterministic representative: the smaller fault wins.
+            keep, drop = (ra, rb) if ra.sort_key < rb.sort_key else (rb, ra)
+            self._parent[drop] = keep
+
+
+def collapse_faults(circuit: Circuit) -> List[Fault]:
+    """Equivalence-collapsed fault list (sorted, deterministic)."""
+    faults = full_fault_list(circuit)
+    present = set(faults)
+    fanout_count: Dict[str, int] = {name: 0 for name in circuit.gates}
+    for gate in circuit.gates.values():
+        for fanin in gate.fanins:
+            fanout_count[fanin] += 1
+
+    def input_fault(gate_name: str, index: int, net: str, stuck: int) -> Fault:
+        """The fault object modelling 'this gate input stuck-at'."""
+        if fanout_count[net] > 1:
+            return Fault(net, stuck, branch=(gate_name, index))
+        return Fault(net, stuck)
+
+    uf = _UnionFind()
+    for gate in circuit.gates.values():
+        gtype = gate.gate_type
+        if gtype in (GateType.INPUT, GateType.DFF):
+            continue
+        out0, out1 = Fault(gate.name, 0), Fault(gate.name, 1)
+        for index, fanin in enumerate(gate.fanins):
+            in0 = input_fault(gate.name, index, fanin, 0)
+            in1 = input_fault(gate.name, index, fanin, 1)
+            if gtype == GateType.BUFF:
+                uf.union(in0, out0)
+                uf.union(in1, out1)
+            elif gtype == GateType.NOT:
+                uf.union(in0, out1)
+                uf.union(in1, out0)
+            elif gtype == GateType.AND:
+                uf.union(in0, out0)
+            elif gtype == GateType.NAND:
+                uf.union(in0, out1)
+            elif gtype == GateType.OR:
+                uf.union(in1, out1)
+            elif gtype == GateType.NOR:
+                uf.union(in1, out0)
+            # XOR/XNOR: no structural equivalence.
+
+    classes: Dict[Fault, Fault] = {}
+    for fault in faults:
+        root = uf.find(fault)
+        best = classes.get(root)
+        if best is None or fault.sort_key < best.sort_key:
+            classes[root] = fault
+    assert all(f in present for f in classes.values())
+    return sorted(set(classes.values()), key=lambda f: f.sort_key)

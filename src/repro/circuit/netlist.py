@@ -1,0 +1,232 @@
+"""Gate-level netlist representation (ISCAS89-style).
+
+A :class:`Circuit` is a named collection of :class:`Gate` objects over
+single-output gates with the ISCAS89 primitive set (AND, NAND, OR, NOR,
+XOR, XNOR, NOT, BUFF, DFF) plus primary inputs and outputs.  Sequential
+elements (DFFs) exist so `.bench` files parse faithfully; the test
+machinery operates on the *full-scan combinational view*
+(:meth:`Circuit.combinational_view`), where every DFF output becomes a
+pseudo primary input and every DFF input a pseudo primary output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["GateType", "Gate", "Circuit", "CircuitError", "COMBINATIONAL_GATES"]
+
+
+class CircuitError(ValueError):
+    """Raised for malformed netlists (undefined nets, cycles, bad arity)."""
+
+
+class GateType:
+    """Gate-type name constants (plain strings keep `.bench` I/O trivial)."""
+
+    INPUT = "INPUT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUFF = "BUFF"
+    DFF = "DFF"
+
+
+#: Gate types with at least one fanin that compute a boolean function.
+COMBINATIONAL_GATES = frozenset(
+    {
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+        GateType.NOT,
+        GateType.BUFF,
+    }
+)
+
+_UNARY = frozenset({GateType.NOT, GateType.BUFF, GateType.DFF})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One named net and the gate driving it."""
+
+    name: str
+    gate_type: str
+    fanins: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.gate_type == GateType.INPUT:
+            if self.fanins:
+                raise CircuitError(f"INPUT {self.name} cannot have fanins")
+        elif self.gate_type in _UNARY:
+            if len(self.fanins) != 1:
+                raise CircuitError(
+                    f"{self.gate_type} {self.name} needs exactly 1 fanin"
+                )
+        elif self.gate_type in COMBINATIONAL_GATES:
+            if len(self.fanins) < 2:
+                raise CircuitError(
+                    f"{self.gate_type} {self.name} needs >= 2 fanins"
+                )
+        else:
+            raise CircuitError(f"unknown gate type {self.gate_type!r}")
+
+
+class Circuit:
+    """A named netlist with topological services.
+
+    ``outputs`` lists the primary-output net names (they are driven by
+    ordinary gates; OUTPUT is a role, not a gate type, as in `.bench`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        gates: Iterable[Gate],
+        outputs: Sequence[str],
+    ) -> None:
+        self.name = name
+        self.gates: Dict[str, Gate] = {}
+        for gate in gates:
+            if gate.name in self.gates:
+                raise CircuitError(f"net {gate.name} driven twice")
+            self.gates[gate.name] = gate
+        self.outputs: Tuple[str, ...] = tuple(outputs)
+        self._validate()
+        self._topo: List[str] = self._toposort()
+
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> List[str]:
+        """Primary-input net names, in declaration order."""
+        return [g.name for g in self.gates.values() if g.gate_type == GateType.INPUT]
+
+    @property
+    def flops(self) -> List[str]:
+        """DFF output net names, in declaration order."""
+        return [g.name for g in self.gates.values() if g.gate_type == GateType.DFF]
+
+    @property
+    def is_sequential(self) -> bool:
+        """True when the netlist contains any DFF."""
+        return any(g.gate_type == GateType.DFF for g in self.gates.values())
+
+    def gate_count(self, combinational_only: bool = True) -> int:
+        """Number of gates (excluding INPUTs; optionally excluding DFFs)."""
+        return sum(
+            1
+            for g in self.gates.values()
+            if g.gate_type != GateType.INPUT
+            and (not combinational_only or g.gate_type != GateType.DFF)
+        )
+
+    def topological_order(self) -> List[str]:
+        """Net names in evaluation order (DFF outputs act as sources)."""
+        return list(self._topo)
+
+    def fanouts(self) -> Dict[str, List[str]]:
+        """Net name -> gates it feeds (combinational fanout map)."""
+        out: Dict[str, List[str]] = {name: [] for name in self.gates}
+        for gate in self.gates.values():
+            if gate.gate_type == GateType.DFF:
+                continue  # DFF input is consumed at the next cycle boundary
+            for fanin in gate.fanins:
+                out[fanin].append(gate.name)
+        return out
+
+    # ------------------------------------------------------------------
+    def combinational_view(self) -> "CombinationalView":
+        """The full-scan view: DFFs become pseudo PIs/POs.
+
+        This is what ATPG and fault simulation target, mirroring how
+        scan insertion exposes the state elements to the tester.
+        """
+        pseudo_inputs = self.flops
+        pseudo_outputs = [self.gates[f].fanins[0] for f in pseudo_inputs]
+        return CombinationalView(
+            circuit=self,
+            primary_inputs=self.inputs,
+            pseudo_inputs=pseudo_inputs,
+            primary_outputs=list(self.outputs),
+            pseudo_outputs=pseudo_outputs,
+        )
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for gate in self.gates.values():
+            for fanin in gate.fanins:
+                if fanin not in self.gates:
+                    raise CircuitError(
+                        f"gate {gate.name} references undefined net {fanin}"
+                    )
+        for output in self.outputs:
+            if output not in self.gates:
+                raise CircuitError(f"undefined primary output {output}")
+
+    def _toposort(self) -> List[str]:
+        """Kahn's algorithm over the combinational edges."""
+        indegree: Dict[str, int] = {}
+        for gate in self.gates.values():
+            if gate.gate_type in (GateType.INPUT, GateType.DFF):
+                indegree[gate.name] = 0
+            else:
+                indegree[gate.name] = len(gate.fanins)
+        fanout = self.fanouts()
+        ready = [n for n, d in indegree.items() if d == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for succ in fanout[name]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.gates):
+            cyclic = sorted(n for n, d in indegree.items() if d > 0)
+            raise CircuitError(f"combinational cycle through {cyclic[:5]}")
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Circuit {self.name}: {len(self.inputs)} PIs, "
+            f"{len(self.flops)} FFs, {self.gate_count()} gates, "
+            f"{len(self.outputs)} POs>"
+        )
+
+
+@dataclass(frozen=True)
+class CombinationalView:
+    """Full-scan test view of a circuit.
+
+    ``test_inputs`` (primary then pseudo) is the cube bit order used by
+    every downstream tool: ATPG cubes, scan chains and the compressors
+    all index bits in this order.
+    """
+
+    circuit: Circuit
+    primary_inputs: List[str]
+    pseudo_inputs: List[str]
+    primary_outputs: List[str]
+    pseudo_outputs: List[str]
+
+    @property
+    def test_inputs(self) -> List[str]:
+        """All controllable nets, primary inputs first."""
+        return self.primary_inputs + self.pseudo_inputs
+
+    @property
+    def test_outputs(self) -> List[str]:
+        """All observable nets, primary outputs first."""
+        return self.primary_outputs + self.pseudo_outputs
+
+    @property
+    def width(self) -> int:
+        """Cube width in bits."""
+        return len(self.primary_inputs) + len(self.pseudo_inputs)

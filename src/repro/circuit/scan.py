@@ -1,0 +1,144 @@
+"""Scan-chain model and test-set container.
+
+The compression pipeline sees a core as one (or more) scan chains: a
+test set is an ordered list of ternary cubes over the full-scan view's
+inputs, and the ATE-facing artefact is the concatenated scan-in stream.
+:class:`TestSet` is the bridge between the ATPG substrate (which emits
+cubes) and the compressors (which consume one ternary stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..bitstream import TernaryVector
+from .netlist import CombinationalView
+
+__all__ = ["ScanChain", "TestSet"]
+
+
+@dataclass(frozen=True)
+class ScanChain:
+    """An ordered scan chain over named cells.
+
+    ``cells[0]`` is the cell nearest the scan input: it receives the
+    *last* bit shifted in.  :meth:`shift_order` gives the bit order the
+    ATE must stream so the chain ends up holding the vector.
+    """
+
+    name: str
+    cells: Sequence[str]
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("a scan chain needs at least one cell")
+        if len(set(self.cells)) != len(self.cells):
+            raise ValueError("scan chain cells must be unique")
+
+    @property
+    def length(self) -> int:
+        """Number of cells in the chain."""
+        return len(self.cells)
+
+    def shift_order(self) -> List[str]:
+        """Cell names in the order their bits enter the scan input."""
+        return list(reversed(self.cells))
+
+    def load(self, vector: TernaryVector) -> Dict[str, Optional[int]]:
+        """Map a vector (in ``cells`` order) onto cell values."""
+        if len(vector) != self.length:
+            raise ValueError("vector width does not match chain length")
+        return dict(zip(self.cells, vector))
+
+
+class TestSet:
+    """An ordered set of ternary test cubes over named inputs."""
+
+    # Not a pytest test class, despite the domain-standard name.
+    __test__ = False
+
+    def __init__(
+        self,
+        input_names: Sequence[str],
+        cubes: Optional[List[TernaryVector]] = None,
+        name: str = "testset",
+    ) -> None:
+        self.name = name
+        self.input_names = list(input_names)
+        self.cubes: List[TernaryVector] = []
+        for cube in cubes or []:
+            self.append(cube)
+
+    @classmethod
+    def for_view(cls, view: CombinationalView, name: str = "testset") -> "TestSet":
+        """An empty test set shaped for a full-scan view."""
+        return cls(view.test_inputs, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Bits per vector."""
+        return len(self.input_names)
+
+    @property
+    def total_bits(self) -> int:
+        """Uncompressed test-data volume (the tables' "Orig. Size")."""
+        return self.width * len(self.cubes)
+
+    @property
+    def x_density(self) -> float:
+        """Fraction of don't-care bits across the whole set."""
+        if not self.cubes:
+            return 0.0
+        x = sum(c.x_count for c in self.cubes)
+        return x / self.total_bits
+
+    @property
+    def x_density_percent(self) -> float:
+        """X density in percent (Table 3's "Don't Cares" column)."""
+        return 100.0 * self.x_density
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self):
+        return iter(self.cubes)
+
+    def append(self, cube: TernaryVector) -> None:
+        """Add a cube, enforcing the common width."""
+        if len(cube) != self.width:
+            raise ValueError(
+                f"cube width {len(cube)} does not match test set width {self.width}"
+            )
+        self.cubes.append(cube)
+
+    # ------------------------------------------------------------------
+    def to_stream(self) -> TernaryVector:
+        """Concatenate all cubes into the single scan-in stream."""
+        return TernaryVector.concat_all(self.cubes)
+
+    @classmethod
+    def from_stream(
+        cls,
+        stream: TernaryVector,
+        input_names: Sequence[str],
+        name: str = "testset",
+    ) -> "TestSet":
+        """Split a scan stream back into vectors (inverse of to_stream)."""
+        width = len(input_names)
+        if width == 0 or len(stream) % width:
+            raise ValueError("stream length is not a multiple of the vector width")
+        cubes = stream.chunks(width)
+        return cls(input_names, cubes, name=name)
+
+    def assignment(self, index: int) -> Dict[str, Optional[int]]:
+        """Input-name to value mapping for vector ``index``."""
+        return dict(zip(self.input_names, self.cubes[index]))
+
+    def summary(self) -> str:
+        """One-line description used by the CLI and experiment logs."""
+        return (
+            f"{self.name}: {len(self.cubes)} vectors x {self.width} bits "
+            f"= {self.total_bits} bits, {self.x_density_percent:.2f}% X"
+        )

@@ -1,0 +1,123 @@
+"""Three-valued (0/1/X) logic simulation with optional fault injection.
+
+The simulator evaluates a :class:`~repro.circuit.netlist.Circuit` in
+topological order under the usual pessimistic X semantics (a controlling
+value dominates; otherwise any X fanin makes the output X).  A single
+stuck-at fault — on a stem or on one gate-input branch — can be injected,
+which is all serial fault simulation and PODEM's D-propagation checks
+need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..bitstream import TernaryVector
+from .faults import Fault
+from .netlist import Circuit, CombinationalView, GateType
+
+__all__ = ["evaluate", "simulate_cube", "outputs_of"]
+
+Value = Optional[int]  # 0, 1 or None (X)
+
+
+def _and(values) -> Value:
+    saw_x = False
+    for v in values:
+        if v == 0:
+            return 0
+        if v is None:
+            saw_x = True
+    return None if saw_x else 1
+
+
+def _or(values) -> Value:
+    saw_x = False
+    for v in values:
+        if v == 1:
+            return 1
+        if v is None:
+            saw_x = True
+    return None if saw_x else 0
+
+
+def _xor(values) -> Value:
+    acc = 0
+    for v in values:
+        if v is None:
+            return None
+        acc ^= v
+    return acc
+
+
+def _invert(v: Value) -> Value:
+    return None if v is None else 1 - v
+
+
+_EVAL = {
+    GateType.AND: _and,
+    GateType.NAND: lambda vs: _invert(_and(vs)),
+    GateType.OR: _or,
+    GateType.NOR: lambda vs: _invert(_or(vs)),
+    GateType.XOR: _xor,
+    GateType.XNOR: lambda vs: _invert(_xor(vs)),
+    GateType.BUFF: lambda vs: vs[0],
+    GateType.NOT: lambda vs: _invert(vs[0]),
+}
+
+
+def evaluate(
+    circuit: Circuit,
+    assignment: Dict[str, Value],
+    fault: Optional[Fault] = None,
+) -> Dict[str, Value]:
+    """Evaluate every net given source values (PIs and DFF outputs).
+
+    ``assignment`` maps INPUT and DFF net names to 0/1/None; missing
+    sources default to X.  With ``fault`` set, the faulty machine is
+    simulated instead: a stem fault forces the net's value everywhere, a
+    branch fault forces it only at the named gate input.
+    """
+    values: Dict[str, Value] = {}
+    for name in circuit.topological_order():
+        gate = circuit.gates[name]
+        if gate.gate_type in (GateType.INPUT, GateType.DFF):
+            value = assignment.get(name)
+        else:
+            fanin_values = []
+            for index, fanin in enumerate(gate.fanins):
+                v = values[fanin]
+                if (
+                    fault is not None
+                    and fault.branch is not None
+                    and fault.branch == (name, index)
+                ):
+                    v = fault.stuck
+                fanin_values.append(v)
+            value = _EVAL[gate.gate_type](fanin_values)
+        if fault is not None and fault.branch is None and name == fault.net:
+            value = fault.stuck
+        values[name] = value
+    return values
+
+
+def simulate_cube(
+    view: CombinationalView,
+    cube: TernaryVector,
+    fault: Optional[Fault] = None,
+) -> Dict[str, Value]:
+    """Evaluate the full-scan view under a test cube.
+
+    ``cube`` bit ``i`` drives ``view.test_inputs[i]``; X bits stay X.
+    """
+    if len(cube) != view.width:
+        raise ValueError(
+            f"cube width {len(cube)} does not match view width {view.width}"
+        )
+    assignment = dict(zip(view.test_inputs, cube))
+    return evaluate(view.circuit, assignment, fault)
+
+
+def outputs_of(view: CombinationalView, values: Dict[str, Value]) -> Dict[str, Value]:
+    """Project a value map onto the view's observable outputs."""
+    return {name: values[name] for name in view.test_outputs}

@@ -1,0 +1,119 @@
+"""Synthetic random-logic generator.
+
+Without the proprietary ISCAS89/ITC99 distributions, end-to-end runs
+need circuits of controlled size.  :func:`random_circuit` builds a
+full-scan-style sequential netlist — random combinational logic with a
+locality bias (fanins prefer recently created nets, giving realistic
+depth) plus a register bank — that the ATPG substrate can generate
+genuine test cubes for.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from .netlist import Circuit, Gate, GateType
+
+__all__ = ["random_circuit"]
+
+_DEFAULT_TYPES: Tuple[Tuple[str, float], ...] = (
+    (GateType.NAND, 0.28),
+    (GateType.NOR, 0.22),
+    (GateType.AND, 0.16),
+    (GateType.OR, 0.14),
+    (GateType.NOT, 0.12),
+    (GateType.XOR, 0.08),
+)
+
+
+def random_circuit(
+    name: str,
+    n_inputs: int,
+    n_flops: int,
+    n_gates: int,
+    n_outputs: Optional[int] = None,
+    seed: int = 0,
+    locality: float = 0.05,
+    uniform_fraction: float = 0.4,
+    gate_types: Sequence[Tuple[str, float]] = _DEFAULT_TYPES,
+) -> Circuit:
+    """Generate a random sequential circuit.
+
+    Parameters
+    ----------
+    n_inputs, n_flops, n_gates:
+        Primary inputs, DFFs and combinational gates to create.
+    n_outputs:
+        Primary outputs to sample (default ``max(1, n_gates // 10)``).
+        Dangling nets are always promoted to outputs as well, so the
+        circuit contains no unobservable (dead) logic.
+    seed:
+        Deterministic generation seed.
+    locality:
+        Geometric-decay rate for fanin selection; higher values bias
+        fanins toward recently created nets, deepening the circuit.
+    uniform_fraction:
+        Probability a fanin is drawn uniformly from the whole pool
+        instead of locally — keeps the structure wide and testable.
+    gate_types:
+        ``(type, weight)`` choices for combinational gates.
+    """
+    if n_inputs < 1 or n_gates < 1:
+        raise ValueError("need at least one input and one gate")
+    if n_flops < 0:
+        raise ValueError("n_flops must be non-negative")
+    if not 0.0 <= uniform_fraction <= 1.0:
+        raise ValueError("uniform_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    gates: List[Gate] = []
+
+    inputs = [f"pi{i}" for i in range(n_inputs)]
+    flop_outs = [f"ff{i}" for i in range(n_flops)]
+    for net in inputs:
+        gates.append(Gate(net, GateType.INPUT))
+
+    # Net pool, oldest first; DFF outputs count as sources from the start.
+    pool: List[str] = inputs + flop_outs
+    types, weights = zip(*gate_types)
+
+    def pick_fanin(exclude: Optional[str] = None) -> str:
+        # Mostly-local selection with a uniform escape keeps circuits
+        # both deep enough to be interesting and wide enough to test.
+        while True:
+            if rng.random() < uniform_fraction:
+                net = rng.choice(pool)
+            else:
+                back = min(int(rng.expovariate(locality)), len(pool) - 1)
+                net = pool[len(pool) - 1 - back]
+            if net != exclude:
+                return net
+
+    comb_nets: List[str] = []
+    for i in range(n_gates):
+        gate_type = rng.choices(types, weights)[0]
+        net = f"n{i}"
+        if gate_type == GateType.NOT:
+            fanins = (pick_fanin(),)
+        else:
+            arity = 2 if rng.random() < 0.8 else 3
+            first = pick_fanin()
+            fanins = (first,) + tuple(
+                pick_fanin(exclude=first) for _ in range(arity - 1)
+            )
+        gates.append(Gate(net, gate_type, fanins))
+        pool.append(net)
+        comb_nets.append(net)
+
+    # Register the flops on late combinational nets so state feeds back.
+    for i, flop in enumerate(flop_outs):
+        data = comb_nets[-(i % max(1, len(comb_nets))) - 1]
+        gates.append(Gate(flop, GateType.DFF, (data,)))
+
+    n_outputs = n_outputs if n_outputs is not None else max(1, n_gates // 10)
+    n_outputs = min(n_outputs, len(comb_nets))
+    outputs = set(rng.sample(comb_nets, n_outputs))
+    # Promote dangling nets so no logic is unobservable.
+    consumed = {f for g in gates for f in g.fanins}
+    outputs.update(n for n in comb_nets if n not in consumed)
+    return Circuit(name, gates, sorted(outputs))

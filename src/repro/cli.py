@@ -1,0 +1,296 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro compress   FILE  [--char-bits N --dict-size N --entry-bits N ...]
+    repro decompress FILE.lzwt  -o OUT.test  [--width W]
+    repro atpg       FILE.bench | --builtin c17 | --random N  [-o OUT]
+    repro synth      BENCHMARK  [-o OUT --scale S]
+    repro stats      FILE  (structure, entropy bound, scan power)
+    repro rtl        [-o DIR]  (generate the decompressor Verilog)
+    repro table      NAME      [--scale S]
+    repro list       (workloads, tables, builtin circuits)
+
+The CLI is a thin veneer over the library; every command prints what the
+corresponding API returns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import entropy_lower_bound, power_report, testset_profile
+from .atpg import generate_tests
+from .baselines import GolombCompressor, LZ77Compressor
+from .circuit import BUILTIN_CIRCUITS, TestSet, load_bench, load_builtin, random_circuit
+from .container import dump_file, load_file
+from .core import LZWConfig, compress, decompress
+from .experiments import ALL_TABLES, Lab
+from .hardware import (
+    MemoryRequirements,
+    analyze_download,
+    generate_decompressor,
+    generate_testbench,
+)
+from .testfile import read_test_file, write_test_file
+from .workloads import available_workloads, build_testset
+
+__all__ = ["main"]
+
+
+def _add_lzw_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--char-bits", type=int, default=7, help="C_C (default 7)")
+    parser.add_argument(
+        "--dict-size", type=int, default=1024, help="N, total codes (default 1024)"
+    )
+    parser.add_argument(
+        "--entry-bits", type=int, default=63, help="C_MDATA (default 63)"
+    )
+    parser.add_argument(
+        "--policy",
+        default="lookahead",
+        choices=("first", "popular", "lookahead"),
+        help="dynamic don't-care assignment heuristic",
+    )
+    parser.add_argument(
+        "--lookahead", type=int, default=4, help="sliding-window depth W"
+    )
+
+
+def _config_from(args: argparse.Namespace) -> LZWConfig:
+    return LZWConfig(
+        char_bits=args.char_bits,
+        dict_size=args.dict_size,
+        entry_bits=args.entry_bits,
+        policy=args.policy,
+        lookahead=args.lookahead,
+    )
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    test_set = read_test_file(args.file)
+    print(test_set.summary())
+    stream = test_set.to_stream()
+    config = _config_from(args)
+    result = compress(stream, config)
+    print(f"config: {config.describe()}")
+    print(
+        f"compressed: {result.compressed_bits} bits "
+        f"({result.compressed.num_codes} codes of {config.code_bits} bits)"
+    )
+    print(f"compression ratio: {result.ratio_percent:.2f}%")
+    print(f"dictionary entries used: {result.stats.entries_allocated}")
+    print(f"longest dictionary string: {result.longest_entry_bits} bits")
+    print(f"memory requirement: {MemoryRequirements.for_config(config).geometry}")
+    for k in args.clock_ratio:
+        report = analyze_download(result.compressed, k)
+        print(f"download improvement at {k}x clock: {report.improvement_percent:.2f}%")
+    if args.compare:
+        for comp in (LZ77Compressor(), GolombCompressor()):
+            r = comp.compress(stream)
+            print(f"baseline {r.scheme}: {r.ratio_percent:.2f}%")
+    if not result.verify(stream):
+        print("ERROR: decoded stream does not cover the original cubes")
+        return 1
+    if args.output:
+        dump_file(result.compressed, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    compressed = load_file(args.file)
+    stream = decompress(compressed)
+    print(
+        f"decoded {len(stream)} bits from {compressed.num_codes} codes "
+        f"({compressed.config.describe()})"
+    )
+    if args.width:
+        if len(stream) % args.width:
+            print(f"ERROR: {len(stream)} bits is not a multiple of {args.width}")
+            return 1
+        names = [f"sc{i}" for i in range(args.width)]
+        test_set = TestSet.from_stream(stream, names, name=Path(args.file).stem)
+        write_test_file(test_set, args.output)
+    else:
+        Path(args.output).write_text(str(stream) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    test_set = read_test_file(args.file)
+    profile = testset_profile(test_set)
+    print(test_set.summary())
+    print(f"care bits: {profile.care_bits} "
+          f"({profile.ones_percent_of_care:.1f}% ones)")
+    print(f"care adjacency: {profile.care_adjacency:.2f} "
+          f"(1.0 = fully clustered)")
+    print(f"hottest cells: {' '.join(profile.hottest_cells[:5])}")
+    bound = entropy_lower_bound(test_set)
+    print(f"order-0 entropy bound (zero-fill, 8-bit blocks): "
+          f"{bound:.0f} bits "
+          f"({100 * (1 - bound / profile.total_bits):.1f}% ratio ceiling)")
+    report = power_report(test_set)
+    for name in ("repeat", "zero", "one"):
+        print(f"scan-shift WTM with {name}-fill: {report.wtm[name]}")
+    return 0
+
+
+def _cmd_rtl(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rtl_path = out_dir / "lzw_decompressor.v"
+    rtl_path.write_text(generate_decompressor(config))
+    print(f"wrote {rtl_path} ({config.describe()})")
+    if args.testbench:
+        test_set = read_test_file(args.testbench)
+        result = compress(test_set.to_stream(), config)
+        tb_path = out_dir / "tb_lzw_decompressor.v"
+        tb_path.write_text(
+            generate_testbench(result.compressed, clock_ratio=args.clock_ratio)
+        )
+        print(f"wrote {tb_path} (self-checking, {result.compressed.num_codes} codes)")
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    if args.builtin:
+        circuit = load_builtin(args.builtin)
+    elif args.random:
+        circuit = random_circuit(
+            "random", n_inputs=16, n_flops=24, n_gates=args.random, seed=args.seed
+        )
+    elif args.file:
+        circuit = load_bench(args.file)
+    else:
+        print("atpg: give FILE.bench, --builtin NAME or --random GATES")
+        return 2
+    print(circuit)
+    result = generate_tests(circuit)
+    print(
+        f"coverage {result.coverage_percent:.1f}% "
+        f"({result.detected}/{result.total_faults} faults, "
+        f"{result.untestable} untestable, {result.aborted} aborted)"
+    )
+    print(result.test_set.summary())
+    if args.output:
+        write_test_file(result.test_set, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    test_set = build_testset(args.benchmark, scale=args.scale)
+    print(test_set.summary())
+    if args.output:
+        write_test_file(test_set, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    runner = ALL_TABLES.get(args.name)
+    if runner is None:
+        print(f"unknown table {args.name!r}; known: {', '.join(sorted(ALL_TABLES))}")
+        return 2
+    lab = Lab(scale=args.scale)
+    print(runner(lab).render())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
+    print("workloads: " + " ".join(available_workloads()))
+    print("tables:    " + " ".join(sorted(ALL_TABLES)))
+    print("builtin circuits: " + " ".join(BUILTIN_CIRCUITS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Don't-care-aware LZW scan test compression (DATE 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a test-vector file")
+    p.add_argument("file", help="vector file (one 01X cube per line)")
+    _add_lzw_options(p)
+    p.add_argument(
+        "--clock-ratio",
+        type=int,
+        nargs="*",
+        default=[10],
+        help="decompressor clock ratios to report (default: 10)",
+    )
+    p.add_argument(
+        "--compare", action="store_true", help="also run the LZ77/RLE baselines"
+    )
+    p.add_argument("-o", "--output", help="write a .lzwt container here")
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="expand a .lzwt container")
+    p.add_argument("file", help="container written by `repro compress -o`")
+    p.add_argument("-o", "--output", required=True, help="output file")
+    p.add_argument(
+        "--width",
+        type=int,
+        default=0,
+        help="vector width: write a cube file instead of one bit string",
+    )
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("stats", help="analyse a test-vector file")
+    p.add_argument("file", help="vector file (one 01X cube per line)")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("rtl", help="generate decompressor Verilog")
+    _add_lzw_options(p)
+    p.add_argument("-o", "--output", default="rtl", help="output directory")
+    p.add_argument(
+        "--testbench",
+        metavar="VECTORS",
+        help="also emit a self-checking bench for this vector file",
+    )
+    p.add_argument("--clock-ratio", type=int, default=4)
+    p.set_defaults(func=_cmd_rtl)
+
+    p = sub.add_parser("atpg", help="run ATPG on a .bench circuit")
+    p.add_argument("file", nargs="?", help=".bench netlist")
+    p.add_argument("--builtin", choices=BUILTIN_CIRCUITS, help="shipped netlist")
+    p.add_argument("--random", type=int, metavar="GATES", help="random circuit")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="write the cube file here")
+    p.set_defaults(func=_cmd_atpg)
+
+    p = sub.add_parser("synth", help="synthesize a paper-matched test set")
+    p.add_argument("benchmark", help="benchmark name (see `repro list`)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", help="write the cube file here")
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("name", help="table1..table6 or an ablation (see `repro list`)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("list", help="list workloads, tables and circuits")
+    p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``repro`` console script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

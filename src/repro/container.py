@@ -1,0 +1,113 @@
+"""On-disk container for compressed test sets.
+
+The ATE-facing artefact of the flow: the compressed code stream plus
+everything the decompressor needs to be configured (the paper's
+"configurator block" parameters), in a small self-describing binary
+format so a test program can be archived and replayed.
+
+Layout (big-endian, all fixed-width)::
+
+    0   4   magic  b"LZWT"
+    4   1   format version (1)
+    5   1   char_bits (C_C)
+    6   4   dict_size (N)
+    10  4   entry_bits (C_MDATA)
+    14  8   original_bits
+    22  8   payload bit count
+    30  4   CRC32 of the payload bytes
+    34  ..  payload: the code stream, MSB-first, zero-padded to a byte
+
+The dynamic-assignment policy knobs are deliberately *not* stored: they
+affect only how the encoder chose the codes, never how codes decode.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Union
+
+from .bitstream import BitReader, BitWriter
+from .core import CompressedStream, LZWConfig
+
+__all__ = ["ContainerError", "dump_bytes", "load_bytes", "dump_file", "load_file"]
+
+_MAGIC = b"LZWT"
+_VERSION = 1
+_HEADER = struct.Struct(">4sBBIIQQI")
+
+
+class ContainerError(ValueError):
+    """Raised for malformed or corrupted container data."""
+
+
+def dump_bytes(compressed: CompressedStream) -> bytes:
+    """Serialise a compressed test set to container bytes."""
+    writer = BitWriter()
+    width = compressed.config.code_bits
+    for code in compressed.codes:
+        writer.write(code, width)
+    payload = writer.to_bytes()
+    header = _HEADER.pack(
+        _MAGIC,
+        _VERSION,
+        compressed.config.char_bits,
+        compressed.config.dict_size,
+        compressed.config.entry_bits,
+        compressed.original_bits,
+        writer.bit_length,
+        zlib.crc32(payload),
+    )
+    return header + payload
+
+
+def load_bytes(data: bytes) -> CompressedStream:
+    """Parse container bytes back into a :class:`CompressedStream`."""
+    if len(data) < _HEADER.size:
+        raise ContainerError("truncated container header")
+    (
+        magic,
+        version,
+        char_bits,
+        dict_size,
+        entry_bits,
+        original_bits,
+        payload_bits,
+        crc,
+    ) = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ContainerError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise ContainerError(f"unsupported container version {version}")
+    payload = data[_HEADER.size :]
+    if zlib.crc32(payload) != crc:
+        raise ContainerError("payload CRC mismatch (corrupted container)")
+    try:
+        config = LZWConfig(
+            char_bits=char_bits, dict_size=dict_size, entry_bits=entry_bits
+        )
+    except ValueError as exc:
+        raise ContainerError(f"invalid configuration in header: {exc}") from None
+    if payload_bits > len(payload) * 8:
+        raise ContainerError("declared payload length exceeds data")
+    if payload_bits % config.code_bits:
+        raise ContainerError("payload is not a whole number of codes")
+    reader = BitReader.from_bytes(payload, payload_bits)
+    codes = []
+    while not reader.exhausted:
+        codes.append(reader.read(config.code_bits))
+    try:
+        return CompressedStream(tuple(codes), config, original_bits)
+    except ValueError as exc:
+        raise ContainerError(str(exc)) from None
+
+
+def dump_file(compressed: CompressedStream, path: Union[str, Path]) -> None:
+    """Write a container file."""
+    Path(path).write_bytes(dump_bytes(compressed))
+
+
+def load_file(path: Union[str, Path]) -> CompressedStream:
+    """Read a container file."""
+    return load_bytes(Path(path).read_bytes())

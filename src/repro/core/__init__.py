@@ -1,0 +1,52 @@
+"""The paper's contribution: don't-care-aware LZW test compression."""
+
+from .config import LZWConfig, POLICIES
+from .decoder import LZWDecodeError, decode, decode_codes
+from .dictionary import LZWDictionary
+from .dontcare import STATIC_FILLS, ChildSelector, static_fill
+from .encoder import CompressedStream, EncodeStats, LZWEncoder
+from .metrics import (
+    compression_percent,
+    compression_ratio,
+    geometric_mean,
+    x_density_percent,
+)
+from .multichain import (
+    MultiChainResult,
+    chain_streams,
+    compress_interleaved,
+    compress_per_chain,
+    deinterleave_stream,
+    interleave_stream,
+    partition_chains,
+)
+from .pipeline import CompressionResult, compress, decompress
+
+__all__ = [
+    "POLICIES",
+    "STATIC_FILLS",
+    "ChildSelector",
+    "CompressedStream",
+    "CompressionResult",
+    "EncodeStats",
+    "LZWConfig",
+    "LZWDecodeError",
+    "LZWDictionary",
+    "LZWEncoder",
+    "MultiChainResult",
+    "chain_streams",
+    "compress",
+    "compress_interleaved",
+    "compress_per_chain",
+    "deinterleave_stream",
+    "interleave_stream",
+    "partition_chains",
+    "compression_percent",
+    "compression_ratio",
+    "decode",
+    "decode_codes",
+    "decompress",
+    "geometric_mean",
+    "static_fill",
+    "x_density_percent",
+]

@@ -1,0 +1,111 @@
+"""Software reference LZW decoder.
+
+This mirrors the hardware decompressor of the paper's Figure 5 exactly
+but at the algorithmic level: given the code stream and the shared
+:class:`~repro.core.config.LZWConfig`, it rebuilds the dictionary —
+honouring the same capacity (``N``) and entry-width (``C_MDATA``) bounds
+the encoder obeyed — and reproduces the fully specified scan stream.
+The special "code references the entry being created" case (the paper's
+Figure 4f, classic LZW's KwKwK case) is handled explicitly.
+
+The cycle-accurate model lives in :mod:`repro.hardware.decompressor`;
+both must agree bit-for-bit, which the test suite checks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..bitstream import TernaryVector
+from .config import LZWConfig
+from .encoder import CompressedStream
+
+__all__ = ["LZWDecodeError", "decode", "decode_codes"]
+
+
+class LZWDecodeError(ValueError):
+    """Raised when a code stream is not decodable under its configuration."""
+
+
+def decode(compressed: CompressedStream) -> TernaryVector:
+    """Decode a :class:`CompressedStream` back to a fully specified stream.
+
+    The result is truncated to ``compressed.original_bits`` (the encoder
+    pads the final character with don't-cares).
+    """
+    chars = decode_codes(compressed.codes, compressed.config)
+    return _chars_to_stream(chars, compressed.config, compressed.original_bits)
+
+
+def decode_codes(codes: Sequence[int], config: LZWConfig) -> List[int]:
+    """Decode a code sequence to its character sequence.
+
+    Pure-function core shared by :func:`decode` and the tests that
+    cross-check the hardware model.
+    """
+    if not codes:
+        return []
+
+    n_base = config.base_codes
+    max_chars = config.max_entry_chars
+    capacity = config.dict_size
+    # Allocated entries only; base code ``c`` decodes to ``(c,)`` implicitly.
+    strings: List[Tuple[int, ...]] = []
+
+    def lookup(code: int) -> Tuple[int, ...]:
+        if code < n_base:
+            return (code,)
+        return strings[code - n_base]
+
+    def next_code() -> int:
+        return n_base + len(strings)
+
+    out: List[int] = []
+    first = codes[0]
+    if first >= n_base:
+        raise LZWDecodeError(
+            f"first code {first} must be a base code (< {n_base})"
+        )
+    prev = (first,)
+    out.extend(prev)
+
+    for code in codes[1:]:
+        # Will the encoder have allocated string(prev)+head after emitting
+        # prev?  Mirrors LZWDictionary.add's capacity and width bounds.
+        will_add = next_code() < capacity and len(prev) + 1 <= max_chars
+        if config.reset_on_full and will_add and next_code() == capacity - 1:
+            # Adaptive variant: the filling allocation flushes instead
+            # (same deterministic trigger as the encoder).
+            strings.clear()
+            will_add = False
+        if code < next_code():
+            current = lookup(code)
+        elif code == next_code() and will_add:
+            # KwKwK: the code refers to the entry about to be created —
+            # its string is prev + first character of prev (Figure 4f).
+            current = prev + (prev[0],)
+        else:
+            raise LZWDecodeError(
+                f"code {code} not yet in dictionary (next free {next_code()})"
+            )
+        if will_add:
+            strings.append(prev + (current[0],))
+        out.extend(current)
+        prev = current
+    return out
+
+
+def _chars_to_stream(
+    chars: Sequence[int],
+    config: LZWConfig,
+    original_bits: Optional[int],
+) -> TernaryVector:
+    parts = [TernaryVector.from_int(c, config.char_bits) for c in chars]
+    stream = TernaryVector.concat_all(parts)
+    if original_bits is not None:
+        if original_bits > len(stream):
+            raise LZWDecodeError(
+                f"decoded {len(stream)} bits but {original_bits} expected"
+            )
+        stream = stream[:original_bits]
+    return stream

@@ -1,0 +1,201 @@
+"""Bounded-entry LZW dictionary (trie form).
+
+The dictionary is the data structure shared — conceptually — by the
+software compressor and the hardware decompressor.  Codes
+``0 .. 2**C_C - 1`` are the implicit *base codes* (each representing its
+own character); allocated codes start at ``2**C_C`` ("one greater than
+the largest uncompressed representation", Section 3 of the paper).
+
+Two hardware constraints shape the structure:
+
+* **capacity** — at most ``N`` codes exist; once full, no further
+  entries are created and the dictionary becomes static;
+* **entry width** — the uncompressed string of a code must fit the
+  embedded-memory word, i.e. at most ``C_MDATA // C_C`` characters.
+
+For don't-care-aware matching the trie answers *compatible-child*
+queries: given a node and a ternary character, which children agree with
+every specified bit of that character?
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..bitstream import TernaryVector
+from .config import LZWConfig
+
+__all__ = ["LZWDictionary"]
+
+
+class LZWDictionary:
+    """Trie over characters with code-indexed node arrays."""
+
+    def __init__(self, config: LZWConfig) -> None:
+        self.config = config
+        n_base = config.base_codes
+        self._max_chars = config.max_entry_chars
+        # Node arrays, indexed by code.
+        self._parent: List[int] = [-1] * n_base
+        self._char: List[int] = list(range(n_base))
+        self._nchars: List[int] = [1] * n_base
+        self._weight: List[int] = [1] * n_base
+        self._children: List[Dict[int, int]] = [dict() for _ in range(n_base)]
+        self._strings: List[Tuple[int, ...]] = [(c,) for c in range(n_base)]
+        # Base codes that have at least one descendant; keeps root-level
+        # candidate scans proportional to distinct phrase heads, not 2**C_C.
+        self._active_bases: set = set()
+
+    # ------------------------------------------------------------------
+    # Size / capacity
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def next_code(self) -> int:
+        """Code the next allocation would receive."""
+        return len(self._parent)
+
+    @property
+    def is_full(self) -> bool:
+        """True once all ``N`` codes are allocated."""
+        return len(self._parent) >= self.config.dict_size
+
+    @property
+    def allocated(self) -> int:
+        """Number of non-base entries created so far."""
+        return len(self._parent) - self.config.base_codes
+
+    def can_extend(self, code: int) -> bool:
+        """True when ``string(code) + one char`` still fits the memory word."""
+        return self._nchars[code] + 1 <= self._max_chars
+
+    def reset(self) -> None:
+        """Flush every allocated entry, back to the base-code state.
+
+        Used by the adaptive (``reset_on_full``) variant; counters and
+        statistics reset with the entries.
+        """
+        n_base = self.config.base_codes
+        del self._parent[n_base:]
+        del self._char[n_base:]
+        del self._nchars[n_base:]
+        del self._strings[n_base:]
+        self._weight = [1] * n_base
+        self._children = [dict() for _ in range(n_base)]
+        self._active_bases.clear()
+
+    # ------------------------------------------------------------------
+    # Node accessors
+    # ------------------------------------------------------------------
+    def string(self, code: int) -> Tuple[int, ...]:
+        """Uncompressed character string of ``code`` (tuple of char values)."""
+        return self._strings[code]
+
+    def nchars(self, code: int) -> int:
+        """Length of ``string(code)`` in characters."""
+        return self._nchars[code]
+
+    def string_bits(self, code: int) -> int:
+        """Length of ``string(code)`` in bits."""
+        return self._nchars[code] * self.config.char_bits
+
+    def weight(self, code: int) -> int:
+        """Number of codes in the subtree rooted at ``code`` (incl. itself)."""
+        return self._weight[code]
+
+    def children(self, code: int) -> Dict[int, int]:
+        """Mapping from concrete character to child code (live view)."""
+        return self._children[code]
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def lookup_child(self, code: int, char: int) -> Optional[int]:
+        """Exact child lookup for a fully specified character."""
+        return self._children[code].get(char)
+
+    def compatible_children(
+        self, code: int, tchar: TernaryVector
+    ) -> List[Tuple[int, int]]:
+        """Children of ``code`` compatible with ternary char ``tchar``.
+
+        Returns ``(concrete_char, child_code)`` pairs, unordered.  A child
+        keyed by concrete character ``k`` is compatible iff ``k`` agrees
+        with every specified bit of ``tchar``.
+        """
+        care = tchar.care_mask
+        value = tchar.value_mask
+        kids = self._children[code]
+        if care == (1 << len(tchar)) - 1:
+            child = kids.get(value)
+            return [(value, child)] if child is not None else []
+        return [(k, c) for k, c in kids.items() if (k & care) == value]
+
+    def compatible_bases(self, tchar: TernaryVector) -> List[int]:
+        """Base codes compatible with ``tchar`` that are worth considering.
+
+        All ``2**x_count`` concrete fills of ``tchar`` are compatible base
+        codes, but fills with no descendants are interchangeable for
+        matching purposes, so the scan returns every compatible *active*
+        base (one with children) plus the canonical zero-fill as a
+        fallback candidate.
+        """
+        care = tchar.care_mask
+        value = tchar.value_mask
+        out = [b for b in self._active_bases if (b & care) == value]
+        zero_fill = value  # X bits resolved to 0
+        if zero_fill not in out:
+            out.append(zero_fill)
+        return out
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def add(self, code: int, char: int) -> Optional[int]:
+        """Allocate ``string(code) + char`` if capacity and width allow.
+
+        Returns the new code, or ``None`` when the dictionary is full,
+        the entry would exceed the memory word, or the child already
+        exists (no duplicate is created).
+        """
+        if self.is_full or not self.can_extend(code):
+            return None
+        if char in self._children[code]:
+            return None
+        new_code = len(self._parent)
+        self._parent.append(code)
+        self._char.append(char)
+        self._nchars.append(self._nchars[code] + 1)
+        self._weight.append(1)
+        self._children.append(dict())
+        self._strings.append(self._strings[code] + (char,))
+        self._children[code][char] = new_code
+        # Propagate subtree weights up to (and including) the base code.
+        node = code
+        while node != -1:
+            self._weight[node] += 1
+            node = self._parent[node]
+        base = self._strings[new_code][0]
+        self._active_bases.add(base)
+        return new_code
+
+    # ------------------------------------------------------------------
+    # Introspection for experiments
+    # ------------------------------------------------------------------
+    def iter_entries(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        """Yield ``(code, string)`` for every allocated (non-base) entry."""
+        for code in range(self.config.base_codes, len(self._parent)):
+            yield code, self._strings[code]
+
+    def longest_entry_chars(self) -> int:
+        """Longest allocated entry, in characters (0 when none allocated)."""
+        n_base = self.config.base_codes
+        if len(self._parent) == n_base:
+            return 0
+        return max(self._nchars[n_base:])
+
+    def longest_entry_bits(self) -> int:
+        """Longest allocated entry, in bits (Table 6's "longest string")."""
+        return self.longest_entry_chars() * self.config.char_bits

@@ -1,0 +1,182 @@
+"""The don't-care-aware LZW encoder (the paper's compression tool).
+
+The encoder consumes a ternary scan stream, chunks it into ``C_C``-bit
+ternary characters and runs LZW where the dictionary match at each step
+is allowed to *choose* the assignment of any X bits (see
+:class:`repro.core.dontcare.ChildSelector`).  Emitted output is a
+sequence of ``C_E``-bit codes; the X assignments are implied by the
+codes themselves, so no side information is transmitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..bitstream import BitReader, BitWriter, TernaryVector, to_characters
+from .config import LZWConfig
+from .dictionary import LZWDictionary
+from .dontcare import ChildSelector
+
+__all__ = ["CompressedStream", "EncodeStats", "LZWEncoder"]
+
+
+@dataclass(frozen=True)
+class CompressedStream:
+    """An encoded test set: the code sequence plus what is needed to decode it.
+
+    ``expansion_chars[i]`` records how many characters code ``codes[i]``
+    expands to — redundant for decoding but required by the hardware
+    download-time model (:mod:`repro.hardware.timing`).
+    """
+
+    codes: Tuple[int, ...]
+    config: LZWConfig
+    original_bits: int
+    expansion_chars: Tuple[int, ...] = field(repr=False, default=())
+
+    def __post_init__(self) -> None:
+        limit = self.config.dict_size
+        for code in self.codes:
+            if not 0 <= code < limit:
+                raise ValueError(f"code {code} out of range for N={limit}")
+        if self.expansion_chars and len(self.expansion_chars) != len(self.codes):
+            raise ValueError("expansion_chars must align with codes")
+
+    @property
+    def num_codes(self) -> int:
+        """Number of emitted codes."""
+        return len(self.codes)
+
+    @property
+    def compressed_bits(self) -> int:
+        """Size of the compressed stream in bits (``num_codes * C_E``)."""
+        return self.num_codes * self.config.code_bits
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``1 - compressed/original`` (may be negative)."""
+        if self.original_bits == 0:
+            return 0.0
+        return 1.0 - self.compressed_bits / self.original_bits
+
+    @property
+    def ratio_percent(self) -> float:
+        """Ratio as the percentage the paper's tables report."""
+        return 100.0 * self.ratio
+
+    def to_bits(self) -> List[int]:
+        """Serialise to the bit sequence the ATE would stream."""
+        writer = BitWriter()
+        width = self.config.code_bits
+        for code in self.codes:
+            writer.write(code, width)
+        return writer.getbits()
+
+    @classmethod
+    def from_bits(
+        cls,
+        bits: List[int],
+        config: LZWConfig,
+        original_bits: int,
+    ) -> "CompressedStream":
+        """Deserialise a bit sequence produced by :meth:`to_bits`."""
+        if len(bits) % config.code_bits:
+            raise ValueError("bit stream length is not a multiple of C_E")
+        reader = BitReader(bits)
+        codes = []
+        while not reader.exhausted:
+            codes.append(reader.read(config.code_bits))
+        return cls(tuple(codes), config, original_bits)
+
+
+@dataclass(frozen=True)
+class EncodeStats:
+    """Dictionary and phrase statistics gathered during one encoding run."""
+
+    entries_allocated: int
+    dictionary_full: bool
+    longest_entry_chars: int
+    longest_phrase_chars: int
+    total_chars: int
+
+
+class LZWEncoder:
+    """Single-use encoder: construct, call :meth:`encode` once.
+
+    The dictionary persists on the instance afterwards so experiments can
+    inspect it (entry lengths, occupancy, Table 6's longest string).
+    """
+
+    def __init__(self, config: Optional[LZWConfig] = None) -> None:
+        self.config = config or LZWConfig()
+        self.dictionary = LZWDictionary(self.config)
+        self._used = False
+
+    def encode(self, stream: TernaryVector) -> CompressedStream:
+        """Compress a ternary scan stream into a :class:`CompressedStream`."""
+        if self._used:
+            raise RuntimeError("LZWEncoder instances are single-use; make a new one")
+        self._used = True
+
+        cfg = self.config
+        dictionary = self.dictionary
+        chars = to_characters(stream, cfg.char_bits)
+        codes: List[int] = []
+        expansions: List[int] = []
+        self._longest_phrase = 0
+        self._total_chars = len(chars)
+        if not chars:
+            return CompressedStream((), cfg, 0, ())
+
+        selector = ChildSelector(dictionary, cfg)
+        buffer = selector.choose_base(chars, 0)
+        phrase_start = 0
+        i = 1
+        while i < len(chars):
+            choice = selector.choose_child(buffer, chars, i)
+            if choice is not None:
+                _char, child = choice
+                buffer = child
+                i += 1
+                continue
+            # Phrase boundary: emit the buffer code, allocate
+            # string(buffer) + head(next phrase) if the memory allows,
+            # and restart the phrase at a concrete fill of chars[i].
+            codes.append(buffer)
+            expansions.append(dictionary.nchars(buffer))
+            self._longest_phrase = max(self._longest_phrase, i - phrase_start)
+            head = selector.choose_base(chars, i)
+            if (
+                cfg.reset_on_full
+                and not dictionary.is_full
+                and dictionary.can_extend(buffer)
+                and dictionary.next_code == cfg.dict_size - 1
+            ):
+                # Adaptive variant: the allocation that would freeze the
+                # dictionary flushes it instead.  The decoder derives
+                # the same trigger from its allocation counter, so no
+                # clear code is needed in the stream.
+                dictionary.reset()
+            else:
+                dictionary.add(buffer, head)
+            buffer = head
+            phrase_start = i
+            i += 1
+        codes.append(buffer)
+        expansions.append(dictionary.nchars(buffer))
+        self._longest_phrase = max(self._longest_phrase, len(chars) - phrase_start)
+
+        return CompressedStream(tuple(codes), cfg, len(stream), tuple(expansions))
+
+    def stats(self) -> EncodeStats:
+        """Statistics of the completed run (call after :meth:`encode`)."""
+        if not self._used:
+            raise RuntimeError("encode() has not been called yet")
+        return EncodeStats(
+            entries_allocated=self.dictionary.allocated,
+            dictionary_full=self.dictionary.is_full,
+            longest_entry_chars=self.dictionary.longest_entry_chars(),
+            longest_phrase_chars=self._longest_phrase,
+            total_chars=self._total_chars,
+        )

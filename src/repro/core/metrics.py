@@ -1,0 +1,53 @@
+"""Compression and download metrics as the paper's tables define them."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = [
+    "compression_ratio",
+    "compression_percent",
+    "x_density_percent",
+    "geometric_mean",
+]
+
+
+def compression_ratio(original_bits: int, compressed_bits: int) -> float:
+    """``1 - compressed/original``; positive means the output is smaller.
+
+    The paper's tables report this quantity in percent (e.g. 80.69 for
+    s13207f).  A negative value means the "compression" expanded the
+    data — possible for dense streams with a small dictionary.
+    """
+    if original_bits < 0 or compressed_bits < 0:
+        raise ValueError("bit counts must be non-negative")
+    if original_bits == 0:
+        return 0.0
+    return 1.0 - compressed_bits / original_bits
+
+
+def compression_percent(original_bits: int, compressed_bits: int) -> float:
+    """:func:`compression_ratio` scaled to percent."""
+    return 100.0 * compression_ratio(original_bits, compressed_bits)
+
+
+def x_density_percent(care_bits: int, total_bits: int) -> float:
+    """Percentage of don't-care bits (Table 3's "Don't Cares" column)."""
+    if total_bits <= 0:
+        raise ValueError("total_bits must be positive")
+    if not 0 <= care_bits <= total_bits:
+        raise ValueError("care_bits out of range")
+    return 100.0 * (total_bits - care_bits) / total_bits
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used to summarise ratio columns across circuits."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,225 @@
+"""Multi-chain scan compression.
+
+The paper's method is deliberately scan-architecture-independent: the
+LZW engine sees one serial stream regardless of how the cells are
+organised.  Real SoCs, though, split the cells across several chains
+(the "multiscan" setting of the LZ77 comparison paper), which changes
+*what stream the compressor sees*.  This module provides the two
+standard arrangements and a partitioner:
+
+* ``per_chain`` — each chain's bits form an independent stream with its
+  own decompressor/dictionary (parallel engines, smaller N each);
+* ``interleaved`` — one stream in shift order: at each scan-shift cycle
+  the bit for chain 0, chain 1, ... (a single engine feeding a
+  demultiplexer, as a shared decompressor would see it).
+
+Both preserve the coverage invariant, and the ablation bench quantifies
+the ratio cost of each arrangement versus the single-chain baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..bitstream import TernaryVector
+from ..circuit.scan import ScanChain, TestSet
+from .config import LZWConfig
+from .pipeline import CompressionResult, compress
+
+__all__ = [
+    "partition_chains",
+    "chain_streams",
+    "interleave_stream",
+    "deinterleave_stream",
+    "MultiChainResult",
+    "compress_per_chain",
+    "compress_interleaved",
+]
+
+
+def partition_chains(
+    test_set: TestSet, n_chains: int, name_prefix: str = "chain"
+) -> List[ScanChain]:
+    """Split a test set's cells into balanced consecutive chains.
+
+    Consecutive partitioning mirrors physical stitching order; chains
+    differ in length by at most one cell.
+    """
+    if n_chains < 1:
+        raise ValueError("n_chains must be >= 1")
+    if n_chains > test_set.width:
+        raise ValueError(
+            f"cannot build {n_chains} chains from {test_set.width} cells"
+        )
+    cells = test_set.input_names
+    base = test_set.width // n_chains
+    extra = test_set.width % n_chains
+    chains = []
+    start = 0
+    for index in range(n_chains):
+        length = base + (1 if index < extra else 0)
+        chains.append(
+            ScanChain(f"{name_prefix}{index}", cells[start : start + length])
+        )
+        start += length
+    return chains
+
+
+def chain_streams(
+    test_set: TestSet, chains: Sequence[ScanChain]
+) -> List[TernaryVector]:
+    """Per-chain scan-in streams (each chain's slice of every vector)."""
+    offsets = _chain_offsets(test_set, chains)
+    streams = []
+    for chain, start in zip(chains, offsets):
+        parts = [cube[start : start + chain.length] for cube in test_set]
+        streams.append(TernaryVector.concat_all(parts))
+    return streams
+
+
+def interleave_stream(
+    test_set: TestSet, chains: Sequence[ScanChain]
+) -> TernaryVector:
+    """One stream in shift order: cycle-by-cycle across all chains.
+
+    At shift cycle ``c`` the tester feeds bit ``c`` of every chain; short
+    chains sit idle (their slot is a don't-care) once exhausted.
+    """
+    offsets = _chain_offsets(test_set, chains)
+    max_len = max(chain.length for chain in chains)
+    bits: List[Optional[int]] = []
+    for cube in test_set:
+        for cycle in range(max_len):
+            for chain, start in zip(chains, offsets):
+                if cycle < chain.length:
+                    bits.append(cube[start + cycle])
+                else:
+                    bits.append(None)  # idle slot: free for the encoder
+    return TernaryVector(bits)
+
+
+def deinterleave_stream(
+    stream: TernaryVector,
+    chains: Sequence[ScanChain],
+    n_vectors: int,
+) -> List[TernaryVector]:
+    """Invert :func:`interleave_stream` back to per-vector cubes."""
+    max_len = max(chain.length for chain in chains)
+    slot_count = max_len * len(chains)
+    if len(stream) != slot_count * n_vectors:
+        raise ValueError("stream length does not match the chain geometry")
+    cubes = []
+    pos = 0
+    for _v in range(n_vectors):
+        per_chain: List[List[Optional[int]]] = [[] for _ in chains]
+        for cycle in range(max_len):
+            for index, chain in enumerate(chains):
+                bit = stream[pos]
+                pos += 1
+                if cycle < chain.length:
+                    per_chain[index].append(bit)
+        flat: List[Optional[int]] = []
+        for bits in per_chain:
+            flat.extend(bits)
+        cubes.append(TernaryVector(flat))
+    return cubes
+
+
+@dataclass(frozen=True)
+class MultiChainResult:
+    """Aggregate of a multi-chain compression run."""
+
+    arrangement: str  # "per_chain" | "interleaved"
+    chains: Tuple[str, ...]
+    results: Tuple[CompressionResult, ...]
+    original_bits: int
+
+    @property
+    def compressed_bits(self) -> int:
+        """Total bits across every engine's stream."""
+        return sum(r.compressed_bits for r in self.results)
+
+    @property
+    def ratio(self) -> float:
+        """Aggregate compression ratio over the true test-data volume."""
+        if self.original_bits == 0:
+            return 0.0
+        return 1.0 - self.compressed_bits / self.original_bits
+
+    @property
+    def ratio_percent(self) -> float:
+        """Aggregate ratio in percent."""
+        return 100.0 * self.ratio
+
+
+def compress_per_chain(
+    test_set: TestSet,
+    chains: Sequence[ScanChain],
+    config: LZWConfig,
+) -> MultiChainResult:
+    """Independent engine (and dictionary) per chain."""
+    streams = chain_streams(test_set, chains)
+    results = tuple(compress(stream, config) for stream in streams)
+    for stream, result in zip(streams, results):
+        if not result.verify(stream):
+            raise AssertionError("per-chain compression broke a care bit")
+    return MultiChainResult(
+        arrangement="per_chain",
+        chains=tuple(c.name for c in chains),
+        results=results,
+        original_bits=test_set.total_bits,
+    )
+
+
+def compress_interleaved(
+    test_set: TestSet,
+    chains: Sequence[ScanChain],
+    config: LZWConfig,
+) -> MultiChainResult:
+    """One shared engine over the cycle-interleaved stream.
+
+    The idle pad slots of shorter chains count as compressible input
+    (the engine must emit *something* each cycle) but not as test-data
+    volume, matching how multiscan papers account for it.
+    """
+    stream = interleave_stream(test_set, chains)
+    result = compress(stream, config)
+    if not result.verify(stream):
+        raise AssertionError("interleaved compression broke a care bit")
+    return MultiChainResult(
+        arrangement="interleaved",
+        chains=tuple(c.name for c in chains),
+        results=(result,),
+        original_bits=test_set.total_bits,
+    )
+
+
+def _chain_offsets(
+    test_set: TestSet, chains: Sequence[ScanChain]
+) -> List[int]:
+    """Start offset of each chain's cells within the cube bit order."""
+    index_of = {name: i for i, name in enumerate(test_set.input_names)}
+    offsets = []
+    total = 0
+    for chain in chains:
+        try:
+            start = index_of[chain.cells[0]]
+        except KeyError:
+            raise ValueError(
+                f"chain {chain.name} references unknown cell {chain.cells[0]}"
+            ) from None
+        for k, cell in enumerate(chain.cells):
+            if index_of.get(cell) != start + k:
+                raise ValueError(
+                    f"chain {chain.name} cells must be consecutive in the "
+                    f"test set's input order"
+                )
+        offsets.append(start)
+        total += chain.length
+    if total != test_set.width:
+        raise ValueError(
+            f"chains cover {total} cells but the test set has "
+            f"{test_set.width}"
+        )
+    return offsets

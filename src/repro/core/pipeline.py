@@ -1,0 +1,93 @@
+"""High-level compress/verify API — the library's front door.
+
+:func:`compress` runs the don't-care-aware LZW encoder on a ternary scan
+stream and returns a :class:`CompressionResult` bundling the code
+stream, the implied X assignment and the dictionary statistics every
+experiment needs.  :meth:`CompressionResult.verify` re-decodes and
+checks the central invariant: the decompressed stream must *cover* the
+original cubes (reproduce every specified bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bitstream import TernaryVector
+from .config import LZWConfig
+from .decoder import decode
+from .encoder import CompressedStream, EncodeStats, LZWEncoder
+
+__all__ = ["CompressionResult", "compress", "decompress"]
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Everything produced by one compression run.
+
+    Attributes
+    ----------
+    compressed:
+        The code stream and its configuration.
+    assigned_stream:
+        The fully specified stream the decompressor will reproduce —
+        i.e. the original cubes with every X resolved by the encoder.
+    stats:
+        Dictionary/phrase statistics of the run.
+    """
+
+    compressed: CompressedStream
+    assigned_stream: TernaryVector
+    stats: EncodeStats
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``1 - compressed/original``."""
+        return self.compressed.ratio
+
+    @property
+    def ratio_percent(self) -> float:
+        """Compression ratio in percent (the tables' unit)."""
+        return self.compressed.ratio_percent
+
+    @property
+    def original_bits(self) -> int:
+        """Size of the uncompressed stream in bits."""
+        return self.compressed.original_bits
+
+    @property
+    def compressed_bits(self) -> int:
+        """Size of the compressed stream in bits."""
+        return self.compressed.compressed_bits
+
+    @property
+    def longest_entry_bits(self) -> int:
+        """Longest allocated dictionary string in bits (Table 6 column)."""
+        return self.stats.longest_entry_chars * self.compressed.config.char_bits
+
+    @property
+    def longest_phrase_bits(self) -> int:
+        """Longest encoder phrase in bits — the ``C_MDATA`` that would be
+        needed to capture every phrase in a single dictionary entry."""
+        return self.stats.longest_phrase_chars * self.compressed.config.char_bits
+
+    def verify(self, original: TernaryVector) -> bool:
+        """True iff decoding reproduces every specified bit of ``original``."""
+        decoded = decode(self.compressed)
+        return decoded.covers(original)
+
+
+def compress(
+    stream: TernaryVector,
+    config: Optional[LZWConfig] = None,
+) -> CompressionResult:
+    """Compress a ternary scan stream with don't-care-aware LZW."""
+    encoder = LZWEncoder(config)
+    compressed = encoder.encode(stream)
+    assigned = decode(compressed)
+    return CompressionResult(compressed, assigned, encoder.stats())
+
+
+def decompress(compressed: CompressedStream) -> TernaryVector:
+    """Decode a :class:`CompressedStream` (alias of :func:`decoder.decode`)."""
+    return decode(compressed)

@@ -1,0 +1,40 @@
+"""Experiment harness: one runner per paper table, plus ablations."""
+
+from .render import Table, render
+from .tables import (
+    ALL_TABLES,
+    Lab,
+    ablation_architecture,
+    ablation_dontcare,
+    ablation_lookahead,
+    ablation_multichain,
+    ablation_power,
+    ablation_reset,
+    ablation_xdensity,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "Lab",
+    "Table",
+    "ablation_architecture",
+    "ablation_dontcare",
+    "ablation_lookahead",
+    "ablation_multichain",
+    "ablation_power",
+    "ablation_reset",
+    "ablation_xdensity",
+    "render",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+]

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["Table", "render"]
+
+
+@dataclass
+class Table:
+    """A rendered-result table: headers, string-formatted rows, context."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row, stringifying every cell."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def column(self, header: str) -> List[str]:
+        """All cells of one column (for assertions in tests)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        """ASCII rendering, markdown-pipe style."""
+        return render(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render(table: Table) -> str:
+    """Markdown-style fixed-width rendering of a :class:`Table`."""
+    widths = [len(h) for h in table.headers]
+    for row in table.rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    out = [table.title, line(table.headers)]
+    out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in table.rows:
+        out.append(line(row))
+    for note in table.notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,49 @@
+"""Hardware decompressor: cycle model, embedded memory, timing, area,
+RTL generation and ATE economics."""
+
+from .area import AreaModel, AreaReport, estimate_area
+from .decompressor import DecompressorModel, HardwareRunResult
+from .economics import ATEProfile, EconomicsReport, evaluate_economics
+from .memory import EmbeddedMemory, MemoryMode, MemoryRequirements
+from .misr import (
+    LFSR,
+    MISR,
+    STANDARD_POLYNOMIALS,
+    aliasing_probability,
+    signature_of_responses,
+)
+from .rtl import RTL_STATES, generate_decompressor, generate_testbench
+from .timing import (
+    DownloadReport,
+    ParallelDownloadReport,
+    analyze_download,
+    analyze_parallel_chains,
+    decode_cycles_per_code,
+)
+
+__all__ = [
+    "ATEProfile",
+    "AreaModel",
+    "AreaReport",
+    "DecompressorModel",
+    "DownloadReport",
+    "EconomicsReport",
+    "EmbeddedMemory",
+    "HardwareRunResult",
+    "LFSR",
+    "MISR",
+    "MemoryMode",
+    "MemoryRequirements",
+    "ParallelDownloadReport",
+    "RTL_STATES",
+    "STANDARD_POLYNOMIALS",
+    "aliasing_probability",
+    "analyze_download",
+    "analyze_parallel_chains",
+    "decode_cycles_per_code",
+    "estimate_area",
+    "evaluate_economics",
+    "generate_decompressor",
+    "generate_testbench",
+    "signature_of_responses",
+]

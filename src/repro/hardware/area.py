@@ -1,0 +1,96 @@
+"""Area-overhead estimate for the decompression engine.
+
+The paper argues the scheme is cheap because the dictionary reuses an
+existing embedded memory; the remaining overhead is the Figure 5
+datapath (shifters, muxes, the ``C_MLAST`` register, an incrementor)
+plus the Figure 6 access muxes.  This module provides a coarse
+gate-equivalent (GE, NAND2-equivalent) estimate so the engineering
+trade-off benches can weigh compression gains against silicon cost.
+
+The constants are the usual rule-of-thumb figures (a scannable flop
+about 6 GE, a 2:1 mux bit about 3 GE, an adder bit about 7 GE); they
+are estimates, clearly not sign-off numbers, and are exposed as
+parameters for recalibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import LZWConfig
+from .memory import MemoryRequirements
+
+__all__ = ["AreaModel", "AreaReport", "estimate_area"]
+
+_FLOP_GE = 6.0
+_MUX_BIT_GE = 3.0
+_ADDER_BIT_GE = 7.0
+_COMPARATOR_BIT_GE = 2.5
+_FSM_GE = 120.0  # small controller: state register + decode logic
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Technology constants for the estimate (NAND2 gate equivalents)."""
+
+    flop_ge: float = _FLOP_GE
+    mux_bit_ge: float = _MUX_BIT_GE
+    adder_bit_ge: float = _ADDER_BIT_GE
+    comparator_bit_ge: float = _COMPARATOR_BIT_GE
+    fsm_ge: float = _FSM_GE
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Estimated overhead split into datapath and borrowed memory."""
+
+    datapath_ge: float
+    memory: MemoryRequirements
+    memory_is_reused: bool
+
+    @property
+    def dedicated_memory_bits(self) -> int:
+        """Memory bits that must be *added* (0 when a core memory is reused)."""
+        return 0 if self.memory_is_reused else self.memory.total_bits
+
+
+def estimate_area(
+    config: LZWConfig,
+    model: AreaModel = AreaModel(),
+    memory_is_reused: bool = True,
+) -> AreaReport:
+    """Estimate the decompressor's gate overhead for ``config``.
+
+    Datapath inventory, following Figure 5:
+
+    * input shifter: ``C_E`` flops,
+    * output shifter + its data-merging mux: ``C_C`` flops + muxes,
+    * ``C_MLAST`` register (previous code's string): ``C_MDATA`` flops,
+    * ``C_MLEN`` incrementor and next-code counter: adders/flops on
+      ``ceil(log2(C_MDATA+1))`` and ``C_E`` bits,
+    * memory data-merging mux across the word width,
+    * dictionary-bound comparators (capacity and entry width),
+    * the controlling FSM.
+    """
+    mem = MemoryRequirements.for_config(config)
+    ce = config.code_bits
+    cc = config.char_bits
+    mlen = mem.mlen_bits
+
+    flops = ce + cc + config.entry_bits + mlen + ce  # shifters, C_MLAST, counters
+    mux_bits = cc + mem.word_bits  # output-shifter mux + memory write mux
+    adder_bits = mlen + ce  # length incrementor + next-code counter
+    comparator_bits = ce + mlen  # dictionary-full and entry-width checks
+
+    datapath = (
+        flops * model.flop_ge
+        + mux_bits * model.mux_bit_ge
+        + adder_bits * model.adder_bit_ge
+        + comparator_bits * model.comparator_bit_ge
+        + model.fsm_ge
+    )
+    return AreaReport(
+        datapath_ge=datapath,
+        memory=mem,
+        memory_is_reused=memory_is_reused,
+    )

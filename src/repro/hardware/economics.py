@@ -1,0 +1,120 @@
+"""ATE test-economics model (the paper's motivation, reference [1]).
+
+The introduction argues the scheme pays for itself twice on the tester:
+the compressed patterns need less **vector memory** (ATE memory depth
+prices the machine) and less **test time** (throughput prices the test
+floor).  This module turns a compression result into those two numbers
+plus a simple multi-site cost figure, so the benches can report the
+economic shape, not just ratios.
+
+The cost model is deliberately simple and fully parameterised: a tester
+second costs ``cost_per_second``; a vector-memory overflow forces a
+reload costing ``reload_seconds``.  Defaults are round numbers in the
+range the test-economics literature quotes; they are inputs, not claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import CompressedStream
+from .timing import analyze_download
+
+__all__ = ["ATEProfile", "EconomicsReport", "evaluate_economics"]
+
+
+@dataclass(frozen=True)
+class ATEProfile:
+    """The tester the test program must fit."""
+
+    clock_hz: float = 25e6  # tester cycle rate
+    vector_memory_bits: int = 16 * 1024 * 1024  # per-pin pattern depth
+    cost_per_second: float = 0.03  # amortised $/tester-second
+    reload_seconds: float = 2.0  # pattern reload on memory overflow
+    sites: int = 1  # parallel-site multiplier
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.cost_per_second < 0:
+            raise ValueError("clock_hz must be positive, cost non-negative")
+        if self.vector_memory_bits < 1 or self.sites < 1:
+            raise ValueError("vector_memory_bits and sites must be >= 1")
+
+
+@dataclass(frozen=True)
+class EconomicsReport:
+    """Tester memory/time/cost, uncompressed vs compressed."""
+
+    uncompressed_bits: int
+    compressed_bits: int
+    uncompressed_seconds: float
+    compressed_seconds: float
+    uncompressed_reloads: int
+    compressed_reloads: int
+    cost_uncompressed: float
+    cost_compressed: float
+
+    @property
+    def memory_saving_percent(self) -> float:
+        """Vector-memory reduction in percent."""
+        if self.uncompressed_bits == 0:
+            return 0.0
+        return 100.0 * (1 - self.compressed_bits / self.uncompressed_bits)
+
+    @property
+    def time_saving_percent(self) -> float:
+        """Test-time reduction in percent (includes reload penalties)."""
+        if self.uncompressed_seconds == 0:
+            return 0.0
+        return 100.0 * (1 - self.compressed_seconds / self.uncompressed_seconds)
+
+    @property
+    def cost_saving_percent(self) -> float:
+        """Cost reduction in percent."""
+        if self.cost_uncompressed == 0:
+            return 0.0
+        return 100.0 * (1 - self.cost_compressed / self.cost_uncompressed)
+
+
+def evaluate_economics(
+    compressed: CompressedStream,
+    profile: ATEProfile = ATEProfile(),
+    clock_ratio: int = 10,
+    double_buffered: bool = False,
+) -> EconomicsReport:
+    """Price one test set on one tester, with and without the scheme."""
+    report = analyze_download(
+        compressed, clock_ratio, double_buffered=double_buffered
+    )
+    un_bits = compressed.original_bits
+    co_bits = compressed.compressed_bits
+
+    un_reloads = _reloads(un_bits, profile.vector_memory_bits)
+    co_reloads = _reloads(co_bits, profile.vector_memory_bits)
+
+    un_seconds = (
+        un_bits / profile.clock_hz + un_reloads * profile.reload_seconds
+    )
+    co_seconds = (
+        report.tester_cycles / profile.clock_hz
+        + co_reloads * profile.reload_seconds
+    )
+    # Multi-site: one tester applies `sites` devices in parallel, so the
+    # per-device cost divides by the site count for both flows.
+    per_device = profile.cost_per_second / profile.sites
+    return EconomicsReport(
+        uncompressed_bits=un_bits,
+        compressed_bits=co_bits,
+        uncompressed_seconds=un_seconds,
+        compressed_seconds=co_seconds,
+        uncompressed_reloads=un_reloads,
+        compressed_reloads=co_reloads,
+        cost_uncompressed=un_seconds * per_device,
+        cost_compressed=co_seconds * per_device,
+    )
+
+
+def _reloads(bits: int, capacity: int) -> int:
+    """Pattern reloads needed beyond the first memory fill."""
+    if bits <= capacity:
+        return 0
+    return (bits - 1) // capacity

@@ -1,0 +1,131 @@
+"""Embedded-memory model (the paper's Figure 6).
+
+The decompressor reuses an existing on-chip memory as its dictionary:
+``N`` words, each holding a length field ``C_MLEN`` and up to ``C_MDATA``
+data bits.  The surrounding BIST-style muxing is modelled as an access
+mode — reads and writes are only legal once the memory is granted to
+the LZW engine, mirroring how the added muxes isolate production logic.
+
+Word layout (matching the paper's sizing example: ``C_MDATA = 483``
+needs a 492-bit word, i.e. a 9-bit length field):
+
+* ``mlen_bits  = ceil(log2(C_MDATA + 1))`` — uncompressed length in bits,
+* ``C_MDATA``  data bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from ..core import LZWConfig
+
+__all__ = ["MemoryMode", "MemoryRequirements", "EmbeddedMemory"]
+
+
+class MemoryMode(Enum):
+    """Who currently owns the memory port (Figure 6's mux selects)."""
+
+    NORMAL = "normal"
+    BIST = "bist"
+    LZW = "lzw"
+
+
+@dataclass(frozen=True)
+class MemoryRequirements:
+    """Physical sizing of the dictionary memory for a given configuration."""
+
+    words: int
+    mlen_bits: int
+    data_bits: int
+
+    @property
+    def word_bits(self) -> int:
+        """Width of one memory word."""
+        return self.mlen_bits + self.data_bits
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage the decompressor borrows from the core."""
+        return self.words * self.word_bits
+
+    @property
+    def geometry(self) -> str:
+        """Human-readable ``words x width`` form used in Table 2."""
+        return f"{self.words}x{self.word_bits}"
+
+    @classmethod
+    def for_config(cls, config: LZWConfig) -> "MemoryRequirements":
+        """Memory needed by the Figure 5 decompressor for ``config``.
+
+        One word per dictionary code, as in the paper's ``N``-entry
+        layout; base codes pass through the output mux and need no
+        storage, but the address space is sized by ``N`` so the word
+        count follows the dictionary size.
+        """
+        mlen_bits = max(1, (config.entry_bits).bit_length())
+        return cls(
+            words=config.dict_size,
+            mlen_bits=mlen_bits,
+            data_bits=config.entry_bits,
+        )
+
+
+class EmbeddedMemory:
+    """Word-addressable dictionary memory with mode-gated access.
+
+    Each word stores ``(length_in_bits, data_int)``; ``data_int`` packs
+    the uncompressed characters LSB-first in stream order, consistent
+    with :class:`repro.bitstream.TernaryVector` conventions.
+    """
+
+    def __init__(self, requirements: MemoryRequirements) -> None:
+        self.requirements = requirements
+        self._words: List[Optional[Tuple[int, int]]] = [None] * requirements.words
+        self._mode = MemoryMode.NORMAL
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def mode(self) -> MemoryMode:
+        """Current owner of the memory port."""
+        return self._mode
+
+    def grant(self, mode: MemoryMode) -> None:
+        """Switch the Figure 6 muxes (e.g. hand the port to the LZW engine)."""
+        self._mode = mode
+
+    def read(self, address: int) -> Tuple[int, int]:
+        """Return ``(length_bits, data)`` at ``address`` (LZW mode only)."""
+        self._check_access(address)
+        word = self._words[address]
+        if word is None:
+            raise ValueError(f"read of unwritten dictionary word {address}")
+        self.reads += 1
+        return word
+
+    def write(self, address: int, length_bits: int, data: int) -> None:
+        """Store an entry (LZW mode only); enforces field widths."""
+        self._check_access(address)
+        if not 0 <= length_bits <= self.requirements.data_bits:
+            raise ValueError(
+                f"entry length {length_bits} exceeds C_MDATA "
+                f"{self.requirements.data_bits}"
+            )
+        if data >> self.requirements.data_bits:
+            raise ValueError("entry data wider than the memory word")
+        self.writes += 1
+        self._words[address] = (length_bits, data)
+
+    def occupancy(self) -> int:
+        """Number of words holding dictionary entries."""
+        return sum(1 for w in self._words if w is not None)
+
+    def _check_access(self, address: int) -> None:
+        if self._mode is not MemoryMode.LZW:
+            raise PermissionError(
+                "memory not granted to the LZW engine (Figure 6 mux select)"
+            )
+        if not 0 <= address < self.requirements.words:
+            raise IndexError(f"address {address} outside {self.requirements.words} words")

@@ -1,0 +1,152 @@
+"""MISR response compaction (the scan-out side of Figure 2).
+
+The paper compresses the *input* side; on the output side, production
+flows compact the scan-out responses into a multiple-input signature
+register so the ATE compares one signature instead of storing expected
+responses.  This module provides the standard LFSR machinery:
+
+* :class:`LFSR` — Galois-form linear feedback shift register over the
+  given characteristic polynomial (also usable as a PRPG);
+* :class:`MISR` — the multiple-input variant that XORs one response
+  slice per clock into the state;
+* :func:`signature_of_responses` — signature of a full test's output
+  stream, with X-masking: unknown response bits must be forced to a
+  known value before compaction (the classic X-blocking requirement),
+  so ternary responses take an explicit mask policy;
+* :func:`aliasing_probability` — the textbook ``2**-n`` estimate.
+
+Polynomials are given as integer bit masks including both end terms,
+e.g. ``0b10011`` for ``x^4 + x + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..bitstream import TernaryVector
+
+__all__ = [
+    "STANDARD_POLYNOMIALS",
+    "LFSR",
+    "MISR",
+    "signature_of_responses",
+    "aliasing_probability",
+]
+
+#: Primitive polynomials per width (maximal-length), small standard set.
+STANDARD_POLYNOMIALS = {
+    4: 0b10011,  # x^4 + x + 1
+    8: 0b100011101,  # x^8 + x^4 + x^3 + x^2 + 1
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1
+    32: 0b100000000001000001000100010000111,
+}
+
+
+class LFSR:
+    """Galois-configuration linear feedback shift register."""
+
+    def __init__(self, polynomial: int, seed: int = 1) -> None:
+        if polynomial < 0b11 or not polynomial & 1:
+            raise ValueError(
+                "polynomial must include the x^0 term and a degree >= 1"
+            )
+        self.polynomial = polynomial
+        self.width = polynomial.bit_length() - 1
+        self._mask = (1 << self.width) - 1
+        if not 0 <= seed <= self._mask:
+            raise ValueError(f"seed must fit in {self.width} bits")
+        self.state = seed
+
+    def step(self, feed: int = 0) -> int:
+        """One clock: shift, apply feedback taps, XOR in ``feed``."""
+        if feed >> self.width:
+            raise ValueError("feed value wider than the register")
+        msb = (self.state >> (self.width - 1)) & 1
+        self.state = (self.state << 1) & self._mask
+        if msb:
+            self.state ^= self.polynomial & self._mask
+        self.state ^= feed
+        return self.state
+
+    def run(self, cycles: int) -> int:
+        """Free-run ``cycles`` clocks (PRPG use); returns the state."""
+        for _ in range(cycles):
+            self.step()
+        return self.state
+
+    def sequence(self, cycles: int) -> List[int]:
+        """MSB output stream over ``cycles`` clocks (pseudo-random bits)."""
+        out = []
+        for _ in range(cycles):
+            out.append((self.state >> (self.width - 1)) & 1)
+            self.step()
+        return out
+
+    def period(self, limit: int = 1 << 20) -> int:
+        """Cycle length from the current state (maximal = 2^width - 1)."""
+        start = self.state
+        if start == 0:
+            return 1  # the all-zero lock-up state
+        count = 0
+        while count < limit:
+            self.step()
+            count += 1
+            if self.state == start:
+                return count
+        raise RuntimeError("period exceeds the search limit")
+
+
+class MISR(LFSR):
+    """Multiple-input signature register."""
+
+    def absorb(self, response: int) -> int:
+        """Compact one parallel response slice into the signature."""
+        return self.step(feed=response & self._mask)
+
+    def signature(self) -> int:
+        """The current signature."""
+        return self.state
+
+
+def signature_of_responses(
+    responses: Iterable[TernaryVector],
+    polynomial: Optional[int] = None,
+    seed: int = 1,
+    x_fill: int = 0,
+) -> int:
+    """Signature of a sequence of (possibly ternary) response slices.
+
+    Unknown (X) response bits alias the signature in real silicon, so
+    they must be blocked; here they are forced to ``x_fill`` — the
+    modelling equivalent of an X-masking cell on the compactor inputs.
+    All slices must share one width, which also fixes the MISR width
+    when ``polynomial`` is omitted (requires a standard width).
+    """
+    responses = list(responses)
+    if not responses:
+        raise ValueError("need at least one response slice")
+    width = len(responses[0])
+    if polynomial is None:
+        try:
+            polynomial = STANDARD_POLYNOMIALS[width]
+        except KeyError:
+            raise ValueError(
+                f"no standard polynomial for width {width}; pass one"
+            ) from None
+    misr = MISR(polynomial, seed=seed)
+    if misr.width < width:
+        raise ValueError(
+            f"MISR width {misr.width} narrower than responses ({width})"
+        )
+    for slice_ in responses:
+        if len(slice_) != width:
+            raise ValueError("response slices must share one width")
+        misr.absorb(slice_.fill(x_fill).to_int())
+    return misr.signature()
+
+
+def aliasing_probability(width: int) -> float:
+    """Steady-state aliasing estimate for an ``width``-bit MISR."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return 2.0 ** -width

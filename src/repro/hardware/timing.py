@@ -1,0 +1,209 @@
+"""Closed-form download-time analysis (Tables 2 and 6).
+
+The cycle-accurate model in :mod:`repro.hardware.decompressor` walks
+every internal cycle; for parameter sweeps that is overkill, so this
+module computes the same quantities analytically from the per-code
+expansion lengths recorded by the encoder.  The tests assert that the
+two agree.
+
+Uncompressed baseline: the ATE shifts one scan bit per tester cycle, so
+``T_uncomp = original_bits`` tester cycles.  Compressed, under the
+serial architecture, each code costs its ``C_E`` download cycles plus
+the engine time (lookup + one internal cycle per scan bit + write) paid
+at ``1/clock_ratio`` tester cycles each — which is why the improvement
+approaches ``ratio - 1/clock_ratio`` for large clock ratios, the shape
+of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core import CompressedStream
+from .memory import MemoryRequirements
+
+__all__ = [
+    "DownloadReport",
+    "ParallelDownloadReport",
+    "analyze_download",
+    "analyze_parallel_chains",
+    "decode_cycles_per_code",
+]
+
+
+@dataclass(frozen=True)
+class DownloadReport:
+    """Download-time comparison for one compressed test set."""
+
+    original_bits: int
+    compressed_bits: int
+    clock_ratio: int
+    tester_cycles: int
+    internal_decode_cycles: int
+    double_buffered: bool
+    memory: MemoryRequirements
+
+    @property
+    def baseline_tester_cycles(self) -> int:
+        """Uncompressed download time (one bit per tester cycle)."""
+        return self.original_bits
+
+    @property
+    def improvement(self) -> float:
+        """Fractional download-time reduction vs the uncompressed test."""
+        if self.original_bits == 0:
+            return 0.0
+        return 1.0 - self.tester_cycles / self.original_bits
+
+    @property
+    def improvement_percent(self) -> float:
+        """Improvement in percent (Table 2 / Table 6 unit)."""
+        return 100.0 * self.improvement
+
+
+def decode_cycles_per_code(
+    compressed: CompressedStream,
+    lookup_cycles: int = 1,
+    write_cycles: int = 1,
+) -> List[int]:
+    """Internal engine cycles each code costs, mirroring the hardware FSM.
+
+    Requires ``compressed.expansion_chars`` (recorded by the encoder).
+    The dictionary-write cycle is charged on the code *after* which an
+    entry is allocated — i.e. every code except the first, while the
+    dictionary has room and the previous expansion still fits the word.
+    """
+    cfg = compressed.config
+    if compressed.codes and not compressed.expansion_chars:
+        raise ValueError("expansion_chars missing; re-encode to use the analysis")
+    cycles: List[int] = []
+    next_code = cfg.base_codes
+    prev_chars = None
+    for chars in compressed.expansion_chars:
+        cost = lookup_cycles + chars * cfg.char_bits
+        will_add = prev_chars is not None and (
+            next_code < cfg.dict_size and prev_chars + 1 <= cfg.max_entry_chars
+        )
+        if cfg.reset_on_full and will_add and next_code == cfg.dict_size - 1:
+            next_code = cfg.base_codes  # adaptive flush: pointer reset only
+            will_add = False
+        if will_add:
+            cost += write_cycles
+            next_code += 1
+        cycles.append(cost)
+        prev_chars = chars
+    return cycles
+
+
+def analyze_download(
+    compressed: CompressedStream,
+    clock_ratio: int,
+    lookup_cycles: int = 1,
+    write_cycles: int = 1,
+    double_buffered: bool = False,
+) -> DownloadReport:
+    """Tester-cycle count for downloading and expanding a compressed test."""
+    if clock_ratio < 1:
+        raise ValueError("clock_ratio must be >= 1")
+    cfg = compressed.config
+    k = clock_ratio
+    per_code = decode_cycles_per_code(compressed, lookup_cycles, write_cycles)
+
+    if double_buffered:
+        # Download of code i+1 overlaps decode of code i: the shifter
+        # refills as soon as the engine accepts the previous code, so the
+        # steady-state cost per code is max(download, decode).
+        engine_free = 0
+        shifter_free = 0
+        for cost in per_code:
+            load_start = -(-shifter_free // k) * k
+            download_done = load_start + cfg.code_bits * k
+            start = max(download_done, engine_free)
+            shifter_free = start
+            engine_free = start + cost
+        tester_cycles = -(-engine_free // k)
+    else:
+        # Serial: the engine idles during download and the tester stalls
+        # during decode; each code starts aligned to a tester edge.
+        t = 0
+        for cost in per_code:
+            t = -(-t // k) * k  # wait for the next tester edge
+            t += cfg.code_bits * k + cost
+        tester_cycles = -(-t // k)
+
+    return DownloadReport(
+        original_bits=compressed.original_bits,
+        compressed_bits=compressed.compressed_bits,
+        clock_ratio=k,
+        tester_cycles=tester_cycles,
+        internal_decode_cycles=sum(per_code),
+        double_buffered=double_buffered,
+        memory=MemoryRequirements.for_config(cfg),
+    )
+
+
+@dataclass(frozen=True)
+class ParallelDownloadReport:
+    """Download timing for per-chain engines on parallel tester channels.
+
+    With one channel and one decompressor per chain, both the compressed
+    and the uncompressed flows finish when their *slowest* chain does.
+    """
+
+    per_chain: List[DownloadReport]
+
+    @property
+    def tester_cycles(self) -> int:
+        """Cycles until the slowest chain is fully loaded."""
+        return max((r.tester_cycles for r in self.per_chain), default=0)
+
+    @property
+    def baseline_tester_cycles(self) -> int:
+        """Uncompressed parallel download: the longest chain's stream."""
+        return max((r.original_bits for r in self.per_chain), default=0)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional download-time reduction vs uncompressed multiscan."""
+        baseline = self.baseline_tester_cycles
+        if baseline == 0:
+            return 0.0
+        return 1.0 - self.tester_cycles / baseline
+
+    @property
+    def improvement_percent(self) -> float:
+        """Improvement in percent."""
+        return 100.0 * self.improvement
+
+    @property
+    def total_memory_bits(self) -> int:
+        """Dictionary memory across every per-chain engine."""
+        return sum(r.memory.total_bits for r in self.per_chain)
+
+
+def analyze_parallel_chains(
+    streams: Sequence[CompressedStream],
+    clock_ratio: int,
+    lookup_cycles: int = 1,
+    write_cycles: int = 1,
+    double_buffered: bool = False,
+) -> ParallelDownloadReport:
+    """Timing for the per-chain multiscan arrangement.
+
+    ``streams`` are the per-chain compressed streams (e.g. from
+    :func:`repro.core.multichain.compress_per_chain` results); each chain
+    gets its own engine and tester channel, so the report maximises over
+    chains rather than summing.
+    """
+    reports = [
+        analyze_download(
+            s,
+            clock_ratio,
+            lookup_cycles=lookup_cycles,
+            write_cycles=write_cycles,
+            double_buffered=double_buffered,
+        )
+        for s in streams
+    ]
+    return ParallelDownloadReport(per_chain=reports)

@@ -1,0 +1,77 @@
+"""Plain-text test-vector file format.
+
+One cube per line over the alphabet ``0``, ``1``, ``X`` (``-`` also
+reads as X), ``#`` comments and blank lines ignored — the same shape as
+the pattern files the classic ATPG tools emit, so externally generated
+test sets drop straight into the compressor.
+
+An optional ``# inputs: a b c`` header names the inputs; otherwise
+positional names ``sc0..scN-1`` are used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .bitstream import TernaryVector
+from .circuit.scan import TestSet
+
+__all__ = ["read_test_file", "write_test_file", "parse_test_text", "format_test_text"]
+
+
+def parse_test_text(text: str, name: str = "testset") -> TestSet:
+    """Parse the vector-file format from a string."""
+    input_names: Optional[List[str]] = None
+    cubes: List[TernaryVector] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.lower().startswith("inputs:"):
+                input_names = body.split(":", 1)[1].split()
+            continue
+        if not line:
+            continue
+        try:
+            cube = TernaryVector(line)
+        except ValueError as exc:
+            raise ValueError(f"{name}:{lineno}: {exc}") from None
+        cubes.append(cube)
+    if not cubes:
+        raise ValueError(f"{name}: no test vectors found")
+    width = len(cubes[0])
+    for i, cube in enumerate(cubes):
+        if len(cube) != width:
+            raise ValueError(
+                f"{name}: vector {i} has width {len(cube)}, expected {width}"
+            )
+    if input_names is None:
+        input_names = [f"sc{i}" for i in range(width)]
+    elif len(input_names) != width:
+        raise ValueError(
+            f"{name}: header names {len(input_names)} inputs but vectors "
+            f"are {width} wide"
+        )
+    return TestSet(input_names, cubes, name=name)
+
+
+def format_test_text(test_set: TestSet, header: bool = True) -> str:
+    """Render a test set in the vector-file format."""
+    lines = []
+    if header:
+        lines.append(f"# {test_set.summary()}")
+        lines.append("# inputs: " + " ".join(test_set.input_names))
+    lines.extend(str(cube) for cube in test_set.cubes)
+    return "\n".join(lines) + "\n"
+
+
+def read_test_file(path: Union[str, Path]) -> TestSet:
+    """Load a vector file from disk; the set is named after the file."""
+    path = Path(path)
+    return parse_test_text(path.read_text(), name=path.stem)
+
+
+def write_test_file(test_set: TestSet, path: Union[str, Path]) -> None:
+    """Write a test set to disk in the vector-file format."""
+    Path(path).write_text(format_test_text(test_set))

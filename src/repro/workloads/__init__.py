@@ -1,0 +1,27 @@
+"""Workloads: paper benchmark metadata and matched synthetic test sets."""
+
+from .cubes import CubeProfile, profile_for, synthesize
+from .loader import available_workloads, build_testset
+from .validate import ValidationReport, validate_testset
+from .paper import (
+    BENCHMARKS,
+    TABLE1_CIRCUITS,
+    TABLE3_CIRCUITS,
+    PaperBenchmark,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "CubeProfile",
+    "PaperBenchmark",
+    "TABLE1_CIRCUITS",
+    "TABLE3_CIRCUITS",
+    "available_workloads",
+    "ValidationReport",
+    "build_testset",
+    "get_benchmark",
+    "validate_testset",
+    "profile_for",
+    "synthesize",
+]

@@ -1,0 +1,63 @@
+"""Building test sets for the paper's benchmarks.
+
+:func:`build_testset` turns a :class:`~repro.workloads.paper.PaperBenchmark`
+into a concrete :class:`~repro.circuit.scan.TestSet` via the synthetic
+cube generator, statistically matched to the published profile (size
+and X density; see DESIGN.md for the substitution rationale).  A
+``scale`` below 1.0 shrinks the vector count proportionally — handy for
+quick tests — while preserving width and density.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..circuit.scan import TestSet
+from .cubes import profile_for, synthesize
+from .paper import BENCHMARKS, PaperBenchmark, get_benchmark
+
+__all__ = ["build_testset", "available_workloads"]
+
+
+def available_workloads() -> list:
+    """Names accepted by :func:`build_testset`."""
+    return sorted(BENCHMARKS)
+
+
+def build_testset(
+    benchmark: Union[str, PaperBenchmark],
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    **profile_overrides,
+) -> TestSet:
+    """Synthesize the matched test set for a paper benchmark.
+
+    Parameters
+    ----------
+    benchmark:
+        Benchmark name (e.g. ``"s13207f"``) or a profile object.
+    scale:
+        Vector-count multiplier in (0, 1]; width and X density are kept
+        so per-vector structure is unchanged.
+    seed:
+        Override the stable per-benchmark default seed.
+    profile_overrides:
+        Extra :class:`~repro.workloads.cubes.CubeProfile` fields
+        (``pool_size``, ``ones_bias``...).
+    """
+    if isinstance(benchmark, str):
+        benchmark = get_benchmark(benchmark)
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    vectors = max(1, round(benchmark.vectors * scale))
+    overrides = dict(benchmark.profile_overrides)
+    overrides.update(profile_overrides)
+    profile = profile_for(
+        benchmark.name,
+        vectors=vectors,
+        width=benchmark.width,
+        x_density=benchmark.x_density,
+        seed=seed,
+        **overrides,
+    )
+    return synthesize(profile)

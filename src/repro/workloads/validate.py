@@ -1,0 +1,148 @@
+"""Workload validation: does a test set match its claimed profile?
+
+The substitution argument of DESIGN.md §3 rests on the synthetic sets
+actually matching the published statistics, so this module makes the
+match checkable: :func:`validate_testset` measures a test set against a
+:class:`~repro.workloads.cubes.CubeProfile` (or a benchmark name) and
+returns a structured pass/fail report.  The benches and tests call it;
+users bringing their own vector files can call it too, to see how far
+their data is from the regime the defaults were calibrated on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from ..analysis import testset_profile
+from ..circuit.scan import TestSet
+from .cubes import CubeProfile
+from .paper import PaperBenchmark, get_benchmark
+
+__all__ = ["ValidationReport", "validate_testset"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one validation run."""
+
+    name: str
+    checks: Dict[str, bool]
+    measured: Dict[str, float]
+    expected: Dict[str, float]
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return all(self.checks.values())
+
+    def failures(self) -> List[str]:
+        """Names of failed checks."""
+        return sorted(name for name, passed in self.checks.items() if not passed)
+
+
+def validate_testset(
+    test_set: TestSet,
+    target: Union[CubeProfile, PaperBenchmark, str],
+    density_tolerance: float = 0.02,
+    min_adjacency: float = 0.3,
+    max_conflict_fraction: float = 0.1,
+) -> ValidationReport:
+    """Check a test set against the profile it claims to match.
+
+    Checks, in decreasing order of importance:
+
+    * ``geometry`` — vector count (profiles only) and width;
+    * ``x_density`` — within ``density_tolerance`` of the target;
+    * ``clustering`` — care bits arrive in runs (adjacency above
+      ``min_adjacency``; uniform scattering at test-set densities sits
+      far below it);
+    * ``similarity`` — vector pairs agree on most mutually specified
+      bits (conflict rate below ``max_conflict_fraction``): the template
+      structure a dictionary coder exploits.  Unrelated random vectors
+      conflict on ~50% of shared care bits.
+    """
+    if isinstance(target, str):
+        target = get_benchmark(target)
+    profile = testset_profile(test_set)
+
+    expected_width = target.width
+    expected_density = (
+        target.x_density if isinstance(target, (CubeProfile, PaperBenchmark)) else 0.0
+    )
+    checks: Dict[str, bool] = {}
+    messages: List[str] = []
+
+    geometry_ok = profile.width == expected_width
+    if isinstance(target, CubeProfile):
+        geometry_ok = geometry_ok and profile.vectors == target.vectors
+    checks["geometry"] = geometry_ok
+    if not geometry_ok:
+        messages.append(
+            f"geometry {profile.vectors}x{profile.width} does not match "
+            f"the target width {expected_width}"
+        )
+
+    measured_density = profile.x_percent / 100.0
+    checks["x_density"] = abs(measured_density - expected_density) <= density_tolerance
+    if not checks["x_density"]:
+        messages.append(
+            f"X density {measured_density:.3f} is outside "
+            f"{expected_density:.3f} +/- {density_tolerance}"
+        )
+
+    checks["clustering"] = profile.care_adjacency >= min_adjacency
+    if not checks["clustering"]:
+        messages.append(
+            f"care adjacency {profile.care_adjacency:.2f} below "
+            f"{min_adjacency} — care bits look uniformly scattered"
+        )
+
+    conflict = _conflict_fraction(test_set)
+    checks["similarity"] = conflict <= max_conflict_fraction
+    if not checks["similarity"]:
+        messages.append(
+            f"sampled vector pairs conflict on {conflict:.2f} of their "
+            f"shared care bits — no template structure to exploit"
+        )
+
+    return ValidationReport(
+        name=test_set.name,
+        checks=checks,
+        measured={
+            "x_density": measured_density,
+            "care_adjacency": profile.care_adjacency,
+            "conflict_fraction": conflict,
+        },
+        expected={
+            "x_density": expected_density,
+            "care_adjacency": min_adjacency,
+            "conflict_fraction": max_conflict_fraction,
+        },
+        messages=messages,
+    )
+
+
+def _conflict_fraction(test_set: TestSet, limit: int = 48) -> float:
+    """Mean disagreement rate on mutually specified bits, sampled pairs.
+
+    0.0 means every pair is compatible; ~0.5 means the values are
+    unrelated.  Pairs with no shared care bits are skipped.
+    """
+    cubes = test_set.cubes[:limit]
+    if len(cubes) < 2:
+        return 0.0
+    shared_total = 0
+    conflict_total = 0
+    for i in range(len(cubes)):
+        for j in range(i + 1, len(cubes)):
+            both = cubes[i].care_mask & cubes[j].care_mask
+            if not both:
+                continue
+            diff = (cubes[i].value_mask ^ cubes[j].value_mask) & both
+            shared_total += bin(both).count("1")
+            conflict_total += bin(diff).count("1")
+    if shared_total == 0:
+        return 0.0
+    return conflict_total / shared_total

@@ -1,0 +1,60 @@
+"""Unit tests for static cube compaction."""
+
+from repro.atpg import compact_cubes
+from repro.bitstream import TernaryVector
+
+
+def test_empty():
+    assert compact_cubes([]) == []
+
+
+def test_compatible_pair_merges():
+    cubes = [TernaryVector("0XX"), TernaryVector("X1X")]
+    merged = compact_cubes(cubes)
+    assert len(merged) == 1
+    assert str(merged[0]) == "01X"
+
+
+def test_incompatible_pair_stays():
+    cubes = [TernaryVector("0X"), TernaryVector("1X")]
+    assert len(compact_cubes(cubes)) == 2
+
+
+def test_every_input_is_covered():
+    cubes = [
+        TernaryVector("0XX1"),
+        TernaryVector("X0X1"),
+        TernaryVector("1XXX"),
+        TernaryVector("XXX0"),
+    ]
+    merged = compact_cubes(cubes)
+    for cube in cubes:
+        assert any(m.compatible(cube) and
+                   (m.care_mask & cube.care_mask) == cube.care_mask
+                   for m in merged), str(cube)
+
+
+def test_chain_merging():
+    # Pairwise-compatible chain collapses into one vector.
+    cubes = [TernaryVector("1XXX"), TernaryVector("X1XX"),
+             TernaryVector("XX1X"), TernaryVector("XXX1")]
+    merged = compact_cubes(cubes)
+    assert len(merged) == 1
+    assert str(merged[0]) == "1111"
+
+
+def test_dense_cubes_seed_first():
+    # A fully specified cube plus two sparse compatible ones.
+    cubes = [TernaryVector("XX1"), TernaryVector("011"), TernaryVector("0XX")]
+    merged = compact_cubes(cubes)
+    assert merged == [TernaryVector("011")]
+
+
+def test_never_increases_count():
+    cubes = [TernaryVector("01X"), TernaryVector("0X1"), TernaryVector("10X")]
+    assert len(compact_cubes(cubes)) <= len(cubes)
+
+
+def test_deterministic():
+    cubes = [TernaryVector("0X"), TernaryVector("X1"), TernaryVector("1X")]
+    assert compact_cubes(list(cubes)) == compact_cubes(list(cubes))

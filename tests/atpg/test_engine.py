@@ -1,0 +1,66 @@
+"""Unit tests for the ATPG driver (full generation flow)."""
+
+import pytest
+
+from repro.atpg import ATPGConfig, fault_simulate, generate_tests
+from repro.circuit import load_builtin, random_circuit
+from repro.circuit.faults import collapse_faults
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("name,expect_full", [("c17", True), ("s27", False)])
+    def test_generation(self, name, expect_full):
+        circuit = load_builtin(name)
+        result = generate_tests(circuit)
+        assert result.aborted == 0
+        if expect_full:
+            assert result.coverage_percent == 100.0
+        else:
+            assert result.coverage_percent >= 95.0
+        assert result.test_set.width == circuit.combinational_view().width
+
+    def test_fault_sim_confirms_coverage(self):
+        circuit = load_builtin("c17")
+        result = generate_tests(circuit)
+        report = fault_simulate(
+            circuit.combinational_view(),
+            list(result.test_set),
+            collapse_faults(circuit),
+        )
+        testable = result.total_faults - result.untestable
+        assert len(report.detected) >= result.detected or (
+            len(report.detected) == testable
+        )
+
+    def test_compaction_reduces_or_keeps_vectors(self):
+        circuit = load_builtin("s27")
+        compacted = generate_tests(circuit, ATPGConfig(compact=True))
+        raw = generate_tests(circuit, ATPGConfig(compact=False))
+        assert len(compacted.test_set) <= len(raw.test_set)
+        assert raw.cubes_before_compaction == len(raw.test_set)
+
+    def test_no_drop_still_works(self):
+        circuit = load_builtin("c17")
+        result = generate_tests(circuit, ATPGConfig(drop_faults=False))
+        assert result.coverage_percent == 100.0
+
+    def test_statuses_cover_every_fault(self):
+        circuit = load_builtin("s27")
+        result = generate_tests(circuit)
+        assert len(result.per_fault_status) == result.total_faults
+        assert set(result.per_fault_status.values()) <= {
+            "detected",
+            "untestable",
+            "aborted",
+        }
+
+
+class TestRandomCircuit:
+    def test_small_random_flow(self):
+        circuit = random_circuit("e", 10, 6, 60, seed=2)
+        result = generate_tests(circuit)
+        assert result.coverage_percent > 70.0
+        assert result.test_set.x_density > 0.1
+        # The cube stream is what the compression study consumes.
+        stream = result.test_set.to_stream()
+        assert len(stream) == result.test_set.total_bits

@@ -1,0 +1,106 @@
+"""Unit tests for the compiled simulation kernel, cross-checked against
+the readable reference simulator."""
+
+import random
+
+import pytest
+
+from repro.atpg.fastsim import X2, CompiledView
+from repro.bitstream import TernaryVector
+from repro.circuit import Fault, random_circuit
+from repro.circuit.faults import full_fault_list
+from repro.circuit.simulate import evaluate
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circuit = random_circuit("fs", 8, 5, 70, seed=21)
+    view = circuit.combinational_view()
+    return circuit, view, CompiledView(view)
+
+
+class TestCompilation:
+    def test_indices_cover_all_nets(self, setup):
+        circuit, _view, cv = setup
+        assert cv.n_nets == len(circuit.gates)
+        assert sorted(cv.net_index.values()) == list(range(cv.n_nets))
+
+    def test_io_indices(self, setup):
+        _c, view, cv = setup
+        assert [cv.net_names[i] for i in cv.input_indices] == view.test_inputs
+        assert [cv.net_names[i] for i in cv.output_indices] == view.test_outputs
+
+    def test_ops_in_topological_order(self, setup):
+        _c, _v, cv = setup
+        seen = set(cv.input_indices)
+        # DFF outputs are sources too.
+        seen.update(
+            i for i in range(cv.n_nets) if all(i != op[0] for op in cv.ops)
+        )
+        for out, _op, fanins in cv.ops:
+            assert all(f in seen for f in fanins)
+            seen.add(out)
+
+
+class TestAgreementWithReference:
+    def test_good_machine_agrees(self, setup):
+        circuit, view, cv = setup
+        rng = random.Random(5)
+        for _ in range(60):
+            assignment = {
+                name: rng.choice([0, 1, None]) for name in view.test_inputs
+            }
+            ref = evaluate(circuit, assignment)
+            fast = cv.evaluate(cv.assignment_values(assignment))
+            for name, idx in cv.net_index.items():
+                expected = X2 if ref[name] is None else ref[name]
+                assert fast[idx] == expected
+
+    def test_faulty_machine_agrees(self, setup):
+        circuit, view, cv = setup
+        rng = random.Random(9)
+        faults = full_fault_list(circuit)
+        for _ in range(60):
+            assignment = {
+                name: rng.choice([0, 1, None]) for name in view.test_inputs
+            }
+            fault = rng.choice(faults)
+            ref = evaluate(circuit, assignment, fault)
+            fast = cv.evaluate(
+                cv.assignment_values(assignment), cv.compile_fault(fault)
+            )
+            for name, idx in cv.net_index.items():
+                expected = X2 if ref[name] is None else ref[name]
+                assert fast[idx] == expected, (fault, name)
+
+
+class TestFaultPacking:
+    def test_stem_fault(self, setup):
+        _c, _v, cv = setup
+        packed = cv.compile_fault(Fault("pi0", 1))
+        assert packed == (cv.net_index["pi0"], 1, -1, -1)
+
+    def test_branch_fault_names_op_and_pin(self, setup):
+        circuit, _v, cv = setup
+        branch = next(
+            f for f in full_fault_list(circuit) if f.branch is not None
+        )
+        net, stuck, pos, pin = cv.compile_fault(branch)
+        assert net == cv.net_index[branch.net]
+        assert cv.ops[pos][0] == cv.net_index[branch.branch[0]]
+        assert pin == branch.branch[1]
+
+
+class TestCubeSeeding:
+    def test_cube_values(self, setup):
+        _c, view, cv = setup
+        cube = TernaryVector("01X" + "X" * (view.width - 3))
+        seed = cv.cube_values(cube)
+        assert seed[cv.input_indices[0]] == 0
+        assert seed[cv.input_indices[1]] == 1
+        assert seed[cv.input_indices[2]] == X2
+
+    def test_cube_width_checked(self, setup):
+        _c, _v, cv = setup
+        with pytest.raises(ValueError):
+            cv.cube_values(TernaryVector("01"))

@@ -1,0 +1,78 @@
+"""Unit tests for serial fault simulation."""
+
+import pytest
+
+from repro.atpg import fault_simulate, simulate_fault
+from repro.bitstream import TernaryVector
+from repro.circuit import Fault, load_builtin
+from repro.circuit.faults import collapse_faults
+from repro.circuit.simulate import evaluate
+
+
+@pytest.fixture(scope="module")
+def c17():
+    circuit = load_builtin("c17")
+    return circuit, circuit.combinational_view()
+
+
+class TestSimulateFault:
+    def test_known_detection(self, c17):
+        circuit, view = c17
+        # 22 sa0 is detected by any vector producing 22 == 1.
+        assignment = {"1": 1, "2": 1, "3": 1, "6": 1, "7": 1}
+        good = evaluate(circuit, assignment)
+        assert good["22"] == 1
+        assert simulate_fault(view, assignment, good, Fault("22", 0))
+        assert not simulate_fault(view, assignment, good, Fault("22", 1))
+
+    def test_x_blocks_detection(self, c17):
+        circuit, view = c17
+        assignment = {}
+        good = evaluate(circuit, assignment)
+        assert not simulate_fault(view, assignment, good, Fault("22", 0))
+
+
+class TestFaultSimulate:
+    def test_coverage_and_dropping(self, c17):
+        circuit, view = c17
+        faults = collapse_faults(circuit)
+        cubes = [
+            TernaryVector("00000"),
+            TernaryVector("11111"),
+            TernaryVector("01010"),
+            TernaryVector("10101"),
+        ]
+        report = fault_simulate(view, cubes, faults)
+        assert 0.0 < report.coverage < 1.0 or report.coverage == 1.0
+        assert len(report.detected) + len(report.undetected) == len(faults)
+        # First-detection indices must be valid cube positions.
+        assert all(0 <= i < len(cubes) for i in report.detected.values())
+
+    def test_first_detection_index_is_minimal(self, c17):
+        circuit, view = c17
+        fault = Fault("22", 0)
+        detecting = TernaryVector("11111")  # 22 == 1
+        report = fault_simulate(view, [detecting, detecting], [fault])
+        assert report.detected[fault] == 0
+
+    def test_empty_cubes(self, c17):
+        circuit, view = c17
+        faults = collapse_faults(circuit)
+        report = fault_simulate(view, [], faults)
+        assert report.coverage == 0.0
+        assert report.undetected == faults
+
+    def test_empty_faults(self, c17):
+        _circuit, view = c17
+        report = fault_simulate(view, [TernaryVector("00000")], [])
+        assert report.coverage == 0.0
+        assert report.coverage_percent == 0.0
+
+    def test_more_cubes_never_reduce_coverage(self, c17):
+        circuit, view = c17
+        faults = collapse_faults(circuit)
+        one = fault_simulate(view, [TernaryVector("00000")], faults)
+        two = fault_simulate(
+            view, [TernaryVector("00000"), TernaryVector("11111")], faults
+        )
+        assert len(two.detected) >= len(one.detected)

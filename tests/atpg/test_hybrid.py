@@ -1,0 +1,96 @@
+"""Unit tests for the hybrid pseudo-random + deterministic flow."""
+
+import pytest
+
+from repro.atpg import (
+    fault_simulate,
+    generate_tests,
+    hybrid_generate,
+    prpg_patterns,
+)
+from repro.atpg.hybrid import HybridConfig
+from repro.circuit import load_builtin, random_circuit
+from repro.circuit.faults import collapse_faults
+from repro.hardware.misr import STANDARD_POLYNOMIALS
+
+
+class TestPrpgPatterns:
+    def test_shape_and_determinism(self):
+        a = prpg_patterns(12, 5, STANDARD_POLYNOMIALS[16], seed=7)
+        b = prpg_patterns(12, 5, STANDARD_POLYNOMIALS[16], seed=7)
+        assert a == b
+        assert len(a) == 5
+        assert all(len(p) == 12 and p.is_fully_specified for p in a)
+
+    def test_seed_changes_patterns(self):
+        a = prpg_patterns(12, 5, STANDARD_POLYNOMIALS[16], seed=7)
+        b = prpg_patterns(12, 5, STANDARD_POLYNOMIALS[16], seed=9)
+        assert a != b
+
+    def test_patterns_are_consecutive_windows(self):
+        from repro.hardware.misr import LFSR
+
+        width, count = 8, 3
+        patterns = prpg_patterns(width, count, STANDARD_POLYNOMIALS[16], 7)
+        bits = LFSR(STANDARD_POLYNOMIALS[16], seed=7).sequence(width * count)
+        for p, pattern in enumerate(patterns):
+            for i in range(width):
+                assert pattern[i] == bits[p * width + i]
+
+    def test_zero_patterns(self):
+        assert prpg_patterns(8, 0, STANDARD_POLYNOMIALS[16], 7) == []
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridConfig(random_patterns=-1)
+        with pytest.raises(ValueError):
+            HybridConfig(prpg_seed=0)
+
+
+class TestHybridFlow:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        return random_circuit("hy", 12, 12, 120, seed=6)
+
+    @pytest.fixture(scope="class")
+    def result(self, circuit):
+        return hybrid_generate(circuit)
+
+    def test_phases_partition_detection(self, result):
+        assert result.detected == (
+            result.random_detected + result.deterministic_detected
+        )
+        assert result.random_detected > 0
+
+    def test_coverage_close_to_pure_deterministic(self, circuit, result):
+        pure = generate_tests(circuit)
+        assert result.coverage_percent >= pure.coverage_percent - 2.0
+
+    def test_top_up_is_much_smaller(self, circuit, result):
+        pure = generate_tests(circuit)
+        assert len(result.top_up) < len(pure.test_set)
+
+    def test_top_up_keeps_dont_cares(self, result):
+        if len(result.top_up):
+            assert result.top_up.x_density > 0.0
+
+    def test_combined_patterns_reach_claimed_coverage(self, circuit, result):
+        """Fault-simulating random patterns + top-up cubes together must
+        re-detect everything the flow claims."""
+        faults = collapse_faults(circuit)
+        vectors = result.random_patterns + list(result.top_up)
+        report = fault_simulate(circuit.combinational_view(), vectors, faults)
+        assert len(report.detected) >= result.detected
+
+    def test_no_random_phase_degenerates_to_podem(self, circuit):
+        result = hybrid_generate(circuit, HybridConfig(random_patterns=0))
+        assert result.random_detected == 0
+        assert result.deterministic_detected > 0
+
+    def test_c17_fully_covered_by_randoms(self):
+        c17 = load_builtin("c17")
+        result = hybrid_generate(c17, HybridConfig(random_patterns=64))
+        assert result.coverage_percent == 100.0
+        assert len(result.top_up) == 0

@@ -1,0 +1,107 @@
+"""Unit tests for PODEM: hand-checkable cases, brute-force soundness."""
+
+import itertools
+
+import pytest
+
+from repro.atpg import PodemEngine
+from repro.atpg.fastsim import X2, CompiledView
+from repro.circuit import Fault, load_builtin, random_circuit
+from repro.circuit.faults import collapse_faults
+from repro.circuit.simulate import evaluate
+
+
+def _brute_force_detectable(cv, packed):
+    n = len(cv.input_indices)
+    for bits in itertools.product((0, 1), repeat=n):
+        seed = [X2] * cv.n_nets
+        for idx, b in zip(cv.input_indices, bits):
+            seed[idx] = b
+        good = cv.evaluate(list(seed))
+        if cv.detects(good, seed, packed):
+            return True
+    return False
+
+
+class TestC17:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return PodemEngine(load_builtin("c17").combinational_view())
+
+    def test_detects_every_collapsed_fault(self, engine):
+        c17 = load_builtin("c17")
+        for fault in collapse_faults(c17):
+            result = engine.generate(fault)
+            assert result.detected, f"{fault} should be testable in c17"
+
+    def test_cube_actually_detects(self, engine):
+        c17 = load_builtin("c17")
+        view = c17.combinational_view()
+        for fault in collapse_faults(c17):
+            result = engine.generate(fault)
+            assignment = dict(zip(view.test_inputs, result.cube))
+            good = evaluate(c17, assignment)
+            faulty = evaluate(c17, assignment, fault)
+            assert any(
+                good[o] is not None
+                and faulty[o] is not None
+                and good[o] != faulty[o]
+                for o in view.test_outputs
+            ), str(fault)
+
+    def test_cubes_leave_dont_cares(self, engine):
+        # Output stem faults of c17 need few assignments.
+        result = engine.generate(Fault("22", 0))
+        assert result.detected
+        assert result.cube.x_count >= 1
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_verdicts_match_brute_force(self, seed):
+        circuit = random_circuit("p", 5, 3, 30, seed=seed)
+        view = circuit.combinational_view()
+        cv = CompiledView(view)
+        engine = PodemEngine(view, backtrack_limit=5000, compiled=cv)
+        for fault in collapse_faults(circuit):
+            packed = cv.compile_fault(fault)
+            truth = _brute_force_detectable(cv, packed)
+            result = engine.generate(fault)
+            if result.detected:
+                assert truth, f"false detection claim for {fault}"
+                seed_values = cv.cube_values(result.cube)
+                good = cv.evaluate(list(seed_values))
+                assert cv.detects(good, seed_values, packed)
+            elif result.status == "untestable":
+                assert not truth, f"false untestable verdict for {fault}"
+
+
+class TestAbort:
+    def test_abort_respects_limit(self):
+        circuit = random_circuit("hard", 16, 10, 220, seed=5, locality=0.9,
+                                 uniform_fraction=0.0)
+        view = circuit.combinational_view()
+        engine = PodemEngine(view, backtrack_limit=3)
+        statuses = set()
+        for fault in collapse_faults(circuit)[:60]:
+            result = engine.generate(fault)
+            statuses.add(result.status)
+            assert result.backtracks <= 3
+        # With such a tiny limit at least some faults must abort.
+        assert "aborted" in statuses
+
+    def test_invalid_limit(self):
+        view = load_builtin("c17").combinational_view()
+        with pytest.raises(ValueError):
+            PodemEngine(view, backtrack_limit=0)
+
+
+class TestS27:
+    def test_full_scan_coverage(self):
+        s27 = load_builtin("s27")
+        engine = PodemEngine(s27.combinational_view(), backtrack_limit=1000)
+        outcomes = [engine.generate(f) for f in collapse_faults(s27)]
+        detected = sum(1 for r in outcomes if r.detected)
+        aborted = sum(1 for r in outcomes if r.status == "aborted")
+        assert aborted == 0
+        assert detected >= len(outcomes) - 4  # s27 has a couple of redundancies

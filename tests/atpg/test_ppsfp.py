@@ -1,0 +1,94 @@
+"""Unit tests for parallel-pattern fault simulation."""
+
+import random
+
+import pytest
+
+from repro.atpg import fault_simulate, parallel_fault_simulate
+from repro.atpg.fastsim import CompiledView
+from repro.atpg.ppsfp import pack_vectors
+from repro.bitstream import TernaryVector
+from repro.circuit import load_builtin, random_circuit
+from repro.circuit.faults import collapse_faults
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circuit = random_circuit("pp", 8, 6, 70, seed=17)
+    view = circuit.combinational_view()
+    return circuit, view, CompiledView(view)
+
+
+def _random_vectors(view, count, seed):
+    rng = random.Random(seed)
+    return [TernaryVector.random(view.width, 0.0, rng) for _ in range(count)]
+
+
+class TestPacking:
+    def test_bit_positions(self, setup):
+        _c, view, cv = setup
+        v0 = TernaryVector.zeros(view.width)
+        v1 = TernaryVector.from_int((1 << view.width) - 1, view.width)
+        words = pack_vectors(cv, [v0, v1])
+        for net in cv.input_indices:
+            assert words[net] == 0b10  # vector 1 drives ones
+
+    def test_rejects_x(self, setup):
+        _c, view, cv = setup
+        with pytest.raises(ValueError, match="fully specified"):
+            pack_vectors(cv, [TernaryVector.xs(view.width)])
+
+    def test_rejects_wrong_width(self, setup):
+        _c, _view, cv = setup
+        with pytest.raises(ValueError, match="width"):
+            pack_vectors(cv, [TernaryVector("01")])
+
+
+class TestAgreementWithSerial:
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 200])
+    def test_matches_serial_engine(self, setup, batch_size):
+        circuit, view, cv = setup
+        vectors = _random_vectors(view, 40, seed=batch_size)
+        faults = collapse_faults(circuit)
+        serial = fault_simulate(view, vectors, faults)
+        parallel = parallel_fault_simulate(
+            view, vectors, faults, batch_size=batch_size, compiled=cv
+        )
+        assert parallel.detected == serial.detected
+        assert parallel.undetected == serial.undetected
+
+    def test_c17_full_coverage(self):
+        c17 = load_builtin("c17")
+        view = c17.combinational_view()
+        vectors = _random_vectors(view, 32, seed=3)
+        report = parallel_fault_simulate(view, vectors, collapse_faults(c17))
+        assert report.coverage_percent == 100.0
+
+    def test_first_detection_index(self, setup):
+        circuit, view, _cv = setup
+        vectors = _random_vectors(view, 20, seed=9)
+        faults = collapse_faults(circuit)
+        # Duplicate the list: indices must stay in the first copy.
+        report = parallel_fault_simulate(view, vectors + vectors, faults)
+        for fault, index in report.detected.items():
+            assert index < 20, str(fault)
+
+
+class TestEdges:
+    def test_empty_vectors(self, setup):
+        circuit, view, _cv = setup
+        faults = collapse_faults(circuit)
+        report = parallel_fault_simulate(view, [], faults)
+        assert report.detected == {}
+        assert report.undetected == faults
+
+    def test_empty_faults(self, setup):
+        _c, view, _cv = setup
+        vectors = _random_vectors(view, 4, seed=1)
+        report = parallel_fault_simulate(view, vectors, [])
+        assert report.coverage == 0.0
+
+    def test_batch_size_validated(self, setup):
+        _c, view, _cv = setup
+        with pytest.raises(ValueError):
+            parallel_fault_simulate(view, [], [], batch_size=0)

@@ -1,0 +1,40 @@
+"""Unit tests for the shared baseline interface."""
+
+import pytest
+
+from repro.baselines import BaselineResult, LZWCompressorAdapter
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig
+
+
+class TestBaselineResult:
+    def test_ratio(self):
+        result = BaselineResult("T", 100, 40, TernaryVector.zeros(100))
+        assert result.ratio == pytest.approx(0.6)
+        assert result.ratio_percent == pytest.approx(60.0)
+
+    def test_zero_original(self):
+        result = BaselineResult("T", 0, 0, TernaryVector())
+        assert result.ratio == 0.0
+
+    def test_verify(self):
+        original = TernaryVector("0X1")
+        good = BaselineResult("T", 3, 1, TernaryVector("001"))
+        bad = BaselineResult("T", 3, 1, TernaryVector("101"))
+        assert good.verify(original)
+        assert not bad.verify(original)
+
+
+class TestLZWAdapter:
+    def test_name_and_extras(self):
+        config = LZWConfig(char_bits=2, dict_size=16, entry_bits=8)
+        adapter = LZWCompressorAdapter(config)
+        stream = TernaryVector("01X10X1001")
+        result = adapter.compress(stream)
+        assert result.scheme == "LZW"
+        assert result.extra["config"] == config
+        assert result.extra["num_codes"] * config.code_bits == result.compressed_bits
+        assert result.verify(stream)
+
+    def test_default_config(self):
+        assert LZWCompressorAdapter().config == LZWConfig()

@@ -1,0 +1,96 @@
+"""Unit tests for the Golomb run-length baseline."""
+
+import pytest
+
+from repro.baselines import GolombCompressor, GolombConfig
+from repro.baselines.golomb import (
+    _best_m,
+    _zero_runs,
+    decode_golomb,
+    encode_golomb,
+    golomb_size,
+)
+from repro.bitstream import TernaryVector
+
+
+class TestConfig:
+    def test_m_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            GolombConfig(m=3)
+        with pytest.raises(ValueError):
+            GolombConfig(m=1)
+        GolombConfig(m=8)
+
+
+class TestRuns:
+    def test_zero_runs(self):
+        assigned = TernaryVector("00100011")
+        assert _zero_runs(assigned) == [2, 3, 0]
+
+    def test_trailing_zeros_cost_nothing(self):
+        with_tail = TernaryVector("0100000")
+        without = TernaryVector("01")
+        assert _zero_runs(with_tail) == _zero_runs(without)
+
+    def test_all_zeros(self):
+        assert _zero_runs(TernaryVector("0000")) == []
+
+
+class TestSizes:
+    def test_golomb_size_formula(self):
+        # m=4 (k=2): run 7 -> q=1 unary (2 bits: "10") + 2 remainder bits.
+        assert golomb_size([7], 4) == 2 + 2
+        assert golomb_size([0], 4) == 1 + 2
+
+    def test_size_matches_encoding(self):
+        runs = [0, 3, 17, 64, 5]
+        for m in (2, 4, 8, 16):
+            assert len(encode_golomb(runs, m)) == golomb_size(runs, m)
+
+    def test_best_m_is_argmin(self):
+        runs = [40, 42, 39, 41]
+        m, size = _best_m(runs)
+        assert size == min(golomb_size(runs, mm) for mm in (2, 4, 8, 16, 32, 64, 128, 256, 512))
+        assert golomb_size(runs, m) == size
+
+
+class TestCompressor:
+    def test_x_filled_with_zero(self):
+        result = GolombCompressor().compress(TernaryVector("X1XX1X"))
+        assert str(result.assigned_stream) == "010010"
+
+    def test_verify(self):
+        stream = TernaryVector("0X10X00X1")
+        result = GolombCompressor().compress(stream)
+        assert result.verify(stream)
+
+    def test_all_x_costs_nothing(self):
+        result = GolombCompressor().compress(TernaryVector.xs(64))
+        assert result.compressed_bits == 0
+        assert result.ratio == 1.0
+
+    def test_fixed_m_respected(self):
+        stream = TernaryVector("0001" * 16)
+        result = GolombCompressor(GolombConfig(m=4)).compress(stream)
+        assert result.extra["m"] == 4
+
+    def test_ones_counted(self):
+        result = GolombCompressor().compress(TernaryVector("0101X1"))
+        assert result.extra["ones"] == 3
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        stream = TernaryVector("00010X1XX0010000")
+        result = GolombCompressor().compress(stream)
+        m = result.extra["m"]
+        bits = encode_golomb(_zero_runs(result.assigned_stream), m)
+        assert decode_golomb(bits, m, len(stream)) == result.assigned_stream
+
+    def test_one_beyond_length_rejected(self):
+        bits = encode_golomb([5], 4)
+        with pytest.raises(ValueError, match="beyond"):
+            decode_golomb(bits, 4, 5)
+
+    def test_empty_stream(self):
+        assert decode_golomb([], 4, 6) == TernaryVector("000000")

@@ -1,0 +1,95 @@
+"""Unit tests for the selective-Huffman baseline."""
+
+import pytest
+
+from repro.baselines import (
+    HuffmanConfig,
+    SelectiveHuffmanCompressor,
+    build_huffman_codes,
+    decode_selective_huffman,
+)
+from repro.bitstream import TernaryVector
+
+
+class TestHuffmanCodes:
+    def test_empty(self):
+        assert build_huffman_codes({}) == {}
+
+    def test_single_symbol_gets_one_bit(self):
+        assert build_huffman_codes({7: 100}) == {7: (0, 1)}
+
+    def test_two_symbols(self):
+        codes = build_huffman_codes({0: 5, 1: 3})
+        assert sorted(w for _c, w in codes.values()) == [1, 1]
+
+    def test_prefix_free(self):
+        codes = build_huffman_codes({i: 2**i for i in range(6)})
+        entries = [(format(c, f"0{w}b")) for c, w in codes.values()]
+        for a in entries:
+            for b in entries:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_kraft_equality(self):
+        codes = build_huffman_codes({i: i + 1 for i in range(9)})
+        assert sum(2.0 ** -w for _c, w in codes.values()) == pytest.approx(1.0)
+
+    def test_frequent_symbols_get_short_codes(self):
+        codes = build_huffman_codes({0: 1000, 1: 1, 2: 1, 3: 1})
+        assert codes[0][1] <= min(codes[s][1] for s in (1, 2, 3))
+
+    def test_deterministic(self):
+        freq = {3: 4, 1: 4, 2: 4, 0: 4}
+        assert build_huffman_codes(freq) == build_huffman_codes(dict(freq))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HuffmanConfig(block_bits=0)
+        with pytest.raises(ValueError):
+            HuffmanConfig(coded_patterns=0)
+
+
+class TestCompressor:
+    def test_repetitive_blocks_compress(self):
+        stream = TernaryVector("10110100" * 40)
+        config = HuffmanConfig(block_bits=8, coded_patterns=4)
+        result = SelectiveHuffmanCompressor(config).compress(stream)
+        assert result.ratio > 0.5
+        assert result.verify(stream)
+
+    def test_x_blocks_merge_onto_popular_patterns(self):
+        # Specified blocks are all 1010; X blocks should collapse onto it.
+        stream = TernaryVector(("1010" + "XXXX") * 20)
+        config = HuffmanConfig(block_bits=4, coded_patterns=2)
+        result = SelectiveHuffmanCompressor(config).compress(stream)
+        assert result.extra["distinct_patterns"] == 1
+        assert result.verify(stream)
+
+    def test_uncoded_blocks_ship_raw(self):
+        # 17 distinct blocks, only 1 coded: raw blocks cost 1 + b bits.
+        config = HuffmanConfig(block_bits=8, coded_patterns=1)
+        stream = TernaryVector.from_int(0, 8)
+        for i in range(1, 17):
+            stream = stream + TernaryVector.from_int(i, 8)
+        result = SelectiveHuffmanCompressor(config).compress(stream)
+        assert result.verify(stream)
+        assert result.compressed_bits >= 16 * 9
+
+    def test_decode_roundtrip(self):
+        stream = TernaryVector("011X10X0" * 25)
+        config = HuffmanConfig(block_bits=8, coded_patterns=4)
+        result = SelectiveHuffmanCompressor(config).compress(stream)
+        decoded = decode_selective_huffman(
+            result.extra["bits"], result.extra["codes"], config, len(stream)
+        )
+        assert decoded == result.assigned_stream
+
+    def test_table_bits_reported(self):
+        stream = TernaryVector("0101" * 10)
+        config = HuffmanConfig(block_bits=4, coded_patterns=8)
+        result = SelectiveHuffmanCompressor(config).compress(stream)
+        assert result.extra["decoder_table_bits"] == (
+            result.extra["coded_patterns"] * 4
+        )

@@ -1,0 +1,115 @@
+"""Unit tests for the X-aware LZ77/LZSS baseline."""
+
+import pytest
+
+from repro.baselines import LZ77Compressor, LZ77Config, decode_lz77
+from repro.baselines.lz77 import encode_tokens
+from repro.bitstream import TernaryVector
+
+SMALL = LZ77Config(offset_bits=4, length_bits=3)
+
+
+class TestConfig:
+    def test_derived(self):
+        assert SMALL.window == 16
+        assert SMALL.max_length == 8
+        assert SMALL.match_token_bits == 8
+        assert SMALL.effective_min_match == 9
+
+    def test_explicit_min_match(self):
+        config = LZ77Config(offset_bits=4, length_bits=3, min_match=4)
+        assert config.effective_min_match == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LZ77Config(offset_bits=0)
+        with pytest.raises(ValueError):
+            LZ77Config(search_budget=0)
+        with pytest.raises(ValueError):
+            LZ77Config(min_match=-1)
+
+
+class TestTokenization:
+    def test_all_literals_when_no_history(self):
+        result = LZ77Compressor(SMALL).compress(TernaryVector("0101"))
+        assert result.extra["matches"] == 0
+        assert result.compressed_bits == 4 * 2  # flag + bit each
+
+    def test_repetition_produces_matches(self):
+        stream = TernaryVector("0110" * 16)
+        result = LZ77Compressor(LZ77Config(offset_bits=4, length_bits=4)).compress(
+            stream
+        )
+        assert result.extra["matches"] >= 1
+        assert result.compressed_bits < 2 * len(stream)
+
+    def test_x_matches_anything(self):
+        # history 0101 then XXXX: the Xs copy the history.
+        stream = TernaryVector("0101" + "X" * 12)
+        config = LZ77Config(offset_bits=3, length_bits=4)
+        result = LZ77Compressor(config).compress(stream)
+        assert result.extra["matches"] >= 1
+        assert result.verify(stream)
+
+    def test_literal_x_defaults_to_zero(self):
+        result = LZ77Compressor(SMALL).compress(TernaryVector("X1"))
+        assert str(result.assigned_stream) == "01"
+
+    def test_self_overlapping_match(self):
+        # 0 then many 0s: a distance-1 match longer than the history.
+        stream = TernaryVector("0" * 20)
+        config = LZ77Config(offset_bits=4, length_bits=4, min_match=3)
+        result = LZ77Compressor(config).compress(stream)
+        assert result.verify(stream)
+        assert result.extra["matches"] >= 1
+
+
+class TestEncoding:
+    def test_token_bits(self):
+        bits = encode_tokens([("lit", 1), ("match", 3, 5)], SMALL)
+        assert len(bits) == 2 + 8
+        assert bits[:2] == [0, 1]
+        assert bits[2] == 1  # match flag
+
+    def test_encode_range_checks(self):
+        with pytest.raises(ValueError, match="distance"):
+            encode_tokens([("match", 17, 2)], SMALL)
+        with pytest.raises(ValueError, match="length"):
+            encode_tokens([("match", 1, 9)], SMALL)
+
+
+class TestDecoding:
+    def test_roundtrip(self):
+        stream = TernaryVector("0110X01X10110XX10101")
+        config = LZ77Config(offset_bits=4, length_bits=3)
+        result = LZ77Compressor(config).compress(stream)
+        bits = encode_tokens(result.extra["token_list"], config)
+        assert decode_lz77(bits, config, len(stream)) == result.assigned_stream
+
+    def test_bad_distance_rejected(self):
+        bits = encode_tokens([("match", 5, 2)], SMALL)
+        with pytest.raises(ValueError, match="before stream start"):
+            decode_lz77(bits, SMALL, 2)
+
+    def test_exact_length_required(self):
+        bits = encode_tokens([("lit", 0)], SMALL)
+        with pytest.raises(EOFError):
+            decode_lz77(bits, SMALL, 5)
+
+
+class TestBudget:
+    def test_tiny_budget_still_correct(self):
+        stream = TernaryVector("01X0" * 30)
+        config = LZ77Config(offset_bits=5, length_bits=4, search_budget=2)
+        result = LZ77Compressor(config).compress(stream)
+        assert result.verify(stream)
+
+    def test_larger_budget_never_worse(self):
+        stream = TernaryVector("0110X10" * 40)
+        small = LZ77Compressor(
+            LZ77Config(offset_bits=6, length_bits=4, search_budget=8)
+        ).compress(stream)
+        large = LZ77Compressor(
+            LZ77Config(offset_bits=6, length_bits=4, search_budget=10_000)
+        ).compress(stream)
+        assert large.compressed_bits <= small.compressed_bits

@@ -1,0 +1,77 @@
+"""Unit tests for the fixed-width RLE baseline."""
+
+import pytest
+
+from repro.baselines import AlternatingRLECompressor, RLEConfig, decode_rle
+from repro.baselines.rle import _runs, encode_rle
+from repro.bitstream import TernaryVector
+
+
+class TestRuns:
+    def test_alternating(self):
+        assert _runs(TernaryVector("00111 0".replace(" ", ""))) == [
+            (0, 2),
+            (1, 3),
+            (0, 1),
+        ]
+
+    def test_empty(self):
+        assert _runs(TernaryVector("")) == []
+
+    def test_single_run(self):
+        assert _runs(TernaryVector("1111")) == [(1, 4)]
+
+
+class TestEncode:
+    def test_token_layout(self):
+        config = RLEConfig(length_bits=3)
+        bits = encode_rle([(1, 3)], config)
+        assert bits == [1, 0, 1, 0]  # value 1, length field 2 (=3-1)
+
+    def test_long_run_splits(self):
+        config = RLEConfig(length_bits=2)  # max 4 per token
+        bits = encode_rle([(0, 9)], config)
+        # 4 + 4 + 1 -> three tokens of 3 bits.
+        assert len(bits) == 9
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            encode_rle([(0, 0)], RLEConfig())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RLEConfig(length_bits=0)
+
+
+class TestCompressor:
+    def test_repeat_fill_maximises_runs(self):
+        result = AlternatingRLECompressor().compress(TernaryVector("1XX0XX"))
+        assert str(result.assigned_stream) == "111000"
+
+    def test_verify(self):
+        stream = TernaryVector("0011XX00X1")
+        result = AlternatingRLECompressor().compress(stream)
+        assert result.verify(stream)
+
+    def test_compresses_long_runs(self):
+        stream = TernaryVector("0" * 200 + "1" * 56)
+        result = AlternatingRLECompressor().compress(stream)
+        assert result.ratio > 0.9
+
+
+class TestDecode:
+    def test_roundtrip(self):
+        config = RLEConfig(length_bits=3)
+        stream = TernaryVector("000111X0110000XXX1")
+        result = AlternatingRLECompressor(config).compress(stream)
+        bits = encode_rle(_runs(result.assigned_stream), config)
+        assert decode_rle(bits, config, len(stream)) == result.assigned_stream
+
+    def test_overflow_rejected(self):
+        config = RLEConfig(length_bits=3)
+        bits = encode_rle([(1, 6)], config)
+        with pytest.raises(ValueError, match="overflows"):
+            decode_rle(bits, config, 3)
+
+    def test_empty(self):
+        assert decode_rle([], RLEConfig(), 0) == TernaryVector("")

@@ -1,0 +1,114 @@
+"""Unit tests for BitWriter / BitReader."""
+
+import pytest
+
+from repro.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_write_msb_first(self):
+        w = BitWriter()
+        w.write(0b1011, 4)
+        assert w.getbits() == [1, 0, 1, 1]
+
+    def test_write_zero_width(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.bit_length == 0
+
+    def test_write_value_too_wide(self):
+        w = BitWriter()
+        with pytest.raises(ValueError, match="does not fit"):
+            w.write(4, 2)
+
+    def test_write_negative(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(-1, 4)
+        with pytest.raises(ValueError):
+            w.write(1, -1)
+
+    def test_write_bit_validates(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bit(2)
+
+    def test_write_unary(self):
+        w = BitWriter()
+        w.write_unary(3, stop_bit=0)
+        assert w.getbits() == [1, 1, 1, 0]
+
+    def test_write_unary_inverted_stop(self):
+        w = BitWriter()
+        w.write_unary(2, stop_bit=1)
+        assert w.getbits() == [0, 0, 1]
+
+    def test_write_unary_negative(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_unary(-1)
+
+    def test_getbits_returns_copy(self):
+        w = BitWriter()
+        w.write_bit(1)
+        bits = w.getbits()
+        bits.append(0)
+        assert w.bit_length == 1
+
+    def test_to_bytes_pads_with_zeros(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        assert w.to_bytes() == bytes([0b10100000])
+
+    def test_to_bytes_exact_byte(self):
+        w = BitWriter()
+        w.write(0xAB, 8)
+        assert w.to_bytes() == b"\xab"
+
+
+class TestBitReader:
+    def test_read_msb_first(self):
+        r = BitReader([1, 0, 1, 1])
+        assert r.read(4) == 0b1011
+
+    def test_read_partial(self):
+        r = BitReader([1, 0, 1])
+        assert r.read(2) == 0b10
+        assert r.remaining == 1
+        assert not r.exhausted
+        assert r.read_bit() == 1
+        assert r.exhausted
+
+    def test_read_past_end(self):
+        r = BitReader([1])
+        with pytest.raises(EOFError):
+            r.read(2)
+
+    def test_read_negative_width(self):
+        with pytest.raises(ValueError):
+            BitReader([1]).read(-1)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader([0, 2])
+
+    def test_read_unary(self):
+        r = BitReader([1, 1, 0, 0])
+        assert r.read_unary(stop_bit=0) == 2
+        assert r.read_unary(stop_bit=0) == 0
+
+    def test_from_bytes(self):
+        r = BitReader.from_bytes(b"\xf0", 8)
+        assert r.read(4) == 0xF
+        assert r.read(4) == 0x0
+
+    def test_from_bytes_partial(self):
+        r = BitReader.from_bytes(b"\xa0", 3)
+        assert r.read(3) == 0b101
+
+    def test_from_bytes_too_long(self):
+        with pytest.raises(ValueError):
+            BitReader.from_bytes(b"\x00", 9)
+
+    def test_zero_width_read(self):
+        r = BitReader([])
+        assert r.read(0) == 0

@@ -1,0 +1,49 @@
+"""Unit tests for stream-to-character chunking."""
+
+import pytest
+
+from repro.bitstream import (
+    TernaryVector,
+    from_characters,
+    pad_length,
+    to_characters,
+)
+
+
+def test_pad_length():
+    assert pad_length(10, 5) == 0
+    assert pad_length(11, 5) == 4
+    assert pad_length(0, 7) == 0
+
+
+def test_pad_length_invalid():
+    with pytest.raises(ValueError):
+        pad_length(10, 0)
+
+
+def test_exact_multiple():
+    chars = to_characters(TernaryVector("010111"), 3)
+    assert [str(c) for c in chars] == ["010", "111"]
+
+
+def test_padding_is_x():
+    chars = to_characters(TernaryVector("0101"), 3)
+    assert [str(c) for c in chars] == ["010", "1XX"]
+
+
+def test_empty_stream():
+    assert to_characters(TernaryVector(), 4) == []
+
+
+def test_from_characters_inverse():
+    stream = TernaryVector("01X10X1")
+    chars = to_characters(stream, 4)
+    joined = from_characters(chars)
+    assert joined[: len(stream)] == stream
+    assert len(joined) == 8
+
+
+def test_single_wide_char():
+    chars = to_characters(TernaryVector("01"), 8)
+    assert len(chars) == 1
+    assert str(chars[0]) == "01XXXXXX"

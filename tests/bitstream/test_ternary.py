@@ -1,0 +1,212 @@
+"""Unit tests for TernaryVector."""
+
+import random
+
+import pytest
+
+from repro.bitstream import TernaryVector, X
+
+
+class TestConstruction:
+    def test_empty(self):
+        v = TernaryVector()
+        assert len(v) == 0
+        assert str(v) == ""
+        assert v.is_fully_specified  # vacuously
+
+    def test_from_string(self):
+        v = TernaryVector("01X")
+        assert v[0] == 0
+        assert v[1] == 1
+        assert v[2] is X
+
+    def test_from_string_aliases(self):
+        assert TernaryVector("x-X") == TernaryVector("XXX")
+
+    def test_from_iterable(self):
+        v = TernaryVector([0, 1, None, 1])
+        assert str(v) == "01X1"
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError, match="invalid ternary"):
+            TernaryVector("012")
+
+    def test_invalid_bit_value(self):
+        with pytest.raises(ValueError, match="must be 0, 1 or X"):
+            TernaryVector([0, 2])
+
+    def test_from_masks_normalises_value(self):
+        v = TernaryVector.from_masks(value=0b111, care=0b101, length=3)
+        assert str(v) == "1X1"
+        assert v.value_mask == 0b101
+
+    def test_from_masks_truncates(self):
+        v = TernaryVector.from_masks(value=0b1111, care=0b1111, length=2)
+        assert len(v) == 2
+        assert v.value_mask == 0b11
+
+    def test_from_masks_negative_length(self):
+        with pytest.raises(ValueError):
+            TernaryVector.from_masks(0, 0, -1)
+
+    def test_from_int(self):
+        v = TernaryVector.from_int(0b101, 4)
+        assert str(v) == "1010"  # LSB-first display order
+
+    def test_from_int_too_small_width(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            TernaryVector.from_int(8, 3)
+
+    def test_from_int_negative(self):
+        with pytest.raises(ValueError):
+            TernaryVector.from_int(-1, 3)
+
+    def test_zeros_and_xs(self):
+        assert str(TernaryVector.zeros(3)) == "000"
+        assert str(TernaryVector.xs(3)) == "XXX"
+
+    def test_random_density(self):
+        rng = random.Random(0)
+        v = TernaryVector.random(5000, x_density=0.7, rng=rng)
+        assert len(v) == 5000
+        assert 0.65 < v.x_density < 0.75
+
+    def test_random_extremes(self):
+        rng = random.Random(0)
+        assert TernaryVector.random(50, 0.0, rng).is_fully_specified
+        assert TernaryVector.random(50, 1.0, rng).x_count == 50
+
+    def test_random_invalid_density(self):
+        with pytest.raises(ValueError):
+            TernaryVector.random(10, 1.5)
+
+
+class TestSequenceProtocol:
+    def test_getitem_negative(self):
+        v = TernaryVector("01X")
+        assert v[-1] is X
+        assert v[-3] == 0
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            TernaryVector("01")[2]
+
+    def test_slice_basic(self):
+        v = TernaryVector("01X10")
+        assert str(v[1:4]) == "1X1"
+
+    def test_slice_step(self):
+        v = TernaryVector("01X10")
+        assert str(v[::2]) == "0X0"
+
+    def test_slice_empty(self):
+        assert len(TernaryVector("01")[2:]) == 0
+
+    def test_iteration(self):
+        assert list(TernaryVector("1X0")) == [1, None, 0]
+
+    def test_concat(self):
+        assert str(TernaryVector("01") + TernaryVector("X1")) == "01X1"
+
+    def test_concat_all(self):
+        parts = [TernaryVector("0"), TernaryVector("1X"), TernaryVector("")]
+        assert str(TernaryVector.concat_all(parts)) == "01X"
+
+    def test_add_non_vector(self):
+        with pytest.raises(TypeError):
+            TernaryVector("0") + "1"
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a, b = TernaryVector("0X1"), TernaryVector("0X1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_x_and_zero_differ(self):
+        assert TernaryVector("0") != TernaryVector("X")
+
+    def test_length_matters(self):
+        assert TernaryVector("0") != TernaryVector("00")
+
+    def test_repr_truncates(self):
+        long = TernaryVector.zeros(100)
+        assert "..." in repr(long)
+        assert "..." not in repr(TernaryVector("01X"))
+
+
+class TestRelations:
+    def test_compatible_basic(self):
+        assert TernaryVector("0X1").compatible(TernaryVector("0X1"))
+        assert TernaryVector("0X1").compatible(TernaryVector("001"))
+        assert not TernaryVector("0X1").compatible(TernaryVector("1X1"))
+
+    def test_compatible_different_lengths(self):
+        assert not TernaryVector("0").compatible(TernaryVector("01"))
+
+    def test_covers(self):
+        full = TernaryVector("011")
+        assert full.covers(TernaryVector("0X1"))
+        assert full.covers(TernaryVector("XXX"))
+        assert not full.covers(TernaryVector("001"))
+
+    def test_covers_requires_superset_of_care(self):
+        assert not TernaryVector("0XX").covers(TernaryVector("011"))
+
+    def test_covers_different_lengths(self):
+        assert not TernaryVector("01").covers(TernaryVector("0"))
+
+    def test_merge(self):
+        merged = TernaryVector("0XX").merge(TernaryVector("X1X"))
+        assert str(merged) == "01X"
+
+    def test_merge_incompatible(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            TernaryVector("0").merge(TernaryVector("1"))
+
+
+class TestFills:
+    def test_fill_zero_one(self):
+        v = TernaryVector("0X1X")
+        assert str(v.fill(0)) == "0010"
+        assert str(v.fill(1)) == "0111"
+
+    def test_fill_invalid(self):
+        with pytest.raises(ValueError):
+            TernaryVector("X").fill(2)
+
+    def test_fill_repeat_last(self):
+        assert str(TernaryVector("1XX0X").fill_repeat_last()) == "11100"
+
+    def test_fill_repeat_last_initial(self):
+        assert str(TernaryVector("XX1").fill_repeat_last(initial=1)) == "111"
+        assert str(TernaryVector("XX1").fill_repeat_last(initial=0)) == "001"
+
+    def test_fill_random_deterministic(self):
+        v = TernaryVector("X" * 64)
+        a = v.fill_random(random.Random(7))
+        b = v.fill_random(random.Random(7))
+        assert a == b
+        assert a.is_fully_specified
+
+    def test_to_int(self):
+        assert TernaryVector("101").to_int() == 0b101
+
+    def test_to_int_with_x(self):
+        with pytest.raises(ValueError, match="contains X"):
+            TernaryVector("1X").to_int()
+
+
+class TestStats:
+    def test_densities(self):
+        v = TernaryVector("0X1X")
+        assert v.care_count == 2
+        assert v.x_count == 2
+        assert v.x_density == 0.5
+
+    def test_empty_density(self):
+        assert TernaryVector().x_density == 0.0
+
+    def test_chunks_invalid_width(self):
+        with pytest.raises(ValueError):
+            TernaryVector("01").chunks(0)

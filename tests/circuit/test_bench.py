@@ -1,0 +1,84 @@
+"""Unit tests for the .bench parser/writer."""
+
+import pytest
+
+from repro.circuit import (
+    BUILTIN_CIRCUITS,
+    CircuitError,
+    GateType,
+    load_builtin,
+    parse_bench,
+    write_bench,
+)
+
+
+class TestParse:
+    def test_c17(self):
+        c = load_builtin("c17")
+        assert len(c.inputs) == 5
+        assert len(c.outputs) == 2
+        assert c.gate_count() == 6
+        assert all(
+            g.gate_type in (GateType.INPUT, GateType.NAND)
+            for g in c.gates.values()
+        )
+
+    def test_s27(self):
+        c = load_builtin("s27")
+        assert len(c.inputs) == 4
+        assert len(c.flops) == 3
+        assert c.is_sequential
+        view = c.combinational_view()
+        assert view.width == 7
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ValueError, match="unknown builtin"):
+            load_builtin("c6288")
+
+    def test_comments_and_blanks(self):
+        text = """
+        # a comment
+        INPUT(a)
+
+        OUTPUT(n)
+        n = NOT(a)  # trailing comment
+        """
+        c = parse_bench(text)
+        assert c.inputs == ["a"]
+
+    def test_aliases(self):
+        text = "INPUT(a)\nOUTPUT(n)\nm = INV(a)\nn = BUF(m)\n"
+        c = parse_bench(text)
+        assert c.gates["m"].gate_type == GateType.NOT
+        assert c.gates["n"].gate_type == GateType.BUFF
+
+    def test_single_input_and_becomes_buffer(self):
+        text = "INPUT(a)\nOUTPUT(n)\nn = AND(a)\n"
+        c = parse_bench(text)
+        assert c.gates["n"].gate_type == GateType.BUFF
+
+    def test_unparseable_line(self):
+        with pytest.raises(CircuitError, match="unparseable"):
+            parse_bench("INPUT(a)\nwhat is this\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError, match="unknown gate type"):
+            parse_bench("INPUT(a)\nINPUT(b)\nn = MUX21(a, b)\n")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(CircuitError, match=":3:"):
+            parse_bench("INPUT(a)\n\n???\n", name="t")
+
+
+class TestWrite:
+    @pytest.mark.parametrize("name", BUILTIN_CIRCUITS)
+    def test_roundtrip(self, name):
+        original = load_builtin(name)
+        text = write_bench(original)
+        back = parse_bench(text, name=name)
+        assert back.inputs == original.inputs
+        assert list(back.outputs) == list(original.outputs)
+        assert set(back.gates) == set(original.gates)
+        for net, gate in original.gates.items():
+            assert back.gates[net].gate_type == gate.gate_type
+            assert back.gates[net].fanins == gate.fanins

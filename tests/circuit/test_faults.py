@@ -1,0 +1,108 @@
+"""Unit tests for the fault universe and equivalence collapsing."""
+
+from repro.circuit import (
+    Circuit,
+    Fault,
+    Gate,
+    GateType,
+    collapse_faults,
+    full_fault_list,
+    load_builtin,
+)
+
+
+def _inverter_chain():
+    gates = [
+        Gate("a", GateType.INPUT),
+        Gate("n1", GateType.NOT, ("a",)),
+        Gate("n2", GateType.NOT, ("n1",)),
+    ]
+    return Circuit("chain", gates, ["n2"])
+
+
+class TestFaultModel:
+    def test_str_forms(self):
+        assert str(Fault("a", 0)) == "a sa0"
+        assert str(Fault("a", 1, branch=("g", 2))) == "a->g.2 sa1"
+
+    def test_sort_key_orders_stems_before_branches(self):
+        stem = Fault("a", 1)
+        branch = Fault("a", 0, branch=("g", 0))
+        assert stem.sort_key < branch.sort_key
+
+
+class TestFullList:
+    def test_stem_faults_for_every_net(self):
+        faults = full_fault_list(_inverter_chain())
+        stems = {(f.net, f.stuck) for f in faults if f.branch is None}
+        assert stems == {(n, v) for n in ("a", "n1", "n2") for v in (0, 1)}
+
+    def test_branch_faults_only_at_fanout(self):
+        # No fanout > 1 here: no branch faults.
+        faults = full_fault_list(_inverter_chain())
+        assert all(f.branch is None for f in faults)
+
+    def test_fanout_creates_branches(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("y1", GateType.BUFF, ("a",)),
+            Gate("y2", GateType.BUFF, ("a",)),
+        ]
+        c = Circuit("fan", gates, ["y1", "y2"])
+        branches = [f for f in full_fault_list(c) if f.branch is not None]
+        assert len(branches) == 4  # 2 pins x 2 polarities
+
+    def test_dff_pins_carry_no_branch_faults(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("q", GateType.DFF, ("n",)),
+            Gate("n", GateType.NOT, ("a",)),
+            Gate("m", GateType.BUFF, ("n",)),
+        ]
+        c = Circuit("seq", gates, ["m"])
+        branches = [f for f in full_fault_list(c) if f.branch is not None]
+        # n fans out to q (DFF) and m: only the m pin gets branch faults.
+        assert {f.branch[0] for f in branches} == {"m"}
+
+
+class TestCollapse:
+    def test_inverter_chain_collapses_hard(self):
+        # a sa0 = n1 sa1 = n2 sa0; a sa1 = n1 sa0 = n2 sa1 -> 2 classes.
+        collapsed = collapse_faults(_inverter_chain())
+        assert len(collapsed) == 2
+
+    def test_and_gate_rules(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("b", GateType.INPUT),
+            Gate("y", GateType.AND, ("a", "b")),
+        ]
+        c = Circuit("and", gates, ["y"])
+        # Universe: 6 stems. a sa0 = b sa0 = y sa0 -> 6 - 2 = 4 classes.
+        collapsed = collapse_faults(c)
+        assert len(collapsed) == 4
+
+    def test_xor_collapses_nothing(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("b", GateType.INPUT),
+            Gate("y", GateType.XOR, ("a", "b")),
+        ]
+        collapsed = collapse_faults(Circuit("xor", gates, ["y"]))
+        assert len(collapsed) == 6
+
+    def test_c17_collapse_count(self):
+        c17 = load_builtin("c17")
+        assert len(full_fault_list(c17)) == 34
+        assert len(collapse_faults(c17)) == 22
+
+    def test_collapsed_is_subset_and_sorted(self):
+        c = load_builtin("s27")
+        full = set(full_fault_list(c))
+        collapsed = collapse_faults(c)
+        assert set(collapsed) <= full
+        assert collapsed == sorted(collapsed, key=lambda f: f.sort_key)
+
+    def test_deterministic(self):
+        c = load_builtin("s27")
+        assert collapse_faults(c) == collapse_faults(c)

@@ -1,0 +1,123 @@
+"""Unit tests for the netlist representation."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, Gate, GateType
+
+
+def _simple():
+    gates = [
+        Gate("a", GateType.INPUT),
+        Gate("b", GateType.INPUT),
+        Gate("n1", GateType.AND, ("a", "b")),
+        Gate("n2", GateType.NOT, ("n1",)),
+    ]
+    return Circuit("simple", gates, ["n2"])
+
+
+class TestGate:
+    def test_input_cannot_have_fanins(self):
+        with pytest.raises(CircuitError):
+            Gate("a", GateType.INPUT, ("b",))
+
+    def test_unary_arity(self):
+        with pytest.raises(CircuitError):
+            Gate("n", GateType.NOT, ("a", "b"))
+        with pytest.raises(CircuitError):
+            Gate("n", GateType.DFF, ())
+
+    def test_binary_arity(self):
+        with pytest.raises(CircuitError):
+            Gate("n", GateType.AND, ("a",))
+
+    def test_unknown_type(self):
+        with pytest.raises(CircuitError, match="unknown gate type"):
+            Gate("n", "MAJORITY", ("a", "b"))
+
+
+class TestCircuit:
+    def test_basic_properties(self):
+        c = _simple()
+        assert c.inputs == ["a", "b"]
+        assert c.flops == []
+        assert not c.is_sequential
+        assert c.gate_count() == 2
+        assert c.outputs == ("n2",)
+
+    def test_duplicate_driver_rejected(self):
+        gates = [Gate("a", GateType.INPUT), Gate("a", GateType.INPUT)]
+        with pytest.raises(CircuitError, match="driven twice"):
+            Circuit("dup", gates, [])
+
+    def test_undefined_fanin_rejected(self):
+        gates = [Gate("n", GateType.NOT, ("ghost",))]
+        with pytest.raises(CircuitError, match="undefined net"):
+            Circuit("bad", gates, [])
+
+    def test_undefined_output_rejected(self):
+        gates = [Gate("a", GateType.INPUT)]
+        with pytest.raises(CircuitError, match="undefined primary output"):
+            Circuit("bad", gates, ["ghost"])
+
+    def test_combinational_cycle_rejected(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("x", GateType.AND, ("a", "y")),
+            Gate("y", GateType.NOT, ("x",)),
+        ]
+        with pytest.raises(CircuitError, match="cycle"):
+            Circuit("loop", gates, ["y"])
+
+    def test_dff_breaks_cycles(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("q", GateType.DFF, ("x",)),
+            Gate("x", GateType.AND, ("a", "q")),
+        ]
+        c = Circuit("seq", gates, ["x"])
+        assert c.is_sequential
+        assert c.flops == ["q"]
+
+    def test_topological_order(self):
+        order = _simple().topological_order()
+        assert order.index("n1") > order.index("a")
+        assert order.index("n2") > order.index("n1")
+        assert len(order) == 4
+
+    def test_fanouts(self):
+        fan = _simple().fanouts()
+        assert fan["a"] == ["n1"]
+        assert fan["n1"] == ["n2"]
+        assert fan["n2"] == []
+
+    def test_gate_count_with_flops(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("q", GateType.DFF, ("n",)),
+            Gate("n", GateType.NOT, ("a",)),
+        ]
+        c = Circuit("g", gates, ["n"])
+        assert c.gate_count(combinational_only=True) == 1
+        assert c.gate_count(combinational_only=False) == 2
+
+
+class TestCombinationalView:
+    def test_full_scan_mapping(self):
+        gates = [
+            Gate("pi", GateType.INPUT),
+            Gate("q0", GateType.DFF, ("d0",)),
+            Gate("d0", GateType.NOT, ("pi",)),
+            Gate("po", GateType.AND, ("pi", "q0")),
+        ]
+        view = Circuit("v", gates, ["po"]).combinational_view()
+        assert view.primary_inputs == ["pi"]
+        assert view.pseudo_inputs == ["q0"]
+        assert view.pseudo_outputs == ["d0"]
+        assert view.test_inputs == ["pi", "q0"]
+        assert view.test_outputs == ["po", "d0"]
+        assert view.width == 2
+
+    def test_combinational_circuit_view(self):
+        view = _simple().combinational_view()
+        assert view.pseudo_inputs == []
+        assert view.test_inputs == ["a", "b"]

@@ -1,0 +1,78 @@
+"""Unit tests for scan chains and test sets."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.circuit import ScanChain, TestSet, load_builtin
+
+
+class TestScanChain:
+    def test_basic(self):
+        chain = ScanChain("ch", ["s0", "s1", "s2"])
+        assert chain.length == 3
+        assert chain.shift_order() == ["s2", "s1", "s0"]
+
+    def test_load(self):
+        chain = ScanChain("ch", ["s0", "s1"])
+        assert chain.load(TernaryVector("1X")) == {"s0": 1, "s1": None}
+
+    def test_load_width_checked(self):
+        with pytest.raises(ValueError):
+            ScanChain("ch", ["s0"]).load(TernaryVector("10"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanChain("ch", [])
+        with pytest.raises(ValueError):
+            ScanChain("ch", ["a", "a"])
+
+
+class TestTestSet:
+    def test_append_and_stats(self):
+        ts = TestSet(["a", "b", "c", "d"])
+        ts.append(TernaryVector("01XX"))
+        ts.append(TernaryVector("XXXX"))
+        assert len(ts) == 2
+        assert ts.width == 4
+        assert ts.total_bits == 8
+        assert ts.x_density == pytest.approx(6 / 8)
+        assert ts.x_density_percent == pytest.approx(75.0)
+
+    def test_empty_density(self):
+        assert TestSet(["a"]).x_density == 0.0
+
+    def test_width_enforced(self):
+        ts = TestSet(["a", "b"])
+        with pytest.raises(ValueError, match="width"):
+            ts.append(TernaryVector("0"))
+
+    def test_stream_roundtrip(self):
+        cubes = [TernaryVector("01X"), TernaryVector("X10")]
+        ts = TestSet(["a", "b", "c"], cubes)
+        stream = ts.to_stream()
+        assert str(stream) == "01XX10"
+        back = TestSet.from_stream(stream, ["a", "b", "c"])
+        assert back.cubes == cubes
+
+    def test_from_stream_validates(self):
+        with pytest.raises(ValueError):
+            TestSet.from_stream(TernaryVector("01X"), ["a", "b"])
+
+    def test_assignment(self):
+        ts = TestSet(["a", "b"], [TernaryVector("1X")])
+        assert ts.assignment(0) == {"a": 1, "b": None}
+
+    def test_for_view(self):
+        view = load_builtin("s27").combinational_view()
+        ts = TestSet.for_view(view)
+        assert ts.input_names == view.test_inputs
+        assert ts.width == 7
+
+    def test_summary_mentions_the_key_numbers(self):
+        ts = TestSet(["a", "b"], [TernaryVector("0X")], name="demo")
+        s = ts.summary()
+        assert "demo" in s and "1 vectors" in s and "2 bits" in s
+
+    def test_iteration(self):
+        cubes = [TernaryVector("0"), TernaryVector("1")]
+        assert list(TestSet(["a"], cubes)) == cubes

@@ -1,0 +1,124 @@
+"""Unit tests for the 3-valued simulator and fault injection."""
+
+import itertools
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.circuit import (
+    Circuit,
+    Fault,
+    Gate,
+    GateType,
+    evaluate,
+    load_builtin,
+    outputs_of,
+    simulate_cube,
+)
+
+
+def _one_gate(gate_type, arity=2):
+    names = ["a", "b", "c"][:arity]
+    gates = [Gate(n, GateType.INPUT) for n in names]
+    gates.append(Gate("y", gate_type, tuple(names)))
+    return Circuit("g", gates, ["y"])
+
+
+TRUTH = {
+    GateType.AND: lambda vs: int(all(vs)),
+    GateType.NAND: lambda vs: int(not all(vs)),
+    GateType.OR: lambda vs: int(any(vs)),
+    GateType.NOR: lambda vs: int(not any(vs)),
+    GateType.XOR: lambda vs: vs[0] ^ vs[1],
+    GateType.XNOR: lambda vs: 1 - (vs[0] ^ vs[1]),
+}
+
+
+@pytest.mark.parametrize("gate_type", sorted(TRUTH))
+def test_binary_truth_tables(gate_type):
+    c = _one_gate(gate_type)
+    for a, b in itertools.product((0, 1), repeat=2):
+        values = evaluate(c, {"a": a, "b": b})
+        assert values["y"] == TRUTH[gate_type]([a, b]), (gate_type, a, b)
+
+
+class TestXSemantics:
+    def test_controlling_value_dominates_x(self):
+        c = _one_gate(GateType.AND)
+        assert evaluate(c, {"a": 0})["y"] == 0
+        assert evaluate(c, {"a": 1})["y"] is None
+        c = _one_gate(GateType.OR)
+        assert evaluate(c, {"a": 1})["y"] == 1
+        assert evaluate(c, {"a": 0})["y"] is None
+
+    def test_nor_nand_with_x(self):
+        assert evaluate(_one_gate(GateType.NAND), {"a": 0})["y"] == 1
+        assert evaluate(_one_gate(GateType.NOR), {"a": 1})["y"] == 0
+
+    def test_xor_is_pessimistic(self):
+        c = _one_gate(GateType.XOR)
+        assert evaluate(c, {"a": 1})["y"] is None
+
+    def test_not_and_buff(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("n", GateType.NOT, ("a",)),
+            Gate("b", GateType.BUFF, ("n",)),
+        ]
+        c = Circuit("nb", gates, ["b"])
+        assert evaluate(c, {"a": 0})["b"] == 1
+        assert evaluate(c, {})["b"] is None
+
+    def test_missing_sources_default_to_x(self):
+        c = _one_gate(GateType.AND)
+        assert evaluate(c, {})["y"] is None
+
+    def test_three_input_gate(self):
+        c = _one_gate(GateType.AND, arity=3)
+        assert evaluate(c, {"a": 1, "b": 1, "c": 1})["y"] == 1
+        assert evaluate(c, {"a": 1, "b": 1, "c": 0})["y"] == 0
+
+
+class TestFaultInjection:
+    def test_stem_fault_forces_net(self):
+        c = _one_gate(GateType.AND)
+        values = evaluate(c, {"a": 1, "b": 1}, Fault("y", 0))
+        assert values["y"] == 0
+
+    def test_stem_fault_on_input_propagates(self):
+        c = _one_gate(GateType.AND)
+        values = evaluate(c, {"a": 1, "b": 1}, Fault("a", 0))
+        assert values["a"] == 0
+        assert values["y"] == 0
+
+    def test_branch_fault_affects_one_pin_only(self):
+        gates = [
+            Gate("a", GateType.INPUT),
+            Gate("y1", GateType.BUFF, ("a",)),
+            Gate("y2", GateType.BUFF, ("a",)),
+        ]
+        c = Circuit("fan", gates, ["y1", "y2"])
+        values = evaluate(c, {"a": 1}, Fault("a", 0, branch=("y1", 0)))
+        assert values["y1"] == 0
+        assert values["y2"] == 1  # the stem and the other branch are healthy
+        assert values["a"] == 1
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault("a", 2)
+
+
+class TestC17Simulation:
+    def test_known_vector(self):
+        c17 = load_builtin("c17")
+        view = c17.combinational_view()
+        values = simulate_cube(view, TernaryVector("00000"))
+        # All-NAND circuit with all-0 inputs: first level all 1.
+        assert values["10"] == 1 and values["11"] == 1
+        outs = outputs_of(view, values)
+        assert set(outs) == {"22", "23"}
+
+    def test_cube_width_checked(self):
+        view = load_builtin("c17").combinational_view()
+        with pytest.raises(ValueError, match="width"):
+            simulate_cube(view, TernaryVector("000"))

@@ -1,0 +1,62 @@
+"""Unit tests for the synthetic circuit generator."""
+
+import pytest
+
+from repro.circuit import GateType, random_circuit
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = random_circuit("r", 8, 4, 50, seed=7)
+        b = random_circuit("r", 8, 4, 50, seed=7)
+        assert [
+            (g.name, g.gate_type, g.fanins) for g in a.gates.values()
+        ] == [(g.name, g.gate_type, g.fanins) for g in b.gates.values()]
+        assert a.outputs == b.outputs
+
+    def test_different_seeds_differ(self):
+        a = random_circuit("r", 8, 4, 50, seed=1)
+        b = random_circuit("r", 8, 4, 50, seed=2)
+        assert [g.fanins for g in a.gates.values()] != [
+            g.fanins for g in b.gates.values()
+        ]
+
+    def test_requested_sizes(self):
+        c = random_circuit("r", 10, 6, 80, seed=0)
+        assert len(c.inputs) == 10
+        assert len(c.flops) == 6
+        assert c.gate_count() == 80
+
+    def test_acyclic_by_construction(self):
+        # Circuit() raises on cycles; many seeds must construct fine.
+        for seed in range(10):
+            random_circuit("r", 6, 3, 40, seed=seed)
+
+    def test_no_dead_logic(self):
+        c = random_circuit("r", 8, 4, 60, seed=3)
+        consumed = {f for g in c.gates.values() for f in g.fanins}
+        observable = set(c.outputs) | consumed
+        comb = [
+            g.name
+            for g in c.gates.values()
+            if g.gate_type not in (GateType.INPUT, GateType.DFF)
+        ]
+        assert all(n in observable for n in comb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_circuit("r", 0, 0, 10)
+        with pytest.raises(ValueError):
+            random_circuit("r", 4, -1, 10)
+        with pytest.raises(ValueError):
+            random_circuit("r", 4, 2, 10, uniform_fraction=1.5)
+
+    def test_combinational_only(self):
+        c = random_circuit("r", 5, 0, 30, seed=0)
+        assert not c.is_sequential
+        assert c.combinational_view().width == 5
+
+    def test_explicit_output_count(self):
+        c = random_circuit("r", 8, 4, 60, n_outputs=3, seed=0)
+        # At least the requested outputs (dangling nets are promoted too).
+        assert len(c.outputs) >= 3

@@ -1,0 +1,74 @@
+"""Unit tests for LZWConfig validation and derived parameters."""
+
+import pytest
+
+from repro.core import LZWConfig
+
+
+class TestValidation:
+    def test_defaults_are_the_paper_headline(self):
+        c = LZWConfig()
+        assert (c.char_bits, c.dict_size, c.entry_bits) == (7, 1024, 63)
+
+    def test_char_bits_bounds(self):
+        with pytest.raises(ValueError):
+            LZWConfig(char_bits=0)
+        with pytest.raises(ValueError):
+            LZWConfig(char_bits=17)
+
+    def test_dict_size_must_cover_base_codes(self):
+        with pytest.raises(ValueError, match="base codes"):
+            LZWConfig(char_bits=7, dict_size=100)
+        # Exactly the base codes is legal (the paper's degenerate
+        # C_C=10 / N=1024 point).
+        LZWConfig(char_bits=10, dict_size=1024)
+
+    def test_entry_bits_must_hold_a_character(self):
+        with pytest.raises(ValueError, match="at least one character"):
+            LZWConfig(char_bits=7, entry_bits=6)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            LZWConfig(policy="greedy")
+
+    def test_lookahead_bounds(self):
+        with pytest.raises(ValueError):
+            LZWConfig(lookahead=0)
+        with pytest.raises(ValueError):
+            LZWConfig(lookahead_budget=0)
+
+
+class TestDerived:
+    def test_code_bits(self):
+        assert LZWConfig(dict_size=1024).code_bits == 10
+        assert LZWConfig(dict_size=2048).code_bits == 11
+        assert LZWConfig(char_bits=3, dict_size=9, entry_bits=3).code_bits == 4
+
+    def test_base_codes(self):
+        assert LZWConfig(char_bits=7).base_codes == 128
+        assert LZWConfig(char_bits=1, dict_size=8, entry_bits=3).base_codes == 2
+
+    def test_max_entry_chars(self):
+        assert LZWConfig(char_bits=7, entry_bits=63).max_entry_chars == 9
+        assert LZWConfig(char_bits=7, entry_bits=64).max_entry_chars == 9
+        assert LZWConfig(char_bits=7, entry_bits=70).max_entry_chars == 10
+
+    def test_free_codes(self):
+        assert LZWConfig().free_codes == 1024 - 128
+        assert LZWConfig(char_bits=10, dict_size=1024).free_codes == 0
+
+    def test_describe_mentions_key_parameters(self):
+        text = LZWConfig().describe()
+        assert "C_C=7" in text
+        assert "N=1024" in text
+        assert "C_MDATA=63" in text
+
+    def test_frozen(self):
+        c = LZWConfig()
+        with pytest.raises(AttributeError):
+            c.char_bits = 8
+
+    def test_hashable_for_caching(self):
+        assert LZWConfig() == LZWConfig()
+        assert hash(LZWConfig()) == hash(LZWConfig())
+        assert LZWConfig() != LZWConfig(entry_bits=127)

@@ -1,0 +1,174 @@
+"""Unit tests for the LZW encoder, including a textbook-LZW oracle."""
+
+import random
+
+import pytest
+
+from repro.bitstream import TernaryVector, to_characters
+from repro.core import CompressedStream, LZWConfig, LZWEncoder, compress, decode
+
+
+def textbook_lzw(chars, n_base, capacity, max_chars):
+    """Reference greedy LZW with the same capacity and width bounds."""
+    table = {(c,): c for c in range(n_base)}
+    next_code = n_base
+    out = []
+    w = (chars[0],)
+    for c in chars[1:]:
+        wc = w + (c,)
+        if wc in table:
+            w = wc
+            continue
+        out.append(table[w])
+        if next_code < capacity and len(wc) <= max_chars:
+            table[wc] = next_code
+            next_code += 1
+        w = (c,)
+    out.append(table[w])
+    return out
+
+
+@pytest.mark.parametrize("policy", ["first", "popular", "lookahead"])
+@pytest.mark.parametrize(
+    "char_bits,dict_size,entry_bits",
+    [(1, 8, 4), (2, 16, 8), (3, 64, 15), (2, 4, 8)],
+)
+def test_matches_textbook_lzw_on_specified_streams(
+    policy, char_bits, dict_size, entry_bits
+):
+    """With no X bits, every policy must reduce to classic greedy LZW."""
+    rng = random.Random(char_bits * 100 + dict_size)
+    config = LZWConfig(
+        char_bits=char_bits,
+        dict_size=dict_size,
+        entry_bits=entry_bits,
+        policy=policy,
+    )
+    for trial in range(10):
+        # Whole characters only: padding would introduce X bits, and the
+        # comparison targets the fully specified regime.
+        stream = TernaryVector.random(
+            rng.randrange(1, 60) * char_bits, 0.0, rng
+        )
+        chars = [c.to_int() for c in to_characters(stream, char_bits)]
+        expected = textbook_lzw(
+            chars, config.base_codes, config.dict_size, config.max_entry_chars
+        )
+        got = LZWEncoder(config).encode(stream)
+        assert list(got.codes) == expected, f"trial {trial}"
+
+
+class TestEdgeCases:
+    def test_empty_stream(self):
+        compressed = LZWEncoder(LZWConfig()).encode(TernaryVector())
+        assert compressed.codes == ()
+        assert compressed.original_bits == 0
+        assert compressed.ratio == 0.0
+
+    def test_single_character(self):
+        config = LZWConfig(char_bits=2, dict_size=8, entry_bits=4)
+        compressed = LZWEncoder(config).encode(TernaryVector("10"))
+        assert len(compressed.codes) == 1
+        assert compressed.codes[0] < config.base_codes
+
+    def test_sub_character_stream_is_padded(self):
+        config = LZWConfig(char_bits=4, dict_size=32, entry_bits=8)
+        compressed = LZWEncoder(config).encode(TernaryVector("1"))
+        assert len(compressed.codes) == 1
+        assert decode(compressed) == TernaryVector("1")
+
+    def test_all_x_stream(self):
+        config = LZWConfig(char_bits=2, dict_size=8, entry_bits=8)
+        stream = TernaryVector.xs(40)
+        compressed = LZWEncoder(config).encode(stream)
+        assert decode(compressed).covers(stream)
+        # With total freedom the encoder should do very well: far fewer
+        # codes than characters.
+        assert len(compressed.codes) < 20
+
+    def test_encoder_is_single_use(self):
+        encoder = LZWEncoder(LZWConfig())
+        encoder.encode(TernaryVector("01"))
+        with pytest.raises(RuntimeError, match="single-use"):
+            encoder.encode(TernaryVector("01"))
+
+    def test_stats_require_encode(self):
+        with pytest.raises(RuntimeError):
+            LZWEncoder(LZWConfig()).stats()
+
+    def test_degenerate_no_free_codes(self):
+        """C_C=2 with N=4: no compress codes, one code per character."""
+        config = LZWConfig(char_bits=2, dict_size=4, entry_bits=8)
+        stream = TernaryVector("01101100")
+        compressed = LZWEncoder(config).encode(stream)
+        assert len(compressed.codes) == 4
+        assert decode(compressed) == stream
+
+
+class TestStats:
+    def test_stats_fields(self):
+        config = LZWConfig(char_bits=1, dict_size=8, entry_bits=3)
+        encoder = LZWEncoder(config)
+        compressed = encoder.encode(TernaryVector("01101101101"))
+        stats = encoder.stats()
+        assert stats.entries_allocated == 6
+        assert stats.dictionary_full
+        assert stats.longest_entry_chars == 3
+        assert stats.total_chars == 11
+        assert stats.longest_phrase_chars == max(compressed.expansion_chars)
+
+    def test_expansions_match_dictionary_strings(self):
+        config = LZWConfig(char_bits=2, dict_size=32, entry_bits=10)
+        encoder = LZWEncoder(config)
+        stream = TernaryVector("0110X11X0110011X10")
+        compressed = encoder.encode(stream)
+        for code, chars in zip(compressed.codes, compressed.expansion_chars):
+            assert encoder.dictionary.nchars(code) == chars
+
+
+class TestCompressedStream:
+    def test_code_out_of_range_rejected(self):
+        config = LZWConfig(char_bits=1, dict_size=8, entry_bits=3)
+        with pytest.raises(ValueError, match="out of range"):
+            CompressedStream((9,), config, 3)
+
+    def test_expansion_alignment_enforced(self):
+        config = LZWConfig(char_bits=1, dict_size=8, entry_bits=3)
+        with pytest.raises(ValueError, match="align"):
+            CompressedStream((0, 1), config, 2, (1,))
+
+    def test_from_bits_rejects_ragged(self):
+        config = LZWConfig(char_bits=1, dict_size=8, entry_bits=3)
+        with pytest.raises(ValueError, match="multiple"):
+            CompressedStream.from_bits([0, 1], config, 2)
+
+    def test_num_codes_and_bits(self):
+        config = LZWConfig(char_bits=1, dict_size=8, entry_bits=3)
+        cs = CompressedStream((0, 1, 2), config, 30)
+        assert cs.num_codes == 3
+        assert cs.compressed_bits == 9
+        assert cs.ratio == pytest.approx(1 - 9 / 30)
+
+
+class TestPolicies:
+    def test_lookahead_at_least_as_good_on_structured_input(self):
+        """On a repetitive high-X workload the lookahead policy should
+        not lose to the naive first-child policy by any real margin."""
+        rng = random.Random(11)
+        template = TernaryVector.random(64, 0.0, rng)
+        cubes = []
+        for _ in range(60):
+            relax = TernaryVector.from_masks(
+                template.value_mask,
+                template.care_mask & rng.getrandbits(64),
+                64,
+            )
+            cubes.append(relax)
+        stream = TernaryVector.concat_all(cubes)
+        results = {}
+        for policy in ("first", "lookahead"):
+            config = LZWConfig(
+                char_bits=4, dict_size=64, entry_bits=16, policy=policy
+            )
+            results[policy] = compress(stream, config).compressed_bits
+        assert results["lookahead"] <= results["first"] * 1.05

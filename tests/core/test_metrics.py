@@ -1,0 +1,57 @@
+"""Unit tests for the metric helpers."""
+
+import pytest
+
+from repro.core import (
+    compression_percent,
+    compression_ratio,
+    geometric_mean,
+    x_density_percent,
+)
+
+
+class TestCompressionRatio:
+    def test_halved(self):
+        assert compression_ratio(100, 50) == pytest.approx(0.5)
+
+    def test_expansion_is_negative(self):
+        assert compression_ratio(10, 20) == pytest.approx(-1.0)
+
+    def test_zero_original(self):
+        assert compression_ratio(0, 0) == 0.0
+
+    def test_percent(self):
+        assert compression_percent(200, 50) == pytest.approx(75.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio(-1, 0)
+        with pytest.raises(ValueError):
+            compression_ratio(1, -1)
+
+
+class TestXDensity:
+    def test_basic(self):
+        assert x_density_percent(care_bits=30, total_bits=100) == pytest.approx(70.0)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            x_density_percent(5, 0)
+        with pytest.raises(ValueError):
+            x_density_percent(11, 10)
+
+
+class TestGeometricMean:
+    def test_constant(self):
+        assert geometric_mean([4.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_two_values(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,124 @@
+"""Unit tests for multi-chain scan compression."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.circuit import ScanChain, TestSet
+from repro.core import (
+    LZWConfig,
+    chain_streams,
+    compress_interleaved,
+    compress_per_chain,
+    deinterleave_stream,
+    interleave_stream,
+    partition_chains,
+)
+
+CONFIG = LZWConfig(char_bits=2, dict_size=16, entry_bits=8)
+
+
+@pytest.fixture
+def test_set():
+    cubes = [
+        TernaryVector("01X10X"),
+        TernaryVector("X10X01"),
+        TernaryVector("0101XX"),
+    ]
+    return TestSet([f"c{i}" for i in range(6)], cubes, name="mc")
+
+
+class TestPartition:
+    def test_balanced(self, test_set):
+        chains = partition_chains(test_set, 3)
+        assert [c.length for c in chains] == [2, 2, 2]
+        assert chains[0].cells == ["c0", "c1"]
+        assert chains[2].cells == ["c4", "c5"]
+
+    def test_uneven(self, test_set):
+        chains = partition_chains(test_set, 4)
+        assert [c.length for c in chains] == [2, 2, 1, 1]
+        assert sum(c.length for c in chains) == 6
+
+    def test_single_chain(self, test_set):
+        chains = partition_chains(test_set, 1)
+        assert chains[0].cells == test_set.input_names
+
+    def test_validation(self, test_set):
+        with pytest.raises(ValueError):
+            partition_chains(test_set, 0)
+        with pytest.raises(ValueError):
+            partition_chains(test_set, 7)
+
+
+class TestStreams:
+    def test_chain_streams_slice_vectors(self, test_set):
+        chains = partition_chains(test_set, 2)
+        streams = chain_streams(test_set, chains)
+        assert str(streams[0]) == "01X" + "X10" + "010"
+        assert str(streams[1]) == "10X" + "X01" + "1XX"
+
+    def test_interleave_round_trips(self, test_set):
+        for n in (1, 2, 3, 4):
+            chains = partition_chains(test_set, n)
+            stream = interleave_stream(test_set, chains)
+            back = deinterleave_stream(stream, chains, len(test_set))
+            assert back == test_set.cubes, f"{n} chains"
+
+    def test_interleave_pads_short_chains_with_x(self, test_set):
+        chains = partition_chains(test_set, 4)  # lengths 2,2,1,1
+        stream = interleave_stream(test_set, chains)
+        # 2 cycles x 4 slots per vector; cycle 1 has 2 idle slots.
+        assert len(stream) == 3 * 2 * 4
+        # Slots for chains 2,3 at cycle 1 are idle -> X.
+        assert stream[6] is None and stream[7] is None
+
+    def test_deinterleave_length_check(self, test_set):
+        chains = partition_chains(test_set, 2)
+        with pytest.raises(ValueError, match="geometry"):
+            deinterleave_stream(TernaryVector("01"), chains, 3)
+
+    def test_non_consecutive_chain_rejected(self, test_set):
+        bad = [ScanChain("b", ["c0", "c2"]), ScanChain("r", ["c1", "c3", "c4", "c5"])]
+        with pytest.raises(ValueError, match="consecutive"):
+            chain_streams(test_set, bad)
+
+    def test_partial_cover_rejected(self, test_set):
+        partial = [ScanChain("p", ["c0", "c1"])]
+        with pytest.raises(ValueError, match="cover"):
+            chain_streams(test_set, partial)
+
+
+class TestCompression:
+    def test_per_chain_aggregate(self, test_set):
+        chains = partition_chains(test_set, 2)
+        result = compress_per_chain(test_set, chains, CONFIG)
+        assert result.arrangement == "per_chain"
+        assert len(result.results) == 2
+        assert result.original_bits == 18
+        assert result.compressed_bits == sum(
+            r.compressed_bits for r in result.results
+        )
+
+    def test_interleaved_single_engine(self, test_set):
+        chains = partition_chains(test_set, 3)
+        result = compress_interleaved(test_set, chains, CONFIG)
+        assert result.arrangement == "interleaved"
+        assert len(result.results) == 1
+        assert result.original_bits == 18
+
+    def test_coverage_preserved_per_chain(self, test_set):
+        chains = partition_chains(test_set, 2)
+        result = compress_per_chain(test_set, chains, CONFIG)
+        for stream, r in zip(chain_streams(test_set, chains), result.results):
+            assert r.assigned_stream.covers(stream)
+
+    def test_coverage_preserved_interleaved(self, test_set):
+        chains = partition_chains(test_set, 2)
+        result = compress_interleaved(test_set, chains, CONFIG)
+        stream = interleave_stream(test_set, chains)
+        assert result.results[0].assigned_stream.covers(stream)
+
+    def test_ratio_percent(self, test_set):
+        chains = partition_chains(test_set, 2)
+        result = compress_per_chain(test_set, chains, CONFIG)
+        assert result.ratio_percent == pytest.approx(100 * result.ratio)

@@ -1,0 +1,87 @@
+"""The paper's Figure 3/4 worked example.
+
+Figure 3 compresses an 11-character 1-bit message, creating two-character
+entries 2..4 and three-character entries 5..6; Figure 4 decompresses the
+result, exercising the pass-through, dictionary-reference and
+not-yet-created-entry (KwKwK) cases.  The stream below reproduces that
+dictionary shape exactly and the whole trace is asserted step by step.
+"""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, LZWEncoder, decode, decode_codes
+from repro.hardware import DecompressorModel
+
+
+CONFIG = LZWConfig(char_bits=1, dict_size=8, entry_bits=3)
+MESSAGE = TernaryVector("01101101101")
+
+
+def test_figure3_compression_trace():
+    encoder = LZWEncoder(CONFIG)
+    compressed = encoder.encode(MESSAGE)
+    # Hand-traced textbook LZW on the message (Figure 3 k's shape: the
+    # emitted code sequence plus the buffer flush at the end).
+    assert list(compressed.codes) == [0, 1, 1, 2, 4, 3, 2]
+    # Dictionary entries exactly as the figure's table builds them:
+    # two-character entries first (codes 2..4, starting "one greater
+    # than the largest uncompressed representation"), then
+    # three-character entries.
+    entries = dict(encoder.dictionary.iter_entries())
+    assert entries == {
+        2: (0, 1),
+        3: (1, 1),
+        4: (1, 0),
+        5: (0, 1, 1),
+        6: (1, 0, 1),
+        7: (1, 1, 0),
+    }
+
+
+def test_figure3_first_code_is_first_character():
+    """Figure 3 a): the first message character initialises the buffer."""
+    encoder = LZWEncoder(CONFIG)
+    compressed = encoder.encode(MESSAGE)
+    assert compressed.codes[0] == MESSAGE[0]
+
+
+def test_figure4_decompression_trace():
+    chars = decode_codes([0, 1, 1, 2, 4, 3, 2], CONFIG)
+    assert chars == [0, 1, 1, 0, 1, 1, 0, 1, 1, 0, 1]
+
+
+def test_figure4_full_stream():
+    encoder = LZWEncoder(CONFIG)
+    compressed = encoder.encode(MESSAGE)
+    assert decode(compressed) == MESSAGE
+
+
+def test_figure4f_kwkwk_case():
+    """A code referencing the entry being created (Figure 4f).
+
+    Compressing 00000 emits [0, 2, 2] where the first use of code 2
+    happens while entry 2 is still being defined; the decoder must
+    reconstruct it as buffer + first-character-of-buffer.
+    """
+    encoder = LZWEncoder(CONFIG)
+    compressed = encoder.encode(TernaryVector("00000"))
+    assert list(compressed.codes) == [0, 2, 2]
+    assert decode(compressed) == TernaryVector("00000")
+
+
+def test_hardware_model_reproduces_figure4():
+    encoder = LZWEncoder(CONFIG)
+    compressed = encoder.encode(MESSAGE)
+    model = DecompressorModel(CONFIG, clock_ratio=4)
+    run = model.run(compressed.to_bits(), len(MESSAGE))
+    assert run.scan_stream == MESSAGE
+
+
+def test_compression_ratio_of_the_example():
+    """11 bits in, 7 codes of 3 bits out: the toy example expands, which
+    the ratio must report honestly as a negative percentage."""
+    encoder = LZWEncoder(CONFIG)
+    compressed = encoder.encode(MESSAGE)
+    assert compressed.compressed_bits == 21
+    assert compressed.ratio_percent == pytest.approx(100 * (1 - 21 / 11))

@@ -1,0 +1,71 @@
+"""Unit tests for the high-level compress/verify pipeline."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, compress, decompress
+
+
+@pytest.fixture
+def config():
+    return LZWConfig(char_bits=3, dict_size=32, entry_bits=12)
+
+
+class TestCompressionResult:
+    def test_basic_fields(self, config, sparse_stream):
+        result = compress(sparse_stream, config)
+        assert result.original_bits == len(sparse_stream)
+        assert result.compressed_bits == result.compressed.compressed_bits
+        assert result.ratio == result.compressed.ratio
+        assert result.ratio_percent == pytest.approx(100 * result.ratio)
+
+    def test_assigned_stream_covers(self, config, sparse_stream):
+        result = compress(sparse_stream, config)
+        assert result.assigned_stream.is_fully_specified
+        assert result.assigned_stream.covers(sparse_stream)
+
+    def test_verify_true_for_own_input(self, config, sparse_stream):
+        assert compress(sparse_stream, config).verify(sparse_stream)
+
+    def test_verify_false_for_other_input(self, config):
+        a = TernaryVector("000000000000")
+        b = TernaryVector("111111111111")
+        result = compress(a, config)
+        assert not result.verify(b)
+
+    def test_longest_entry_bits(self, config, sparse_stream):
+        result = compress(sparse_stream, config)
+        assert result.longest_entry_bits % config.char_bits == 0
+        assert result.longest_entry_bits <= config.entry_bits
+
+    def test_longest_phrase_at_least_longest_entry(self, config, sparse_stream):
+        result = compress(sparse_stream, config)
+        assert result.longest_phrase_bits >= result.longest_entry_bits - config.char_bits
+
+    def test_default_config_used_when_none(self, sparse_stream):
+        result = compress(sparse_stream)
+        assert result.compressed.config == LZWConfig()
+
+    def test_decompress_alias(self, config, sparse_stream):
+        result = compress(sparse_stream, config)
+        assert decompress(result.compressed) == result.assigned_stream
+
+
+class TestDictionaryBoundEffects:
+    def test_bigger_entries_never_hurt_much(self, sparse_stream):
+        """Monotone trend of Table 5: larger C_MDATA cannot make the
+        same stream dramatically worse (identical configs otherwise)."""
+        sizes = {}
+        for entry_bits in (6, 12, 24, 48):
+            config = LZWConfig(char_bits=3, dict_size=64, entry_bits=entry_bits)
+            sizes[entry_bits] = compress(sparse_stream, config).compressed_bits
+        assert sizes[48] <= sizes[6]
+
+    def test_wider_dictionary_never_hurts(self, sparse_stream):
+        small = LZWConfig(char_bits=3, dict_size=16, entry_bits=12)
+        large = LZWConfig(char_bits=3, dict_size=256, entry_bits=12)
+        bits_small = compress(sparse_stream, small).compressed_bits
+        bits_large = compress(sparse_stream, large).compressed_bits
+        # More codes cost more bits each (C_E 4 vs 8) but match longer;
+        # at minimum the run must stay decodable and comparable.
+        assert bits_large > 0 and bits_small > 0

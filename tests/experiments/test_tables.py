@@ -1,0 +1,147 @@
+"""Unit tests for the experiment harness (tiny scales)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_TABLES,
+    Lab,
+    Table,
+    ablation_architecture,
+    ablation_dontcare,
+    ablation_lookahead,
+    ablation_xdensity,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+SMALL = ("s9234f",)
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return Lab(scale=0.1)
+
+
+class TestRender:
+    def test_add_row_checks_arity(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_contains_everything(self):
+        t = Table("Title", ["a", "b"], notes=["hello"])
+        t.add_row(1.5, None)
+        text = t.render()
+        assert "Title" in text and "1.50" in text and "-" in text
+        assert "note: hello" in text
+
+    def test_column(self):
+        t = Table("t", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == ["2", "4"]
+
+
+class TestPaperTables:
+    def test_table1_shape(self, lab):
+        t = table1(lab, circuits=SMALL)
+        assert t.headers[0] == "Test"
+        assert len(t.rows) == 1
+        assert t.column("Test") == ["s9234f"]
+        assert float(t.column("LZW")[0]) > 0
+
+    def test_table2_has_memory_and_ratios(self, lab):
+        t = table2(lab, circuits=SMALL, clock_ratios=(4, 10))
+        assert "Dict. size" in t.headers
+        assert t.column("Dict. size") == ["1024x69"]
+        assert float(t.column("10x")[0]) > float(t.column("4x")[0])
+
+    def test_table3_reports_density_and_size(self, lab):
+        t = table3(lab, circuits=SMALL)
+        density = float(t.column("Don't cares %")[0])
+        assert 70 < density < 77
+        assert int(t.column("Orig. size (bits)")[0]) > 0
+
+    def test_table4_collapses_at_cc10(self, lab):
+        t = table4(lab, circuits=SMALL, char_sizes=(7, 10))
+        assert float(t.column("C_C=10")[0]) == pytest.approx(0.0, abs=0.5)
+
+    def test_table5_monotone_trend(self, lab):
+        t = table5(lab, circuits=SMALL, entry_sizes=(14, 63))
+        small = float(t.column("C_MDATA=14")[0])
+        large = float(t.column("C_MDATA=63")[0])
+        assert large >= small - 0.5
+
+    def test_table6_longest_string(self, lab):
+        t = table6(lab, circuits=SMALL, entry_sizes=(63,))
+        longest = int(t.column("Longest string (bits)")[0])
+        assert longest % 7 == 0
+        assert longest > 0
+
+
+class TestAblations:
+    def test_dontcare_dynamic_beats_static(self, lab):
+        t = ablation_dontcare(lab, circuits=SMALL, fills=("zero",))
+        dynamic = float(t.column("dynamic")[0])
+        static = float(t.column("static:zero")[0])
+        assert dynamic > static
+
+    def test_xdensity_monotone(self):
+        t = ablation_xdensity(densities=(0.4, 0.9), vectors=20, width=80)
+        low = float(t.column("LZW")[0])
+        high = float(t.column("LZW")[1])
+        assert high > low
+
+    def test_lookahead_table_runs(self, lab):
+        t = ablation_lookahead(lab, circuits=SMALL, windows=(1, 4))
+        assert len(t.rows) == 1
+
+    def test_architecture_buffered_wins(self, lab):
+        t = ablation_architecture(lab, circuits=SMALL, clock_ratios=(4,))
+        serial = float(t.column("serial@4x")[0])
+        buffered = float(t.column("buffered@4x")[0])
+        assert buffered >= serial
+
+
+class TestRegistry:
+    def test_all_tables_registered(self):
+        for name in ("table1", "table2", "table3", "table4", "table5",
+                     "table6", "ablation_dontcare", "ablation_xdensity",
+                     "ablation_lookahead", "ablation_architecture"):
+            assert name in ALL_TABLES
+
+    def test_lab_cache_reuse(self):
+        lab = Lab(scale=0.05)
+        a = lab.stream("s9234f")
+        b = lab.stream("s9234f")
+        assert a is b
+
+
+class TestExtensionAblations:
+    def test_reset_table_shape(self, lab):
+        from repro.experiments import ablation_reset
+
+        t = ablation_reset(lab, circuits=SMALL, dict_sizes=(256,))
+        frozen = float(t.column("frozen N=256")[0])
+        flush = float(t.column("flush N=256")[0])
+        assert frozen >= flush - 0.5
+
+    def test_multichain_table_shape(self, lab):
+        from repro.experiments import ablation_multichain
+
+        t = ablation_multichain(lab, circuits=SMALL, chain_counts=(1, 2))
+        single = float(t.column("single")[0])
+        per_chain = float(t.column("per-chain x2")[0])
+        assert per_chain <= single + 1.5
+
+    def test_power_table_shape(self, lab):
+        from repro.experiments import ablation_power
+
+        t = ablation_power(lab, circuits=SMALL)
+        repeat = int(t.column("repeat fill")[0])
+        lzw = int(t.column("LZW assignment")[0])
+        assert repeat <= lzw

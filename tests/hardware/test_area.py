@@ -1,0 +1,44 @@
+"""Unit tests for the area-overhead estimate."""
+
+from repro.core import LZWConfig
+from repro.hardware import AreaModel, estimate_area
+
+
+def test_reused_memory_costs_no_dedicated_bits():
+    report = estimate_area(LZWConfig(), memory_is_reused=True)
+    assert report.dedicated_memory_bits == 0
+    assert report.memory.total_bits > 0
+
+
+def test_dedicated_memory_counted():
+    report = estimate_area(LZWConfig(), memory_is_reused=False)
+    assert report.dedicated_memory_bits == report.memory.total_bits
+
+
+def test_datapath_scales_with_entry_width():
+    small = estimate_area(LZWConfig(entry_bits=63)).datapath_ge
+    large = estimate_area(LZWConfig(entry_bits=511)).datapath_ge
+    assert large > small
+
+
+def test_datapath_scales_with_dictionary():
+    small = estimate_area(LZWConfig(dict_size=1024)).datapath_ge
+    large = estimate_area(LZWConfig(dict_size=65536 // 16)).datapath_ge
+    assert large >= small
+
+
+def test_custom_technology_constants():
+    expensive = AreaModel(flop_ge=100.0)
+    cheap = AreaModel(flop_ge=1.0)
+    config = LZWConfig()
+    assert (
+        estimate_area(config, expensive).datapath_ge
+        > estimate_area(config, cheap).datapath_ge
+    )
+
+
+def test_magnitude_is_reasonable():
+    """The paper's pitch: the engine is small (thousands of GE, not
+    millions) because the dictionary reuses the core memory."""
+    report = estimate_area(LZWConfig())
+    assert 100 < report.datapath_ge < 20_000

@@ -1,0 +1,108 @@
+"""Unit tests for the cycle-accurate decompressor model."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, LZWEncoder, compress, decode
+from repro.hardware import DecompressorModel, EmbeddedMemory, MemoryRequirements
+
+CONFIG = LZWConfig(char_bits=2, dict_size=16, entry_bits=8)
+
+
+def _compressed(stream):
+    return LZWEncoder(CONFIG).encode(stream)
+
+
+class TestBitExactness:
+    def test_matches_software_decoder(self, sparse_stream):
+        config = LZWConfig(char_bits=3, dict_size=64, entry_bits=15)
+        result = compress(sparse_stream, config)
+        run = DecompressorModel(config, clock_ratio=8).run(
+            result.compressed.to_bits(), len(sparse_stream)
+        )
+        assert run.scan_stream == decode(result.compressed)
+
+    def test_kwkwk_through_memory(self):
+        compressed = _compressed(TernaryVector("00000000"))
+        run = DecompressorModel(CONFIG, clock_ratio=2).run(
+            compressed.to_bits(), compressed.original_bits
+        )
+        assert run.scan_stream == decode(compressed)
+
+    def test_memory_populated_like_encoder(self):
+        stream = TernaryVector("0110100111001011")
+        encoder = LZWEncoder(CONFIG)
+        compressed = encoder.encode(stream)
+        mem = EmbeddedMemory(MemoryRequirements.for_config(CONFIG))
+        model = DecompressorModel(CONFIG, clock_ratio=4, memory=mem)
+        model.run(compressed.to_bits(), len(stream))
+        assert mem.occupancy() == encoder.dictionary.allocated
+
+
+class TestCycleAccounting:
+    def test_codes_processed(self):
+        compressed = _compressed(TernaryVector("01101001"))
+        run = DecompressorModel(CONFIG, clock_ratio=4).run(
+            compressed.to_bits(), 8
+        )
+        assert run.codes_processed == compressed.num_codes
+
+    def test_serial_slower_or_equal_to_buffered(self):
+        compressed = _compressed(TernaryVector("0110100101100110"))
+        bits = compressed.to_bits()
+        serial = DecompressorModel(CONFIG, clock_ratio=4).run(bits, 16)
+        buffered = DecompressorModel(
+            CONFIG, clock_ratio=4, double_buffered=True
+        ).run(bits, 16)
+        assert buffered.tester_cycles <= serial.tester_cycles
+
+    def test_improvement_percent(self):
+        compressed = _compressed(TernaryVector("01" * 32))
+        run = DecompressorModel(CONFIG, clock_ratio=10).run(
+            compressed.to_bits(), 64
+        )
+        improvement = run.improvement_percent(64)
+        assert improvement == pytest.approx(
+            100.0 * (1 - run.tester_cycles / 64)
+        )
+        with pytest.raises(ValueError):
+            run.improvement_percent(0)
+
+    def test_memory_traffic_counted(self):
+        compressed = _compressed(TernaryVector("0110100101100110"))
+        run = DecompressorModel(CONFIG, clock_ratio=4).run(
+            compressed.to_bits(), 16
+        )
+        assert run.memory_writes > 0
+        # Reads only happen for allocated-code references.
+        assert run.memory_reads >= 0
+
+
+class TestValidation:
+    def test_bad_clock_ratio(self):
+        with pytest.raises(ValueError):
+            DecompressorModel(CONFIG, clock_ratio=0)
+
+    def test_negative_cycle_costs(self):
+        with pytest.raises(ValueError):
+            DecompressorModel(CONFIG, lookup_cycles=-1)
+
+    def test_ragged_bitstream_rejected(self):
+        model = DecompressorModel(CONFIG, clock_ratio=2)
+        with pytest.raises(ValueError, match="whole number"):
+            model.run([0, 1, 0], 4)
+
+    def test_undecodable_code_rejected(self):
+        # Code 15 as the first code references nothing.
+        bits = []
+        for _ in range(CONFIG.code_bits):
+            bits.append(1)
+        model = DecompressorModel(CONFIG, clock_ratio=2)
+        with pytest.raises(ValueError, match="not decodable"):
+            model.run(bits, 2)
+
+    def test_short_output_rejected(self):
+        compressed = _compressed(TernaryVector("01"))
+        model = DecompressorModel(CONFIG, clock_ratio=2)
+        with pytest.raises(ValueError, match="scan bits"):
+            model.run(compressed.to_bits(), 50)

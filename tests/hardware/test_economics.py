@@ -1,0 +1,70 @@
+"""Unit tests for the ATE economics model."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, LZWEncoder
+from repro.hardware import ATEProfile, evaluate_economics
+
+CONFIG = LZWConfig(char_bits=2, dict_size=16, entry_bits=8)
+
+
+@pytest.fixture
+def compressed(sparse_stream):
+    return LZWEncoder(CONFIG).encode(sparse_stream)
+
+
+class TestProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ATEProfile(clock_hz=0)
+        with pytest.raises(ValueError):
+            ATEProfile(sites=0)
+        with pytest.raises(ValueError):
+            ATEProfile(vector_memory_bits=0)
+
+
+class TestReport:
+    def test_memory_saving_tracks_ratio(self, compressed):
+        report = evaluate_economics(compressed)
+        assert report.memory_saving_percent == pytest.approx(
+            100.0 * compressed.ratio
+        )
+
+    def test_no_reloads_when_memory_fits(self, compressed):
+        report = evaluate_economics(compressed)
+        assert report.uncompressed_reloads == 0
+        assert report.compressed_reloads == 0
+
+    def test_reload_threshold(self, compressed):
+        tiny = ATEProfile(vector_memory_bits=compressed.original_bits // 3)
+        report = evaluate_economics(compressed, tiny)
+        assert report.uncompressed_reloads >= 2
+        assert report.compressed_reloads < report.uncompressed_reloads
+
+    def test_reload_penalty_dominates_cost(self, compressed):
+        tiny = ATEProfile(
+            vector_memory_bits=compressed.compressed_bits + 1,
+            reload_seconds=10.0,
+        )
+        report = evaluate_economics(compressed, tiny)
+        assert report.compressed_reloads == 0
+        assert report.uncompressed_reloads >= 1
+        assert report.cost_saving_percent > 90.0
+
+    def test_time_saving_sign_follows_download(self, compressed):
+        fast = evaluate_economics(compressed, clock_ratio=10,
+                                  double_buffered=True)
+        assert fast.time_saving_percent > 0
+
+    def test_multi_site_scales_cost_not_time(self, compressed):
+        one = evaluate_economics(compressed, ATEProfile(sites=1))
+        four = evaluate_economics(compressed, ATEProfile(sites=4))
+        assert four.cost_compressed == pytest.approx(one.cost_compressed / 4)
+        assert four.compressed_seconds == pytest.approx(one.compressed_seconds)
+
+    def test_zero_original(self):
+        compressed = LZWEncoder(CONFIG).encode(TernaryVector())
+        report = evaluate_economics(compressed)
+        assert report.memory_saving_percent == 0.0
+        assert report.time_saving_percent == 0.0

@@ -1,0 +1,79 @@
+"""Unit tests for the embedded-memory model."""
+
+import pytest
+
+from repro.core import LZWConfig
+from repro.hardware import EmbeddedMemory, MemoryMode, MemoryRequirements
+
+
+class TestRequirements:
+    def test_paper_headline_geometry(self):
+        req = MemoryRequirements.for_config(LZWConfig())
+        assert req.words == 1024
+        assert req.data_bits == 63
+        assert req.mlen_bits == 6  # 63 needs 6 bits
+        assert req.word_bits == 69
+        assert req.geometry == "1024x69"
+        assert req.total_bits == 1024 * 69
+
+    def test_paper_sizing_example(self):
+        """C_MDATA=483 needs a 9-bit length field -> 492-bit words."""
+        config = LZWConfig(char_bits=7, dict_size=1024, entry_bits=483)
+        req = MemoryRequirements.for_config(config)
+        assert req.mlen_bits == 9
+        assert req.word_bits == 492
+
+    def test_2048_dictionary(self):
+        config = LZWConfig(dict_size=2048)
+        assert MemoryRequirements.for_config(config).words == 2048
+
+
+class TestEmbeddedMemory:
+    @pytest.fixture
+    def mem(self):
+        return EmbeddedMemory(MemoryRequirements(words=8, mlen_bits=4, data_bits=12))
+
+    def test_starts_in_normal_mode(self, mem):
+        assert mem.mode is MemoryMode.NORMAL
+        with pytest.raises(PermissionError, match="mux"):
+            mem.read(0)
+        with pytest.raises(PermissionError):
+            mem.write(0, 4, 0)
+
+    def test_bist_mode_also_blocks_lzw_access(self, mem):
+        mem.grant(MemoryMode.BIST)
+        with pytest.raises(PermissionError):
+            mem.read(0)
+
+    def test_write_then_read(self, mem):
+        mem.grant(MemoryMode.LZW)
+        mem.write(3, 8, 0xAB)
+        assert mem.read(3) == (8, 0xAB)
+        assert mem.reads == 1
+        assert mem.writes == 1
+
+    def test_read_unwritten_word(self, mem):
+        mem.grant(MemoryMode.LZW)
+        with pytest.raises(ValueError, match="unwritten"):
+            mem.read(0)
+
+    def test_address_bounds(self, mem):
+        mem.grant(MemoryMode.LZW)
+        with pytest.raises(IndexError):
+            mem.read(8)
+        with pytest.raises(IndexError):
+            mem.write(-1, 4, 0)
+
+    def test_field_width_enforced(self, mem):
+        mem.grant(MemoryMode.LZW)
+        with pytest.raises(ValueError, match="exceeds C_MDATA"):
+            mem.write(0, 13, 0)
+        with pytest.raises(ValueError, match="wider than"):
+            mem.write(0, 12, 1 << 12)
+
+    def test_occupancy(self, mem):
+        mem.grant(MemoryMode.LZW)
+        assert mem.occupancy() == 0
+        mem.write(0, 4, 1)
+        mem.write(5, 4, 2)
+        assert mem.occupancy() == 2

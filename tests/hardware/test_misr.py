@@ -1,0 +1,108 @@
+"""Unit tests for the LFSR/MISR response-compaction substrate."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.hardware.misr import (
+    LFSR,
+    MISR,
+    STANDARD_POLYNOMIALS,
+    aliasing_probability,
+    signature_of_responses,
+)
+
+
+class TestLFSR:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LFSR(0b10)  # missing x^0 term
+        with pytest.raises(ValueError):
+            LFSR(0b1)
+        with pytest.raises(ValueError):
+            LFSR(0b10011, seed=16)
+
+    def test_width_from_polynomial(self):
+        assert LFSR(0b10011).width == 4
+        assert LFSR(STANDARD_POLYNOMIALS[8]).width == 8
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_standard_polynomials_are_maximal_length(self, width):
+        lfsr = LFSR(STANDARD_POLYNOMIALS[width], seed=1)
+        assert lfsr.period() == (1 << width) - 1
+
+    def test_zero_state_locks_up(self):
+        lfsr = LFSR(0b10011, seed=0)
+        assert lfsr.period() == 1
+        lfsr.step()
+        assert lfsr.state == 0
+
+    def test_sequence_is_deterministic(self):
+        a = LFSR(0b10011, seed=5).sequence(40)
+        b = LFSR(0b10011, seed=5).sequence(40)
+        assert a == b
+        assert set(a) == {0, 1}
+
+    def test_feed_wider_than_register(self):
+        with pytest.raises(ValueError):
+            LFSR(0b10011).step(feed=16)
+
+
+class TestMISR:
+    def test_signature_depends_on_every_slice(self):
+        a = MISR(0b10011)
+        b = MISR(0b10011)
+        for value in (3, 9, 12):
+            a.absorb(value)
+        for value in (3, 9, 13):
+            b.absorb(value)
+        assert a.signature() != b.signature()
+
+    def test_linearity(self):
+        """MISR is linear: sig(r1 xor r2) = sig(r1) xor sig(r2) from the
+        zero seed — the property aliasing analysis rests on."""
+        poly = STANDARD_POLYNOMIALS[8]
+        r1 = [17, 250, 3, 96]
+        r2 = [44, 1, 201, 7]
+        def sig(values):
+            m = MISR(poly, seed=0)
+            for v in values:
+                m.absorb(v)
+            return m.signature()
+        combined = [a ^ b for a, b in zip(r1, r2)]
+        assert sig(combined) == sig(r1) ^ sig(r2)
+
+
+class TestSignatureOfResponses:
+    def test_deterministic_and_x_masked(self):
+        slices = [TernaryVector("01X0"), TernaryVector("1XX1")]
+        s0 = signature_of_responses(slices, x_fill=0)
+        s0_again = signature_of_responses(slices, x_fill=0)
+        s1 = signature_of_responses(slices, x_fill=1)
+        assert s0 == s0_again
+        assert s0 != s1  # the mask policy is part of the signature
+
+    def test_single_bit_error_changes_signature(self):
+        good = [TernaryVector("0101"), TernaryVector("0011")]
+        bad = [TernaryVector("0111"), TernaryVector("0011")]
+        assert signature_of_responses(good) != signature_of_responses(bad)
+
+    def test_width_checks(self):
+        with pytest.raises(ValueError, match="at least one"):
+            signature_of_responses([])
+        with pytest.raises(ValueError, match="share one width"):
+            signature_of_responses(
+                [TernaryVector("0101"), TernaryVector("011")]
+            )
+        with pytest.raises(ValueError, match="no standard polynomial"):
+            signature_of_responses([TernaryVector("01110")])
+
+    def test_explicit_polynomial(self):
+        slices = [TernaryVector("011")]
+        sig = signature_of_responses(slices, polynomial=0b10011)
+        assert 0 <= sig < 16
+
+
+def test_aliasing_probability():
+    assert aliasing_probability(16) == pytest.approx(2.0**-16)
+    with pytest.raises(ValueError):
+        aliasing_probability(0)

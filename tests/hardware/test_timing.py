@@ -1,0 +1,146 @@
+"""Unit tests for the analytic download-time model."""
+
+import pytest
+
+from repro.core import LZWConfig, compress
+from repro.hardware import analyze_download, decode_cycles_per_code
+
+CONFIG = LZWConfig(char_bits=2, dict_size=16, entry_bits=8)
+
+
+@pytest.fixture
+def result(sparse_stream):
+    return compress(sparse_stream, CONFIG)
+
+
+class TestDecodeCycles:
+    def test_one_entry_per_code(self, result):
+        cycles = decode_cycles_per_code(result.compressed)
+        assert len(cycles) == result.compressed.num_codes
+
+    def test_cost_structure(self, result):
+        cycles = decode_cycles_per_code(
+            result.compressed, lookup_cycles=0, write_cycles=0
+        )
+        expected = [
+            chars * CONFIG.char_bits for chars in result.compressed.expansion_chars
+        ]
+        assert cycles == expected
+
+    def test_write_charged_after_first_code(self, result):
+        no_write = decode_cycles_per_code(result.compressed, write_cycles=0)
+        with_write = decode_cycles_per_code(result.compressed, write_cycles=1)
+        assert with_write[0] == no_write[0]  # first code allocates nothing
+        diffs = [w - n for w, n in zip(with_write, no_write)]
+        assert all(d in (0, 1) for d in diffs)
+
+    def test_missing_expansions_rejected(self):
+        from repro.core import CompressedStream
+
+        cs = CompressedStream((0, 1), CONFIG, 4)
+        with pytest.raises(ValueError, match="expansion_chars"):
+            decode_cycles_per_code(cs)
+
+
+class TestAnalyzeDownload:
+    def test_report_fields(self, result):
+        report = analyze_download(result.compressed, 10)
+        assert report.original_bits == result.original_bits
+        assert report.compressed_bits == result.compressed_bits
+        assert report.clock_ratio == 10
+        assert report.baseline_tester_cycles == result.original_bits
+        assert report.memory.words == CONFIG.dict_size
+
+    def test_improvement_definition(self, result):
+        report = analyze_download(result.compressed, 10)
+        expected = 1 - report.tester_cycles / report.original_bits
+        assert report.improvement == pytest.approx(expected)
+        assert report.improvement_percent == pytest.approx(100 * expected)
+
+    def test_invalid_ratio(self, result):
+        with pytest.raises(ValueError):
+            analyze_download(result.compressed, 0)
+
+    def test_serial_lower_bound(self, result):
+        """Serial time is at least download + decode/k."""
+        report = analyze_download(result.compressed, 4)
+        per_code = decode_cycles_per_code(result.compressed)
+        lower = result.compressed_bits + sum(per_code) / 4
+        assert report.tester_cycles >= lower - 1
+
+    def test_serial_improvement_tends_to_ratio_minus_1_over_k(self, result):
+        """The Table 2 asymptotic: improvement = ratio - 1/k minus
+        bounded per-code overheads (padding and tester-edge alignment)."""
+        k = 10
+        report = analyze_download(
+            result.compressed, k, lookup_cycles=0, write_cycles=0
+        )
+        orig = result.original_bits
+        codes = result.compressed.num_codes
+        upper = result.ratio - 1 / k
+        lower = upper - CONFIG.char_bits / (k * orig) - (codes + 1) / orig
+        assert lower - 1e-9 <= report.improvement <= upper + 1e-9
+
+    def test_buffered_beats_serial(self, result):
+        for k in (2, 4, 10):
+            serial = analyze_download(result.compressed, k).tester_cycles
+            buffered = analyze_download(
+                result.compressed, k, double_buffered=True
+            ).tester_cycles
+            assert buffered <= serial
+
+    def test_empty_stream(self):
+        from repro.core import CompressedStream
+
+        cs = CompressedStream((), CONFIG, 0, ())
+        report = analyze_download(cs, 4)
+        assert report.tester_cycles == 0
+        assert report.improvement == 0.0
+
+
+class TestParallelChains:
+    def _multichain(self, n_chains):
+        from repro.core import compress_per_chain, partition_chains
+        from repro.workloads import build_testset
+
+        ts = build_testset("s9234f", scale=0.1)
+        chains = partition_chains(ts, n_chains)
+        return ts, compress_per_chain(ts, chains, CONFIG)
+
+    def test_maximises_over_chains(self):
+        from repro.hardware import analyze_download, analyze_parallel_chains
+
+        _ts, mc = self._multichain(3)
+        streams = [r.compressed for r in mc.results]
+        report = analyze_parallel_chains(streams, 8)
+        singles = [analyze_download(s, 8).tester_cycles for s in streams]
+        assert report.tester_cycles == max(singles)
+        assert report.baseline_tester_cycles == max(
+            s.original_bits for s in streams
+        )
+
+    def test_parallel_baseline_shrinks_with_chains(self):
+        from repro.hardware import analyze_parallel_chains
+
+        _ts2, two = self._multichain(2)
+        _ts4, four = self._multichain(4)
+        rep2 = analyze_parallel_chains([r.compressed for r in two.results], 8)
+        rep4 = analyze_parallel_chains([r.compressed for r in four.results], 8)
+        assert rep4.baseline_tester_cycles < rep2.baseline_tester_cycles
+
+    def test_memory_sums_over_engines(self):
+        from repro.hardware import MemoryRequirements, analyze_parallel_chains
+
+        _ts, mc = self._multichain(3)
+        report = analyze_parallel_chains(
+            [r.compressed for r in mc.results], 8
+        )
+        per_engine = MemoryRequirements.for_config(CONFIG).total_bits
+        assert report.total_memory_bits == 3 * per_engine
+
+    def test_empty(self):
+        from repro.hardware import analyze_parallel_chains
+
+        report = analyze_parallel_chains([], 8)
+        assert report.tester_cycles == 0
+        assert report.improvement == 0.0

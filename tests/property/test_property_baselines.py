@@ -1,0 +1,95 @@
+"""Property-based tests of the baseline compressors.
+
+Every scheme shares one contract: the stream it reproduces must be fully
+specified, cover the original cubes, and its reported size must match
+its serialised bit stream.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines import (
+    AlternatingRLECompressor,
+    GolombCompressor,
+    LZ77Compressor,
+    LZ77Config,
+    RLEConfig,
+    SelectiveHuffmanCompressor,
+    decode_lz77,
+    decode_rle,
+    decode_selective_huffman,
+)
+from repro.baselines.golomb import _zero_runs, decode_golomb, encode_golomb
+from repro.baselines.huffman import HuffmanConfig
+from repro.baselines.lz77 import encode_tokens
+from repro.baselines.rle import _runs, encode_rle
+from repro.bitstream import TernaryVector
+
+streams = st.text(alphabet="01X", min_size=1, max_size=300).map(TernaryVector)
+
+
+@given(stream=streams)
+@settings(max_examples=80, deadline=None)
+def test_lz77_roundtrip_covers(stream):
+    config = LZ77Config(offset_bits=6, length_bits=4)
+    result = LZ77Compressor(config).compress(stream)
+    assert result.assigned_stream.is_fully_specified
+    assert result.verify(stream)
+    bits = encode_tokens(result.extra["token_list"], config)
+    assert len(bits) == result.compressed_bits
+    decoded = decode_lz77(bits, config, len(stream))
+    assert decoded == result.assigned_stream
+
+
+@given(stream=streams)
+@settings(max_examples=80, deadline=None)
+def test_golomb_roundtrip_covers(stream):
+    result = GolombCompressor().compress(stream)
+    assert result.verify(stream)
+    m = result.extra["m"]
+    runs = _zero_runs(result.assigned_stream)
+    bits = encode_golomb(runs, m)
+    assert len(bits) == result.compressed_bits
+    decoded = decode_golomb(bits, m, len(stream))
+    assert decoded == result.assigned_stream
+
+
+@given(stream=streams)
+@settings(max_examples=80, deadline=None)
+def test_rle_roundtrip_covers(stream):
+    config = RLEConfig(length_bits=4)
+    result = AlternatingRLECompressor(config).compress(stream)
+    assert result.verify(stream)
+    runs = _runs(result.assigned_stream)
+    bits = encode_rle(runs, config)
+    assert len(bits) == result.compressed_bits
+    decoded = decode_rle(bits, config, len(stream))
+    assert decoded == result.assigned_stream
+
+
+@given(stream=streams)
+@settings(max_examples=60, deadline=None)
+def test_huffman_roundtrip_covers(stream):
+    config = HuffmanConfig(block_bits=4, coded_patterns=6)
+    result = SelectiveHuffmanCompressor(config).compress(stream)
+    assert result.verify(stream)
+    bits = result.extra["bits"]
+    assert len(bits) == result.compressed_bits
+    decoded = decode_selective_huffman(
+        bits, result.extra["codes"], config, len(stream)
+    )
+    assert decoded == result.assigned_stream
+
+
+@given(stream=streams)
+@settings(max_examples=60, deadline=None)
+def test_all_schemes_preserve_length(stream):
+    for comp in (
+        LZ77Compressor(LZ77Config(offset_bits=6, length_bits=4)),
+        GolombCompressor(),
+        AlternatingRLECompressor(RLEConfig(length_bits=4)),
+        SelectiveHuffmanCompressor(HuffmanConfig(block_bits=4)),
+    ):
+        result = comp.compress(stream)
+        assert len(result.assigned_stream) == len(stream)
+        assert result.original_bits == len(stream)

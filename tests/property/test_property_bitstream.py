@@ -1,0 +1,144 @@
+"""Property-based tests of the ternary-vector substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.bitstream import BitReader, BitWriter, TernaryVector, to_characters
+
+vectors = st.text(alphabet="01X", max_size=300).map(TernaryVector)
+nonempty = st.text(alphabet="01X", min_size=1, max_size=300).map(TernaryVector)
+
+
+@given(v=vectors)
+def test_string_roundtrip(v):
+    assert TernaryVector(str(v)) == v
+
+
+@given(v=vectors)
+def test_mask_roundtrip(v):
+    back = TernaryVector.from_masks(v.value_mask, v.care_mask, len(v))
+    assert back == v
+
+
+@given(a=vectors, b=vectors)
+def test_concat_lengths_and_slices(a, b):
+    joined = a + b
+    assert len(joined) == len(a) + len(b)
+    assert joined[: len(a)] == a
+    assert joined[len(a):] == b
+
+
+@given(v=vectors, data=st.data())
+def test_slice_concat_identity(v, data):
+    cut = data.draw(st.integers(min_value=0, max_value=len(v)))
+    assert v[:cut] + v[cut:] == v
+
+
+@given(v=vectors)
+def test_counts_are_consistent(v):
+    assert v.care_count + v.x_count == len(v)
+    assert v.care_count == sum(1 for b in v if b is not None)
+
+
+@given(v=vectors)
+def test_fill_covers_original(v):
+    for filled in (v.fill(0), v.fill(1), v.fill_repeat_last(), v.fill_random()):
+        assert filled.is_fully_specified
+        assert filled.covers(v)
+        assert filled.compatible(v)
+
+
+@given(v=vectors)
+def test_covers_is_reflexive_on_specified(v):
+    filled = v.fill(0)
+    assert filled.covers(filled)
+    assert v.compatible(v)
+
+
+@given(a=vectors, b=vectors)
+def test_compatible_symmetric(a, b):
+    assert a.compatible(b) == b.compatible(a)
+
+
+@given(a=nonempty, data=st.data())
+def test_merge_covers_both(a, data):
+    # Build b compatible with a by relaxing/extending a's bits.
+    bits = []
+    for bit in a:
+        choice = data.draw(st.integers(min_value=0, max_value=2))
+        if bit is None:
+            bits.append(None if choice == 0 else choice - 1)
+        else:
+            bits.append(None if choice == 0 else bit)
+    b = TernaryVector(bits)
+    assert a.compatible(b)
+    m = a.merge(b)
+    assert m.care_mask == (a.care_mask | b.care_mask)
+    for filled in (m.fill(0), m.fill(1)):
+        assert filled.covers(a)
+        assert filled.covers(b)
+
+
+@given(v=nonempty, width=st.integers(min_value=1, max_value=16))
+def test_chunks_reassemble(v, width):
+    chunks = v.chunks(width)
+    assert TernaryVector.concat_all(chunks) == v
+    assert all(len(c) == width for c in chunks[:-1])
+
+
+@given(v=vectors, width=st.integers(min_value=1, max_value=16))
+def test_to_characters_pads_with_x(v, width):
+    chars = to_characters(v, width)
+    assert all(len(c) == width for c in chars)
+    total = sum(len(c) for c in chars)
+    assert total >= len(v)
+    assert total - len(v) < width
+    # Padded bits are X: reassembly restricted to the original length
+    # equals the original.
+    joined = TernaryVector.concat_all(chars)
+    assert joined[: len(v)] == v
+    assert joined[len(v):].x_count == total - len(v)
+
+
+@given(
+    fields=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**16 - 1),
+            st.integers(min_value=16, max_value=20),
+        ),
+        max_size=50,
+    )
+)
+def test_bitio_roundtrip(fields):
+    writer = BitWriter()
+    for value, width in fields:
+        writer.write(value, width)
+    reader = BitReader(writer.getbits())
+    for value, width in fields:
+        assert reader.read(width) == value
+    assert reader.exhausted
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=40), max_size=30),
+    stop=st.integers(min_value=0, max_value=1),
+)
+def test_unary_roundtrip(values, stop):
+    writer = BitWriter()
+    for v in values:
+        writer.write_unary(v, stop_bit=stop)
+    reader = BitReader(writer.getbits())
+    for v in values:
+        assert reader.read_unary(stop_bit=stop) == v
+    assert reader.exhausted
+
+
+@given(fields=st.lists(st.integers(min_value=0, max_value=255), max_size=40))
+def test_bytes_roundtrip(fields):
+    writer = BitWriter()
+    for value in fields:
+        writer.write(value, 8)
+    data = writer.to_bytes()
+    reader = BitReader.from_bytes(data, writer.bit_length)
+    for value in fields:
+        assert reader.read(8) == value

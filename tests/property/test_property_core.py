@@ -1,0 +1,118 @@
+"""Property-based tests of the LZW core.
+
+The central contract: for any ternary stream and any legal
+configuration, encoding must produce codes within range, and decoding
+must reproduce a fully specified stream that *covers* the original
+(every specified bit preserved, every X resolved).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bitstream import TernaryVector
+from repro.core import (
+    CompressedStream,
+    LZWConfig,
+    LZWEncoder,
+    compress,
+    decode,
+)
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+ternary_streams = st.text(alphabet="01X", min_size=0, max_size=400).map(
+    TernaryVector
+)
+
+configs = st.builds(
+    LZWConfig,
+    char_bits=st.integers(min_value=1, max_value=5),
+    dict_size=st.sampled_from([32, 64, 256]),
+    entry_bits=st.integers(min_value=5, max_value=40),
+    policy=st.sampled_from(["first", "popular", "lookahead"]),
+    lookahead=st.integers(min_value=1, max_value=4),
+).filter(lambda c: c.dict_size >= c.base_codes and c.entry_bits >= c.char_bits)
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_covers_original(stream, config):
+    result = compress(stream, config)
+    decoded = decode(result.compressed)
+    assert len(decoded) == len(stream)
+    assert decoded.is_fully_specified
+    assert decoded.covers(stream)
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=100, deadline=None)
+def test_codes_in_range_and_accounting(stream, config):
+    result = compress(stream, config)
+    cs = result.compressed
+    assert all(0 <= code < config.dict_size for code in cs.codes)
+    assert cs.compressed_bits == len(cs.codes) * config.code_bits
+    if len(stream):
+        expected = 1.0 - cs.compressed_bits / len(stream)
+        assert abs(cs.ratio - expected) < 1e-12
+    else:
+        assert cs.codes == ()
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=100, deadline=None)
+def test_expansions_sum_to_padded_length(stream, config):
+    result = compress(stream, config)
+    cs = result.compressed
+    total_chars = -(-len(stream) // config.char_bits)
+    assert sum(cs.expansion_chars) == total_chars
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=100, deadline=None)
+def test_dictionary_respects_bounds(stream, config):
+    encoder = LZWEncoder(config)
+    encoder.encode(stream)
+    d = encoder.dictionary
+    assert len(d) <= config.dict_size
+    for _code, chars in d.iter_entries():
+        assert 2 <= len(chars) <= config.max_entry_chars
+        assert all(0 <= c < config.base_codes for c in chars)
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=80, deadline=None)
+def test_serialization_roundtrip(stream, config):
+    result = compress(stream, config)
+    bits = result.compressed.to_bits()
+    back = CompressedStream.from_bits(bits, config, len(stream))
+    assert back.codes == result.compressed.codes
+    assert decode(back) == decode(result.compressed)
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=80, deadline=None)
+def test_assigned_stream_matches_decode(stream, config):
+    result = compress(stream, config)
+    assert result.assigned_stream == decode(result.compressed)
+    assert result.verify(stream)
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=60, deadline=None)
+def test_determinism(stream, config):
+    a = compress(stream, config)
+    b = compress(stream, config)
+    assert a.compressed.codes == b.compressed.codes
+
+
+@given(
+    data=st.text(alphabet="01", min_size=1, max_size=300),
+    config=configs,
+)
+@settings(max_examples=80, deadline=None)
+def test_fully_specified_streams_decode_exactly(data, config):
+    """With no X bits there is no freedom: decode must equal the input."""
+    stream = TernaryVector(data)
+    result = compress(stream, config)
+    assert decode(result.compressed) == stream

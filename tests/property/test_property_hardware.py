@@ -1,0 +1,79 @@
+"""Property-based tests: the cycle-accurate hardware model must agree
+with the software decoder bit-for-bit and with the analytic timing model
+cycle-for-cycle, for any stream and configuration."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, compress, decode
+from repro.hardware import DecompressorModel, analyze_download
+
+streams = st.text(alphabet="01X", min_size=1, max_size=250).map(TernaryVector)
+
+configs = st.builds(
+    LZWConfig,
+    char_bits=st.integers(min_value=1, max_value=4),
+    dict_size=st.sampled_from([16, 32, 64]),
+    entry_bits=st.integers(min_value=4, max_value=24),
+).filter(lambda c: c.dict_size >= c.base_codes and c.entry_bits >= c.char_bits)
+
+
+@given(
+    stream=streams,
+    config=configs,
+    clock_ratio=st.integers(min_value=1, max_value=12),
+    double_buffered=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_hardware_model_matches_software_and_timing(
+    stream, config, clock_ratio, double_buffered
+):
+    result = compress(stream, config)
+    bits = result.compressed.to_bits()
+    model = DecompressorModel(
+        config, clock_ratio=clock_ratio, double_buffered=double_buffered
+    )
+    run = model.run(bits, len(stream))
+    assert run.scan_stream == decode(result.compressed)
+    report = analyze_download(
+        result.compressed, clock_ratio, double_buffered=double_buffered
+    )
+    assert run.tester_cycles == report.tester_cycles
+
+
+@given(stream=streams, config=configs)
+@settings(max_examples=60, deadline=None)
+def test_faster_clock_never_hurts(stream, config):
+    result = compress(stream, config)
+    previous = None
+    for k in (1, 2, 4, 8, 16):
+        cycles = analyze_download(result.compressed, k).tester_cycles
+        if previous is not None:
+            assert cycles <= previous
+        previous = cycles
+
+
+@given(stream=streams, config=configs, k=st.integers(min_value=1, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_double_buffering_never_hurts(stream, config, k):
+    result = compress(stream, config)
+    serial = analyze_download(result.compressed, k).tester_cycles
+    buffered = analyze_download(
+        result.compressed, k, double_buffered=True
+    ).tester_cycles
+    assert buffered <= serial
+
+
+@given(stream=streams, config=configs)
+@settings(max_examples=40, deadline=None)
+def test_improvement_approaches_ratio_with_buffering(stream, config):
+    """At an extreme clock ratio the double-buffered engine is download-
+    bound, so the improvement converges to the compression ratio."""
+    result = compress(stream, config)
+    report = analyze_download(
+        result.compressed, 4096, double_buffered=True
+    )
+    # One pipeline-fill code of slack, plus rounding.
+    slack_bits = config.code_bits + 1
+    assert report.tester_cycles <= result.compressed_bits + slack_bits

@@ -1,0 +1,60 @@
+"""Property-based structural checks of the generated Verilog."""
+
+import re
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, LZWEncoder, decode
+from repro.hardware import generate_decompressor, generate_testbench
+
+@st.composite
+def configs(draw):
+    char_bits = draw(st.integers(min_value=1, max_value=8))
+    dict_size = draw(
+        st.sampled_from([n for n in (16, 64, 256, 1024) if n >= 1 << char_bits])
+    )
+    entry_bits = draw(st.integers(min_value=max(8, char_bits), max_value=127))
+    return LZWConfig(
+        char_bits=char_bits, dict_size=dict_size, entry_bits=entry_bits
+    )
+
+
+@given(config=configs())
+@settings(max_examples=60, deadline=None)
+def test_rtl_structure_for_any_config(config):
+    rtl = generate_decompressor(config)
+    # Balanced structure.
+    assert len(re.findall(r"\bbegin\b", rtl)) == len(re.findall(r"\bend\b", rtl))
+    assert rtl.count("case (") == rtl.count("endcase")
+    assert rtl.count("module ") == rtl.count("endmodule")
+    # Parameters always reflect the configuration.
+    assert f"localparam integer CE        = {config.code_bits};" in rtl
+    assert f"localparam integer CC        = {config.char_bits};" in rtl
+    assert f"localparam integer DICT_SIZE = {config.dict_size};" in rtl
+    assert f"localparam integer DATA_W    = {config.entry_bits};" in rtl
+    assert (
+        f"localparam integer MAX_CHARS = {config.max_entry_chars};" in rtl
+    )
+
+
+@given(
+    text=st.text(alphabet="01X", min_size=1, max_size=60),
+    clock_ratio=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_testbench_embeds_consistent_data(text, clock_ratio):
+    config = LZWConfig(char_bits=2, dict_size=16, entry_bits=8)
+    compressed = LZWEncoder(config).encode(TernaryVector(text))
+    tb = generate_testbench(compressed, clock_ratio=clock_ratio)
+    bits = compressed.to_bits()
+    expected = decode(compressed)
+    assert f"localparam integer N_STIM   = {len(bits)};" in tb
+    assert f"localparam integer N_EXPECT = {len(expected)};" in tb
+    assert f"localparam integer RATIO    = {clock_ratio};" in tb
+    # Every stimulus/expected bit appears exactly once in the initialiser.
+    assert len(re.findall(r"stim\[\d+\] = 1'b[01];", tb)) == len(bits)
+    assert len(
+        re.findall(r"expect_bits\[\d+\] = 1'b[01];", tb)
+    ) == len(expected)

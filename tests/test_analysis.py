@@ -1,0 +1,123 @@
+"""Unit tests for the test-set analysis module."""
+
+import pytest
+
+from repro.analysis import (
+    entropy_lower_bound,
+    power_report,
+    testset_profile,
+    weighted_transition_count,
+)
+from repro.bitstream import TernaryVector
+from repro.circuit import TestSet
+
+
+@pytest.fixture
+def test_set():
+    cubes = [TernaryVector("01XX10"), TernaryVector("X11X00")]
+    return TestSet([f"c{i}" for i in range(6)], cubes, name="an")
+
+
+class TestProfile:
+    def test_counts(self, test_set):
+        profile = testset_profile(test_set)
+        assert profile.vectors == 2
+        assert profile.width == 6
+        assert profile.total_bits == 12
+        assert profile.care_bits == 8
+        assert profile.x_percent == pytest.approx(100 * 4 / 12)
+        assert profile.ones_percent_of_care == pytest.approx(100 * 4 / 8)
+
+    def test_per_cell_care(self, test_set):
+        profile = testset_profile(test_set)
+        assert profile.per_cell_care["c0"] == 1  # only the first cube
+        assert profile.per_cell_care["c1"] == 2
+        assert profile.per_cell_care["c3"] == 0
+
+    def test_hottest_cells_ranked(self, test_set):
+        profile = testset_profile(test_set)
+        assert profile.hottest_cells[0] in ("c1", "c4", "c5")
+
+    def test_adjacency_of_solid_block(self):
+        ts = TestSet(["a", "b", "c"], [TernaryVector("111")])
+        profile = testset_profile(ts)
+        assert profile.care_adjacency == pytest.approx(2 / 3)
+
+    def test_empty_set(self):
+        ts = TestSet(["a"])
+        profile = testset_profile(ts)
+        assert profile.x_percent == 0.0
+        assert profile.care_adjacency == 0.0
+
+
+class TestEntropy:
+    def test_uniform_blocks_cost_full_width(self):
+        # 256 distinct byte values once each: entropy = 8 bits/block.
+        stream_bits = []
+        for value in range(256):
+            for b in range(8):
+                stream_bits.append((value >> b) & 1)
+        cubes = [TernaryVector(stream_bits)]
+        ts = TestSet([f"c{i}" for i in range(2048)], cubes)
+        bound = entropy_lower_bound(ts, block_bits=8)
+        assert bound == pytest.approx(2048.0)
+
+    def test_constant_stream_is_free(self):
+        ts = TestSet([f"c{i}" for i in range(64)], [TernaryVector("0" * 64)])
+        assert entropy_lower_bound(ts, block_bits=8) == pytest.approx(0.0)
+
+    def test_block_bits_validated(self, test_set):
+        with pytest.raises(ValueError):
+            entropy_lower_bound(test_set, block_bits=0)
+
+    def test_bound_below_total(self, test_set):
+        bound = entropy_lower_bound(test_set, block_bits=4)
+        assert 0.0 <= bound <= test_set.total_bits
+
+
+class TestWTM:
+    def test_no_transitions(self):
+        assert weighted_transition_count(TernaryVector("0000")) == 0
+
+    def test_single_transition_weight(self):
+        # Transition between positions 0 and 1 in a 4-bit chain: weight 3.
+        assert weighted_transition_count(TernaryVector("1000")) == 3
+        # Between positions 2 and 3: weight 1.
+        assert weighted_transition_count(TernaryVector("0001")) == 1
+
+    def test_alternating_is_maximal(self):
+        n = 8
+        wtm = weighted_transition_count(TernaryVector("01" * (n // 2)))
+        assert wtm == sum(range(1, n))
+
+    def test_requires_fully_specified(self):
+        with pytest.raises(ValueError):
+            weighted_transition_count(TernaryVector("0X1"))
+
+
+class TestPowerReport:
+    def test_standard_fills_present(self, test_set):
+        report = power_report(test_set)
+        assert set(report.wtm) == {"zero", "one", "repeat"}
+
+    def test_repeat_fill_never_worse_than_alternating(self):
+        cubes = [TernaryVector("1XXXXXX0")] * 4
+        ts = TestSet([f"c{i}" for i in range(8)], cubes)
+        report = power_report(ts)
+        # repeat-fill bridges the gap with constant runs.
+        assert report.wtm["repeat"] <= report.wtm["zero"]
+
+    def test_custom_assignment(self, test_set):
+        assigned = test_set.to_stream().fill(0)
+        report = power_report(test_set, {"custom": assigned})
+        assert report.wtm["custom"] == report.wtm["zero"]
+        assert report.overhead_percent("custom", baseline="zero") == 0.0
+
+    def test_assignment_width_checked(self, test_set):
+        with pytest.raises(ValueError, match="bits"):
+            power_report(test_set, {"bad": TernaryVector("01")})
+
+    def test_overhead_zero_baseline(self):
+        ts = TestSet(["a"], [TernaryVector("0")])
+        report = power_report(ts)
+        assert report.overhead_percent("zero", baseline="repeat") == 0.0

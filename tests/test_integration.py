@@ -1,0 +1,100 @@
+"""End-to-end integration tests.
+
+The system-level contract of the whole paper: running ATPG, compressing
+the cube stream, shipping it through the (modelled) hardware
+decompressor, and applying the reconstructed vectors to the scan chain
+must detect every fault the original cubes detected — while the
+download got cheaper whenever the test set is big enough to amortise
+the dictionary.
+"""
+
+import pytest
+
+from repro.atpg import fault_simulate, generate_tests, parallel_fault_simulate
+from repro.baselines import (
+    GolombCompressor,
+    LZ77Compressor,
+    LZWCompressorAdapter,
+)
+from repro.circuit import TestSet, load_builtin, random_circuit
+from repro.circuit.faults import collapse_faults
+from repro.core import LZWConfig, compress
+from repro.hardware import DecompressorModel, analyze_download
+from repro.workloads import build_testset
+
+
+@pytest.fixture(scope="module")
+def flow():
+    """ATPG on a mid-size synthetic circuit: the paper's Figure 1 box."""
+    circuit = random_circuit("soc_core", 16, 24, 220, seed=13)
+    atpg = generate_tests(circuit)
+    return circuit, atpg
+
+
+class TestAtpgToHardwareFlow:
+    def test_coverage_preserved_through_compression(self, flow):
+        circuit, atpg = flow
+        view = circuit.combinational_view()
+        stream = atpg.test_set.to_stream()
+        config = LZWConfig(char_bits=7, dict_size=512, entry_bits=63)
+        result = compress(stream, config)
+
+        # Ship through the cycle-accurate hardware model.
+        hw = DecompressorModel(config, clock_ratio=10)
+        run = hw.run(result.compressed.to_bits(), len(stream))
+        assert run.scan_stream.covers(stream)
+
+        # Re-vectorise the scan stream and fault-simulate.
+        reconstructed = TestSet.from_stream(
+            run.scan_stream, atpg.test_set.input_names
+        )
+        faults = collapse_faults(circuit)
+        before = fault_simulate(view, list(atpg.test_set), faults)
+        after = parallel_fault_simulate(view, list(reconstructed), faults)
+        assert set(before.detected) <= set(after.detected)
+
+    def test_compression_beneficial_on_real_cubes(self, flow):
+        """Genuine ATPG cubes compress, provided the configuration is
+        sized to the (small) test set — a 9-bit-code dictionary cannot
+        amortise over two kilobits, which is itself the Table 3 lesson
+        that the dictionary size must track the test size."""
+        _circuit, atpg = flow
+        stream = atpg.test_set.to_stream()
+        config = LZWConfig(char_bits=5, dict_size=128, entry_bits=40)
+        result = compress(stream, config)
+        assert result.ratio > 0.1
+        report = analyze_download(
+            result.compressed, 10, double_buffered=True
+        )
+        assert report.improvement > 0.0
+
+    def test_builtin_s27_flow(self):
+        circuit = load_builtin("s27")
+        atpg = generate_tests(circuit)
+        stream = atpg.test_set.to_stream()
+        config = LZWConfig(char_bits=2, dict_size=16, entry_bits=8)
+        result = compress(stream, config)
+        assert result.verify(stream)
+
+
+class TestBaselineShootout:
+    def test_all_schemes_cover_on_matched_workload(self):
+        stream = build_testset("s9234f", scale=0.15).to_stream()
+        config = LZWConfig(char_bits=7, dict_size=1024, entry_bits=63)
+        for comp in (
+            LZWCompressorAdapter(config),
+            LZ77Compressor(),
+            GolombCompressor(),
+        ):
+            result = comp.compress(stream)
+            assert result.verify(stream), result.scheme
+
+    def test_lzw_wins_at_full_amortisation(self):
+        """Table 1's headline on the highest-X circuit, small scale: LZW
+        must beat the Golomb RLE baseline."""
+        stream = build_testset("s13207f", scale=0.3).to_stream()
+        config = LZWConfig(char_bits=7, dict_size=1024, entry_bits=63)
+        lzw = LZWCompressorAdapter(config).compress(stream)
+        rle = GolombCompressor().compress(stream)
+        assert lzw.ratio > 0.6
+        assert rle.ratio > 0.5

@@ -1,0 +1,71 @@
+"""Unit tests for the test-vector file format."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.circuit import TestSet
+from repro.testfile import (
+    format_test_text,
+    parse_test_text,
+    read_test_file,
+    write_test_file,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        ts = parse_test_text("01X\nX10\n")
+        assert len(ts) == 2
+        assert ts.width == 3
+        assert ts.input_names == ["sc0", "sc1", "sc2"]
+
+    def test_comments_and_blanks(self):
+        ts = parse_test_text("# hi\n\n01X\n# mid\nX10\n")
+        assert len(ts) == 2
+
+    def test_inputs_header(self):
+        ts = parse_test_text("# inputs: a b c\n01X\n")
+        assert ts.input_names == ["a", "b", "c"]
+
+    def test_inputs_header_width_mismatch(self):
+        with pytest.raises(ValueError, match="wide"):
+            parse_test_text("# inputs: a b\n01X\n")
+
+    def test_dash_reads_as_x(self):
+        ts = parse_test_text("0-1\n")
+        assert ts.cubes[0] == TernaryVector("0X1")
+
+    def test_ragged_vectors_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            parse_test_text("01\n010\n")
+
+    def test_bad_character(self):
+        with pytest.raises(ValueError, match=":2:"):
+            parse_test_text("01\n02\n", name="f")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no test vectors"):
+            parse_test_text("# nothing\n")
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        ts = TestSet(["a", "b"], [TernaryVector("0X"), TernaryVector("11")])
+        text = format_test_text(ts)
+        back = parse_test_text(text)
+        assert back.cubes == ts.cubes
+        assert back.input_names == ["a", "b"]
+
+    def test_no_header(self):
+        ts = TestSet(["a"], [TernaryVector("1")])
+        assert format_test_text(ts, header=False) == "1\n"
+
+
+class TestFiles:
+    def test_disk_roundtrip(self, tmp_path):
+        ts = TestSet(["a", "b", "c"], [TernaryVector("01X")], name="demo")
+        path = tmp_path / "demo.test"
+        write_test_file(ts, path)
+        back = read_test_file(path)
+        assert back.cubes == ts.cubes
+        assert back.name == "demo"

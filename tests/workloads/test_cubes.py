@@ -1,0 +1,93 @@
+"""Unit tests for the synthetic cube generator."""
+
+import pytest
+
+from repro.workloads import CubeProfile, profile_for, synthesize
+
+
+class TestProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CubeProfile("p", vectors=0, width=10, x_density=0.5)
+        with pytest.raises(ValueError):
+            CubeProfile("p", vectors=1, width=10, x_density=1.0)
+        with pytest.raises(ValueError):
+            CubeProfile("p", vectors=1, width=10, x_density=0.5, zipf=-1)
+        with pytest.raises(ValueError):
+            CubeProfile("p", vectors=1, width=10, x_density=0.5, ones_bias=2)
+
+    def test_derived(self):
+        p = CubeProfile("p", vectors=10, width=100, x_density=0.8)
+        assert p.total_bits == 1000
+        assert p.target_care == 20
+
+    def test_profile_for_stable_seed(self):
+        a = profile_for("s9234f", 10, 100, 0.7)
+        b = profile_for("s9234f", 10, 100, 0.7)
+        c = profile_for("other", 10, 100, 0.7)
+        assert a.seed == b.seed
+        assert a.seed != c.seed
+
+    def test_profile_for_overrides(self):
+        p = profile_for("x", 10, 100, 0.7, pool_size=3, zipf=2.5)
+        assert p.pool_size == 3
+        assert p.zipf == 2.5
+
+
+class TestSynthesize:
+    def test_shape(self):
+        ts = synthesize(CubeProfile("p", vectors=25, width=64, x_density=0.8))
+        assert len(ts) == 25
+        assert ts.width == 64
+        assert ts.name == "p"
+
+    def test_density_hits_target(self):
+        for xd in (0.35, 0.7, 0.93):
+            profile = CubeProfile("p", vectors=40, width=200, x_density=xd)
+            ts = synthesize(profile)
+            assert ts.x_density == pytest.approx(xd, abs=0.02)
+
+    def test_deterministic(self):
+        profile = CubeProfile("p", vectors=15, width=80, x_density=0.75, seed=9)
+        assert synthesize(profile).cubes == synthesize(profile).cubes
+
+    def test_seed_changes_output(self):
+        a = synthesize(CubeProfile("p", 15, 80, 0.75, seed=1))
+        b = synthesize(CubeProfile("p", 15, 80, 0.75, seed=2))
+        assert a.cubes != b.cubes
+
+    def test_template_reuse_creates_similarity(self):
+        """Vectors drawn from the same pool must be largely compatible —
+        the structural property the dictionary coder exploits."""
+        profile = CubeProfile(
+            "p", vectors=30, width=120, x_density=0.8, pool_size=2, zipf=3.0
+        )
+        cubes = synthesize(profile).cubes
+        compatible_pairs = sum(
+            1
+            for i in range(len(cubes))
+            for j in range(i + 1, len(cubes))
+            if cubes[i].compatible(cubes[j])
+        )
+        total_pairs = len(cubes) * (len(cubes) - 1) // 2
+        assert compatible_pairs > total_pairs * 0.3
+
+    def test_care_bits_cluster(self):
+        """Care bits must arrive in runs, not uniformly scattered."""
+        profile = CubeProfile(
+            "p", vectors=20, width=400, x_density=0.9, cluster_mean_len=15
+        )
+        ts = synthesize(profile)
+        adjacent = 0
+        care_total = 0
+        for cube in ts:
+            mask = cube.care_mask
+            care_total += cube.care_count
+            adjacent += bin(mask & (mask >> 1)).count("1")
+        # Uniform scattering at 10% density would give ~10% adjacency;
+        # clusters push it far higher.
+        assert adjacent > 0.4 * care_total
+
+    def test_tiny_width(self):
+        ts = synthesize(CubeProfile("p", vectors=5, width=3, x_density=0.3))
+        assert ts.width == 3

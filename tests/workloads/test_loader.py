@@ -1,0 +1,50 @@
+"""Unit tests for the workload loader."""
+
+import pytest
+
+from repro.workloads import available_workloads, build_testset, get_benchmark
+
+
+def test_available_lists_all():
+    names = available_workloads()
+    assert "s13207f" in names and "b14" in names
+    assert names == sorted(names)
+
+
+def test_build_matches_profile():
+    bench = get_benchmark("s9234f")
+    ts = build_testset("s9234f", scale=0.25)
+    assert ts.width == bench.width
+    assert len(ts) == round(bench.vectors * 0.25)
+    assert ts.x_density == pytest.approx(bench.x_density, abs=0.02)
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        build_testset("s9234f", scale=0.0)
+    with pytest.raises(ValueError):
+        build_testset("s9234f", scale=1.5)
+
+
+def test_benchmark_object_accepted():
+    bench = get_benchmark("s5378f")
+    ts = build_testset(bench, scale=0.2)
+    assert ts.name == "s5378f"
+
+
+def test_deterministic_by_default():
+    a = build_testset("s5378f", scale=0.2)
+    b = build_testset("s5378f", scale=0.2)
+    assert a.cubes == b.cubes
+
+
+def test_seed_override():
+    a = build_testset("s5378f", scale=0.2, seed=1)
+    b = build_testset("s5378f", scale=0.2, seed=2)
+    assert a.cubes != b.cubes
+
+
+def test_profile_overrides_apply():
+    # The benchmark's calibrated overrides can be overridden again.
+    ts = build_testset("s38417f", scale=0.1, pool_size=2)
+    assert len(ts) == round(get_benchmark("s38417f").vectors * 0.1)

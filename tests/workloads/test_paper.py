@@ -1,0 +1,77 @@
+"""Unit tests for the paper benchmark metadata."""
+
+import pytest
+
+from repro.workloads import (
+    BENCHMARKS,
+    TABLE1_CIRCUITS,
+    TABLE3_CIRCUITS,
+    get_benchmark,
+)
+
+
+def test_table_memberships():
+    assert set(TABLE1_CIRCUITS) <= set(TABLE3_CIRCUITS)
+    assert set(TABLE3_CIRCUITS) == set(BENCHMARKS)
+    assert len(TABLE3_CIRCUITS) == 12
+
+
+def test_mintest_sizes():
+    """The well-known MinTest set sizes the literature quotes."""
+    expected = {
+        "s5378f": 23754,
+        "s9234f": 39273,
+        "s13207f": 165200,
+        "s15850f": 76986,
+        "s38417f": 164736,
+        "s38584f": 199104,
+    }
+    for name, bits in expected.items():
+        assert get_benchmark(name).total_bits == bits
+
+
+def test_dict_sizes_are_powers_of_two():
+    for bench in BENCHMARKS.values():
+        n = bench.dict_size
+        assert n >= 2 and (n & (n - 1)) == 0
+
+
+def test_x_density_in_range():
+    for bench in BENCHMARKS.values():
+        assert 0.0 < bench.x_density < 1.0
+
+
+def test_table1_rows_have_paper_numbers():
+    for name in TABLE1_CIRCUITS:
+        bench = get_benchmark(name)
+        assert bench.paper_lzw is not None
+        assert bench.paper_lz77 is not None
+        assert bench.paper_rle is not None
+        # In the paper LZW wins every Table 1 row.
+        assert bench.paper_lzw >= bench.paper_lz77
+        assert bench.paper_lzw >= bench.paper_rle
+
+
+def test_paper_charsize_collapse_at_10_bits():
+    """Table 4: at C_C=10 with N=1024 there are no free codes."""
+    for name in TABLE1_CIRCUITS:
+        assert get_benchmark(name).paper_charsize[10] == 0.0
+
+
+def test_paper_entrysize_is_monotone_nondecreasing():
+    """Table 5: compression rises then saturates with C_MDATA."""
+    for name in TABLE1_CIRCUITS:
+        values = get_benchmark(name).paper_entrysize
+        ordered = [values[k] for k in sorted(values)]
+        for a, b in zip(ordered, ordered[1:]):
+            assert b >= a - 0.35  # saturation plateau tolerance
+
+
+def test_estimated_flags():
+    assert get_benchmark("b14").size_estimated
+    assert not get_benchmark("s13207f").size_estimated
+
+
+def test_unknown_benchmark_message():
+    with pytest.raises(KeyError, match="known:"):
+        get_benchmark("s99999")

@@ -1,0 +1,68 @@
+"""Unit tests for workload validation."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.circuit import TestSet
+from repro.workloads import build_testset, validate_testset
+from repro.workloads.cubes import CubeProfile, synthesize
+
+
+class TestAgainstBenchmarks:
+    @pytest.mark.parametrize("name", ["s9234f", "s5378f"])
+    def test_matched_sets_validate(self, name):
+        ts = build_testset(name, scale=0.3)
+        report = validate_testset(ts, name)
+        assert report.ok, report.failures()
+
+    def test_wrong_benchmark_fails_geometry(self):
+        ts = build_testset("s9234f", scale=0.3)
+        report = validate_testset(ts, "s13207f")
+        assert not report.checks["geometry"]
+        assert "geometry" in report.failures()
+
+
+class TestAgainstProfiles:
+    def test_profile_roundtrip(self):
+        profile = CubeProfile("p", vectors=30, width=120, x_density=0.8)
+        report = validate_testset(synthesize(profile), profile)
+        assert report.ok
+
+    def test_density_mismatch_detected(self):
+        profile = CubeProfile("p", vectors=30, width=120, x_density=0.8)
+        ts = synthesize(profile)
+        wrong = CubeProfile("p", vectors=30, width=120, x_density=0.5)
+        report = validate_testset(ts, wrong)
+        assert not report.checks["x_density"]
+        assert report.messages
+
+
+class TestStructureChecks:
+    def test_uniform_random_fails_clustering(self):
+        import random
+
+        rng = random.Random(0)
+        cubes = [TernaryVector.random(200, 0.9, rng) for _ in range(30)]
+        ts = TestSet([f"c{i}" for i in range(200)], cubes)
+        profile = CubeProfile("u", vectors=30, width=200, x_density=0.9)
+        report = validate_testset(ts, profile)
+        assert not report.checks["clustering"]
+
+    def test_incompatible_vectors_fail_similarity(self):
+        # Distinct fully specified random vectors: with 100 care bits a
+        # pair agrees everywhere with probability 2^-100.
+        import random
+
+        rng = random.Random(1)
+        cubes = [TernaryVector.random(100, 0.0, rng) for _ in range(20)]
+        ts = TestSet([f"c{i}" for i in range(100)], cubes)
+        profile = CubeProfile("d", vectors=20, width=100, x_density=0.01)
+        report = validate_testset(ts, profile, density_tolerance=0.05)
+        assert not report.checks["similarity"]
+        assert report.measured["conflict_fraction"] > 0.3
+
+    def test_single_vector_trivially_similar(self):
+        ts = TestSet(["a", "b"], [TernaryVector("0X")])
+        profile = CubeProfile("s", vectors=1, width=2, x_density=0.5)
+        report = validate_testset(ts, profile, min_adjacency=0.0)
+        assert report.checks["similarity"]
