@@ -19,6 +19,7 @@ from .core import (
     compress,
     decompress,
 )
+from .reliability import ReproError
 
 __version__ = "1.0.0"
 
@@ -26,6 +27,7 @@ __all__ = [
     "CompressedStream",
     "CompressionResult",
     "LZWConfig",
+    "ReproError",
     "TernaryVector",
     "X",
     "compress",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from ..reliability.errors import StreamError
+
 __all__ = ["BitWriter", "BitReader"]
 
 
@@ -97,7 +99,12 @@ class BitReader:
         if width < 0:
             raise ValueError("width must be non-negative")
         if self._pos + width > len(self._bits):
-            raise EOFError("bit stream exhausted")
+            raise StreamError(
+                "bit stream exhausted",
+                bit_offset=self._pos,
+                requested_bits=width,
+                available_bits=len(self._bits) - self._pos,
+            )
         value = 0
         for _ in range(width):
             value = (value << 1) | self._bits[self._pos]
@@ -109,10 +116,23 @@ class BitReader:
         return self.read(1)
 
     def read_unary(self, stop_bit: int = 0) -> int:
-        """Consume a unary run terminated by ``stop_bit``; return run length."""
+        """Consume a unary run terminated by ``stop_bit``; return run length.
+
+        Raises :class:`~repro.reliability.errors.StreamError` when the
+        stream ends before the terminator (an unterminated run).
+        """
+        start = self._pos
         count = 0
-        while self.read_bit() != stop_bit:
-            count += 1
+        try:
+            while self.read_bit() != stop_bit:
+                count += 1
+        except StreamError:
+            raise StreamError(
+                "unterminated unary run",
+                bit_offset=start,
+                run_length=count,
+                available_bits=len(self._bits) - start,
+            ) from None
         return count
 
     @property

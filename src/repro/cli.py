@@ -6,6 +6,7 @@ Subcommands::
     repro decompress FILE.lzwt  -o OUT.test  [--width W]
     repro atpg       FILE.bench | --builtin c17 | --random N  [-o OUT]
     repro synth      BENCHMARK  [-o OUT --scale S]
+    repro verify     FILE.lzwt  [--against FILE.test]
     repro stats      FILE  (structure, entropy bound, scan power)
     repro rtl        [-o DIR]  (generate the decompressor Verilog)
     repro table      NAME      [--scale S]
@@ -13,6 +14,12 @@ Subcommands::
 
 The CLI is a thin veneer over the library; every command prints what the
 corresponding API returns.
+
+Errors never surface as tracebacks: every typed
+:class:`~repro.reliability.errors.ReproError` (and ``OSError``) is
+reported as a one-line message on stderr with a documented exit code —
+2 for usage/configuration errors, 3 for unreadable or malformed input,
+4 for integrity failures (corrupt containers, undecodable streams).
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ from .hardware import (
     generate_decompressor,
     generate_testbench,
 )
+from .reliability import ReproError
+from .reliability.verify import verify_container
 from .testfile import read_test_file, write_test_file
 from .workloads import available_workloads, build_testset
 
@@ -96,7 +105,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         print("ERROR: decoded stream does not cover the original cubes")
         return 1
     if args.output:
-        dump_file(result.compressed, args.output)
+        dump_file(result.compressed, args.output, result.assigned_stream)
         print(f"wrote {args.output}")
     return 0
 
@@ -119,6 +128,15 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
         Path(args.output).write_text(str(stream) + "\n")
     print(f"wrote {args.output}")
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    data = Path(args.file).read_bytes()
+    original = read_test_file(args.against).to_stream() if args.against else None
+    report = verify_container(data, original)
+    print(f"{args.file}: {len(data)} bytes")
+    print(report.describe())
+    return report.exit_code
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -246,6 +264,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_decompress)
 
+    p = sub.add_parser(
+        "verify",
+        help="check a .lzwt container's integrity (exit 0 ok / 3 not a "
+        "container / 4 integrity failure)",
+    )
+    p.add_argument("file", help="container written by `repro compress -o`")
+    p.add_argument(
+        "--against",
+        metavar="VECTORS",
+        help="also check the decoded stream covers this cube file",
+    )
+    p.set_defaults(func=_cmd_verify)
+
     p = sub.add_parser("stats", help="analyse a test-vector file")
     p.add_argument("file", help="vector file (one 01X cube per line)")
     p.set_defaults(func=_cmd_stats)
@@ -286,10 +317,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point (``repro`` console script)."""
+    """Entry point (``repro`` console script).
+
+    Converts every typed library error and ``OSError`` into a one-line
+    stderr message with a documented exit code (2 usage, 3 bad input,
+    4 integrity failure) — no traceback ever reaches the operator.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except OSError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -5,17 +5,31 @@ everything the decompressor needs to be configured (the paper's
 "configurator block" parameters), in a small self-describing binary
 format so a test program can be archived and replayed.
 
-Layout (big-endian, all fixed-width)::
+Layout of format version 2 (big-endian, all fixed-width)::
 
     0   4   magic  b"LZWT"
-    4   1   format version (1)
+    4   1   format version (2)
     5   1   char_bits (C_C)
     6   4   dict_size (N)
     10  4   entry_bits (C_MDATA)
     14  8   original_bits
     22  8   payload bit count
     30  4   CRC32 of the payload bytes
-    34  ..  payload: the code stream, MSB-first, zero-padded to a byte
+    34  4   CRC32 digest of the *decoded* stream
+    38  4   CRC32 of header bytes 0..38
+    42  ..  payload: the code stream, MSB-first, zero-padded to a byte
+
+Version 1 containers (no stream digest, no header CRC — bytes 0..34
+followed by the payload) are still read.
+
+The three checksums split the failure modes cleanly:
+
+* the **header CRC** catches any flipped header field (the payload CRC
+  never covered the header);
+* the **payload CRC** catches transport corruption of the code stream;
+* the **stream digest** is computed over the *decoded* scan stream, so
+  even an adversarial corruption that fixes up both CRCs cannot decode
+  to different scan data undetected.
 
 The dynamic-assignment policy knobs are deliberately *not* stored: they
 affect only how the encoder chose the codes, never how codes decode.
@@ -26,30 +40,145 @@ from __future__ import annotations
 import struct
 import zlib
 from pathlib import Path
-from typing import Union
+from typing import NamedTuple, Optional, Tuple, Union
 
-from .bitstream import BitReader, BitWriter
-from .core import CompressedStream, LZWConfig
+from .bitstream import BitReader, BitWriter, TernaryVector
+from .core import CompressedStream, LZWConfig, decode
+from .reliability.errors import ConfigError, ContainerError
 
-__all__ = ["ContainerError", "dump_bytes", "load_bytes", "dump_file", "load_file"]
+__all__ = [
+    "ContainerError",
+    "dump_bytes",
+    "load_bytes",
+    "dump_file",
+    "load_file",
+    "stream_digest",
+]
 
 _MAGIC = b"LZWT"
-_VERSION = 1
-_HEADER = struct.Struct(">4sBBIIQQI")
+_VERSION = 2
+_HEADER_V1 = struct.Struct(">4sBBIIQQI")
+_HEADER_V2 = struct.Struct(">4sBBIIQQIII")
+
+# Field offsets of the v2 header (used by the fault injectors to build
+# checksum-consistent corruptions).
+PAYLOAD_CRC_OFFSET = 30
+STREAM_CRC_OFFSET = 34
+HEADER_CRC_OFFSET = 38
+HEADER_SIZE = _HEADER_V2.size
 
 
-class ContainerError(ValueError):
-    """Raised for malformed or corrupted container data."""
+def stream_digest(stream: TernaryVector) -> int:
+    """CRC32 digest of a fully specified decoded stream.
+
+    Covers both the bit values and the length, so a decode that produces
+    the wrong number of bits is as detectable as one producing wrong
+    values.
+    """
+    nbytes = (len(stream) + 7) // 8
+    payload = len(stream).to_bytes(8, "big") + stream.value_mask.to_bytes(
+        nbytes, "little"
+    )
+    return zlib.crc32(payload)
 
 
-def dump_bytes(compressed: CompressedStream) -> bytes:
-    """Serialise a compressed test set to container bytes."""
+class _Header(NamedTuple):
+    """Parsed container header plus the payload bytes that follow it."""
+
+    version: int
+    config: LZWConfig
+    original_bits: int
+    payload_bits: int
+    payload_crc: int
+    stream_crc: Optional[int]
+    header_crc: Optional[int]
+    header_size: int
+    payload: bytes
+
+
+def _parse_header(data: bytes) -> _Header:
+    """Parse and validate the fixed-size header (no checksum checks)."""
+    if len(data) < 5:
+        raise ContainerError("truncated container header", byte_offset=len(data))
+    if data[:4] != _MAGIC:
+        raise ContainerError(f"bad magic {data[:4]!r}", byte_offset=0, field="magic")
+    version = data[4]
+    if version == 1:
+        header_struct = _HEADER_V1
+    elif version == _VERSION:
+        header_struct = _HEADER_V2
+    else:
+        raise ContainerError(
+            f"unsupported container version {version}",
+            byte_offset=4,
+            field="version",
+        )
+    if len(data) < header_struct.size:
+        raise ContainerError(
+            "truncated container header",
+            byte_offset=len(data),
+            field="header",
+        )
+    fields = header_struct.unpack_from(data)
+    stream_crc: Optional[int] = None
+    header_crc: Optional[int] = None
+    if version == 1:
+        _, _, char_bits, dict_size, entry_bits, original_bits, payload_bits, crc = (
+            fields
+        )
+    else:
+        (
+            _,
+            _,
+            char_bits,
+            dict_size,
+            entry_bits,
+            original_bits,
+            payload_bits,
+            crc,
+            stream_crc,
+            header_crc,
+        ) = fields
+    try:
+        config = LZWConfig(
+            char_bits=char_bits, dict_size=dict_size, entry_bits=entry_bits
+        )
+    except ConfigError as exc:
+        raise ContainerError(
+            f"invalid configuration in header: {exc.message}",
+            field=getattr(exc, "field", None),
+        ) from None
+    return _Header(
+        version=version,
+        config=config,
+        original_bits=original_bits,
+        payload_bits=payload_bits,
+        payload_crc=crc,
+        stream_crc=stream_crc,
+        header_crc=header_crc,
+        header_size=header_struct.size,
+        payload=data[header_struct.size :],
+    )
+
+
+def dump_bytes(
+    compressed: CompressedStream, stream: Optional[TernaryVector] = None
+) -> bytes:
+    """Serialise a compressed test set to container bytes.
+
+    ``stream`` may supply the already-decoded scan stream (e.g. a
+    :class:`~repro.core.pipeline.CompressionResult`'s
+    ``assigned_stream``) to avoid re-decoding when computing the stream
+    digest; when omitted the codes are decoded here.
+    """
     writer = BitWriter()
     width = compressed.config.code_bits
     for code in compressed.codes:
         writer.write(code, width)
     payload = writer.to_bytes()
-    header = _HEADER.pack(
+    if stream is None:
+        stream = decode(compressed)
+    header_wo_crc = _HEADER_V2.pack(
         _MAGIC,
         _VERSION,
         compressed.config.char_bits,
@@ -58,56 +187,90 @@ def dump_bytes(compressed: CompressedStream) -> bytes:
         compressed.original_bits,
         writer.bit_length,
         zlib.crc32(payload),
+        stream_digest(stream),
+        0,
     )
+    header_crc = zlib.crc32(header_wo_crc[:HEADER_CRC_OFFSET])
+    header = header_wo_crc[:HEADER_CRC_OFFSET] + struct.pack(">I", header_crc)
     return header + payload
 
 
-def load_bytes(data: bytes) -> CompressedStream:
-    """Parse container bytes back into a :class:`CompressedStream`."""
-    if len(data) < _HEADER.size:
-        raise ContainerError("truncated container header")
-    (
-        magic,
-        version,
-        char_bits,
-        dict_size,
-        entry_bits,
-        original_bits,
-        payload_bits,
-        crc,
-    ) = _HEADER.unpack_from(data)
-    if magic != _MAGIC:
-        raise ContainerError(f"bad magic {magic!r}")
-    if version != _VERSION:
-        raise ContainerError(f"unsupported container version {version}")
-    payload = data[_HEADER.size :]
-    if zlib.crc32(payload) != crc:
-        raise ContainerError("payload CRC mismatch (corrupted container)")
-    try:
-        config = LZWConfig(
-            char_bits=char_bits, dict_size=dict_size, entry_bits=entry_bits
-        )
-    except ValueError as exc:
-        raise ContainerError(f"invalid configuration in header: {exc}") from None
-    if payload_bits > len(payload) * 8:
-        raise ContainerError("declared payload length exceeds data")
-    if payload_bits % config.code_bits:
-        raise ContainerError("payload is not a whole number of codes")
+def _read_codes(payload: bytes, payload_bits: int, config: LZWConfig) -> Tuple[int, ...]:
     reader = BitReader.from_bytes(payload, payload_bits)
     codes = []
     while not reader.exhausted:
         codes.append(reader.read(config.code_bits))
+    return tuple(codes)
+
+
+def load_bytes(data: bytes, verify: bool = True) -> CompressedStream:
+    """Parse container bytes back into a :class:`CompressedStream`.
+
+    With ``verify`` (the default) a version-2 container's decoded stream
+    is checked against the stored digest, which catches corruptions that
+    preserve both CRCs; pass ``verify=False`` to skip the extra decode
+    when the caller decodes (and therefore validates) the stream anyway.
+    """
+    header = _parse_header(data)
+    if header.header_crc is not None:
+        actual = zlib.crc32(data[:HEADER_CRC_OFFSET])
+        if actual != header.header_crc:
+            raise ContainerError(
+                "header CRC mismatch (corrupted header)",
+                byte_offset=HEADER_CRC_OFFSET,
+                expected=header.header_crc,
+                actual=actual,
+            )
+    payload = header.payload
+    actual_payload_crc = zlib.crc32(payload)
+    if actual_payload_crc != header.payload_crc:
+        raise ContainerError(
+            "payload CRC mismatch (corrupted container)",
+            byte_offset=PAYLOAD_CRC_OFFSET,
+            expected=header.payload_crc,
+            actual=actual_payload_crc,
+        )
+    config = header.config
+    if header.payload_bits > len(payload) * 8:
+        raise ContainerError(
+            "declared payload length exceeds data",
+            field="payload_bits",
+            expected=header.payload_bits,
+            actual=len(payload) * 8,
+        )
+    if header.payload_bits % config.code_bits:
+        raise ContainerError(
+            "payload is not a whole number of codes",
+            field="payload_bits",
+            expected=config.code_bits,
+            actual=header.payload_bits,
+        )
+    codes = _read_codes(payload, header.payload_bits, config)
     try:
-        return CompressedStream(tuple(codes), config, original_bits)
+        compressed = CompressedStream(codes, config, header.original_bits)
     except ValueError as exc:
         raise ContainerError(str(exc)) from None
+    if verify and header.stream_crc is not None:
+        actual_digest = stream_digest(decode(compressed))
+        if actual_digest != header.stream_crc:
+            raise ContainerError(
+                "decoded stream digest mismatch (tampered payload)",
+                byte_offset=STREAM_CRC_OFFSET,
+                expected=header.stream_crc,
+                actual=actual_digest,
+            )
+    return compressed
 
 
-def dump_file(compressed: CompressedStream, path: Union[str, Path]) -> None:
-    """Write a container file."""
-    Path(path).write_bytes(dump_bytes(compressed))
+def dump_file(
+    compressed: CompressedStream,
+    path: Union[str, Path],
+    stream: Optional[TernaryVector] = None,
+) -> None:
+    """Write a container file (``stream`` as in :func:`dump_bytes`)."""
+    Path(path).write_bytes(dump_bytes(compressed, stream))
 
 
-def load_file(path: Union[str, Path]) -> CompressedStream:
+def load_file(path: Union[str, Path], verify: bool = True) -> CompressedStream:
     """Read a container file."""
-    return load_bytes(Path(path).read_bytes())
+    return load_bytes(Path(path).read_bytes(), verify=verify)

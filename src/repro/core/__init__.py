@@ -1,7 +1,7 @@
 """The paper's contribution: don't-care-aware LZW test compression."""
 
-from .config import LZWConfig, POLICIES
-from .decoder import LZWDecodeError, decode, decode_codes
+from .config import ConfigError, LZWConfig, POLICIES
+from .decoder import DecodeError, LZWDecodeError, decode, decode_codes, iter_decode
 from .dictionary import LZWDictionary
 from .dontcare import STATIC_FILLS, ChildSelector, static_fill
 from .encoder import CompressedStream, EncodeStats, LZWEncoder
@@ -28,6 +28,8 @@ __all__ = [
     "ChildSelector",
     "CompressedStream",
     "CompressionResult",
+    "ConfigError",
+    "DecodeError",
     "EncodeStats",
     "LZWConfig",
     "LZWDecodeError",
@@ -47,6 +49,7 @@ __all__ = [
     "decode_codes",
     "decompress",
     "geometric_mean",
+    "iter_decode",
     "static_fill",
     "x_density_percent",
 ]

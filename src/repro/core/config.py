@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["LZWConfig", "POLICIES"]
+from ..reliability.errors import ConfigError
+
+__all__ = ["ConfigError", "LZWConfig", "POLICIES"]
 
 #: Recognised dynamic-assignment policies (see :mod:`repro.core.dontcare`).
 POLICIES = ("first", "popular", "lookahead")
@@ -65,23 +67,45 @@ class LZWConfig:
 
     def __post_init__(self) -> None:
         if self.char_bits < 1:
-            raise ValueError("char_bits must be >= 1")
+            raise ConfigError(
+                "char_bits must be >= 1", field="char_bits", value=self.char_bits
+            )
         if self.char_bits > 16:
-            raise ValueError("char_bits above 16 is not supported")
+            raise ConfigError(
+                "char_bits above 16 is not supported",
+                field="char_bits",
+                value=self.char_bits,
+            )
         if self.dict_size < self.base_codes:
-            raise ValueError(
+            raise ConfigError(
                 f"dict_size ({self.dict_size}) must cover the "
                 f"{self.base_codes} base codes of a {self.char_bits}-bit "
-                f"character"
+                f"character",
+                field="dict_size",
+                value=self.dict_size,
             )
         if self.entry_bits < self.char_bits:
-            raise ValueError("entry_bits must hold at least one character")
+            raise ConfigError(
+                "entry_bits must hold at least one character",
+                field="entry_bits",
+                value=self.entry_bits,
+            )
         if self.policy not in POLICIES:
-            raise ValueError(f"unknown policy {self.policy!r}; pick from {POLICIES}")
+            raise ConfigError(
+                f"unknown policy {self.policy!r}; pick from {POLICIES}",
+                field="policy",
+                value=self.policy,
+            )
         if self.lookahead < 1:
-            raise ValueError("lookahead must be >= 1")
+            raise ConfigError(
+                "lookahead must be >= 1", field="lookahead", value=self.lookahead
+            )
         if self.lookahead_budget < 1:
-            raise ValueError("lookahead_budget must be >= 1")
+            raise ConfigError(
+                "lookahead_budget must be >= 1",
+                field="lookahead_budget",
+                value=self.lookahead_budget,
+            )
 
     @property
     def base_codes(self) -> int:

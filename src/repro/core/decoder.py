@@ -8,30 +8,39 @@ the encoder obeyed — and reproduces the fully specified scan stream.
 The special "code references the entry being created" case (the paper's
 Figure 4f, classic LZW's KwKwK case) is handled explicitly.
 
+The decode loop is exposed incrementally as :func:`iter_decode` so the
+salvage decoder (:mod:`repro.reliability.salvage`) can recover the
+longest decodable prefix of a corrupted stream; :func:`decode_codes`
+is the strict all-or-nothing wrapper.  Failures raise
+:class:`~repro.reliability.errors.DecodeError` carrying the code index,
+the bit offset of the code in the packed payload and the dictionary
+state at the failure point.
+
 The cycle-accurate model lives in :mod:`repro.hardware.decompressor`;
 both must agree bit-for-bit, which the test suite checks.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..bitstream import TernaryVector
+from ..reliability.errors import DecodeError
 from .config import LZWConfig
 from .encoder import CompressedStream
 
-__all__ = ["LZWDecodeError", "decode", "decode_codes"]
+__all__ = ["DecodeError", "LZWDecodeError", "decode", "decode_codes", "iter_decode"]
 
-
-class LZWDecodeError(ValueError):
-    """Raised when a code stream is not decodable under its configuration."""
+#: Backwards-compatible name for the typed decode failure.
+LZWDecodeError = DecodeError
 
 
 def decode(compressed: CompressedStream) -> TernaryVector:
     """Decode a :class:`CompressedStream` back to a fully specified stream.
 
     The result is truncated to ``compressed.original_bits`` (the encoder
-    pads the final character with don't-cares).
+    pads the final character with don't-cares).  An empty code stream
+    with ``original_bits == 0`` decodes to the empty vector.
     """
     chars = decode_codes(compressed.codes, compressed.config)
     return _chars_to_stream(chars, compressed.config, compressed.original_bits)
@@ -43,14 +52,33 @@ def decode_codes(codes: Sequence[int], config: LZWConfig) -> List[int]:
     Pure-function core shared by :func:`decode` and the tests that
     cross-check the hardware model.
     """
+    out: List[int] = []
+    for _index, chars in iter_decode(codes, config):
+        out.extend(chars)
+    return out
+
+
+def iter_decode(
+    codes: Sequence[int], config: LZWConfig
+) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+    """Decode incrementally, yielding ``(code_index, characters)`` pairs.
+
+    Each yielded tuple is the expansion of ``codes[code_index]``; the
+    dictionary is updated between yields exactly as the hardware would.
+    Raising happens *before* the offending code contributes any output,
+    so a consumer that stops at the first :class:`DecodeError` holds
+    precisely the longest decodable prefix.
+    """
     if not codes:
-        return []
+        return
 
     n_base = config.base_codes
     max_chars = config.max_entry_chars
     capacity = config.dict_size
+    code_bits = config.code_bits
     # Allocated entries only; base code ``c`` decodes to ``(c,)`` implicitly.
     strings: List[Tuple[int, ...]] = []
+    chars_decoded = 0
 
     def lookup(code: int) -> Tuple[int, ...]:
         if code < n_base:
@@ -60,16 +88,21 @@ def decode_codes(codes: Sequence[int], config: LZWConfig) -> List[int]:
     def next_code() -> int:
         return n_base + len(strings)
 
-    out: List[int] = []
     first = codes[0]
-    if first >= n_base:
-        raise LZWDecodeError(
-            f"first code {first} must be a base code (< {n_base})"
+    if not 0 <= first < n_base:
+        raise DecodeError(
+            f"first code {first} must be a base code (< {n_base})",
+            code_index=0,
+            code=first,
+            bit_offset=0,
+            dict_next_code=n_base,
+            chars_decoded=0,
         )
     prev = (first,)
-    out.extend(prev)
+    yield 0, prev
+    chars_decoded = 1
 
-    for code in codes[1:]:
+    for index, code in enumerate(codes[1:], start=1):
         # Will the encoder have allocated string(prev)+head after emitting
         # prev?  Mirrors LZWDictionary.add's capacity and width bounds.
         will_add = next_code() < capacity and len(prev) + 1 <= max_chars
@@ -78,21 +111,26 @@ def decode_codes(codes: Sequence[int], config: LZWConfig) -> List[int]:
             # (same deterministic trigger as the encoder).
             strings.clear()
             will_add = False
-        if code < next_code():
+        if 0 <= code < next_code():
             current = lookup(code)
         elif code == next_code() and will_add:
             # KwKwK: the code refers to the entry about to be created —
             # its string is prev + first character of prev (Figure 4f).
             current = prev + (prev[0],)
         else:
-            raise LZWDecodeError(
-                f"code {code} not yet in dictionary (next free {next_code()})"
+            raise DecodeError(
+                f"code {code} not yet in dictionary (next free {next_code()})",
+                code_index=index,
+                code=code,
+                bit_offset=index * code_bits,
+                dict_next_code=next_code(),
+                chars_decoded=chars_decoded,
             )
         if will_add:
             strings.append(prev + (current[0],))
-        out.extend(current)
+        yield index, current
+        chars_decoded += len(current)
         prev = current
-    return out
 
 
 def _chars_to_stream(
@@ -104,8 +142,10 @@ def _chars_to_stream(
     stream = TernaryVector.concat_all(parts)
     if original_bits is not None:
         if original_bits > len(stream):
-            raise LZWDecodeError(
-                f"decoded {len(stream)} bits but {original_bits} expected"
+            raise DecodeError(
+                f"decoded {len(stream)} bits but {original_bits} expected",
+                decoded_bits=len(stream),
+                expected_bits=original_bits,
             )
         stream = stream[:original_bits]
     return stream

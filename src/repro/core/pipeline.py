@@ -81,7 +81,13 @@ def compress(
     stream: TernaryVector,
     config: Optional[LZWConfig] = None,
 ) -> CompressionResult:
-    """Compress a ternary scan stream with don't-care-aware LZW."""
+    """Compress a ternary scan stream with don't-care-aware LZW.
+
+    Degenerate inputs round-trip: an empty stream yields an empty code
+    sequence with ``original_bits == 0``, and an all-X stream decodes to
+    whatever concrete fill the encoder chose (which trivially covers
+    it).  Both are locked in by ``tests/reliability/test_degenerate``.
+    """
     encoder = LZWEncoder(config)
     compressed = encoder.encode(stream)
     assigned = decode(compressed)

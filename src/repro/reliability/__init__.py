@@ -1,0 +1,82 @@
+"""Reliability subsystem: typed errors, fault injection, salvage, verify.
+
+The ATE use case tolerates no silent miscoding — a wrongly decoded bit
+is a false pass/fail on the tester.  This package provides the tooling
+that *proves* the decode stack fails loudly:
+
+* :mod:`~repro.reliability.errors` — the unified exception taxonomy
+  (:class:`ReproError` and friends) used across every layer;
+* :mod:`~repro.reliability.inject` — deterministic, seeded fault
+  injectors over container bytes;
+* :mod:`~repro.reliability.campaign` — the injection campaign runner
+  asserting the *detected / correct / silent-corruption* trichotomy;
+* :mod:`~repro.reliability.salvage` — :func:`decode_partial`, the
+  graceful-degradation decoder for debugging bad ATE dumps;
+* :mod:`~repro.reliability.verify` — staged container integrity
+  verification backing ``repro verify``.
+
+Only the error taxonomy is imported eagerly; the tooling modules import
+the rest of the package, so they are loaded lazily to keep this package
+importable from the lowest layers (``repro.bitstream`` raises
+:class:`StreamError`).
+"""
+
+from .errors import (
+    ConfigError,
+    ContainerError,
+    DecodeError,
+    ReproError,
+    StreamError,
+    TestFileError,
+)
+
+__all__ = [
+    "ConfigError",
+    "ContainerError",
+    "DecodeError",
+    "ReproError",
+    "StreamError",
+    "TestFileError",
+    # lazily loaded:
+    "CampaignResult",
+    "Check",
+    "INJECTORS",
+    "PartialDecodeResult",
+    "Trial",
+    "TrialOutcome",
+    "VerifyReport",
+    "decode_partial",
+    "inject",
+    "run_campaign",
+    "run_trial",
+    "salvage_container",
+    "verify_container",
+]
+
+_LAZY = {
+    "INJECTORS": "inject",
+    "inject": "inject",
+    "CampaignResult": "campaign",
+    "Trial": "campaign",
+    "TrialOutcome": "campaign",
+    "run_campaign": "campaign",
+    "run_trial": "campaign",
+    "Check": "verify",
+    "PartialDecodeResult": "salvage",
+    "decode_partial": "salvage",
+    "salvage_container": "salvage",
+    "VerifyReport": "verify",
+    "verify_container": "verify",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,142 @@
+"""Fault-injection campaign runner.
+
+A campaign takes a known-good container and its original (pre-X-fill)
+cube stream, corrupts the container under every registered injector for
+a range of seeds, and classifies each trial into the trichotomy the ATE
+use case demands:
+
+``DETECTED``
+    the corrupted container was rejected with a typed
+    :class:`~repro.reliability.errors.ReproError` subclass — the safe
+    outcome;
+``CORRECT``
+    the corruption happened to be harmless (e.g. a flipped bit in the
+    zero padding): decoding succeeded *and* the result still covers
+    every specified bit of the original stream;
+``SILENT``
+    decoding succeeded but produced a stream that does **not** cover the
+    original — the catastrophic outcome a tester can never tolerate;
+``ESCAPED``
+    a non-``ReproError`` exception leaked through the public API — a
+    hardening bug even though the corruption did not go unnoticed.
+
+:func:`run_campaign` returns a :class:`CampaignResult`; the test suite
+asserts ``result.ok`` (zero ``SILENT``, zero ``ESCAPED``) across every
+injector class and seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..bitstream import TernaryVector
+from ..container import load_bytes
+from ..core import decode
+from .errors import ReproError
+from .inject import INJECTORS, inject
+
+__all__ = ["TrialOutcome", "Trial", "CampaignResult", "run_campaign"]
+
+
+class TrialOutcome(enum.Enum):
+    """Classification of one corrupted-container decode attempt."""
+
+    DETECTED = "detected"
+    CORRECT = "correct"
+    SILENT = "silent"
+    ESCAPED = "escaped"
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One (injector, seed) corruption and how the decode stack handled it."""
+
+    injector: str
+    seed: int
+    outcome: TrialOutcome
+    error: Optional[BaseException] = None
+
+    def describe(self) -> str:
+        base = f"{self.injector}/seed={self.seed}: {self.outcome.value}"
+        if self.error is not None:
+            base += f" ({type(self.error).__name__}: {self.error})"
+        return base
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregate of every trial in one campaign run."""
+
+    trials: Tuple[Trial, ...]
+
+    @property
+    def counts(self) -> Dict[TrialOutcome, int]:
+        """Trials per outcome class."""
+        tally = {outcome: 0 for outcome in TrialOutcome}
+        for trial in self.trials:
+            tally[trial.outcome] += 1
+        return tally
+
+    @property
+    def failures(self) -> Tuple[Trial, ...]:
+        """Trials that violate the no-silent-corruption guarantee."""
+        return tuple(
+            t
+            for t in self.trials
+            if t.outcome in (TrialOutcome.SILENT, TrialOutcome.ESCAPED)
+        )
+
+    @property
+    def ok(self) -> bool:
+        """True when no trial was silent corruption or an escaped exception."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        counts = self.counts
+        lines = [
+            f"{len(self.trials)} trials: "
+            + ", ".join(f"{o.value}={counts[o]}" for o in TrialOutcome)
+        ]
+        lines.extend(t.describe() for t in self.failures)
+        return "\n".join(lines)
+
+
+def run_trial(
+    container: bytes, original: TernaryVector, injector: str, seed: int
+) -> Trial:
+    """Corrupt, decode and classify a single trial."""
+    corrupted = inject(container, injector, seed)
+    try:
+        stream = decode(load_bytes(corrupted))
+    except ReproError as exc:
+        return Trial(injector, seed, TrialOutcome.DETECTED, exc)
+    except Exception as exc:  # noqa: BLE001 - the escape *is* the finding
+        return Trial(injector, seed, TrialOutcome.ESCAPED, exc)
+    if stream.covers(original):
+        return Trial(injector, seed, TrialOutcome.CORRECT)
+    return Trial(injector, seed, TrialOutcome.SILENT)
+
+
+def run_campaign(
+    container: bytes,
+    original: TernaryVector,
+    injectors: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = range(50),
+) -> CampaignResult:
+    """Run the full injector × seed grid against one container.
+
+    ``original`` is the cube stream the container was compressed from
+    (don't-cares allowed); a decode only counts as ``CORRECT`` when it
+    still covers every specified bit.
+    """
+    names = tuple(injectors) if injectors is not None else tuple(sorted(INJECTORS))
+    seed_list = tuple(seeds)
+    trials = [
+        run_trial(container, original, name, seed)
+        for name in names
+        for seed in seed_list
+    ]
+    return CampaignResult(tuple(trials))

@@ -1,0 +1,130 @@
+"""Unified exception taxonomy for the whole library.
+
+Every error a public API can raise derives from :class:`ReproError`, so
+callers (the CLI, the fault-injection campaign, ATE tooling built on
+top) can distinguish *our* typed diagnoses from genuine programming
+errors with a single ``except ReproError``.  Nothing in this module
+imports the rest of the package — it sits below every other layer.
+
+Each exception carries **structured diagnostics**: keyword arguments
+given at raise time are stored in :attr:`ReproError.diagnostics` and
+also set as attributes, so a harness can ask *where* a stream broke
+(``exc.bit_offset``), *which* code was undecodable (``exc.code_index``)
+or *what* the dictionary state was (``exc.dict_next_code``) without
+parsing the message.
+
+The subclasses double as Python's builtin exceptions where the old code
+raised them (``StreamError`` is an ``EOFError``, the ``ValueError``
+family stays a ``ValueError``), so pre-taxonomy ``except`` clauses keep
+working.
+
+Class-level :attr:`ReproError.exit_code` gives the CLI its documented
+process exit status per failure class:
+
+==========================  ====
+usage / bad configuration     2
+unreadable or malformed input 3
+integrity failure             4
+==========================  ====
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = [
+    "ReproError",
+    "StreamError",
+    "DecodeError",
+    "ContainerError",
+    "ConfigError",
+    "TestFileError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by the library.
+
+    Parameters
+    ----------
+    message:
+        Human-readable one-line description.
+    **diagnostics:
+        Structured context (byte/bit offsets, code indices, dictionary
+        state...).  ``None`` values are dropped; the rest are stored in
+        :attr:`diagnostics` and set as attributes.
+    """
+
+    #: Process exit status the CLI uses for this failure class.
+    exit_code = 1
+
+    def __init__(self, message: str, **diagnostics: Any) -> None:
+        self.message = message
+        self.diagnostics: Dict[str, Any] = {
+            key: value for key, value in diagnostics.items() if value is not None
+        }
+        for key, value in self.diagnostics.items():
+            setattr(self, key, value)
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        if self.diagnostics:
+            detail = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(self.diagnostics.items())
+            )
+            return f"{self.message} [{detail}]"
+        return self.message
+
+
+class StreamError(ReproError, EOFError):
+    """Bit-level I/O failure: a read past the end of a bit stream.
+
+    Typical diagnostics: ``bit_offset`` (position of the failed read),
+    ``requested_bits``, ``available_bits``.
+    """
+
+    exit_code = 4
+
+
+class DecodeError(ReproError, ValueError):
+    """A code stream is not decodable under its configuration.
+
+    Typical diagnostics: ``code_index`` (ordinal of the offending code),
+    ``code``, ``bit_offset`` (of the code in the packed payload),
+    ``dict_next_code`` (next free dictionary slot at failure),
+    ``chars_decoded`` (characters successfully produced before it).
+    """
+
+    exit_code = 4
+
+
+class ContainerError(ReproError, ValueError):
+    """A ``.lzwt`` container is malformed or fails an integrity check.
+
+    Typical diagnostics: ``byte_offset``, ``field`` (header field name),
+    ``expected`` / ``actual`` (checksum values).
+    """
+
+    exit_code = 4
+
+
+class ConfigError(ReproError, ValueError):
+    """An :class:`~repro.core.config.LZWConfig` parameter is invalid.
+
+    Typical diagnostics: ``field`` (the offending parameter name),
+    ``value``.
+    """
+
+    exit_code = 2
+
+
+class TestFileError(ReproError, ValueError):
+    """A test-vector file does not parse.
+
+    Typical diagnostics: ``line`` (1-based line number), ``source``
+    (file or set name).
+    """
+
+    exit_code = 3
+    #: Not a test case, despite the name (keeps pytest collection quiet).
+    __test__ = False

@@ -1,0 +1,112 @@
+"""Deterministic, seeded fault injectors over container bytes.
+
+Each injector is a pure function ``(data, rng) -> bytes`` returning a
+corrupted copy of a ``.lzwt`` container; the same seed always produces
+the same corruption, so a failing campaign trial is reproducible from
+its ``(injector, seed)`` pair alone.
+
+The injector classes model the faults an ATE link or archive can
+plausibly suffer:
+
+``bit_flip``
+    one flipped bit anywhere in the file (header or payload);
+``byte_drop``
+    one byte removed (framing slip — everything after shifts);
+``truncate``
+    the file cut short at a random point (interrupted download);
+``header_corrupt``
+    a header field byte overwritten (configuration corruption);
+``crc_tamper``
+    the adversarial case: a payload bit is flipped **and both the
+    payload CRC and the header CRC are recomputed to match**, so only
+    the decoded-stream digest (or the decoder's own range checks) can
+    catch it.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import zlib
+from typing import Callable, Dict
+
+from ..container import HEADER_CRC_OFFSET, HEADER_SIZE, PAYLOAD_CRC_OFFSET
+
+__all__ = ["INJECTORS", "inject"]
+
+Injector = Callable[[bytes, random.Random], bytes]
+
+
+def _flip_bit(data: bytes, rng: random.Random) -> bytes:
+    """Flip one uniformly chosen bit anywhere in the container."""
+    out = bytearray(data)
+    position = rng.randrange(len(out) * 8)
+    out[position // 8] ^= 1 << (7 - position % 8)
+    return bytes(out)
+
+
+def _drop_byte(data: bytes, rng: random.Random) -> bytes:
+    """Remove one uniformly chosen byte (shifts the rest down)."""
+    position = rng.randrange(len(data))
+    return data[:position] + data[position + 1 :]
+
+
+def _truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the container short at a random length (possibly to zero)."""
+    keep = rng.randrange(len(data))
+    return data[:keep]
+
+
+def _corrupt_header(data: bytes, rng: random.Random) -> bytes:
+    """Overwrite one header byte with a guaranteed-different value."""
+    out = bytearray(data)
+    position = rng.randrange(min(HEADER_SIZE, len(out)))
+    out[position] ^= rng.randrange(1, 256)
+    return bytes(out)
+
+
+def _tamper_payload_fix_crcs(data: bytes, rng: random.Random) -> bytes:
+    """Flip a payload bit and recompute both CRCs to hide it.
+
+    Models an adversarial (or multi-fault) corruption that defeats the
+    transport checksums; detecting it requires content verification —
+    the decoded-stream digest or the decoder's own consistency checks.
+    Requires a version-2 container with a non-empty payload.
+    """
+    if len(data) <= HEADER_SIZE:
+        raise ValueError("crc_tamper needs a container with a non-empty payload")
+    out = bytearray(data)
+    position = rng.randrange((len(out) - HEADER_SIZE) * 8)
+    out[HEADER_SIZE + position // 8] ^= 1 << (7 - position % 8)
+    struct.pack_into(
+        ">I", out, PAYLOAD_CRC_OFFSET, zlib.crc32(bytes(out[HEADER_SIZE:]))
+    )
+    struct.pack_into(
+        ">I", out, HEADER_CRC_OFFSET, zlib.crc32(bytes(out[:HEADER_CRC_OFFSET]))
+    )
+    return bytes(out)
+
+
+#: All injector classes, keyed by campaign name.
+INJECTORS: Dict[str, Injector] = {
+    "bit_flip": _flip_bit,
+    "byte_drop": _drop_byte,
+    "truncate": _truncate,
+    "header_corrupt": _corrupt_header,
+    "crc_tamper": _tamper_payload_fix_crcs,
+}
+
+
+def inject(data: bytes, injector: str, seed: int) -> bytes:
+    """Apply the named injector to ``data`` under a deterministic seed."""
+    try:
+        fn = INJECTORS[injector]
+    except KeyError:
+        raise ValueError(
+            f"unknown injector {injector!r}; known: {', '.join(sorted(INJECTORS))}"
+        ) from None
+    if not data:
+        raise ValueError("cannot inject faults into an empty container")
+    # A string seed hashes deterministically (sha512) across processes,
+    # unlike tuple seeds which go through the salted builtin hash().
+    return fn(data, random.Random(f"{injector}:{seed}"))

@@ -1,0 +1,179 @@
+"""Salvage decoding: recover the longest decodable prefix.
+
+When an ATE dump comes back corrupted the strict decoder rejects it
+outright, which is the correct production behaviour but useless for
+debugging *where* the stream went bad.  :func:`decode_partial` decodes
+code by code and, instead of raising, returns everything decoded up to
+the first undecodable code together with a machine-readable diagnosis
+(the failing code index, its bit offset in the payload and the
+dictionary state).  :func:`salvage_container` does the same starting
+from raw container bytes, tolerating payload CRC mismatches and
+truncated payloads that :func:`repro.container.load_bytes` rejects.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..bitstream import BitReader, TernaryVector
+from ..core import CompressedStream, LZWConfig
+from ..core.decoder import _chars_to_stream, iter_decode
+from .errors import DecodeError, ReproError, StreamError
+
+__all__ = ["PartialDecodeResult", "decode_partial", "salvage_container"]
+
+
+@dataclass(frozen=True)
+class PartialDecodeResult:
+    """Outcome of a best-effort decode.
+
+    Attributes
+    ----------
+    stream:
+        The decoded prefix as a fully specified ternary stream.  On a
+        complete decode it is truncated to ``original_bits`` like the
+        strict decoder's output.
+    chars:
+        The decoded character sequence backing ``stream``.
+    codes_decoded:
+        How many leading codes decoded successfully.
+    total_codes:
+        Length of the input code sequence.
+    complete:
+        True when every code decoded and the stream reached
+        ``original_bits``.
+    error:
+        The typed error that stopped the decode (``None`` when
+        ``complete``).
+    failed_code_index / failed_bit_offset:
+        Position of the first undecodable code in the code sequence and
+        in the packed payload bit stream (``None`` when ``complete``).
+    notes:
+        Human-readable observations gathered while salvaging (CRC
+        mismatches tolerated, payload truncation, ...).
+    """
+
+    stream: TernaryVector
+    chars: Tuple[int, ...]
+    codes_decoded: int
+    total_codes: int
+    complete: bool
+    error: Optional[ReproError] = None
+    failed_code_index: Optional[int] = None
+    failed_bit_offset: Optional[int] = None
+    notes: Tuple[str, ...] = field(default=())
+
+    @property
+    def recovered_bits(self) -> int:
+        """Number of scan-stream bits recovered."""
+        return len(self.stream)
+
+    def describe(self) -> str:
+        """One-line summary for logs and the CLI."""
+        if self.complete:
+            return (
+                f"complete: {self.codes_decoded}/{self.total_codes} codes, "
+                f"{self.recovered_bits} bits"
+            )
+        where = (
+            f"code {self.failed_code_index} (bit offset {self.failed_bit_offset})"
+            if self.failed_code_index is not None
+            else "end of stream"
+        )
+        reason = self.error.message if self.error is not None else "unknown"
+        return (
+            f"partial: recovered {self.codes_decoded}/{self.total_codes} codes "
+            f"({self.recovered_bits} bits) up to {where}: {reason}"
+        )
+
+
+def decode_partial(compressed: CompressedStream) -> PartialDecodeResult:
+    """Best-effort decode of a :class:`CompressedStream`.
+
+    Never raises for an undecodable stream: the longest decodable prefix
+    is returned with the typed error attached.
+    """
+    return _decode_partial_codes(
+        compressed.codes, compressed.config, compressed.original_bits
+    )
+
+
+def _decode_partial_codes(
+    codes: Tuple[int, ...],
+    config: LZWConfig,
+    original_bits: Optional[int],
+    notes: Tuple[str, ...] = (),
+) -> PartialDecodeResult:
+    chars = []
+    codes_decoded = 0
+    error: Optional[ReproError] = None
+    try:
+        for index, expansion in iter_decode(codes, config):
+            chars.extend(expansion)
+            codes_decoded = index + 1
+    except DecodeError as exc:
+        error = exc
+    prefix = _chars_to_stream(chars, config, None)
+    if error is None and original_bits is not None:
+        if original_bits > len(prefix):
+            error = DecodeError(
+                f"decoded {len(prefix)} bits but {original_bits} expected",
+                decoded_bits=len(prefix),
+                expected_bits=original_bits,
+            )
+        else:
+            prefix = prefix[:original_bits]
+    return PartialDecodeResult(
+        stream=prefix,
+        chars=tuple(chars),
+        codes_decoded=codes_decoded,
+        total_codes=len(codes),
+        complete=error is None,
+        error=error,
+        failed_code_index=getattr(error, "code_index", None),
+        failed_bit_offset=getattr(error, "bit_offset", None),
+        notes=notes,
+    )
+
+
+def salvage_container(data: bytes) -> PartialDecodeResult:
+    """Best-effort decode starting from raw ``.lzwt`` container bytes.
+
+    The header must still parse (magic, version, a valid configuration);
+    beyond that every integrity failure is tolerated and recorded in
+    ``notes``: payload CRC mismatches, declared bit counts exceeding the
+    data, and trailing partial codes are all clamped rather than fatal.
+
+    Raises :class:`~repro.reliability.errors.ContainerError` only when
+    the header itself is unusable.
+    """
+    from ..container import _parse_header  # deferred: container imports core
+
+    header = _parse_header(data)
+    config = header.config
+    notes = []
+    payload = header.payload
+    payload_bits = header.payload_bits
+    if zlib.crc32(payload) != header.payload_crc:
+        notes.append("payload CRC mismatch (tolerated)")
+    if payload_bits > len(payload) * 8:
+        notes.append(
+            f"declared payload bits ({payload_bits}) exceed data "
+            f"({len(payload) * 8}); clamped"
+        )
+        payload_bits = len(payload) * 8
+    if payload_bits % config.code_bits:
+        notes.append("trailing partial code dropped")
+        payload_bits -= payload_bits % config.code_bits
+    reader = BitReader.from_bytes(payload, payload_bits)
+    codes = []
+    try:
+        while not reader.exhausted:
+            codes.append(reader.read(config.code_bits))
+    except StreamError:  # pragma: no cover - excluded by the clamping above
+        notes.append("payload ended mid-code")
+    return _decode_partial_codes(
+        tuple(codes), config, header.original_bits, notes=tuple(notes)
+    )

@@ -1,0 +1,176 @@
+"""Staged container integrity verification (the ``repro verify`` engine).
+
+Runs the checks a ``.lzwt`` container must pass, in dependency order,
+and reports each one individually instead of stopping at the first
+typed exception — an operator debugging a bad ATE archive wants to know
+*all* of what is wrong, not just the first failure:
+
+1. **header** — magic, version, parsable and valid configuration;
+2. **header-crc** — the v2 header checksum (skipped for v1);
+3. **payload-crc** — the payload checksum and declared bit counts;
+4. **decode** — the code stream decodes under its configuration;
+5. **stream-digest** — the decoded stream matches the stored digest
+   (skipped for v1);
+6. **coverage** — optional: the decoded stream covers a reference cube
+   stream (full round-trip verification).
+
+The report distinguishes *not a container* (bad magic / truncated
+header / unknown version → CLI exit 3) from *recognised but failing
+integrity* (→ CLI exit 4).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..bitstream import TernaryVector
+from ..container import (
+    HEADER_CRC_OFFSET,
+    _parse_header,
+    load_bytes,
+    stream_digest,
+)
+from ..core import decode
+from .errors import ContainerError, ReproError
+
+__all__ = ["Check", "VerifyReport", "verify_container"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One verification stage: name, pass/fail and a detail line."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def describe(self) -> str:
+        return f"{'ok  ' if self.ok else 'FAIL'} {self.name}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Outcome of all verification stages for one container."""
+
+    checks: Tuple[Check, ...]
+    recognised: bool
+    version: Optional[int] = None
+    config_summary: Optional[str] = None
+    num_codes: Optional[int] = None
+    original_bits: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every stage passed."""
+        return all(check.ok for check in self.checks)
+
+    @property
+    def exit_code(self) -> int:
+        """Documented process exit status: 0 ok, 3 not a container, 4 integrity."""
+        if self.ok:
+            return 0
+        return 4 if self.recognised else 3
+
+    def describe(self) -> str:
+        lines = []
+        if self.recognised:
+            codes = "?" if self.num_codes is None else self.num_codes
+            lines.append(
+                f"container v{self.version}: {self.config_summary}, "
+                f"{codes} codes, {self.original_bits} original bits"
+            )
+        lines.extend(check.describe() for check in self.checks)
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def verify_container(
+    data: bytes, original: Optional[TernaryVector] = None
+) -> VerifyReport:
+    """Verify container bytes stage by stage; never raises for bad data.
+
+    ``original`` enables the final coverage stage: the decoded stream
+    must reproduce every specified bit of the given cube stream.
+    """
+    checks = []
+    try:
+        header = _parse_header(data)
+    except ContainerError as exc:
+        return VerifyReport(
+            checks=(Check("header", False, str(exc)),),
+            recognised=False,
+        )
+    checks.append(
+        Check("header", True, f"v{header.version}, {header.config.describe()}")
+    )
+
+    if header.header_crc is None:
+        checks.append(Check("header-crc", True, "not present (v1 container)"))
+    else:
+        actual = zlib.crc32(data[:HEADER_CRC_OFFSET])
+        checks.append(
+            Check(
+                "header-crc",
+                actual == header.header_crc,
+                f"stored {header.header_crc:#010x}, computed {actual:#010x}",
+            )
+        )
+
+    compressed = None
+    try:
+        compressed = load_bytes(data, verify=False)
+        checks.append(
+            Check(
+                "payload-crc",
+                True,
+                f"{len(header.payload)} bytes, {header.payload_bits} bits",
+            )
+        )
+    except ReproError as exc:
+        checks.append(Check("payload-crc", False, str(exc)))
+
+    stream = None
+    if compressed is not None:
+        try:
+            stream = decode(compressed)
+            checks.append(
+                Check(
+                    "decode",
+                    True,
+                    f"{compressed.num_codes} codes -> {len(stream)} bits",
+                )
+            )
+        except ReproError as exc:
+            checks.append(Check("decode", False, str(exc)))
+
+    if stream is not None:
+        if header.stream_crc is None:
+            checks.append(Check("stream-digest", True, "not present (v1 container)"))
+        else:
+            actual = stream_digest(stream)
+            checks.append(
+                Check(
+                    "stream-digest",
+                    actual == header.stream_crc,
+                    f"stored {header.stream_crc:#010x}, computed {actual:#010x}",
+                )
+            )
+        if original is not None:
+            if stream.covers(original):
+                detail = f"covers all {original.care_count} specified bits"
+                checks.append(Check("coverage", True, detail))
+            else:
+                checks.append(
+                    Check("coverage", False, "decoded stream does not cover original")
+                )
+
+    return VerifyReport(
+        checks=tuple(checks),
+        recognised=True,
+        version=header.version,
+        config_summary=header.config.describe(),
+        num_codes=compressed.num_codes if compressed is not None else None,
+        original_bits=header.original_bits,
+    )

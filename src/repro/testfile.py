@@ -16,8 +16,15 @@ from typing import List, Optional, Union
 
 from .bitstream import TernaryVector
 from .circuit.scan import TestSet
+from .reliability.errors import TestFileError
 
-__all__ = ["read_test_file", "write_test_file", "parse_test_text", "format_test_text"]
+__all__ = [
+    "TestFileError",
+    "read_test_file",
+    "write_test_file",
+    "parse_test_text",
+    "format_test_text",
+]
 
 
 def parse_test_text(text: str, name: str = "testset") -> TestSet:
@@ -36,22 +43,27 @@ def parse_test_text(text: str, name: str = "testset") -> TestSet:
         try:
             cube = TernaryVector(line)
         except ValueError as exc:
-            raise ValueError(f"{name}:{lineno}: {exc}") from None
+            raise TestFileError(
+                f"{name}:{lineno}: {exc}", source=name, line=lineno
+            ) from None
         cubes.append(cube)
     if not cubes:
-        raise ValueError(f"{name}: no test vectors found")
+        raise TestFileError(f"{name}: no test vectors found", source=name)
     width = len(cubes[0])
     for i, cube in enumerate(cubes):
         if len(cube) != width:
-            raise ValueError(
-                f"{name}: vector {i} has width {len(cube)}, expected {width}"
+            raise TestFileError(
+                f"{name}: vector {i} has width {len(cube)}, expected {width}",
+                source=name,
+                line=i + 1,
             )
     if input_names is None:
         input_names = [f"sc{i}" for i in range(width)]
     elif len(input_names) != width:
-        raise ValueError(
+        raise TestFileError(
             f"{name}: header names {len(input_names)} inputs but vectors "
-            f"are {width} wide"
+            f"are {width} wide",
+            source=name,
         )
     return TestSet(input_names, cubes, name=name)
 

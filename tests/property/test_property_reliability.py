@@ -1,0 +1,105 @@
+"""Property-based robustness: random mutations never corrupt silently.
+
+For arbitrary byte-level mutations of a valid container, loading and
+decoding must either raise a typed ``ReproError`` subclass or produce a
+stream that still covers the original cubes.  Non-``ReproError``
+exceptions (``struct.error``, ``EOFError``, ``IndexError``...) escaping
+the public API are failures, as is any silently wrong decode.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bitstream import TernaryVector
+from repro.container import dump_bytes, load_bytes
+from repro.core import LZWConfig, compress, decode
+from repro.reliability.errors import ReproError
+
+_CONFIG = LZWConfig(char_bits=4, dict_size=64, entry_bits=20)
+_ORIGINAL = TernaryVector.random(400, x_density=0.6, rng=random.Random(42))
+_RESULT = compress(_ORIGINAL, _CONFIG)
+_CONTAINER = dump_bytes(_RESULT.compressed, _RESULT.assigned_stream)
+
+
+def _decode_or_typed_error(data: bytes) -> None:
+    """The invariant: typed rejection or a covering decode — nothing else."""
+    try:
+        stream = decode(load_bytes(data))
+    except ReproError:
+        return
+    assert stream.covers(_ORIGINAL), "silent corruption"
+
+
+@given(
+    edits=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=len(_CONTAINER) - 1),
+            st.integers(min_value=0, max_value=255),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=200)
+def test_byte_substitutions(edits):
+    data = bytearray(_CONTAINER)
+    for position, value in edits:
+        data[position] = value
+    _decode_or_typed_error(bytes(data))
+
+
+@given(length=st.integers(min_value=0, max_value=len(_CONTAINER)))
+def test_truncations(length):
+    _decode_or_typed_error(_CONTAINER[:length])
+
+
+@given(
+    position=st.integers(min_value=0, max_value=len(_CONTAINER) - 1),
+    chunk=st.binary(min_size=1, max_size=16),
+)
+@settings(max_examples=200)
+def test_insertions(position, chunk):
+    data = _CONTAINER[:position] + chunk + _CONTAINER[position:]
+    _decode_or_typed_error(data)
+
+
+@given(data=st.binary(max_size=200))
+def test_arbitrary_bytes_never_escape_typed_errors(data):
+    _decode_or_typed_error(data)
+
+
+@given(
+    position=st.integers(min_value=0, max_value=len(_CONTAINER) - 1),
+    bit=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=200)
+def test_single_bit_flips(position, bit):
+    data = bytearray(_CONTAINER)
+    data[position] ^= 1 << bit
+    _decode_or_typed_error(bytes(data))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100)
+def test_salvage_never_raises_past_the_header(seed):
+    """decode_partial tolerates anything load_bytes' header parse accepts."""
+    from repro.reliability.errors import ContainerError
+    from repro.reliability.salvage import salvage_container
+
+    rng = random.Random(seed)
+    data = bytearray(_CONTAINER)
+    for _ in range(rng.randrange(1, 6)):
+        data[rng.randrange(len(data))] = rng.randrange(256)
+    try:
+        result = salvage_container(bytes(data))
+    except ContainerError:
+        return  # header unusable: the documented fatal case
+    assert result.recovered_bits >= 0
+    if result.complete:
+        assert result.error is None
+    else:
+        assert isinstance(result.error, ReproError)

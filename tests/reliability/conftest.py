@@ -1,0 +1,29 @@
+"""Shared fixtures for the reliability suite."""
+
+import random
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.container import dump_bytes
+from repro.core import LZWConfig, compress
+
+
+@pytest.fixture
+def campaign_config():
+    """A small configuration so thousands of trials stay fast."""
+    return LZWConfig(char_bits=4, dict_size=64, entry_bits=20)
+
+
+@pytest.fixture
+def campaign_original(campaign_config):
+    """A deterministic 600-bit cube stream at 70% X."""
+    rng = random.Random(20030307)
+    return TernaryVector.random(600, x_density=0.7, rng=rng)
+
+
+@pytest.fixture
+def campaign_container(campaign_config, campaign_original):
+    """A known-good v2 container for the campaign stream."""
+    result = compress(campaign_original, campaign_config)
+    return dump_bytes(result.compressed, result.assigned_stream)

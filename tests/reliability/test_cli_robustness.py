@@ -1,0 +1,86 @@
+"""CLI hardening: no tracebacks, documented exit codes at main()."""
+
+import pytest
+
+from repro.cli import main
+from repro.container import dump_file
+from repro.core import LZWConfig, LZWEncoder
+from repro.bitstream import TernaryVector
+
+
+@pytest.fixture
+def container_file(tmp_path):
+    config = LZWConfig(char_bits=3, dict_size=32, entry_bits=12)
+    compressed = LZWEncoder(config).encode(TernaryVector("01X10XX01101X0010X"))
+    path = tmp_path / "t.lzwt"
+    dump_file(compressed, path)
+    return path
+
+
+class TestMissingFiles:
+    def test_compress_missing_file(self, tmp_path, capsys):
+        assert main(["compress", str(tmp_path / "nope.test")]) == 3
+        err = capsys.readouterr().err
+        assert err.startswith("repro:")
+        assert "Traceback" not in err
+
+    def test_decompress_missing_file(self, tmp_path, capsys):
+        out = tmp_path / "out.test"
+        assert main(["decompress", str(tmp_path / "nope.lzwt"), "-o", str(out)]) == 3
+        assert "repro:" in capsys.readouterr().err
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.test")]) == 3
+        assert "repro:" in capsys.readouterr().err
+
+
+class TestMalformedInput:
+    def test_compress_malformed_test_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.test"
+        bad.write_text("01X\n01Z\n")
+        assert main(["compress", str(bad)]) == 3
+        err = capsys.readouterr().err
+        assert "TestFileError" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_stats_empty_test_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.test"
+        empty.write_text("# nothing here\n")
+        assert main(["stats", str(empty)]) == 3
+        assert "no test vectors" in capsys.readouterr().err
+
+    def test_compress_bad_config_exit_2(self, tmp_path, capsys):
+        cubes = tmp_path / "ok.test"
+        cubes.write_text("01X0\n")
+        rc = main(["compress", str(cubes), "--char-bits", "4",
+                   "--dict-size", "4"])
+        assert rc == 2
+        assert "ConfigError" in capsys.readouterr().err
+
+
+class TestCorruptContainers:
+    def test_decompress_corrupt_container_exit_4(
+        self, container_file, tmp_path, capsys
+    ):
+        data = bytearray(container_file.read_bytes())
+        data[-1] ^= 0x01
+        container_file.write_bytes(bytes(data))
+        out = tmp_path / "out.txt"
+        assert main(["decompress", str(container_file), "-o", str(out)]) == 4
+        err = capsys.readouterr().err
+        assert "ContainerError" in err
+        assert "Traceback" not in err
+
+    def test_decompress_not_a_container_exit_4(self, tmp_path, capsys):
+        fake = tmp_path / "fake.lzwt"
+        fake.write_bytes(b"this is not a container at all")
+        out = tmp_path / "out.txt"
+        assert main(["decompress", str(fake), "-o", str(out)]) == 4
+        assert "repro:" in capsys.readouterr().err
+
+    def test_decompress_good_container_still_works(
+        self, container_file, tmp_path, capsys
+    ):
+        out = tmp_path / "out.txt"
+        assert main(["decompress", str(container_file), "-o", str(out)]) == 0
+        assert out.exists()

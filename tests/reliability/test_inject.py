@@ -1,0 +1,90 @@
+"""Unit tests for the seeded fault injectors."""
+
+import zlib
+
+import pytest
+
+from repro.container import (
+    HEADER_CRC_OFFSET,
+    HEADER_SIZE,
+    PAYLOAD_CRC_OFFSET,
+)
+from repro.reliability.inject import INJECTORS, inject
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(INJECTORS))
+    def test_same_seed_same_corruption(self, campaign_container, name):
+        a = inject(campaign_container, name, seed=3)
+        b = inject(campaign_container, name, seed=3)
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(INJECTORS))
+    def test_seeds_vary_the_corruption(self, campaign_container, name):
+        outputs = {inject(campaign_container, name, seed=s) for s in range(20)}
+        assert len(outputs) > 1
+
+    @pytest.mark.parametrize("name", sorted(INJECTORS))
+    def test_always_differs_from_original(self, campaign_container, name):
+        for seed in range(20):
+            assert inject(campaign_container, name, seed) != campaign_container
+
+
+class TestShapes:
+    def test_bit_flip_preserves_length(self, campaign_container):
+        corrupted = inject(campaign_container, "bit_flip", 0)
+        assert len(corrupted) == len(campaign_container)
+        diff = [i for i, (a, b) in enumerate(zip(corrupted, campaign_container))
+                if a != b]
+        assert len(diff) == 1
+
+    def test_byte_drop_shrinks_by_one(self, campaign_container):
+        assert len(inject(campaign_container, "byte_drop", 0)) == (
+            len(campaign_container) - 1
+        )
+
+    def test_truncate_shortens(self, campaign_container):
+        corrupted = inject(campaign_container, "truncate", 0)
+        assert len(corrupted) < len(campaign_container)
+        assert campaign_container.startswith(corrupted)
+
+    def test_header_corrupt_stays_in_header(self, campaign_container):
+        for seed in range(20):
+            corrupted = inject(campaign_container, "header_corrupt", seed)
+            assert corrupted[HEADER_SIZE:] == campaign_container[HEADER_SIZE:]
+
+    def test_crc_tamper_keeps_checksums_consistent(self, campaign_container):
+        corrupted = inject(campaign_container, "crc_tamper", 0)
+        # Payload differs but both CRCs have been fixed up to match.
+        assert corrupted[HEADER_SIZE:] != campaign_container[HEADER_SIZE:]
+        payload_crc = int.from_bytes(
+            corrupted[PAYLOAD_CRC_OFFSET : PAYLOAD_CRC_OFFSET + 4], "big"
+        )
+        assert payload_crc == zlib.crc32(corrupted[HEADER_SIZE:])
+        header_crc = int.from_bytes(
+            corrupted[HEADER_CRC_OFFSET : HEADER_CRC_OFFSET + 4], "big"
+        )
+        assert header_crc == zlib.crc32(corrupted[:HEADER_CRC_OFFSET])
+
+
+class TestValidation:
+    def test_unknown_injector(self, campaign_container):
+        with pytest.raises(ValueError, match="unknown injector"):
+            inject(campaign_container, "gamma_ray", 0)
+
+    def test_empty_data(self):
+        with pytest.raises(ValueError, match="empty"):
+            inject(b"", "bit_flip", 0)
+
+    def test_crc_tamper_needs_payload(self):
+        with pytest.raises(ValueError, match="payload"):
+            inject(b"\x00" * HEADER_SIZE, "crc_tamper", 0)
+
+    def test_registry_has_all_five_classes(self):
+        assert set(INJECTORS) == {
+            "bit_flip",
+            "byte_drop",
+            "truncate",
+            "header_corrupt",
+            "crc_tamper",
+        }
