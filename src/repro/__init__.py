@@ -17,20 +17,26 @@ from .core import (
     CompressionResult,
     LZWConfig,
     compress,
+    compress_batch,
     decompress,
 )
+from .parallel import BatchItemResult, ShardPlan, plan_shards
 from .reliability import ReproError
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchItemResult",
     "CompressedStream",
     "CompressionResult",
     "LZWConfig",
     "ReproError",
+    "ShardPlan",
     "TernaryVector",
     "X",
     "compress",
+    "compress_batch",
     "decompress",
+    "plan_shards",
     "__version__",
 ]

@@ -3,6 +3,7 @@
 Subcommands::
 
     repro compress   FILE  [--char-bits N --dict-size N --entry-bits N ...]
+    repro batch      FILE...  [--workers N --shard-bits B -o DIR]
     repro decompress FILE.lzwt  -o OUT.test  [--width W]
     repro atpg       FILE.bench | --builtin c17 | --random N  [-o OUT]
     repro synth      BENCHMARK  [-o OUT --scale S]
@@ -25,7 +26,9 @@ reported as a one-line message on stderr with a documented exit code —
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -33,8 +36,9 @@ from .analysis import entropy_lower_bound, power_report, testset_profile
 from .atpg import generate_tests
 from .baselines import GolombCompressor, LZ77Compressor
 from .circuit import BUILTIN_CIRCUITS, TestSet, load_bench, load_builtin, random_circuit
-from .container import dump_file, load_file
-from .core import LZWConfig, compress, decompress
+from .bitstream import TernaryVector
+from .container import dump_file, load_segments
+from .core import LZWConfig, compress, compress_batch, decompress
 from .experiments import ALL_TABLES, Lab
 from .hardware import (
     MemoryRequirements,
@@ -110,12 +114,84 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_decompress(args: argparse.Namespace) -> int:
-    compressed = load_file(args.file)
-    stream = decompress(compressed)
+def _cmd_batch(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    names, streams, originals, widths = [], [], [], []
+    for file in args.files:
+        test_set = read_test_file(file)
+        names.append(Path(file).stem)
+        originals.append(test_set)
+        streams.append(test_set.to_stream())
+        widths.append(test_set.width)
+    started = time.perf_counter()
+    results = compress_batch(
+        config,
+        streams,
+        workers=args.workers,
+        shard_bits=args.shard_bits,
+        pattern_bits=widths,
+    )
+    elapsed = time.perf_counter() - started
+    print(f"config: {config.describe()}")
+    out_dir = Path(args.output_dir) if args.output_dir else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for name, stream, item in zip(names, streams, results):
+        if not item.verify(stream):
+            print(f"ERROR: {name}: decoded stream does not cover the original cubes")
+            return 1
+        print(
+            f"{name}: {item.original_bits} -> {item.compressed_bits} bits "
+            f"({item.ratio_percent:.2f}%) in {item.num_shards} segment(s)"
+        )
+        row = {
+            "name": name,
+            "segments": item.num_shards,
+            "original_bits": item.original_bits,
+            "compressed_bits": item.compressed_bits,
+            "ratio_percent": round(item.ratio_percent, 4),
+        }
+        if out_dir is not None:
+            path = out_dir / f"{name}.lzwt"
+            path.write_bytes(item.container)
+            row["container"] = str(path)
+            print(f"  wrote {path}")
+        rows.append(row)
+    total_bits = sum(item.original_bits for item in results)
+    total_compressed = sum(item.compressed_bits for item in results)
+    ratio = 100.0 * (1.0 - total_compressed / total_bits) if total_bits else 0.0
+    mb_per_s = total_bits / 8 / 1e6 / elapsed if elapsed else 0.0
     print(
-        f"decoded {len(stream)} bits from {compressed.num_codes} codes "
-        f"({compressed.config.describe()})"
+        f"batch: {len(results)} workload(s), {total_bits} bits, "
+        f"ratio {ratio:.2f}%, {elapsed:.2f}s ({mb_per_s:.3f} MB/s, "
+        f"workers={args.workers or 'auto'})"
+    )
+    if args.json:
+        summary = {
+            "config": config.describe(),
+            "workers": args.workers,
+            "shard_bits": args.shard_bits,
+            "seconds": round(elapsed, 6),
+            "mb_per_s": round(mb_per_s, 6),
+            "ratio_percent": round(ratio, 4),
+            "workloads": rows,
+        }
+        Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    data = Path(args.file).read_bytes()
+    segments = load_segments(data)
+    stream = TernaryVector.concat_all([decompress(segment) for segment in segments])
+    config = segments[0].config
+    num_codes = sum(segment.num_codes for segment in segments)
+    suffix = f" in {len(segments)} segments" if len(segments) > 1 else ""
+    print(
+        f"decoded {len(stream)} bits from {num_codes} codes{suffix} "
+        f"({config.describe()})"
     )
     if args.width:
         if len(stream) % args.width:
@@ -252,6 +328,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-o", "--output", help="write a .lzwt container here")
     p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser(
+        "batch",
+        help="compress many vector files in parallel (multi-segment containers)",
+    )
+    p.add_argument("files", nargs="+", help="vector files (one 01X cube per line)")
+    _add_lzw_options(p)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: all cores; output is identical "
+        "for any value)",
+    )
+    p.add_argument(
+        "--shard-bits",
+        type=int,
+        default=0,
+        help="target shard size in bits, aligned to pattern boundaries "
+        "(default 0: one segment per file)",
+    )
+    p.add_argument(
+        "-o",
+        "--output-dir",
+        help="write one .lzwt container per input file here",
+    )
+    p.add_argument("--json", help="write a machine-readable batch summary here")
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("decompress", help="expand a .lzwt container")
     p.add_argument("file", help="container written by `repro compress -o`")

@@ -22,6 +22,34 @@ Layout of format version 2 (big-endian, all fixed-width)::
 Version 1 containers (no stream digest, no header CRC — bytes 0..34
 followed by the payload) are still read.
 
+Format version 3 is the **multi-segment** framing produced by the batch
+engine (:mod:`repro.parallel`): several independently coded shards of
+one logical stream, each with its own LZW dictionary, share one file::
+
+    0   4   magic  b"LZWT"
+    4   1   format version (3)
+    5   1   char_bits (C_C)
+    6   4   dict_size (N)
+    10  4   entry_bits (C_MDATA)
+    14  4   segment count S (>= 1)
+    18  4   CRC32 of header bytes 0..18 + the segment table
+    22  ..  segment table: S entries of 36 bytes each ::
+
+            0   8   payload byte offset (relative to the payload area)
+            8   8   original_bits of this segment
+            16  8   payload bit count
+            24  4   code count
+            28  4   CRC32 of the segment's payload bytes
+            32  4   CRC32 digest of the segment's *decoded* stream
+
+        ..  payload area: per-segment code streams, MSB-first, each
+            zero-padded to a byte boundary, at the declared offsets
+
+Every segment decodes with a fresh dictionary; the logical stream is
+the concatenation of the segment decodes in table order.  A batch of
+exactly one segment is written as a plain v2 container, so the serial
+and batch paths are bit-identical in the single-shard case.
+
 The three checksums split the failure modes cleanly:
 
 * the **header CRC** catches any flipped header field (the payload CRC
@@ -40,7 +68,7 @@ from __future__ import annotations
 import struct
 import zlib
 from pathlib import Path
-from typing import NamedTuple, Optional, Tuple, Union
+from typing import NamedTuple, Optional, Sequence, Tuple, Union
 
 from .bitstream import BitReader, BitWriter, TernaryVector
 from .core import CompressedStream, LZWConfig, decode
@@ -48,8 +76,13 @@ from .reliability.errors import ConfigError, ContainerError
 
 __all__ = [
     "ContainerError",
+    "SegmentInfo",
+    "container_version",
+    "decode_container",
     "dump_bytes",
+    "dump_segments",
     "load_bytes",
+    "load_segments",
     "dump_file",
     "load_file",
     "stream_digest",
@@ -57,8 +90,11 @@ __all__ = [
 
 _MAGIC = b"LZWT"
 _VERSION = 2
+_VERSION_MULTI = 3
 _HEADER_V1 = struct.Struct(">4sBBIIQQI")
 _HEADER_V2 = struct.Struct(">4sBBIIQQIII")
+_HEADER_V3 = struct.Struct(">4sBBIIII")
+_SEGMENT_ENTRY = struct.Struct(">QQQIII")
 
 # Field offsets of the v2 header (used by the fault injectors to build
 # checksum-consistent corruptions).
@@ -66,6 +102,13 @@ PAYLOAD_CRC_OFFSET = 30
 STREAM_CRC_OFFSET = 34
 HEADER_CRC_OFFSET = 38
 HEADER_SIZE = _HEADER_V2.size
+
+# v3 (multi-segment) layout constants, likewise exported for the
+# injectors and the staged verifier.
+V3_SEGMENT_COUNT_OFFSET = 14
+V3_HEADER_CRC_OFFSET = 18
+V3_SEGMENT_TABLE_OFFSET = _HEADER_V3.size
+SEGMENT_ENTRY_SIZE = _SEGMENT_ENTRY.size
 
 
 def stream_digest(stream: TernaryVector) -> int:
@@ -107,6 +150,12 @@ def _parse_header(data: bytes) -> _Header:
         header_struct = _HEADER_V1
     elif version == _VERSION:
         header_struct = _HEADER_V2
+    elif version == _VERSION_MULTI:
+        raise ContainerError(
+            "multi-segment (v3) container; load it with load_segments()",
+            byte_offset=4,
+            field="version",
+        )
     else:
         raise ContainerError(
             f"unsupported container version {version}",
@@ -260,6 +309,245 @@ def load_bytes(data: bytes, verify: bool = True) -> CompressedStream:
                 actual=actual_digest,
             )
     return compressed
+
+
+# ----------------------------------------------------------------------
+# Multi-segment (v3) framing
+# ----------------------------------------------------------------------
+
+
+class SegmentInfo(NamedTuple):
+    """One parsed segment-table entry of a v3 container."""
+
+    offset: int
+    original_bits: int
+    payload_bits: int
+    num_codes: int
+    payload_crc: int
+    stream_crc: int
+
+
+class _MultiHeader(NamedTuple):
+    """Parsed v3 header: configuration, table and the payload area."""
+
+    config: LZWConfig
+    segments: Tuple[SegmentInfo, ...]
+    header_crc: int
+    table: bytes
+    payload_area: bytes
+
+
+def container_version(data: bytes) -> int:
+    """Format version of container bytes (validates magic only)."""
+    if len(data) < 5 or data[:4] != _MAGIC:
+        raise ContainerError(f"bad magic {data[:5]!r}", byte_offset=0, field="magic")
+    return data[4]
+
+
+def _parse_multi(data: bytes) -> _MultiHeader:
+    """Parse a v3 header and segment table (no checksum checks)."""
+    if len(data) < _HEADER_V3.size:
+        raise ContainerError("truncated container header", byte_offset=len(data))
+    if data[:4] != _MAGIC:
+        raise ContainerError(f"bad magic {data[:4]!r}", byte_offset=0, field="magic")
+    if data[4] != _VERSION_MULTI:
+        raise ContainerError(
+            f"not a multi-segment container (version {data[4]})",
+            byte_offset=4,
+            field="version",
+        )
+    _, _, char_bits, dict_size, entry_bits, count, header_crc = _HEADER_V3.unpack_from(
+        data
+    )
+    if count < 1:
+        raise ContainerError(
+            "segment count must be >= 1",
+            byte_offset=V3_SEGMENT_COUNT_OFFSET,
+            field="segment_count",
+        )
+    try:
+        config = LZWConfig(
+            char_bits=char_bits, dict_size=dict_size, entry_bits=entry_bits
+        )
+    except ConfigError as exc:
+        raise ContainerError(
+            f"invalid configuration in header: {exc.message}",
+            field=getattr(exc, "field", None),
+        ) from None
+    table_end = V3_SEGMENT_TABLE_OFFSET + count * SEGMENT_ENTRY_SIZE
+    if len(data) < table_end:
+        raise ContainerError(
+            f"truncated segment table ({count} segments declared)",
+            byte_offset=len(data),
+            field="segment_table",
+        )
+    table = data[V3_SEGMENT_TABLE_OFFSET:table_end]
+    payload_area = data[table_end:]
+    segments = []
+    for index in range(count):
+        entry = SegmentInfo(
+            *_SEGMENT_ENTRY.unpack_from(table, index * SEGMENT_ENTRY_SIZE)
+        )
+        end = entry.offset + (entry.payload_bits + 7) // 8
+        if end > len(payload_area):
+            raise ContainerError(
+                "segment payload extends past the end of the container",
+                segment=index,
+                expected=end,
+                actual=len(payload_area),
+            )
+        if entry.payload_bits % config.code_bits:
+            raise ContainerError(
+                "segment payload is not a whole number of codes",
+                segment=index,
+                field="payload_bits",
+                expected=config.code_bits,
+                actual=entry.payload_bits,
+            )
+        if entry.num_codes != entry.payload_bits // config.code_bits:
+            raise ContainerError(
+                "segment code count disagrees with its payload bit count",
+                segment=index,
+                field="num_codes",
+                expected=entry.payload_bits // config.code_bits,
+                actual=entry.num_codes,
+            )
+        segments.append(entry)
+    return _MultiHeader(
+        config=config,
+        segments=tuple(segments),
+        header_crc=header_crc,
+        table=table,
+        payload_area=payload_area,
+    )
+
+
+def _segment_payload(header: _MultiHeader, entry: SegmentInfo) -> bytes:
+    """The padded payload bytes of one segment."""
+    return header.payload_area[entry.offset : entry.offset + (entry.payload_bits + 7) // 8]
+
+
+def dump_segments(
+    parts: Sequence[CompressedStream],
+    streams: Optional[Sequence[Optional[TernaryVector]]] = None,
+) -> bytes:
+    """Serialise independently coded segments into one container.
+
+    ``parts`` must share one :class:`LZWConfig` (they decode on the same
+    hardware).  ``streams`` optionally supplies the already-decoded
+    stream per segment, as in :func:`dump_bytes`.  A single segment is
+    written in the v2 format, so batch output degenerates to the serial
+    container bit-for-bit when there is no sharding.
+    """
+    if not parts:
+        raise ValueError("dump_segments needs at least one segment")
+    if streams is None:
+        streams = [None] * len(parts)
+    if len(streams) != len(parts):
+        raise ValueError("streams must align with parts")
+    config = parts[0].config
+    for part in parts[1:]:
+        if part.config != config:
+            raise ValueError("all segments must share one LZWConfig")
+    if len(parts) == 1:
+        return dump_bytes(parts[0], streams[0])
+
+    entries = []
+    payloads = []
+    offset = 0
+    width = config.code_bits
+    for part, stream in zip(parts, streams):
+        writer = BitWriter()
+        for code in part.codes:
+            writer.write(code, width)
+        payload = writer.to_bytes()
+        if stream is None:
+            stream = decode(part)
+        entries.append(
+            _SEGMENT_ENTRY.pack(
+                offset,
+                part.original_bits,
+                writer.bit_length,
+                len(part.codes),
+                zlib.crc32(payload),
+                stream_digest(stream),
+            )
+        )
+        payloads.append(payload)
+        offset += len(payload)
+    table = b"".join(entries)
+    fixed_wo_crc = _HEADER_V3.pack(
+        _MAGIC,
+        _VERSION_MULTI,
+        config.char_bits,
+        config.dict_size,
+        config.entry_bits,
+        len(parts),
+        0,
+    )[:V3_HEADER_CRC_OFFSET]
+    header_crc = zlib.crc32(fixed_wo_crc + table)
+    return fixed_wo_crc + struct.pack(">I", header_crc) + table + b"".join(payloads)
+
+
+def load_segments(
+    data: bytes, verify: bool = True
+) -> Tuple[CompressedStream, ...]:
+    """Parse container bytes into one :class:`CompressedStream` per segment.
+
+    Accepts every format version: v1/v2 containers load as a single
+    segment (via :func:`load_bytes`), v3 containers as their full
+    segment sequence.  Integrity failures raise
+    :class:`ContainerError` carrying the failing ``segment`` index.
+    """
+    if container_version(data) != _VERSION_MULTI:
+        return (load_bytes(data, verify=verify),)
+    header = _parse_multi(data)
+    actual_crc = zlib.crc32(data[:V3_HEADER_CRC_OFFSET] + header.table)
+    if actual_crc != header.header_crc:
+        raise ContainerError(
+            "header CRC mismatch (corrupted header or segment table)",
+            byte_offset=V3_HEADER_CRC_OFFSET,
+            expected=header.header_crc,
+            actual=actual_crc,
+        )
+    out = []
+    for index, entry in enumerate(header.segments):
+        payload = _segment_payload(header, entry)
+        actual = zlib.crc32(payload)
+        if actual != entry.payload_crc:
+            raise ContainerError(
+                "segment payload CRC mismatch (corrupted container)",
+                segment=index,
+                expected=entry.payload_crc,
+                actual=actual,
+            )
+        codes = _read_codes(payload, entry.payload_bits, header.config)
+        try:
+            compressed = CompressedStream(codes, header.config, entry.original_bits)
+        except ValueError as exc:
+            raise ContainerError(str(exc), segment=index) from None
+        if verify:
+            actual_digest = stream_digest(decode(compressed))
+            if actual_digest != entry.stream_crc:
+                raise ContainerError(
+                    "segment decoded stream digest mismatch (tampered payload)",
+                    segment=index,
+                    expected=entry.stream_crc,
+                    actual=actual_digest,
+                )
+        out.append(compressed)
+    return tuple(out)
+
+
+def decode_container(data: bytes, verify: bool = True) -> TernaryVector:
+    """Decode container bytes of any version to the full logical stream.
+
+    For multi-segment containers this is the concatenation of the
+    per-segment decodes in table order.
+    """
+    return TernaryVector.concat_all(
+        [decode(segment) for segment in load_segments(data, verify=verify)]
+    )
 
 
 def dump_file(

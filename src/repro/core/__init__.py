@@ -20,7 +20,7 @@ from .multichain import (
     interleave_stream,
     partition_chains,
 )
-from .pipeline import CompressionResult, compress, decompress
+from .pipeline import CompressionResult, compress, compress_batch, decompress
 
 __all__ = [
     "POLICIES",
@@ -38,6 +38,7 @@ __all__ = [
     "MultiChainResult",
     "chain_streams",
     "compress",
+    "compress_batch",
     "compress_interleaved",
     "compress_per_chain",
     "deinterleave_stream",

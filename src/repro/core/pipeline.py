@@ -18,7 +18,7 @@ from .config import LZWConfig
 from .decoder import decode
 from .encoder import CompressedStream, EncodeStats, LZWEncoder
 
-__all__ = ["CompressionResult", "compress", "decompress"]
+__all__ = ["CompressionResult", "compress", "compress_batch", "decompress"]
 
 
 @dataclass(frozen=True)
@@ -92,6 +92,20 @@ def compress(
     compressed = encoder.encode(stream)
     assigned = decode(compressed)
     return CompressionResult(compressed, assigned, encoder.stats())
+
+
+def compress_batch(configs, streams, workers=None, **kwargs):
+    """Compress many streams across a worker pool (the batch front door).
+
+    Thin forwarder to :func:`repro.parallel.compress_batch` — kept here
+    so the one-stream and many-stream entry points live side by side.
+    See that function for parameters (``shard_bits``, ``pattern_bits``,
+    explicit ``plans``) and the determinism contract: the output bytes
+    depend only on the inputs and shard plans, never on ``workers``.
+    """
+    from ..parallel import compress_batch as _compress_batch
+
+    return _compress_batch(configs, streams, workers=workers, **kwargs)
 
 
 def decompress(compressed: CompressedStream) -> TernaryVector:

@@ -1,0 +1,22 @@
+"""Parallel sharded batch compression (see DESIGN.md, "Batch engine").
+
+Public surface:
+
+* :class:`ShardPlan` / :func:`plan_shards` — explicit, pattern-aligned
+  cut plans;
+* :func:`compress_batch` — encode many workloads (optionally sharded)
+  across a process pool, returning per-workload
+  :class:`BatchItemResult`\\ s whose containers are bit-identical for
+  any worker count.
+"""
+
+from .engine import BatchItemResult, ShardResult, compress_batch
+from .shard import ShardPlan, plan_shards
+
+__all__ = [
+    "BatchItemResult",
+    "ShardPlan",
+    "ShardResult",
+    "compress_batch",
+    "plan_shards",
+]

@@ -1,0 +1,215 @@
+"""Parallel sharded batch-compression engine.
+
+The unit of work is one *shard* — a pattern-aligned slice of one
+workload's scan stream — encoded with its own fresh LZW dictionary.
+All shards of all workloads in a batch are flattened into one job list
+and spread over a :class:`concurrent.futures.ProcessPoolExecutor`;
+results are reassembled strictly by ``(workload, shard)`` index, so the
+output is a pure function of the inputs and the shard plans.  Worker
+count and completion order can never leak into the container bytes —
+the determinism contract ``tests/parallel`` locks down.
+
+With ``workers <= 1`` the engine runs inline in the calling process
+(no pool, no pickling), which is also the deterministic reference the
+parallel paths are compared against.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..bitstream import TernaryVector
+from ..container import dump_segments
+from ..core.config import LZWConfig
+from ..core.decoder import decode
+from ..core.encoder import CompressedStream, EncodeStats, LZWEncoder
+from .shard import ShardPlan, plan_shards
+
+__all__ = ["ShardResult", "BatchItemResult", "compress_batch"]
+
+#: One pool job: (workload index, shard index, shard stream, config).
+_Job = Tuple[int, int, TernaryVector, LZWConfig]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One encoded shard: codes, the implied X assignment and stats."""
+
+    index: int
+    compressed: CompressedStream
+    assigned_stream: TernaryVector
+    stats: EncodeStats
+
+
+@dataclass(frozen=True)
+class BatchItemResult:
+    """Everything produced for one workload of a batch.
+
+    ``container`` is the serialised artefact: a v2 container for a
+    single shard, the multi-segment v3 framing otherwise (see
+    :mod:`repro.container`).
+    """
+
+    plan: ShardPlan
+    shards: Tuple[ShardResult, ...]
+    container: bytes
+
+    @property
+    def num_shards(self) -> int:
+        """Number of independently coded segments."""
+        return len(self.shards)
+
+    @property
+    def original_bits(self) -> int:
+        """Uncompressed size of the whole workload in bits."""
+        return sum(s.compressed.original_bits for s in self.shards)
+
+    @property
+    def compressed_bits(self) -> int:
+        """Compressed size over all segments in bits."""
+        return sum(s.compressed.compressed_bits for s in self.shards)
+
+    @property
+    def num_codes(self) -> int:
+        """Total emitted codes over all segments."""
+        return sum(s.compressed.num_codes for s in self.shards)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio ``1 - compressed/original`` (may be negative)."""
+        if self.original_bits == 0:
+            return 0.0
+        return 1.0 - self.compressed_bits / self.original_bits
+
+    @property
+    def ratio_percent(self) -> float:
+        """Ratio as the percentage the paper's tables report."""
+        return 100.0 * self.ratio
+
+    @property
+    def assigned_stream(self) -> TernaryVector:
+        """The fully specified stream the decompressor reproduces."""
+        return TernaryVector.concat_all([s.assigned_stream for s in self.shards])
+
+    def verify(self, original: TernaryVector) -> bool:
+        """True iff the decoded stream covers every specified bit."""
+        return self.assigned_stream.covers(original)
+
+
+def _encode_shard(job: _Job) -> Tuple[int, int, ShardResult]:
+    """Pool worker: encode one shard with a fresh dictionary.
+
+    Module-level (picklable by reference) and pure — the only state is
+    the job tuple, so fork, spawn and inline execution agree exactly.
+    """
+    item_index, shard_index, stream, config = job
+    encoder = LZWEncoder(config)
+    compressed = encoder.encode(stream)
+    assigned = decode(compressed)
+    return item_index, shard_index, ShardResult(
+        index=shard_index,
+        compressed=compressed,
+        assigned_stream=assigned,
+        stats=encoder.stats(),
+    )
+
+
+def _broadcast(value, count: int, name: str) -> List:
+    """Expand a scalar to ``count`` copies; validate sequence lengths."""
+    if value is None or not isinstance(value, (list, tuple)):
+        return [value] * count
+    if len(value) != count:
+        raise ValueError(f"{name} has {len(value)} entries for {count} streams")
+    return list(value)
+
+
+def compress_batch(
+    configs: Union[LZWConfig, Sequence[Optional[LZWConfig]], None],
+    streams: Sequence[TernaryVector],
+    workers: Optional[int] = None,
+    shard_bits: int = 0,
+    pattern_bits: Union[int, Sequence[int]] = 0,
+    plans: Optional[Sequence[ShardPlan]] = None,
+) -> List[BatchItemResult]:
+    """Compress a batch of scan streams across a worker pool.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`LZWConfig` shared by every stream, a per-stream
+        sequence, or ``None`` for the defaults.
+    streams:
+        The ternary scan streams, one per workload.
+    workers:
+        Pool size; ``None`` means ``os.cpu_count()`` and ``<= 1`` runs
+        inline.  **Never affects the output bytes.**
+    shard_bits:
+        Target shard size in bits; ``0`` disables intra-stream sharding
+        (each workload is one segment).
+    pattern_bits:
+        Pattern (vector) width per stream — cuts are aligned up to its
+        multiples so no vector straddles shards.  Scalar or per-stream.
+    plans:
+        Explicit per-stream :class:`ShardPlan`\\ s, overriding
+        ``shard_bits``/``pattern_bits`` planning.
+
+    Returns one :class:`BatchItemResult` per input stream, in input
+    order.
+    """
+    streams = list(streams)
+    config_list = [
+        cfg or LZWConfig() for cfg in _broadcast(configs, len(streams), "configs")
+    ]
+    pattern_list = _broadcast(pattern_bits, len(streams), "pattern_bits")
+    if plans is None:
+        plan_list = [
+            plan_shards(len(stream), shard_bits, pattern or 0)
+            for stream, pattern in zip(streams, pattern_list)
+        ]
+    else:
+        plan_list = list(plans)
+        if len(plan_list) != len(streams):
+            raise ValueError(
+                f"plans has {len(plan_list)} entries for {len(streams)} streams"
+            )
+
+    jobs: List[_Job] = []
+    for item_index, (stream, config, plan) in enumerate(
+        zip(streams, config_list, plan_list)
+    ):
+        for shard_index, shard in enumerate(plan.split(stream)):
+            jobs.append((item_index, shard_index, shard, config))
+
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers <= 1 or len(jobs) <= 1:
+        outcomes = [_encode_shard(job) for job in jobs]
+    else:
+        pool_size = min(workers, len(jobs))
+        # Batch jobs per IPC round trip; chunking changes scheduling
+        # granularity only, never the (index-sorted) results.
+        chunksize = max(1, len(jobs) // (pool_size * 4))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            outcomes = list(pool.map(_encode_shard, jobs, chunksize=chunksize))
+
+    # Deterministic reassembly: order by (workload, shard), never by
+    # completion.  pool.map already preserves order; sorting makes the
+    # invariant explicit and future-proof.
+    per_item: List[List[ShardResult]] = [[] for _ in streams]
+    for item_index, _shard_index, result in sorted(
+        outcomes, key=lambda o: (o[0], o[1])
+    ):
+        per_item[item_index].append(result)
+
+    results = []
+    for plan, shards in zip(plan_list, per_item):
+        shard_tuple = tuple(shards)
+        container = dump_segments(
+            [s.compressed for s in shard_tuple],
+            [s.assigned_stream for s in shard_tuple],
+        )
+        results.append(BatchItemResult(plan, shard_tuple, container))
+    return results

@@ -1,0 +1,98 @@
+"""Shard planning: where to cut a scan stream for independent coding.
+
+A :class:`ShardPlan` is a value object — the ordered interior cut
+offsets of one logical stream.  It is part of the compressed artefact's
+identity: the batch engine guarantees *same inputs + same plan ⇒
+bit-identical container*, so plans are explicit, hashable and
+serialisable rather than implied by worker count.
+
+:func:`plan_shards` builds the standard plan: shards of roughly
+``shard_bits`` bits, with every cut aligned to a *pattern boundary*
+(a multiple of the test set's vector width) so no test vector is ever
+split across two dictionaries — the property that keeps per-shard
+compression close to serial compression on ATPG workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..bitstream import TernaryVector
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Interior cut offsets (in bits) of a ``total_bits``-bit stream.
+
+    ``cuts`` must be strictly increasing and lie strictly inside
+    ``(0, total_bits)``; an empty tuple means a single shard covering
+    the whole stream.
+    """
+
+    total_bits: int
+    cuts: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 0:
+            raise ValueError("total_bits must be non-negative")
+        previous = 0
+        for cut in self.cuts:
+            if not previous < cut < self.total_bits:
+                raise ValueError(
+                    f"cuts must be strictly increasing within (0, {self.total_bits}); "
+                    f"got {self.cuts}"
+                )
+            previous = cut
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the plan produces."""
+        return len(self.cuts) + 1
+
+    @property
+    def bounds(self) -> Tuple[Tuple[int, int], ...]:
+        """``(start, stop)`` bit range of every shard, in order."""
+        edges = (0,) + self.cuts + (self.total_bits,)
+        return tuple(zip(edges, edges[1:]))
+
+    def split(self, stream: TernaryVector) -> List[TernaryVector]:
+        """Cut ``stream`` into the planned shards."""
+        if len(stream) != self.total_bits:
+            raise ValueError(
+                f"plan covers {self.total_bits} bits but stream has {len(stream)}"
+            )
+        return [stream[start:stop] for start, stop in self.bounds]
+
+
+def plan_shards(
+    total_bits: int,
+    shard_bits: int = 0,
+    pattern_bits: int = 0,
+) -> ShardPlan:
+    """Plan shards of roughly ``shard_bits`` bits over a stream.
+
+    ``shard_bits <= 0`` (or larger than the stream) yields the trivial
+    single-shard plan.  With ``pattern_bits`` set, every cut is rounded
+    *up* to the next multiple of it so no pattern straddles a shard
+    boundary; a ``shard_bits`` smaller than one pattern degenerates to
+    one pattern per shard.
+    """
+    if shard_bits <= 0 or shard_bits >= total_bits:
+        return ShardPlan(total_bits)
+    if pattern_bits < 0:
+        raise ValueError("pattern_bits must be non-negative")
+    cuts: List[int] = []
+    position = 0
+    while True:
+        position += shard_bits
+        if pattern_bits:
+            remainder = position % pattern_bits
+            if remainder:
+                position += pattern_bits - remainder
+        if position >= total_bits:
+            break
+        cuts.append(position)
+    return ShardPlan(total_bits, tuple(cuts))

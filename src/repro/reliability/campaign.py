@@ -32,8 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..bitstream import TernaryVector
-from ..container import load_bytes
-from ..core import decode
+from ..container import decode_container
 from .errors import ReproError
 from .inject import INJECTORS, inject
 
@@ -110,7 +109,7 @@ def run_trial(
     """Corrupt, decode and classify a single trial."""
     corrupted = inject(container, injector, seed)
     try:
-        stream = decode(load_bytes(corrupted))
+        stream = decode_container(corrupted)
     except ReproError as exc:
         return Trial(injector, seed, TrialOutcome.DETECTED, exc)
     except Exception as exc:  # noqa: BLE001 - the escape *is* the finding

@@ -21,6 +21,19 @@ plausibly suffer:
     payload CRC and the header CRC are recomputed to match**, so only
     the decoded-stream digest (or the decoder's own range checks) can
     catch it.
+
+Multi-segment (v3) containers get two additional injector classes in
+:data:`MULTI_INJECTORS`, aimed at the sharded framing specifically:
+
+``segment_payload``
+    one flipped bit inside a randomly chosen shard's payload region —
+    must be caught by that segment's payload CRC;
+``segment_entry_tamper``
+    one byte of a randomly chosen segment-table entry overwritten
+    **with the header CRC recomputed to match**, so detection has to
+    come from the per-segment checks (offset/size validation, payload
+    CRC, code-count cross-check or the decoded-stream digest), and the
+    failing segment index must be reported.
 """
 
 from __future__ import annotations
@@ -30,9 +43,17 @@ import struct
 import zlib
 from typing import Callable, Dict
 
-from ..container import HEADER_CRC_OFFSET, HEADER_SIZE, PAYLOAD_CRC_OFFSET
+from ..container import (
+    HEADER_CRC_OFFSET,
+    HEADER_SIZE,
+    PAYLOAD_CRC_OFFSET,
+    SEGMENT_ENTRY_SIZE,
+    V3_HEADER_CRC_OFFSET,
+    V3_SEGMENT_COUNT_OFFSET,
+    V3_SEGMENT_TABLE_OFFSET,
+)
 
-__all__ = ["INJECTORS", "inject"]
+__all__ = ["INJECTORS", "MULTI_INJECTORS", "inject"]
 
 Injector = Callable[[bytes, random.Random], bytes]
 
@@ -87,7 +108,57 @@ def _tamper_payload_fix_crcs(data: bytes, rng: random.Random) -> bytes:
     return bytes(out)
 
 
-#: All injector classes, keyed by campaign name.
+def _require_multi(data: bytes) -> int:
+    """Segment count of a v3 container (injector precondition check)."""
+    if len(data) < V3_SEGMENT_TABLE_OFFSET or data[4] != 3:
+        raise ValueError("this injector needs a multi-segment (v3) container")
+    count = int.from_bytes(
+        data[V3_SEGMENT_COUNT_OFFSET : V3_SEGMENT_COUNT_OFFSET + 4], "big"
+    )
+    if count < 1 or len(data) < V3_SEGMENT_TABLE_OFFSET + count * SEGMENT_ENTRY_SIZE:
+        raise ValueError("malformed multi-segment container")
+    return count
+
+
+def _segment_payload_flip(data: bytes, rng: random.Random) -> bytes:
+    """Flip one bit inside a randomly chosen shard's payload region."""
+    count = _require_multi(data)
+    table_end = V3_SEGMENT_TABLE_OFFSET + count * SEGMENT_ENTRY_SIZE
+    if len(data) <= table_end:
+        raise ValueError("segment_payload needs a non-empty payload area")
+    out = bytearray(data)
+    position = rng.randrange((len(out) - table_end) * 8)
+    out[table_end + position // 8] ^= 1 << (7 - position % 8)
+    return bytes(out)
+
+
+def _segment_entry_tamper(data: bytes, rng: random.Random) -> bytes:
+    """Corrupt one segment-table entry byte and re-sign the header CRC.
+
+    The recomputed CRC hides the tampering from the header checksum, so
+    the per-segment checks (and only they) must catch it — the v3
+    analogue of ``crc_tamper``.
+    """
+    count = _require_multi(data)
+    out = bytearray(data)
+    segment = rng.randrange(count)
+    entry_start = V3_SEGMENT_TABLE_OFFSET + segment * SEGMENT_ENTRY_SIZE
+    position = entry_start + rng.randrange(SEGMENT_ENTRY_SIZE)
+    out[position] ^= rng.randrange(1, 256)
+    table_end = V3_SEGMENT_TABLE_OFFSET + count * SEGMENT_ENTRY_SIZE
+    struct.pack_into(
+        ">I",
+        out,
+        V3_HEADER_CRC_OFFSET,
+        zlib.crc32(
+            bytes(out[:V3_HEADER_CRC_OFFSET])
+            + bytes(out[V3_SEGMENT_TABLE_OFFSET:table_end])
+        ),
+    )
+    return bytes(out)
+
+
+#: Injector classes applicable to any container, keyed by campaign name.
 INJECTORS: Dict[str, Injector] = {
     "bit_flip": _flip_bit,
     "byte_drop": _drop_byte,
@@ -96,14 +167,21 @@ INJECTORS: Dict[str, Injector] = {
     "crc_tamper": _tamper_payload_fix_crcs,
 }
 
+#: Additional injectors that target the multi-segment (v3) framing.
+MULTI_INJECTORS: Dict[str, Injector] = {
+    "segment_payload": _segment_payload_flip,
+    "segment_entry_tamper": _segment_entry_tamper,
+}
+
 
 def inject(data: bytes, injector: str, seed: int) -> bytes:
     """Apply the named injector to ``data`` under a deterministic seed."""
+    known = {**INJECTORS, **MULTI_INJECTORS}
     try:
-        fn = INJECTORS[injector]
+        fn = known[injector]
     except KeyError:
         raise ValueError(
-            f"unknown injector {injector!r}; known: {', '.join(sorted(INJECTORS))}"
+            f"unknown injector {injector!r}; known: {', '.join(sorted(known))}"
         ) from None
     if not data:
         raise ValueError("cannot inject faults into an empty container")

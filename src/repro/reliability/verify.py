@@ -14,6 +14,13 @@ typed exception — an operator debugging a bad ATE archive wants to know
 6. **coverage** — optional: the decoded stream covers a reference cube
    stream (full round-trip verification).
 
+Multi-segment (v3) containers run the same stages per segment: after
+the header and the table-covering header CRC, every segment gets its
+own ``segment[i] payload-crc`` / ``segment[i] decode`` /
+``segment[i] stream-digest`` checks, so a corrupted shard is reported
+by index; the optional coverage stage then checks the concatenated
+decode against the reference stream.
+
 The report distinguishes *not a container* (bad magic / truncated
 header / unknown version → CLI exit 3) from *recognised but failing
 integrity* (→ CLI exit 4).
@@ -28,12 +35,20 @@ from typing import Optional, Tuple
 from ..bitstream import TernaryVector
 from ..container import (
     HEADER_CRC_OFFSET,
+    SEGMENT_ENTRY_SIZE,
+    V3_HEADER_CRC_OFFSET,
+    V3_SEGMENT_TABLE_OFFSET,
+    _HEADER_V3,
+    _MAGIC,
+    _SEGMENT_ENTRY,
+    SegmentInfo,
     _parse_header,
+    _read_codes,
     load_bytes,
     stream_digest,
 )
-from ..core import decode
-from .errors import ContainerError, ReproError
+from ..core import CompressedStream, LZWConfig, decode
+from .errors import ConfigError, ContainerError, ReproError
 
 __all__ = ["Check", "VerifyReport", "verify_container"]
 
@@ -60,6 +75,7 @@ class VerifyReport:
     config_summary: Optional[str] = None
     num_codes: Optional[int] = None
     original_bits: Optional[int] = None
+    segments: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -77,9 +93,10 @@ class VerifyReport:
         lines = []
         if self.recognised:
             codes = "?" if self.num_codes is None else self.num_codes
+            seg = "" if self.segments is None else f"{self.segments} segments, "
             lines.append(
                 f"container v{self.version}: {self.config_summary}, "
-                f"{codes} codes, {self.original_bits} original bits"
+                f"{seg}{codes} codes, {self.original_bits} original bits"
             )
         lines.extend(check.describe() for check in self.checks)
         lines.append("PASS" if self.ok else "FAIL")
@@ -93,7 +110,11 @@ def verify_container(
 
     ``original`` enables the final coverage stage: the decoded stream
     must reproduce every specified bit of the given cube stream.
+    Multi-segment containers get per-segment stages named
+    ``segment[i] ...`` so the failing shard is identified by index.
     """
+    if len(data) >= 5 and data[:4] == _MAGIC and data[4] == 3:
+        return _verify_multi(data, original)
     checks = []
     try:
         header = _parse_header(data)
@@ -173,4 +194,176 @@ def verify_container(
         config_summary=header.config.describe(),
         num_codes=compressed.num_codes if compressed is not None else None,
         original_bits=header.original_bits,
+    )
+
+
+def _verify_segment(
+    config: LZWConfig, entry: SegmentInfo, index: int, payload_area: bytes
+) -> Tuple[list, Optional[TernaryVector]]:
+    """Run the payload-crc / decode / stream-digest stages of one segment."""
+    name = f"segment[{index}]"
+    checks = []
+    end = entry.offset + (entry.payload_bits + 7) // 8
+    if end > len(payload_area):
+        checks.append(
+            Check(
+                f"{name} payload-crc",
+                False,
+                f"payload extends past the container "
+                f"(needs {end} bytes, {len(payload_area)} present)",
+            )
+        )
+        return checks, None
+    if entry.payload_bits % config.code_bits:
+        checks.append(
+            Check(
+                f"{name} payload-crc",
+                False,
+                f"{entry.payload_bits} payload bits is not a whole number "
+                f"of {config.code_bits}-bit codes",
+            )
+        )
+        return checks, None
+    if entry.num_codes != entry.payload_bits // config.code_bits:
+        checks.append(
+            Check(
+                f"{name} payload-crc",
+                False,
+                f"code count {entry.num_codes} disagrees with "
+                f"{entry.payload_bits} payload bits",
+            )
+        )
+        return checks, None
+    payload = payload_area[entry.offset : end]
+    actual_crc = zlib.crc32(payload)
+    if actual_crc != entry.payload_crc:
+        checks.append(
+            Check(
+                f"{name} payload-crc",
+                False,
+                f"stored {entry.payload_crc:#010x}, computed {actual_crc:#010x}",
+            )
+        )
+        return checks, None
+    checks.append(
+        Check(
+            f"{name} payload-crc",
+            True,
+            f"{len(payload)} bytes, {entry.num_codes} codes",
+        )
+    )
+
+    try:
+        codes = _read_codes(payload, entry.payload_bits, config)
+        stream = decode(CompressedStream(codes, config, entry.original_bits))
+        checks.append(
+            Check(f"{name} decode", True, f"{len(codes)} codes -> {len(stream)} bits")
+        )
+    except (ReproError, ValueError) as exc:
+        checks.append(Check(f"{name} decode", False, str(exc)))
+        return checks, None
+
+    actual_digest = stream_digest(stream)
+    checks.append(
+        Check(
+            f"{name} stream-digest",
+            actual_digest == entry.stream_crc,
+            f"stored {entry.stream_crc:#010x}, computed {actual_digest:#010x}",
+        )
+    )
+    if actual_digest != entry.stream_crc:
+        return checks, None
+    return checks, stream
+
+
+def _verify_multi(
+    data: bytes, original: Optional[TernaryVector] = None
+) -> VerifyReport:
+    """Staged verification of a multi-segment (v3) container."""
+    if len(data) < _HEADER_V3.size:
+        return VerifyReport(
+            checks=(Check("header", False, "truncated container header"),),
+            recognised=False,
+            version=3,
+        )
+    _, _, char_bits, dict_size, entry_bits, count, header_crc = _HEADER_V3.unpack_from(
+        data
+    )
+    try:
+        config = LZWConfig(
+            char_bits=char_bits, dict_size=dict_size, entry_bits=entry_bits
+        )
+    except ConfigError as exc:
+        return VerifyReport(
+            checks=(
+                Check("header", False, f"invalid configuration: {exc.message}"),
+            ),
+            recognised=False,
+            version=3,
+        )
+
+    checks = []
+    table_end = V3_SEGMENT_TABLE_OFFSET + count * SEGMENT_ENTRY_SIZE
+    if count < 1 or len(data) < table_end:
+        detail = (
+            "segment count must be >= 1"
+            if count < 1
+            else f"truncated segment table ({count} segments declared, "
+            f"{len(data)} bytes total)"
+        )
+        checks.append(Check("header", False, detail))
+        return VerifyReport(
+            checks=tuple(checks),
+            recognised=True,
+            version=3,
+            config_summary=config.describe(),
+            segments=count,
+        )
+    checks.append(
+        Check("header", True, f"v3, {config.describe()}, {count} segments")
+    )
+
+    table = data[V3_SEGMENT_TABLE_OFFSET:table_end]
+    actual_crc = zlib.crc32(data[:V3_HEADER_CRC_OFFSET] + table)
+    checks.append(
+        Check(
+            "header-crc",
+            actual_crc == header_crc,
+            f"stored {header_crc:#010x}, computed {actual_crc:#010x} "
+            "(covers header + segment table)",
+        )
+    )
+
+    payload_area = data[table_end:]
+    streams = []
+    total_codes = 0
+    total_bits = 0
+    for index in range(count):
+        entry = SegmentInfo(
+            *_SEGMENT_ENTRY.unpack_from(table, index * SEGMENT_ENTRY_SIZE)
+        )
+        total_codes += entry.num_codes
+        total_bits += entry.original_bits
+        segment_checks, stream = _verify_segment(config, entry, index, payload_area)
+        checks.extend(segment_checks)
+        streams.append(stream)
+
+    if original is not None and all(s is not None for s in streams):
+        decoded = TernaryVector.concat_all(streams)
+        if decoded.covers(original):
+            detail = f"covers all {original.care_count} specified bits"
+            checks.append(Check("coverage", True, detail))
+        else:
+            checks.append(
+                Check("coverage", False, "decoded stream does not cover original")
+            )
+
+    return VerifyReport(
+        checks=tuple(checks),
+        recognised=True,
+        version=3,
+        config_summary=config.describe(),
+        num_codes=total_codes,
+        original_bits=total_bits,
+        segments=count,
     )

@@ -1,7 +1,7 @@
 """Workloads: paper benchmark metadata and matched synthetic test sets."""
 
 from .cubes import CubeProfile, profile_for, synthesize
-from .loader import available_workloads, build_testset
+from .loader import DEFAULT_CORPUS, available_workloads, build_corpus, build_testset
 from .validate import ValidationReport, validate_testset
 from .paper import (
     BENCHMARKS,
@@ -14,11 +14,13 @@ from .paper import (
 __all__ = [
     "BENCHMARKS",
     "CubeProfile",
+    "DEFAULT_CORPUS",
     "PaperBenchmark",
     "TABLE1_CIRCUITS",
     "TABLE3_CIRCUITS",
     "available_workloads",
     "ValidationReport",
+    "build_corpus",
     "build_testset",
     "get_benchmark",
     "validate_testset",

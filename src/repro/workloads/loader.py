@@ -10,13 +10,25 @@ quick tests — while preserving width and density.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..circuit.scan import TestSet
 from .cubes import profile_for, synthesize
 from .paper import BENCHMARKS, PaperBenchmark, get_benchmark
 
-__all__ = ["build_testset", "available_workloads"]
+__all__ = ["build_corpus", "build_testset", "available_workloads"]
+
+#: Default corpus for batched runs and the throughput benchmark: the
+#: paper's full-scan ISCAS'89 circuits, smallest to largest.
+DEFAULT_CORPUS = (
+    "s5378f",
+    "s9234f",
+    "s35932f",
+    "s15850f",
+    "s13207f",
+    "s38417f",
+    "s38584f",
+)
 
 
 def available_workloads() -> list:
@@ -61,3 +73,19 @@ def build_testset(
         **overrides,
     )
     return synthesize(profile)
+
+
+def build_corpus(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+) -> List[Tuple[str, TestSet]]:
+    """Synthesize a whole corpus of matched test sets, in name order.
+
+    The workload unit of the batch engine and the throughput benchmark:
+    one deterministic :class:`TestSet` per benchmark name (default
+    :data:`DEFAULT_CORPUS`), all at the same ``scale``.
+    """
+    if names is None:
+        names = DEFAULT_CORPUS
+    return [(name, build_testset(name, scale=scale, seed=seed)) for name in names]

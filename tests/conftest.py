@@ -8,6 +8,16 @@ from repro.bitstream import TernaryVector
 from repro.core import LZWConfig
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/golden.json from the current code "
+        "instead of comparing against it",
+    )
+
+
 @pytest.fixture
 def rng():
     """Deterministic RNG for tests that sample."""

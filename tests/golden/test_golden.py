@@ -1,0 +1,137 @@
+"""Golden-file regression suite: the compressed artefacts are frozen.
+
+For a small fixed corpus (three tiny synthetic workloads × three LZW
+configurations) this locks down, per case:
+
+* the serial path — compressed bit count, code count, ratio and the
+  SHA-256 of the v2 container bytes;
+* the batch path — segment count and the SHA-256 of the multi-segment
+  container produced by a fixed pattern-aligned shard plan.
+
+Any change to the encoder, the don't-care heuristics, the shard
+planner or the container framings shows up here as a digest mismatch.
+If (and only if) the change is an intentional format or algorithm
+change, regenerate the goldens with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and commit the updated ``golden.json`` alongside the code change.
+"""
+
+import functools
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.container import dump_bytes
+from repro.core import LZWConfig, compress, compress_batch
+from repro.parallel import plan_shards
+from repro.workloads import build_testset
+
+GOLDEN_PATH = Path(__file__).parent / "golden.json"
+
+REGENERATE_HINT = (
+    "If this change is intentional, regenerate the golden file with:\n"
+    "  PYTHONPATH=src python -m pytest tests/golden --update-golden\n"
+    "and commit tests/golden/golden.json with your change."
+)
+
+#: (workload name, scale) — tiny slices of the paper's benchmarks.
+WORKLOADS = (
+    ("s5378f", 0.12),
+    ("s9234f", 0.08),
+    ("s35932f", 0.25),
+)
+
+#: Named LZW configurations covering the interesting regimes.
+CONFIGS = {
+    "small": LZWConfig(char_bits=3, dict_size=32, entry_bits=12),
+    "paper": LZWConfig(char_bits=7, dict_size=1024, entry_bits=63),
+    "adaptive": LZWConfig(
+        char_bits=5, dict_size=256, entry_bits=30, reset_on_full=True
+    ),
+}
+
+CASES = [
+    (workload, scale, config_name)
+    for workload, scale in WORKLOADS
+    for config_name in CONFIGS
+]
+
+
+def _case_key(workload: str, config_name: str) -> str:
+    return f"{workload}/{config_name}"
+
+
+@functools.lru_cache(maxsize=None)
+def _testset(workload: str, scale: float):
+    return build_testset(workload, scale=scale)
+
+
+def _compute_case(workload: str, scale: float, config_name: str) -> dict:
+    """Everything the golden file freezes for one (workload, config)."""
+    test_set = _testset(workload, scale)
+    stream = test_set.to_stream()
+    config = CONFIGS[config_name]
+
+    result = compress(stream, config)
+    container = dump_bytes(result.compressed, result.assigned_stream)
+
+    plan = plan_shards(len(stream), max(1, len(stream) // 3), test_set.width)
+    item = compress_batch(config, [stream], workers=1, plans=[plan])[0]
+    assert item.verify(stream)
+
+    return {
+        "original_bits": result.original_bits,
+        "num_codes": result.compressed.num_codes,
+        "compressed_bits": result.compressed_bits,
+        "ratio_percent": round(result.ratio_percent, 6),
+        "container_sha256": hashlib.sha256(container).hexdigest(),
+        "batch_segments": item.num_shards,
+        "batch_compressed_bits": item.compressed_bits,
+        "batch_container_sha256": hashlib.sha256(item.container).hexdigest(),
+    }
+
+
+def test_update_golden(request):
+    """With ``--update-golden``: rewrite the golden file; otherwise skip."""
+    if not request.config.getoption("--update-golden"):
+        pytest.skip("comparison mode (pass --update-golden to regenerate)")
+    data = {
+        _case_key(workload, config_name): _compute_case(workload, scale, config_name)
+        for workload, scale, config_name in CASES
+    }
+    GOLDEN_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.parametrize(
+    "workload,scale,config_name",
+    CASES,
+    ids=[_case_key(w, c) for w, _s, c in CASES],
+)
+def test_golden_case(request, workload, scale, config_name):
+    if request.config.getoption("--update-golden"):
+        pytest.skip("regenerating golden file")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(f"{GOLDEN_PATH} is missing.\n{REGENERATE_HINT}")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    key = _case_key(workload, config_name)
+    if key not in golden:
+        pytest.fail(f"golden file has no entry for {key}.\n{REGENERATE_HINT}")
+    actual = _compute_case(workload, scale, config_name)
+    expected = golden[key]
+    mismatches = {
+        field: (expected.get(field), actual[field])
+        for field in actual
+        if actual[field] != expected.get(field)
+    }
+    assert not mismatches, (
+        f"golden mismatch for {key}: "
+        + ", ".join(
+            f"{field} expected {want!r} got {got!r}"
+            for field, (want, got) in sorted(mismatches.items())
+        )
+        + f"\n{REGENERATE_HINT}"
+    )

@@ -1,0 +1,56 @@
+"""The determinism contract: worker count never touches the bytes.
+
+``compress_batch`` guarantees *same inputs + same shard plan ⇒
+bit-identical containers* for any pool size and any completion order.
+These tests run the same batch at workers 1, 2 and 8 (the workers=1
+path is inline, so the pooled paths are compared against a
+pool-free reference) and twice at workers=8 to catch completion-order
+leakage.
+"""
+
+import random
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, compress_batch
+
+CONFIG = LZWConfig(char_bits=4, dict_size=128, entry_bits=24)
+
+
+@pytest.fixture(scope="module")
+def batch_streams():
+    rng = random.Random(20240806)
+    return [
+        TernaryVector.random(2000, x_density=0.8, rng=rng),
+        TernaryVector.random(1200, x_density=0.6, rng=rng),
+        TernaryVector.random(800, x_density=0.3, rng=rng),
+    ]
+
+
+def _containers(streams, workers):
+    results = compress_batch(
+        CONFIG, streams, workers=workers, shard_bits=500, pattern_bits=100
+    )
+    return [item.container for item in results]
+
+
+@pytest.mark.parametrize("workers", [2, 8])
+def test_worker_count_does_not_change_output(batch_streams, workers):
+    assert _containers(batch_streams, workers) == _containers(batch_streams, 1)
+
+
+def test_repeated_runs_are_identical(batch_streams):
+    first = _containers(batch_streams, 8)
+    second = _containers(batch_streams, 8)
+    assert first == second
+
+
+def test_shard_results_carry_stable_indices(batch_streams):
+    results = compress_batch(
+        CONFIG, batch_streams, workers=4, shard_bits=500, pattern_bits=100
+    )
+    for item in results:
+        assert [shard.index for shard in item.shards] == list(
+            range(item.num_shards)
+        )

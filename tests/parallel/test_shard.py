@@ -1,0 +1,65 @@
+"""Unit tests for shard planning."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.parallel import ShardPlan, plan_shards
+
+
+class TestShardPlan:
+    def test_trivial_plan_is_one_shard(self):
+        plan = ShardPlan(100)
+        assert plan.num_shards == 1
+        assert plan.bounds == ((0, 100),)
+
+    def test_bounds_cover_the_stream_exactly(self):
+        plan = ShardPlan(100, (10, 40, 99))
+        assert plan.bounds == ((0, 10), (10, 40), (40, 99), (99, 100))
+
+    def test_split_roundtrips(self):
+        stream = TernaryVector("01X" * 40)
+        plan = ShardPlan(len(stream), (7, 60))
+        parts = plan.split(stream)
+        assert [len(p) for p in parts] == [7, 53, 60]
+        assert TernaryVector.concat_all(parts) == stream
+
+    def test_split_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            ShardPlan(10).split(TernaryVector("010"))
+
+    @pytest.mark.parametrize("cuts", [(0,), (100,), (50, 50), (60, 40), (101,)])
+    def test_invalid_cuts_rejected(self, cuts):
+        with pytest.raises(ValueError):
+            ShardPlan(100, cuts)
+
+    def test_empty_stream_plan(self):
+        plan = ShardPlan(0)
+        assert plan.split(TernaryVector()) == [TernaryVector()]
+
+
+class TestPlanShards:
+    def test_zero_shard_bits_disables_sharding(self):
+        assert plan_shards(1000, 0) == ShardPlan(1000)
+
+    def test_shard_bits_larger_than_stream(self):
+        assert plan_shards(1000, 5000) == ShardPlan(1000)
+
+    def test_unaligned_plan(self):
+        plan = plan_shards(1000, 300)
+        assert plan.cuts == (300, 600, 900)
+
+    def test_cuts_align_up_to_pattern_boundaries(self):
+        plan = plan_shards(1000, 300, pattern_bits=250)
+        # 300 rounds up to 500; the next target 800 rounds up to 1000,
+        # which is the stream end and therefore not a cut.
+        assert plan.cuts == (500,)
+        assert all(cut % 250 == 0 for cut in plan.cuts)
+
+    def test_tiny_shards_degenerate_to_one_pattern_each(self):
+        plan = plan_shards(1000, 1, pattern_bits=250)
+        assert plan.cuts == (250, 500, 750)
+
+    def test_no_pattern_straddles_a_boundary(self):
+        width = 97
+        plan = plan_shards(width * 13, 300, pattern_bits=width)
+        assert plan.cuts and all(cut % width == 0 for cut in plan.cuts)
