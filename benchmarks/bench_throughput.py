@@ -16,6 +16,12 @@ Two personalities:
   at the repo root.  Numbers are *measured*, machine facts included —
   on a single-core container the parallel runs cannot beat serial, and
   the JSON says so rather than pretending otherwise.
+
+Every timed pass runs with a :mod:`repro.observability` recorder
+attached, so the report breaks the wall clock down by pipeline stage
+(``plan``/``encode``/``reassemble`` in the parent, encode/assign summed
+across worker shards) and carries the deterministic counter snapshot of
+the reference run alongside the timings.
 """
 
 import argparse
@@ -27,6 +33,12 @@ import time
 from pathlib import Path
 
 from repro.core import LZWConfig, LZWEncoder, compress, compress_batch, decode
+from repro.observability import (
+    SCHEMA_VERSION,
+    CompositeRecorder,
+    CounterRecorder,
+    SpanRecorder,
+)
 from repro.workloads import DEFAULT_CORPUS, build_corpus, build_testset
 
 CONFIG = LZWConfig(char_bits=7, dict_size=1024, entry_bits=63)
@@ -48,15 +60,55 @@ def _mb(bits: int) -> float:
 
 
 def run_serial(streams):
-    """Unsharded baseline: one plain ``compress`` per workload."""
+    """Unsharded baseline: one plain ``compress`` per workload.
+
+    Returns the total seconds, the per-workload results and the stage
+    breakdown the attached :class:`SpanRecorder` measured (``encode`` is
+    the LZW loop, ``assign`` the decode that materialises the X-filled
+    stream).
+    """
+    spans = SpanRecorder()
     start = time.perf_counter()
-    results = [compress(stream, CONFIG) for stream in streams]
+    results = [compress(stream, CONFIG, recorder=spans) for stream in streams]
     seconds = time.perf_counter() - start
-    return seconds, results
+    stages = {
+        "encode": round(spans.seconds("encode"), 4),
+        "assign": round(spans.seconds("assign"), 4),
+    }
+    return seconds, results, stages
+
+
+def _batch_stage_breakdown(spans: SpanRecorder) -> dict:
+    """Fold one batch pass's spans into the per-stage report entry.
+
+    Parent stages are exact-name sums; the per-shard worker spans come
+    back merged under ``shard[i.j].`` labels and are aggregated into
+    CPU-seconds totals (they overlap in wall time when workers > 1).
+    """
+    shard_encode = shard_assign = 0.0
+    for name, seconds in spans.iter_named("shard["):
+        if name.endswith(".encode"):
+            shard_encode += seconds
+        elif name.endswith(".assign"):
+            shard_assign += seconds
+    return {
+        "plan": round(spans.seconds("plan"), 4),
+        "encode_wall": round(spans.seconds("encode"), 4),
+        "reassemble": round(spans.seconds("reassemble"), 4),
+        "shard_encode_cpu": round(shard_encode, 4),
+        "shard_assign_cpu": round(shard_assign, 4),
+    }
 
 
 def run_batch(streams, pattern_bits, workers):
-    """One sharded batch pass at a fixed pool size."""
+    """One sharded batch pass at a fixed pool size, instrumented.
+
+    Returns seconds, the batch items, the stage breakdown and the
+    deterministic counter snapshot (identical at every pool size).
+    """
+    counters = CounterRecorder()
+    spans = SpanRecorder()
+    recorder = CompositeRecorder([counters, spans])
     start = time.perf_counter()
     items = compress_batch(
         CONFIG,
@@ -64,9 +116,10 @@ def run_batch(streams, pattern_bits, workers):
         workers=workers,
         shard_bits=SHARD_BITS,
         pattern_bits=pattern_bits,
+        recorder=recorder,
     )
     seconds = time.perf_counter() - start
-    return seconds, items
+    return seconds, items, _batch_stage_breakdown(spans), counters.snapshot()
 
 
 def run_experiment(scale: float, workers=WORKER_COUNTS) -> dict:
@@ -76,32 +129,41 @@ def run_experiment(scale: float, workers=WORKER_COUNTS) -> dict:
     pattern_bits = [testset.width for _, testset in corpus]
     total_bits = sum(len(stream) for stream in streams)
 
-    serial_seconds, serial_results = run_serial(streams)
+    serial_seconds, serial_results, serial_stages = run_serial(streams)
     serial_bits = sum(r.compressed_bits for r in serial_results)
 
     parallel_runs = []
     reference_containers = None
+    reference_counters = None
     for count in workers:
-        seconds, items = run_batch(streams, pattern_bits, count)
+        seconds, items, stages, counters = run_batch(streams, pattern_bits, count)
         containers = [item.container for item in items]
         if reference_containers is None:
             reference_containers = containers
+            reference_counters = counters
             for item, stream in zip(items, streams):
                 if not item.verify(stream):
                     raise AssertionError("batch output does not cover its input")
             batch_bits = sum(item.compressed_bits for item in items)
             shard_counts = [item.num_shards for item in items]
-        elif containers != reference_containers:
-            raise AssertionError(
-                f"workers={count} changed the output bytes — "
-                "determinism contract violated"
-            )
+        else:
+            if containers != reference_containers:
+                raise AssertionError(
+                    f"workers={count} changed the output bytes — "
+                    "determinism contract violated"
+                )
+            if counters != reference_counters:
+                raise AssertionError(
+                    f"workers={count} changed the merged counters — "
+                    "recorder determinism violated"
+                )
         parallel_runs.append(
             {
                 "workers": count,
                 "seconds": round(seconds, 4),
                 "mb_per_s": round(_mb(total_bits) / seconds, 5),
                 "speedup_vs_serial": round(serial_seconds / seconds, 3),
+                "stages": stages,
             }
         )
 
@@ -135,14 +197,19 @@ def run_experiment(scale: float, workers=WORKER_COUNTS) -> dict:
             "seconds": round(serial_seconds, 4),
             "mb_per_s": round(_mb(total_bits) / serial_seconds, 5),
             "ratio_percent": round(ratio_serial, 2),
+            "stages": serial_stages,
         },
         "parallel": parallel_runs,
+        "metrics_schema": SCHEMA_VERSION,
+        "counters": reference_counters.get("counters", {}),
         "ratio_percent_sharded": round(ratio_batch, 2),
         "ratio_delta_percent": round(ratio_batch - ratio_serial, 2),
         "deterministic_across_workers": True,
         "note": (
             "Speedup is bounded by the machine's cpu_count; per-shard "
-            "dictionaries trade ratio_delta_percent for parallelism."
+            "dictionaries trade ratio_delta_percent for parallelism. "
+            "stages come from the observability recorder: *_cpu entries "
+            "sum worker-shard spans and overlap in wall time."
         ),
     }
 
@@ -183,9 +250,12 @@ def main(argv=None) -> int:
         f" ratio {report['serial']['ratio_percent']}%)"
     )
     for run in report["parallel"]:
+        stages = run["stages"]
         print(
             f"workers={run['workers']}: {run['seconds']}s"
-            f" ({run['mb_per_s']} MB/s, {run['speedup_vs_serial']}x)"
+            f" ({run['mb_per_s']} MB/s, {run['speedup_vs_serial']}x;"
+            f" plan {stages['plan']}s, encode {stages['encode_wall']}s,"
+            f" reassemble {stages['reassemble']}s)"
         )
     print(
         f"sharded ratio {report['ratio_percent_sharded']}%"

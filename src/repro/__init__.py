@@ -20,6 +20,13 @@ from .core import (
     compress_batch,
     decompress,
 )
+from .observability import (
+    CompositeRecorder,
+    CounterRecorder,
+    NullRecorder,
+    Recorder,
+    SpanRecorder,
+)
 from .parallel import BatchItemResult, ShardPlan, plan_shards
 from .reliability import ReproError
 
@@ -27,11 +34,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BatchItemResult",
+    "CompositeRecorder",
     "CompressedStream",
     "CompressionResult",
+    "CounterRecorder",
     "LZWConfig",
+    "NullRecorder",
+    "Recorder",
     "ReproError",
     "ShardPlan",
+    "SpanRecorder",
     "TernaryVector",
     "X",
     "compress",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..bitstream import TernaryVector
+from ..core.metrics import compression_percent, compression_ratio
 
 __all__ = ["BaselineResult", "Compressor"]
 
@@ -35,15 +36,16 @@ class BaselineResult:
 
     @property
     def ratio(self) -> float:
-        """Compression ratio ``1 - compressed/original``."""
-        if self.original_bits == 0:
-            return 0.0
-        return 1.0 - self.compressed_bits / self.original_bits
+        """Compression ratio ``1 - compressed/original``.
+
+        Delegates to :func:`repro.core.metrics.compression_ratio`.
+        """
+        return compression_ratio(self.original_bits, self.compressed_bits)
 
     @property
     def ratio_percent(self) -> float:
         """Ratio in percent, the unit of the paper's tables."""
-        return 100.0 * self.ratio
+        return compression_percent(self.original_bits, self.compressed_bits)
 
     def verify(self, original: TernaryVector) -> bool:
         """True iff the reproduced stream preserves every specified bit."""

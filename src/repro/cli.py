@@ -8,13 +8,22 @@ Subcommands::
     repro atpg       FILE.bench | --builtin c17 | --random N  [-o OUT]
     repro synth      BENCHMARK  [-o OUT --scale S]
     repro verify     FILE.lzwt  [--against FILE.test]
-    repro stats      FILE  (structure, entropy bound, scan power)
+    repro stats      FILE  [--encode]  (structure, entropy bound, scan
+                     power; with --encode an instrumented compression
+                     pass with per-decision counters and stage spans)
     repro rtl        [-o DIR]  (generate the decompressor Verilog)
     repro table      NAME      [--scale S]
     repro list       (workloads, tables, builtin circuits)
 
 The CLI is a thin veneer over the library; every command prints what the
 corresponding API returns.
+
+``compress``, ``batch``, ``verify`` and ``stats`` accept
+``--metrics-json PATH``: the run is instrumented with a
+:mod:`repro.observability` recorder and its snapshot is written as the
+versioned metrics envelope (``repro.metrics/1``).  Counters and
+histograms in that file are deterministic functions of the inputs;
+only the ``spans`` timings vary run to run.
 
 Errors never surface as tracebacks: every typed
 :class:`~repro.reliability.errors.ReproError` (and ``OSError``) is
@@ -46,6 +55,13 @@ from .hardware import (
     generate_decompressor,
     generate_testbench,
 )
+from .observability import (
+    CompositeRecorder,
+    CounterRecorder,
+    SpanRecorder,
+    metrics_snapshot,
+    write_metrics_json,
+)
 from .reliability import ReproError
 from .reliability.verify import verify_container
 from .testfile import read_test_file, write_test_file
@@ -73,6 +89,22 @@ def _add_lzw_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _metrics_recorder(args: argparse.Namespace) -> Optional[CompositeRecorder]:
+    """A counter+span sink when ``--metrics-json`` was given, else None."""
+    if getattr(args, "metrics_json", None):
+        return CompositeRecorder([CounterRecorder(), SpanRecorder()])
+    return None
+
+
+def _emit_metrics(
+    recorder: Optional[CompositeRecorder], args: argparse.Namespace
+) -> None:
+    """Write the recorder snapshot to the ``--metrics-json`` path."""
+    if recorder is not None:
+        write_metrics_json(recorder, args.metrics_json)
+        print(f"wrote {args.metrics_json}")
+
+
 def _config_from(args: argparse.Namespace) -> LZWConfig:
     return LZWConfig(
         char_bits=args.char_bits,
@@ -88,7 +120,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     print(test_set.summary())
     stream = test_set.to_stream()
     config = _config_from(args)
-    result = compress(stream, config)
+    recorder = _metrics_recorder(args)
+    result = compress(stream, config, recorder=recorder)
     print(f"config: {config.describe()}")
     print(
         f"compressed: {result.compressed_bits} bits "
@@ -106,11 +139,14 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             r = comp.compress(stream)
             print(f"baseline {r.scheme}: {r.ratio_percent:.2f}%")
     if not result.verify(stream):
+        _emit_metrics(recorder, args)
         print("ERROR: decoded stream does not cover the original cubes")
         return 1
     if args.output:
-        dump_file(result.compressed, args.output, result.assigned_stream)
+        dump_file(result.compressed, args.output, result.assigned_stream,
+                  recorder=recorder)
         print(f"wrote {args.output}")
+    _emit_metrics(recorder, args)
     return 0
 
 
@@ -123,6 +159,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         originals.append(test_set)
         streams.append(test_set.to_stream())
         widths.append(test_set.width)
+    recorder = _metrics_recorder(args)
     started = time.perf_counter()
     results = compress_batch(
         config,
@@ -130,8 +167,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_bits=args.shard_bits,
         pattern_bits=widths,
+        recorder=recorder,
     )
     elapsed = time.perf_counter() - started
+    # Emit before per-workload verification so a coverage failure still
+    # leaves the instrumented evidence on disk.
+    _emit_metrics(recorder, args)
     print(f"config: {config.describe()}")
     out_dir = Path(args.output_dir) if args.output_dir else None
     if out_dir is not None:
@@ -209,9 +250,11 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     data = Path(args.file).read_bytes()
     original = read_test_file(args.against).to_stream() if args.against else None
-    report = verify_container(data, original)
+    recorder = _metrics_recorder(args)
+    report = verify_container(data, original, recorder=recorder)
     print(f"{args.file}: {len(data)} bytes")
     print(report.describe())
+    _emit_metrics(recorder, args)
     return report.exit_code
 
 
@@ -231,6 +274,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     report = power_report(test_set)
     for name in ("repeat", "zero", "one"):
         print(f"scan-shift WTM with {name}-fill: {report.wtm[name]}")
+    if args.encode or args.metrics_json:
+        config = _config_from(args)
+        recorder = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        result = compress(test_set.to_stream(), config, recorder=recorder)
+        snap = metrics_snapshot(recorder)
+        print(f"instrumented encode with {config.describe()}: "
+              f"{result.ratio_percent:.2f}% ratio")
+        print("counters:")
+        for name, value in snap["counters"].items():
+            print(f"  {name}: {value}")
+        for name, bins in snap["histograms"].items():
+            total = sum(bins.values())
+            weighted = sum(int(v) * c for v, c in bins.items())
+            mean = weighted / total if total else 0.0
+            values = [int(v) for v in bins]
+            print(f"histogram {name}: n={total} mean={mean:.2f} "
+                  f"min={min(values)} max={max(values)}")
+        print("spans:")
+        for entry in snap["spans"]:
+            print(f"  {entry['name']}: {entry['seconds'] * 1e3:.2f} ms")
+        if args.metrics_json:
+            write_metrics_json(recorder, args.metrics_json)
+            print(f"wrote {args.metrics_json}")
     return 0
 
 
@@ -327,6 +393,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare", action="store_true", help="also run the LZ77/RLE baselines"
     )
     p.add_argument("-o", "--output", help="write a .lzwt container here")
+    p.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="record counters/histograms/spans and write the "
+        "repro.metrics/1 envelope here",
+    )
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser(
@@ -355,6 +427,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one .lzwt container per input file here",
     )
     p.add_argument("--json", help="write a machine-readable batch summary here")
+    p.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="record merged per-shard counters/histograms/spans and write "
+        "the repro.metrics/1 envelope here (counters identical for any "
+        "--workers value)",
+    )
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("decompress", help="expand a .lzwt container")
@@ -379,10 +458,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="VECTORS",
         help="also check the decoded stream covers this cube file",
     )
+    p.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="record verification-stage spans and decode counters and "
+        "write the repro.metrics/1 envelope here",
+    )
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("stats", help="analyse a test-vector file")
     p.add_argument("file", help="vector file (one 01X cube per line)")
+    _add_lzw_options(p)
+    p.add_argument(
+        "--encode",
+        action="store_true",
+        help="also run an instrumented compression pass and print its "
+        "counters, histogram summaries and stage spans",
+    )
+    p.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the instrumented pass's repro.metrics/1 envelope "
+        "here (implies --encode)",
+    )
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("rtl", help="generate decompressor Verilog")

@@ -72,6 +72,8 @@ from typing import NamedTuple, Optional, Sequence, Tuple, Union
 
 from .bitstream import BitReader, BitWriter, TernaryVector
 from .core import CompressedStream, LZWConfig, decode
+from .observability import NULL_RECORDER, Recorder
+from .observability import schema as ev
 from .reliability.errors import ConfigError, ContainerError
 
 __all__ = [
@@ -211,37 +213,46 @@ def _parse_header(data: bytes) -> _Header:
 
 
 def dump_bytes(
-    compressed: CompressedStream, stream: Optional[TernaryVector] = None
+    compressed: CompressedStream,
+    stream: Optional[TernaryVector] = None,
+    recorder: Optional[Recorder] = None,
 ) -> bytes:
     """Serialise a compressed test set to container bytes.
 
     ``stream`` may supply the already-decoded scan stream (e.g. a
     :class:`~repro.core.pipeline.CompressionResult`'s
     ``assigned_stream``) to avoid re-decoding when computing the stream
-    digest; when omitted the codes are decoded here.
+    digest; when omitted the codes are decoded here.  ``recorder``
+    collects ``container.*`` counters and a ``pack`` span.
     """
-    writer = BitWriter()
-    width = compressed.config.code_bits
-    for code in compressed.codes:
-        writer.write(code, width)
-    payload = writer.to_bytes()
-    if stream is None:
-        stream = decode(compressed)
-    header_wo_crc = _HEADER_V2.pack(
-        _MAGIC,
-        _VERSION,
-        compressed.config.char_bits,
-        compressed.config.dict_size,
-        compressed.config.entry_bits,
-        compressed.original_bits,
-        writer.bit_length,
-        zlib.crc32(payload),
-        stream_digest(stream),
-        0,
-    )
-    header_crc = zlib.crc32(header_wo_crc[:HEADER_CRC_OFFSET])
-    header = header_wo_crc[:HEADER_CRC_OFFSET] + struct.pack(">I", header_crc)
-    return header + payload
+    rec = recorder if recorder is not None else NULL_RECORDER
+    with rec.span("pack"):
+        writer = BitWriter()
+        width = compressed.config.code_bits
+        for code in compressed.codes:
+            writer.write(code, width)
+        payload = writer.to_bytes()
+        if stream is None:
+            stream = decode(compressed)
+        header_wo_crc = _HEADER_V2.pack(
+            _MAGIC,
+            _VERSION,
+            compressed.config.char_bits,
+            compressed.config.dict_size,
+            compressed.config.entry_bits,
+            compressed.original_bits,
+            writer.bit_length,
+            zlib.crc32(payload),
+            stream_digest(stream),
+            0,
+        )
+        header_crc = zlib.crc32(header_wo_crc[:HEADER_CRC_OFFSET])
+        header = header_wo_crc[:HEADER_CRC_OFFSET] + struct.pack(">I", header_crc)
+        data = header + payload
+    if rec.enabled:
+        rec.incr(ev.CONTAINER_BYTES_WRITTEN, len(data))
+        rec.incr(ev.CONTAINER_SEGMENTS_WRITTEN)
+    return data
 
 
 def _read_codes(payload: bytes, payload_bits: int, config: LZWConfig) -> Tuple[int, ...]:
@@ -252,7 +263,9 @@ def _read_codes(payload: bytes, payload_bits: int, config: LZWConfig) -> Tuple[i
     return tuple(codes)
 
 
-def load_bytes(data: bytes, verify: bool = True) -> CompressedStream:
+def load_bytes(
+    data: bytes, verify: bool = True, recorder: Optional[Recorder] = None
+) -> CompressedStream:
     """Parse container bytes back into a :class:`CompressedStream`.
 
     With ``verify`` (the default) a version-2 container's decoded stream
@@ -260,6 +273,10 @@ def load_bytes(data: bytes, verify: bool = True) -> CompressedStream:
     preserve both CRCs; pass ``verify=False`` to skip the extra decode
     when the caller decodes (and therefore validates) the stream anyway.
     """
+    rec = recorder if recorder is not None else NULL_RECORDER
+    if rec.enabled:
+        rec.incr(ev.CONTAINER_BYTES_READ, len(data))
+        rec.incr(ev.CONTAINER_SEGMENTS_READ)
     header = _parse_header(data)
     if header.header_crc is not None:
         actual = zlib.crc32(data[:HEADER_CRC_OFFSET])
@@ -430,6 +447,7 @@ def _segment_payload(header: _MultiHeader, entry: SegmentInfo) -> bytes:
 def dump_segments(
     parts: Sequence[CompressedStream],
     streams: Optional[Sequence[Optional[TernaryVector]]] = None,
+    recorder: Optional[Recorder] = None,
 ) -> bytes:
     """Serialise independently coded segments into one container.
 
@@ -450,47 +468,53 @@ def dump_segments(
         if part.config != config:
             raise ValueError("all segments must share one LZWConfig")
     if len(parts) == 1:
-        return dump_bytes(parts[0], streams[0])
+        return dump_bytes(parts[0], streams[0], recorder)
 
-    entries = []
-    payloads = []
-    offset = 0
-    width = config.code_bits
-    for part, stream in zip(parts, streams):
-        writer = BitWriter()
-        for code in part.codes:
-            writer.write(code, width)
-        payload = writer.to_bytes()
-        if stream is None:
-            stream = decode(part)
-        entries.append(
-            _SEGMENT_ENTRY.pack(
-                offset,
-                part.original_bits,
-                writer.bit_length,
-                len(part.codes),
-                zlib.crc32(payload),
-                stream_digest(stream),
+    rec = recorder if recorder is not None else NULL_RECORDER
+    with rec.span("pack"):
+        entries = []
+        payloads = []
+        offset = 0
+        width = config.code_bits
+        for part, stream in zip(parts, streams):
+            writer = BitWriter()
+            for code in part.codes:
+                writer.write(code, width)
+            payload = writer.to_bytes()
+            if stream is None:
+                stream = decode(part)
+            entries.append(
+                _SEGMENT_ENTRY.pack(
+                    offset,
+                    part.original_bits,
+                    writer.bit_length,
+                    len(part.codes),
+                    zlib.crc32(payload),
+                    stream_digest(stream),
+                )
             )
-        )
-        payloads.append(payload)
-        offset += len(payload)
-    table = b"".join(entries)
-    fixed_wo_crc = _HEADER_V3.pack(
-        _MAGIC,
-        _VERSION_MULTI,
-        config.char_bits,
-        config.dict_size,
-        config.entry_bits,
-        len(parts),
-        0,
-    )[:V3_HEADER_CRC_OFFSET]
-    header_crc = zlib.crc32(fixed_wo_crc + table)
-    return fixed_wo_crc + struct.pack(">I", header_crc) + table + b"".join(payloads)
+            payloads.append(payload)
+            offset += len(payload)
+        table = b"".join(entries)
+        fixed_wo_crc = _HEADER_V3.pack(
+            _MAGIC,
+            _VERSION_MULTI,
+            config.char_bits,
+            config.dict_size,
+            config.entry_bits,
+            len(parts),
+            0,
+        )[:V3_HEADER_CRC_OFFSET]
+        header_crc = zlib.crc32(fixed_wo_crc + table)
+        data = fixed_wo_crc + struct.pack(">I", header_crc) + table + b"".join(payloads)
+    if rec.enabled:
+        rec.incr(ev.CONTAINER_BYTES_WRITTEN, len(data))
+        rec.incr(ev.CONTAINER_SEGMENTS_WRITTEN, len(parts))
+    return data
 
 
 def load_segments(
-    data: bytes, verify: bool = True
+    data: bytes, verify: bool = True, recorder: Optional[Recorder] = None
 ) -> Tuple[CompressedStream, ...]:
     """Parse container bytes into one :class:`CompressedStream` per segment.
 
@@ -500,8 +524,12 @@ def load_segments(
     :class:`ContainerError` carrying the failing ``segment`` index.
     """
     if container_version(data) != _VERSION_MULTI:
-        return (load_bytes(data, verify=verify),)
+        return (load_bytes(data, verify=verify, recorder=recorder),)
+    rec = recorder if recorder is not None else NULL_RECORDER
     header = _parse_multi(data)
+    if rec.enabled:
+        rec.incr(ev.CONTAINER_BYTES_READ, len(data))
+        rec.incr(ev.CONTAINER_SEGMENTS_READ, len(header.segments))
     actual_crc = zlib.crc32(data[:V3_HEADER_CRC_OFFSET] + header.table)
     if actual_crc != header.header_crc:
         raise ContainerError(
@@ -539,14 +567,20 @@ def load_segments(
     return tuple(out)
 
 
-def decode_container(data: bytes, verify: bool = True) -> TernaryVector:
+def decode_container(
+    data: bytes, verify: bool = True, recorder: Optional[Recorder] = None
+) -> TernaryVector:
     """Decode container bytes of any version to the full logical stream.
 
     For multi-segment containers this is the concatenation of the
     per-segment decodes in table order.
     """
+    rec = recorder if recorder is not None else NULL_RECORDER
     return TernaryVector.concat_all(
-        [decode(segment) for segment in load_segments(data, verify=verify)]
+        [
+            decode(segment, recorder=rec)
+            for segment in load_segments(data, verify=verify, recorder=rec)
+        ]
     )
 
 
@@ -554,11 +588,16 @@ def dump_file(
     compressed: CompressedStream,
     path: Union[str, Path],
     stream: Optional[TernaryVector] = None,
+    recorder: Optional[Recorder] = None,
 ) -> None:
     """Write a container file (``stream`` as in :func:`dump_bytes`)."""
-    Path(path).write_bytes(dump_bytes(compressed, stream))
+    Path(path).write_bytes(dump_bytes(compressed, stream, recorder))
 
 
-def load_file(path: Union[str, Path], verify: bool = True) -> CompressedStream:
+def load_file(
+    path: Union[str, Path],
+    verify: bool = True,
+    recorder: Optional[Recorder] = None,
+) -> CompressedStream:
     """Read a container file."""
-    return load_bytes(Path(path).read_bytes(), verify=verify)
+    return load_bytes(Path(path).read_bytes(), verify=verify, recorder=recorder)

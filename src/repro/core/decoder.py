@@ -25,6 +25,8 @@ from __future__ import annotations
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..bitstream import TernaryVector
+from ..observability import NULL_RECORDER, Recorder
+from ..observability import schema as ev
 from ..reliability.errors import DecodeError
 from .config import LZWConfig
 from .encoder import CompressedStream
@@ -35,31 +37,39 @@ __all__ = ["DecodeError", "LZWDecodeError", "decode", "decode_codes", "iter_deco
 LZWDecodeError = DecodeError
 
 
-def decode(compressed: CompressedStream) -> TernaryVector:
+def decode(
+    compressed: CompressedStream, recorder: Optional[Recorder] = None
+) -> TernaryVector:
     """Decode a :class:`CompressedStream` back to a fully specified stream.
 
     The result is truncated to ``compressed.original_bits`` (the encoder
     pads the final character with don't-cares).  An empty code stream
     with ``original_bits == 0`` decodes to the empty vector.
     """
-    chars = decode_codes(compressed.codes, compressed.config)
+    chars = decode_codes(compressed.codes, compressed.config, recorder)
     return _chars_to_stream(chars, compressed.config, compressed.original_bits)
 
 
-def decode_codes(codes: Sequence[int], config: LZWConfig) -> List[int]:
+def decode_codes(
+    codes: Sequence[int],
+    config: LZWConfig,
+    recorder: Optional[Recorder] = None,
+) -> List[int]:
     """Decode a code sequence to its character sequence.
 
     Pure-function core shared by :func:`decode` and the tests that
     cross-check the hardware model.
     """
     out: List[int] = []
-    for _index, chars in iter_decode(codes, config):
+    for _index, chars in iter_decode(codes, config, recorder):
         out.extend(chars)
     return out
 
 
 def iter_decode(
-    codes: Sequence[int], config: LZWConfig
+    codes: Sequence[int],
+    config: LZWConfig,
+    recorder: Optional[Recorder] = None,
 ) -> Iterator[Tuple[int, Tuple[int, ...]]]:
     """Decode incrementally, yielding ``(code_index, characters)`` pairs.
 
@@ -72,6 +82,8 @@ def iter_decode(
     if not codes:
         return
 
+    rec = recorder if recorder is not None else NULL_RECORDER
+    recording = rec.enabled
     n_base = config.base_codes
     max_chars = config.max_entry_chars
     capacity = config.dict_size
@@ -99,6 +111,9 @@ def iter_decode(
             chars_decoded=0,
         )
     prev = (first,)
+    if recording:
+        rec.incr(ev.DECODE_CODES)
+        rec.incr(ev.DECODE_CHARS)
     yield 0, prev
     chars_decoded = 1
 
@@ -111,6 +126,8 @@ def iter_decode(
             # (same deterministic trigger as the encoder).
             strings.clear()
             will_add = False
+            if recording:
+                rec.incr(ev.DECODE_RESETS)
         if 0 <= code < next_code():
             current = lookup(code)
         elif code == next_code() and will_add:
@@ -128,6 +145,11 @@ def iter_decode(
             )
         if will_add:
             strings.append(prev + (current[0],))
+        if recording:
+            rec.incr(ev.DECODE_CODES)
+            rec.incr(ev.DECODE_CHARS, len(current))
+            if will_add:
+                rec.incr(ev.DECODE_DICT_ENTRIES)
         yield index, current
         chars_decoded += len(current)
         prev = current

@@ -14,9 +14,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..bitstream import BitReader, BitWriter, TernaryVector, to_characters
+from ..observability import NULL_RECORDER, Recorder
+from ..observability import schema as ev
 from .config import LZWConfig
 from .dictionary import LZWDictionary
 from .dontcare import ChildSelector
+from .metrics import compression_percent, compression_ratio
 
 __all__ = ["CompressedStream", "EncodeStats", "LZWEncoder"]
 
@@ -55,15 +58,18 @@ class CompressedStream:
 
     @property
     def ratio(self) -> float:
-        """Compression ratio ``1 - compressed/original`` (may be negative)."""
-        if self.original_bits == 0:
-            return 0.0
-        return 1.0 - self.compressed_bits / self.original_bits
+        """Compression ratio ``1 - compressed/original`` (may be negative).
+
+        Delegates to :func:`repro.core.metrics.compression_ratio` — the
+        single definition of the paper's ratio — so stats objects and
+        the metrics module can never disagree.
+        """
+        return compression_ratio(self.original_bits, self.compressed_bits)
 
     @property
     def ratio_percent(self) -> float:
         """Ratio as the percentage the paper's tables report."""
-        return 100.0 * self.ratio
+        return compression_percent(self.original_bits, self.compressed_bits)
 
     def to_bits(self) -> List[int]:
         """Serialise to the bit sequence the ATE would stream."""
@@ -108,9 +114,14 @@ class LZWEncoder:
     inspect it (entry lengths, occupancy, Table 6's longest string).
     """
 
-    def __init__(self, config: Optional[LZWConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[LZWConfig] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
         self.config = config or LZWConfig()
         self.dictionary = LZWDictionary(self.config)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._used = False
 
     def encode(self, stream: TernaryVector) -> CompressedStream:
@@ -121,6 +132,11 @@ class LZWEncoder:
 
         cfg = self.config
         dictionary = self.dictionary
+        # Hoisted once: with the default NullRecorder the whole run pays
+        # this single attribute read, and every event site below is one
+        # local-bool branch (bench_overhead.py holds it to <= 5%).
+        rec = self.recorder
+        recording = rec.enabled
         chars = to_characters(stream, cfg.char_bits)
         codes: List[int] = []
         expansions: List[int] = []
@@ -128,6 +144,8 @@ class LZWEncoder:
         self._total_chars = len(chars)
         if not chars:
             return CompressedStream((), cfg, 0, ())
+        if recording:
+            rec.incr(ev.ENCODE_CHARS, len(chars))
 
         selector = ChildSelector(dictionary, cfg)
         buffer = selector.choose_base(chars, 0)
@@ -146,6 +164,8 @@ class LZWEncoder:
             codes.append(buffer)
             expansions.append(dictionary.nchars(buffer))
             self._longest_phrase = max(self._longest_phrase, i - phrase_start)
+            if recording:
+                self._record_phrase(rec, chars, phrase_start, i)
             head = selector.choose_base(chars, i)
             if (
                 cfg.reset_on_full
@@ -158,16 +178,39 @@ class LZWEncoder:
                 # the same trigger from its allocation counter, so no
                 # clear code is needed in the stream.
                 dictionary.reset()
+                if recording:
+                    rec.incr(ev.DICT_RESETS)
             else:
-                dictionary.add(buffer, head)
+                added = dictionary.add(buffer, head)
+                if recording:
+                    if added is not None:
+                        rec.incr(ev.DICT_ALLOCS)
+                    elif dictionary.is_full:
+                        rec.incr(ev.DICT_FULL_SKIPS)
+                    elif not dictionary.can_extend(buffer):
+                        rec.incr(ev.DICT_CMDATA_TRUNCATIONS)
             buffer = head
             phrase_start = i
             i += 1
         codes.append(buffer)
         expansions.append(dictionary.nchars(buffer))
         self._longest_phrase = max(self._longest_phrase, len(chars) - phrase_start)
+        if recording:
+            self._record_phrase(rec, chars, phrase_start, len(chars))
+            rec.incr(ev.ENCODE_CODES, len(codes))
+            rec.observe(ev.HIST_CODES_PER_WIDTH, cfg.code_bits, len(codes))
 
         return CompressedStream(tuple(codes), cfg, len(stream), tuple(expansions))
+
+    @staticmethod
+    def _record_phrase(
+        rec: Recorder, chars: List[TernaryVector], start: int, end: int
+    ) -> None:
+        """Record one completed phrase ``chars[start:end]`` (recording only)."""
+        xbits = sum(chars[j].x_count for j in range(start, end))
+        rec.observe(ev.HIST_PHRASE_LEN, end - start)
+        rec.observe(ev.HIST_XBITS_PER_PHRASE, xbits)
+        rec.incr(ev.ENCODE_XBITS, xbits)
 
     def stats(self) -> EncodeStats:
         """Statistics of the completed run (call after :meth:`encode`)."""

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..bitstream import TernaryVector
 from ..circuit.scan import ScanChain, TestSet
 from .config import LZWConfig
+from .metrics import compression_percent, compression_ratio
 from .pipeline import CompressionResult, compress
 
 __all__ = [
@@ -142,15 +143,16 @@ class MultiChainResult:
 
     @property
     def ratio(self) -> float:
-        """Aggregate compression ratio over the true test-data volume."""
-        if self.original_bits == 0:
-            return 0.0
-        return 1.0 - self.compressed_bits / self.original_bits
+        """Aggregate compression ratio over the true test-data volume.
+
+        Delegates to :func:`repro.core.metrics.compression_ratio`.
+        """
+        return compression_ratio(self.original_bits, self.compressed_bits)
 
     @property
     def ratio_percent(self) -> float:
         """Aggregate ratio in percent."""
-        return 100.0 * self.ratio
+        return compression_percent(self.original_bits, self.compressed_bits)
 
 
 def compress_per_chain(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..bitstream import TernaryVector
+from ..observability import NULL_RECORDER, Recorder
 from .config import LZWConfig
 from .decoder import decode
 from .encoder import CompressedStream, EncodeStats, LZWEncoder
@@ -80,6 +81,7 @@ class CompressionResult:
 def compress(
     stream: TernaryVector,
     config: Optional[LZWConfig] = None,
+    recorder: Optional[Recorder] = None,
 ) -> CompressionResult:
     """Compress a ternary scan stream with don't-care-aware LZW.
 
@@ -87,10 +89,17 @@ def compress(
     sequence with ``original_bits == 0``, and an all-X stream decodes to
     whatever concrete fill the encoder chose (which trivially covers
     it).  Both are locked in by ``tests/reliability/test_degenerate``.
+
+    ``recorder`` (see :mod:`repro.observability`) collects encode/decode
+    counters plus ``encode``/``assign`` wall-time spans; the default
+    null recorder costs one flag check.
     """
-    encoder = LZWEncoder(config)
-    compressed = encoder.encode(stream)
-    assigned = decode(compressed)
+    rec = recorder if recorder is not None else NULL_RECORDER
+    encoder = LZWEncoder(config, recorder=rec)
+    with rec.span("encode"):
+        compressed = encoder.encode(stream)
+    with rec.span("assign"):
+        assigned = decode(compressed, recorder=rec)
     return CompressionResult(compressed, assigned, encoder.stats())
 
 

@@ -1,0 +1,34 @@
+"""Zero-dependency tracing/metrics for the LZW pipeline.
+
+See :mod:`repro.observability.recorder` for the sink implementations and
+:mod:`repro.observability.schema` for the versioned metrics-JSON shape
+and the event-name vocabulary.
+"""
+
+from .recorder import (
+    NULL_RECORDER,
+    CompositeRecorder,
+    CounterRecorder,
+    NullRecorder,
+    Recorder,
+    SpanRecorder,
+)
+from .schema import (
+    SCHEMA_VERSION,
+    metrics_snapshot,
+    strip_timing,
+    write_metrics_json,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "CompositeRecorder",
+    "CounterRecorder",
+    "NullRecorder",
+    "Recorder",
+    "SCHEMA_VERSION",
+    "SpanRecorder",
+    "metrics_snapshot",
+    "strip_timing",
+    "write_metrics_json",
+]

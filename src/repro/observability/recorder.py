@@ -1,0 +1,260 @@
+"""Recorder protocol and its three implementations.
+
+A *recorder* is the sink for the instrumentation events the compression
+pipeline emits: monotonic counters, integer-valued histograms and
+wall-time spans.  The seams that emit events (:class:`~repro.core.encoder.
+LZWEncoder`, :func:`~repro.core.decoder.iter_decode`, the container
+serialisers, :func:`~repro.parallel.compress_batch`) all accept an
+optional recorder and default to the shared :data:`NULL_RECORDER`
+singleton, whose :attr:`~Recorder.enabled` flag is ``False`` — every
+instrumented seam hoists that flag into a local once per call, so the
+uninstrumented hot path pays one attribute read per *call*, not per
+event (``benchmarks/bench_overhead.py`` enforces the <= 5% budget).
+
+Three concrete sinks:
+
+* :class:`NullRecorder` — discards everything; the default.
+* :class:`CounterRecorder` — accumulates counters and histograms.  All
+  its data is a deterministic function of the inputs (no clocks), which
+  is what makes counter snapshots usable as golden-file oracles and as
+  the ``workers=1`` vs ``workers=N`` equality invariant.
+* :class:`SpanRecorder` — wall-time spans for pipeline stages
+  (plan/encode/pack/reassemble), in completion order.
+
+:class:`CompositeRecorder` fans events out to several sinks so the CLI
+can collect counters and spans in one run.  Worker processes cannot
+share a recorder object, so the parallel engine ships each shard's
+snapshot dict back with its result and the parent calls
+:meth:`Recorder.merge_child` in deterministic ``(workload, shard)``
+order — counters sum, histograms sum bin-wise and spans append under a
+``label.`` prefix, making merged output independent of worker count and
+completion order (timing values aside).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "CounterRecorder",
+    "SpanRecorder",
+    "CompositeRecorder",
+    "NULL_RECORDER",
+]
+
+
+class _NullSpan:
+    """Context manager that does nothing (the disabled-span fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Base recorder: the event vocabulary, as no-ops.
+
+    Subclasses override the events they care about.  ``enabled`` is the
+    single attribute instrumented code may check to skip event emission
+    entirely; it must be ``False`` only when every event is a no-op.
+    """
+
+    #: Instrumented seams read this once per call; ``False`` means every
+    #: event method is a no-op and may be skipped.
+    enabled: bool = True
+
+    def incr(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the monotonic counter ``name``."""
+
+    def observe(self, name: str, value: int, count: int = 1) -> None:
+        """Count an occurrence of integer ``value`` in histogram ``name``."""
+
+    def span(self, name: str):
+        """Context manager timing one pipeline stage."""
+        return _NULL_SPAN
+
+    def merge_child(self, snapshot: Optional[dict], label: str) -> None:
+        """Fold a child snapshot (e.g. from a worker process) into this sink.
+
+        Counters and histogram bins sum; spans append with their names
+        prefixed by ``label.``.  ``None`` snapshots are ignored so
+        callers can pass through un-instrumented results.
+        """
+
+    def snapshot(self) -> dict:
+        """The sink's accumulated data as plain JSON-serialisable dicts."""
+        return {}
+
+
+class NullRecorder(Recorder):
+    """Discards every event; the default recorder everywhere."""
+
+    enabled = False
+
+
+#: Shared default sink — identity-comparable, never records anything.
+NULL_RECORDER = NullRecorder()
+
+
+class CounterRecorder(Recorder):
+    """Monotonic counters and integer histograms; no clocks involved.
+
+    Everything it accumulates is a pure function of the instrumented
+    run's inputs, so two runs over the same data must produce equal
+    snapshots no matter how the work was scheduled.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Dict[int, int]] = {}
+
+    def incr(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: int, count: int = 1) -> None:
+        hist = self.histograms.setdefault(name, {})
+        hist[value] = hist.get(value, 0) + count
+
+    def merge_child(self, snapshot: Optional[dict], label: str) -> None:
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.incr(name, value)
+        for name, bins in snapshot.get("histograms", {}).items():
+            for value, count in bins.items():
+                self.observe(name, int(value), count)
+
+    def histogram_total(self, name: str) -> int:
+        """Number of observations in histogram ``name``."""
+        return sum(self.histograms.get(name, {}).values())
+
+    def histogram_weighted_sum(self, name: str) -> int:
+        """``sum(value * count)`` over histogram ``name``'s bins."""
+        return sum(v * c for v, c in self.histograms.get(name, {}).items())
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: {str(v): c for v, c in sorted(bins.items())}
+                for name, bins in sorted(self.histograms.items())
+            },
+        }
+
+
+class _Span:
+    """One live span; records its duration on exit."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "SpanRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._recorder._record(self._name, time.perf_counter() - self._start)
+
+
+class SpanRecorder(Recorder):
+    """Wall-time spans for pipeline stages, in completion order.
+
+    Span *names and order* are deterministic for a given input (the
+    instrumented stages always run in the same sequence); only the
+    ``seconds`` values vary run to run — the metrics schema marks them
+    as timing fields for exactly that reason.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[Tuple[str, float]] = []
+
+    def span(self, name: str):
+        return _Span(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        self.spans.append((name, seconds))
+
+    def merge_child(self, snapshot: Optional[dict], label: str) -> None:
+        if not snapshot:
+            return
+        for entry in snapshot.get("spans", []):
+            self.spans.append((f"{label}.{entry['name']}", entry["seconds"]))
+
+    def seconds(self, name: str) -> float:
+        """Total seconds across every span called ``name``."""
+        return sum(s for n, s in self.spans if n == name)
+
+    def iter_named(self, prefix: str) -> Iterator[Tuple[str, float]]:
+        """Spans whose name starts with ``prefix``, in recorded order."""
+        for name, seconds in self.spans:
+            if name.startswith(prefix):
+                yield name, seconds
+
+    def snapshot(self) -> dict:
+        return {
+            "spans": [
+                {"name": name, "seconds": seconds} for name, seconds in self.spans
+            ]
+        }
+
+
+class CompositeRecorder(Recorder):
+    """Fans every event out to several child sinks."""
+
+    def __init__(self, children: List[Recorder]) -> None:
+        self.children = [c for c in children if c.enabled]
+        self.enabled = bool(self.children)
+
+    def incr(self, name: str, value: int = 1) -> None:
+        for child in self.children:
+            child.incr(name, value)
+
+    def observe(self, name: str, value: int, count: int = 1) -> None:
+        for child in self.children:
+            child.observe(name, value, count)
+
+    def span(self, name: str):
+        spans = [child.span(name) for child in self.children]
+        return _CompositeSpan(spans)
+
+    def merge_child(self, snapshot: Optional[dict], label: str) -> None:
+        for child in self.children:
+            child.merge_child(snapshot, label)
+
+    def snapshot(self) -> dict:
+        merged: dict = {}
+        for child in self.children:
+            merged.update(child.snapshot())
+        return merged
+
+
+class _CompositeSpan:
+    """Enters/exits one span per child sink."""
+
+    __slots__ = ("_spans",)
+
+    def __init__(self, spans: list) -> None:
+        self._spans = spans
+
+    def __enter__(self) -> "_CompositeSpan":
+        for span in self._spans:
+            span.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for span in reversed(self._spans):
+            span.__exit__(*exc)

@@ -1,0 +1,145 @@
+"""The versioned metrics-JSON schema and its event vocabulary.
+
+Every ``--metrics-json`` file and every recorder snapshot embedded in a
+report uses one stable shape::
+
+    {
+      "schema": "repro.metrics/1",
+      "counters":   {"encode.codes": 123, ...},
+      "histograms": {"encode.phrase_len_chars": {"1": 40, "2": 12}, ...},
+      "spans":      [{"name": "encode", "seconds": 0.0123}, ...]
+    }
+
+``counters`` and ``histograms`` are deterministic functions of the
+compressed inputs (identical across worker counts and runs); ``spans``
+carry wall-clock timings and are the *only* non-deterministic part —
+:func:`strip_timing` removes them, and is what the determinism tests and
+any cross-run diffing should compare.  Histogram bins are keyed by the
+stringified integer value (JSON objects cannot have int keys).
+
+Schema evolution: additions of new counter/histogram names are
+backwards-compatible and do not bump the version; renaming or changing
+the meaning of an existing name, or reshaping the envelope, bumps the
+``repro.metrics/N`` tag.  Consumers must ignore names they do not know.
+
+The event-name constants below are the full vocabulary version 1
+defines; instrumented code imports these rather than re-typing strings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .recorder import Recorder
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "metrics_snapshot",
+    "strip_timing",
+    "write_metrics_json",
+    # counter names
+    "ENCODE_CHARS",
+    "ENCODE_CODES",
+    "ENCODE_XBITS",
+    "DICT_ALLOCS",
+    "DICT_RESETS",
+    "DICT_FULL_SKIPS",
+    "DICT_CMDATA_TRUNCATIONS",
+    "DECODE_CODES",
+    "DECODE_CHARS",
+    "DECODE_DICT_ENTRIES",
+    "DECODE_RESETS",
+    "CONTAINER_BYTES_WRITTEN",
+    "CONTAINER_BYTES_READ",
+    "CONTAINER_SEGMENTS_WRITTEN",
+    "CONTAINER_SEGMENTS_READ",
+    "BATCH_WORKLOADS",
+    "BATCH_SHARDS",
+    # histogram names
+    "HIST_PHRASE_LEN",
+    "HIST_XBITS_PER_PHRASE",
+    "HIST_CODES_PER_WIDTH",
+]
+
+#: Version tag embedded in every emitted snapshot.
+SCHEMA_VERSION = "repro.metrics/1"
+
+# -- encoder counters --------------------------------------------------
+#: Ternary characters consumed (includes the X-padded final character).
+ENCODE_CHARS = "encode.chars"
+#: Codes emitted; one per LZW phrase.
+ENCODE_CODES = "encode.codes"
+#: Don't-care bits the encoder resolved (includes final-char padding).
+ENCODE_XBITS = "encode.xbits_assigned"
+#: Dictionary entries allocated (across resets, total allocations).
+DICT_ALLOCS = "dict.allocs"
+#: Adaptive-variant dictionary flushes (``reset_on_full``).
+DICT_RESETS = "dict.resets"
+#: Allocations skipped because all ``N`` codes were in use.
+DICT_FULL_SKIPS = "dict.full_skips"
+#: Allocations skipped because the entry would exceed ``C_MDATA``.
+DICT_CMDATA_TRUNCATIONS = "dict.cmdata_truncations"
+
+# -- decoder counters --------------------------------------------------
+#: Codes consumed by the decode loop.
+DECODE_CODES = "decode.codes"
+#: Characters the decode expanded to.
+DECODE_CHARS = "decode.chars"
+#: Dictionary rebuild steps (entries the decoder allocated).
+DECODE_DICT_ENTRIES = "decode.dict_entries"
+#: Adaptive-variant flushes the decoder mirrored.
+DECODE_RESETS = "decode.resets"
+
+# -- container counters ------------------------------------------------
+CONTAINER_BYTES_WRITTEN = "container.bytes_written"
+CONTAINER_BYTES_READ = "container.bytes_read"
+CONTAINER_SEGMENTS_WRITTEN = "container.segments_written"
+CONTAINER_SEGMENTS_READ = "container.segments_read"
+
+# -- batch-engine counters ---------------------------------------------
+BATCH_WORKLOADS = "batch.workloads"
+BATCH_SHARDS = "batch.shards"
+
+# -- histograms --------------------------------------------------------
+#: LZW phrase lengths, in characters.
+HIST_PHRASE_LEN = "encode.phrase_len_chars"
+#: Don't-care bits resolved per phrase.
+HIST_XBITS_PER_PHRASE = "encode.xbits_per_phrase"
+#: Codes emitted keyed by their bit width ``C_E``.
+HIST_CODES_PER_WIDTH = "encode.codes_per_width"
+
+
+def metrics_snapshot(recorder: Recorder) -> dict:
+    """Wrap a recorder's snapshot in the versioned envelope.
+
+    Missing sections are filled with empty values so every emitted file
+    has the same four keys regardless of which sinks were attached.
+    """
+    data = recorder.snapshot()
+    return {
+        "schema": SCHEMA_VERSION,
+        "counters": data.get("counters", {}),
+        "histograms": data.get("histograms", {}),
+        "spans": data.get("spans", []),
+    }
+
+
+def strip_timing(snapshot: dict) -> dict:
+    """The deterministic part of a snapshot: drop span timings.
+
+    Span *names* stay (their sequence is deterministic); only the
+    measured ``seconds`` go.  Two runs over the same inputs — at any
+    worker count — must agree on this projection exactly.
+    """
+    out = dict(snapshot)
+    out["spans"] = [{"name": entry["name"]} for entry in snapshot.get("spans", [])]
+    return out
+
+
+def write_metrics_json(recorder: Recorder, path: Union[str, Path]) -> dict:
+    """Write a recorder's snapshot to ``path``; returns the envelope."""
+    envelope = metrics_snapshot(recorder)
+    Path(path).write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    return envelope

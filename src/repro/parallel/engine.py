@@ -26,22 +26,39 @@ from ..container import dump_segments
 from ..core.config import LZWConfig
 from ..core.decoder import decode
 from ..core.encoder import CompressedStream, EncodeStats, LZWEncoder
+from ..observability import (
+    NULL_RECORDER,
+    CompositeRecorder,
+    CounterRecorder,
+    Recorder,
+    SpanRecorder,
+)
+from ..observability import schema as ev
 from .shard import ShardPlan, plan_shards
 
 __all__ = ["ShardResult", "BatchItemResult", "compress_batch"]
 
-#: One pool job: (workload index, shard index, shard stream, config).
-_Job = Tuple[int, int, TernaryVector, LZWConfig]
+#: One pool job: (workload index, shard index, shard stream, config,
+#: whether the worker should record a metrics snapshot).
+_Job = Tuple[int, int, TernaryVector, LZWConfig, bool]
 
 
 @dataclass(frozen=True)
 class ShardResult:
-    """One encoded shard: codes, the implied X assignment and stats."""
+    """One encoded shard: codes, the implied X assignment and stats.
+
+    ``metrics`` is the worker-local recorder snapshot (counters,
+    histograms and encode/assign spans) when the batch ran with a
+    recorder attached, else ``None``.  Snapshots travel with the result
+    precisely because worker processes cannot share the caller's
+    recorder object.
+    """
 
     index: int
     compressed: CompressedStream
     assigned_stream: TernaryVector
     stats: EncodeStats
+    metrics: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -104,16 +121,24 @@ def _encode_shard(job: _Job) -> Tuple[int, int, ShardResult]:
 
     Module-level (picklable by reference) and pure — the only state is
     the job tuple, so fork, spawn and inline execution agree exactly.
+    When recording, the shard gets its own counter+span sinks and ships
+    the snapshot back with the result for deterministic merging.
     """
-    item_index, shard_index, stream, config = job
-    encoder = LZWEncoder(config)
-    compressed = encoder.encode(stream)
-    assigned = decode(compressed)
+    item_index, shard_index, stream, config, record = job
+    rec: Recorder = NULL_RECORDER
+    if record:
+        rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+    encoder = LZWEncoder(config, recorder=rec)
+    with rec.span("encode"):
+        compressed = encoder.encode(stream)
+    with rec.span("assign"):
+        assigned = decode(compressed, recorder=rec)
     return item_index, shard_index, ShardResult(
         index=shard_index,
         compressed=compressed,
         assigned_stream=assigned,
         stats=encoder.stats(),
+        metrics=rec.snapshot() if record else None,
     )
 
 
@@ -133,6 +158,7 @@ def compress_batch(
     shard_bits: int = 0,
     pattern_bits: Union[int, Sequence[int]] = 0,
     plans: Optional[Sequence[ShardPlan]] = None,
+    recorder: Optional[Recorder] = None,
 ) -> List[BatchItemResult]:
     """Compress a batch of scan streams across a worker pool.
 
@@ -155,61 +181,80 @@ def compress_batch(
     plans:
         Explicit per-stream :class:`ShardPlan`\\ s, overriding
         ``shard_bits``/``pattern_bits`` planning.
+    recorder:
+        Optional :mod:`repro.observability` sink.  The parent records
+        ``plan``/``encode``/``reassemble`` spans and ``batch.*``
+        counters; each worker records its own shard snapshot which is
+        merged back in ``(workload, shard)`` order under a
+        ``shard[i.j]`` label — so merged counters are identical for
+        every ``workers`` value, and only span timings vary.
 
     Returns one :class:`BatchItemResult` per input stream, in input
     order.
     """
+    rec = recorder if recorder is not None else NULL_RECORDER
+    recording = rec.enabled
     streams = list(streams)
-    config_list = [
-        cfg or LZWConfig() for cfg in _broadcast(configs, len(streams), "configs")
-    ]
-    pattern_list = _broadcast(pattern_bits, len(streams), "pattern_bits")
-    if plans is None:
-        plan_list = [
-            plan_shards(len(stream), shard_bits, pattern or 0)
-            for stream, pattern in zip(streams, pattern_list)
+    with rec.span("plan"):
+        config_list = [
+            cfg or LZWConfig() for cfg in _broadcast(configs, len(streams), "configs")
         ]
-    else:
-        plan_list = list(plans)
-        if len(plan_list) != len(streams):
-            raise ValueError(
-                f"plans has {len(plan_list)} entries for {len(streams)} streams"
+        pattern_list = _broadcast(pattern_bits, len(streams), "pattern_bits")
+        if plans is None:
+            plan_list = [
+                plan_shards(len(stream), shard_bits, pattern or 0)
+                for stream, pattern in zip(streams, pattern_list)
+            ]
+        else:
+            plan_list = list(plans)
+            if len(plan_list) != len(streams):
+                raise ValueError(
+                    f"plans has {len(plan_list)} entries for {len(streams)} streams"
+                )
+
+        jobs: List[_Job] = []
+        for item_index, (stream, config, plan) in enumerate(
+            zip(streams, config_list, plan_list)
+        ):
+            for shard_index, shard in enumerate(plan.split(stream)):
+                jobs.append((item_index, shard_index, shard, config, recording))
+    if recording:
+        rec.incr(ev.BATCH_WORKLOADS, len(streams))
+        rec.incr(ev.BATCH_SHARDS, len(jobs))
+
+    with rec.span("encode"):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 1 or len(jobs) <= 1:
+            outcomes = [_encode_shard(job) for job in jobs]
+        else:
+            pool_size = min(workers, len(jobs))
+            # Batch jobs per IPC round trip; chunking changes scheduling
+            # granularity only, never the (index-sorted) results.
+            chunksize = max(1, len(jobs) // (pool_size * 4))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                outcomes = list(pool.map(_encode_shard, jobs, chunksize=chunksize))
+
+    with rec.span("reassemble"):
+        # Deterministic reassembly: order by (workload, shard), never by
+        # completion.  pool.map already preserves order; sorting makes the
+        # invariant explicit and future-proof.  Worker snapshots merge in
+        # the same order, so merged metrics are worker-count-independent.
+        per_item: List[List[ShardResult]] = [[] for _ in streams]
+        for item_index, shard_index, result in sorted(
+            outcomes, key=lambda o: (o[0], o[1])
+        ):
+            per_item[item_index].append(result)
+            if recording:
+                rec.merge_child(result.metrics, f"shard[{item_index}.{shard_index}]")
+
+        results = []
+        for plan, shards in zip(plan_list, per_item):
+            shard_tuple = tuple(shards)
+            container = dump_segments(
+                [s.compressed for s in shard_tuple],
+                [s.assigned_stream for s in shard_tuple],
+                recorder=rec,
             )
-
-    jobs: List[_Job] = []
-    for item_index, (stream, config, plan) in enumerate(
-        zip(streams, config_list, plan_list)
-    ):
-        for shard_index, shard in enumerate(plan.split(stream)):
-            jobs.append((item_index, shard_index, shard, config))
-
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers <= 1 or len(jobs) <= 1:
-        outcomes = [_encode_shard(job) for job in jobs]
-    else:
-        pool_size = min(workers, len(jobs))
-        # Batch jobs per IPC round trip; chunking changes scheduling
-        # granularity only, never the (index-sorted) results.
-        chunksize = max(1, len(jobs) // (pool_size * 4))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            outcomes = list(pool.map(_encode_shard, jobs, chunksize=chunksize))
-
-    # Deterministic reassembly: order by (workload, shard), never by
-    # completion.  pool.map already preserves order; sorting makes the
-    # invariant explicit and future-proof.
-    per_item: List[List[ShardResult]] = [[] for _ in streams]
-    for item_index, _shard_index, result in sorted(
-        outcomes, key=lambda o: (o[0], o[1])
-    ):
-        per_item[item_index].append(result)
-
-    results = []
-    for plan, shards in zip(plan_list, per_item):
-        shard_tuple = tuple(shards)
-        container = dump_segments(
-            [s.compressed for s in shard_tuple],
-            [s.assigned_stream for s in shard_tuple],
-        )
-        results.append(BatchItemResult(plan, shard_tuple, container))
+            results.append(BatchItemResult(plan, shard_tuple, container))
     return results

@@ -48,6 +48,7 @@ from ..container import (
     stream_digest,
 )
 from ..core import CompressedStream, LZWConfig, decode
+from ..observability import NULL_RECORDER, Recorder, metrics_snapshot
 from .errors import ConfigError, ContainerError, ReproError
 
 __all__ = ["Check", "VerifyReport", "verify_container"]
@@ -76,6 +77,11 @@ class VerifyReport:
     num_codes: Optional[int] = None
     original_bits: Optional[int] = None
     segments: Optional[int] = None
+    #: Recorder snapshot (versioned metrics envelope) when
+    #: :func:`verify_container` ran with a recorder attached — the
+    #: decode counters and per-stage spans that accompany a failure
+    #: diagnosis.  ``None`` when no recorder was supplied.
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -104,7 +110,9 @@ class VerifyReport:
 
 
 def verify_container(
-    data: bytes, original: Optional[TernaryVector] = None
+    data: bytes,
+    original: Optional[TernaryVector] = None,
+    recorder: Optional[Recorder] = None,
 ) -> VerifyReport:
     """Verify container bytes stage by stage; never raises for bad data.
 
@@ -112,16 +120,23 @@ def verify_container(
     must reproduce every specified bit of the given cube stream.
     Multi-segment containers get per-segment stages named
     ``segment[i] ...`` so the failing shard is identified by index.
+    ``recorder`` collects per-stage ``verify.*`` spans plus the decode
+    and container counters; its snapshot lands on
+    :attr:`VerifyReport.metrics` so failure diagnostics carry the
+    counter state at the point things went wrong.
     """
+    rec = recorder if recorder is not None else NULL_RECORDER
     if len(data) >= 5 and data[:4] == _MAGIC and data[4] == 3:
-        return _verify_multi(data, original)
+        return _verify_multi(data, original, rec)
     checks = []
     try:
-        header = _parse_header(data)
+        with rec.span("verify.header"):
+            header = _parse_header(data)
     except ContainerError as exc:
         return VerifyReport(
             checks=(Check("header", False, str(exc)),),
             recognised=False,
+            metrics=metrics_snapshot(rec) if rec.enabled else None,
         )
     checks.append(
         Check("header", True, f"v{header.version}, {header.config.describe()}")
@@ -141,7 +156,8 @@ def verify_container(
 
     compressed = None
     try:
-        compressed = load_bytes(data, verify=False)
+        with rec.span("verify.payload-crc"):
+            compressed = load_bytes(data, verify=False, recorder=rec)
         checks.append(
             Check(
                 "payload-crc",
@@ -155,7 +171,8 @@ def verify_container(
     stream = None
     if compressed is not None:
         try:
-            stream = decode(compressed)
+            with rec.span("verify.decode"):
+                stream = decode(compressed, recorder=rec)
             checks.append(
                 Check(
                     "decode",
@@ -179,7 +196,9 @@ def verify_container(
                 )
             )
         if original is not None:
-            if stream.covers(original):
+            with rec.span("verify.coverage"):
+                covers = stream.covers(original)
+            if covers:
                 detail = f"covers all {original.care_count} specified bits"
                 checks.append(Check("coverage", True, detail))
             else:
@@ -194,11 +213,16 @@ def verify_container(
         config_summary=header.config.describe(),
         num_codes=compressed.num_codes if compressed is not None else None,
         original_bits=header.original_bits,
+        metrics=metrics_snapshot(rec) if rec.enabled else None,
     )
 
 
 def _verify_segment(
-    config: LZWConfig, entry: SegmentInfo, index: int, payload_area: bytes
+    config: LZWConfig,
+    entry: SegmentInfo,
+    index: int,
+    payload_area: bytes,
+    rec: Recorder = NULL_RECORDER,
 ) -> Tuple[list, Optional[TernaryVector]]:
     """Run the payload-crc / decode / stream-digest stages of one segment."""
     name = f"segment[{index}]"
@@ -254,8 +278,11 @@ def _verify_segment(
     )
 
     try:
-        codes = _read_codes(payload, entry.payload_bits, config)
-        stream = decode(CompressedStream(codes, config, entry.original_bits))
+        with rec.span(f"verify.{name} decode"):
+            codes = _read_codes(payload, entry.payload_bits, config)
+            stream = decode(
+                CompressedStream(codes, config, entry.original_bits), recorder=rec
+            )
         checks.append(
             Check(f"{name} decode", True, f"{len(codes)} codes -> {len(stream)} bits")
         )
@@ -277,14 +304,18 @@ def _verify_segment(
 
 
 def _verify_multi(
-    data: bytes, original: Optional[TernaryVector] = None
+    data: bytes,
+    original: Optional[TernaryVector] = None,
+    rec: Recorder = NULL_RECORDER,
 ) -> VerifyReport:
     """Staged verification of a multi-segment (v3) container."""
+    metrics = (lambda: metrics_snapshot(rec) if rec.enabled else None)
     if len(data) < _HEADER_V3.size:
         return VerifyReport(
             checks=(Check("header", False, "truncated container header"),),
             recognised=False,
             version=3,
+            metrics=metrics(),
         )
     _, _, char_bits, dict_size, entry_bits, count, header_crc = _HEADER_V3.unpack_from(
         data
@@ -300,6 +331,7 @@ def _verify_multi(
             ),
             recognised=False,
             version=3,
+            metrics=metrics(),
         )
 
     checks = []
@@ -318,6 +350,7 @@ def _verify_multi(
             version=3,
             config_summary=config.describe(),
             segments=count,
+            metrics=metrics(),
         )
     checks.append(
         Check("header", True, f"v3, {config.describe()}, {count} segments")
@@ -344,13 +377,17 @@ def _verify_multi(
         )
         total_codes += entry.num_codes
         total_bits += entry.original_bits
-        segment_checks, stream = _verify_segment(config, entry, index, payload_area)
+        segment_checks, stream = _verify_segment(
+            config, entry, index, payload_area, rec
+        )
         checks.extend(segment_checks)
         streams.append(stream)
 
     if original is not None and all(s is not None for s in streams):
-        decoded = TernaryVector.concat_all(streams)
-        if decoded.covers(original):
+        with rec.span("verify.coverage"):
+            decoded = TernaryVector.concat_all(streams)
+            covers = decoded.covers(original)
+        if covers:
             detail = f"covers all {original.care_count} specified bits"
             checks.append(Check("coverage", True, detail))
         else:
@@ -366,4 +403,5 @@ def _verify_multi(
         num_codes=total_codes,
         original_bits=total_bits,
         segments=count,
+        metrics=metrics(),
     )

@@ -107,6 +107,106 @@ class TestMatching:
         assert d.compatible_bases(tchar) == [0]
 
 
+class TestCMDataBoundary:
+    """Entries at exactly the C_MDATA memory-word limit."""
+
+    def test_entry_at_exact_limit_is_allocated(self):
+        # entry_bits=4, char_bits=2 -> max_entry_chars = 2.
+        d = LZWDictionary(LZWConfig(char_bits=2, dict_size=32, entry_bits=4))
+        c = d.add(0, 1)
+        assert c is not None
+        assert d.nchars(c) == 2
+        assert d.string_bits(c) == 4  # exactly C_MDATA
+
+    def test_entry_one_past_limit_rejected(self):
+        d = LZWDictionary(LZWConfig(char_bits=2, dict_size=32, entry_bits=4))
+        c = d.add(0, 1)
+        assert not d.can_extend(c)
+        assert d.add(c, 2) is None
+        # The rejection allocates nothing and leaves the trie intact.
+        assert d.allocated == 1
+        assert d.children(c) == {}
+
+    def test_can_extend_flips_exactly_at_boundary(self, d):
+        # Fixture: entry_bits=7, char_bits=2 -> max 3 chars.
+        c1 = d.add(0, 1)
+        c2 = d.add(c1, 2)
+        assert d.can_extend(0)  # 1 -> 2 chars ok
+        assert d.can_extend(c1)  # 2 -> 3 chars ok
+        assert not d.can_extend(c2)  # 3 -> 4 chars over C_MDATA
+
+    def test_base_codes_unaffected_by_tiny_entry_bits(self):
+        # max_entry_chars = 1: nothing beyond base codes can ever fit.
+        d = LZWDictionary(LZWConfig(char_bits=2, dict_size=32, entry_bits=2))
+        assert d.add(0, 1) is None
+        assert d.allocated == 0
+
+
+class TestFullBehavior:
+    """Once all N codes exist the dictionary freezes but keeps matching."""
+
+    @pytest.fixture
+    def full(self):
+        d = LZWDictionary(LZWConfig(char_bits=2, dict_size=6, entry_bits=8))
+        assert d.add(0, 1) == 4
+        assert d.add(0, 2) == 5
+        return d
+
+    def test_full_flag_and_counts(self, full):
+        assert full.is_full
+        assert full.next_code == 6
+        assert full.allocated == 2
+
+    def test_add_when_full_is_noop(self, full):
+        assert full.add(1, 3) is None
+        assert full.add(4, 3) is None
+        assert len(full) == 6
+        assert full.children(1) == {}
+
+    def test_matching_still_works_when_full(self, full):
+        found = full.compatible_children(0, TernaryVector.xs(2))
+        assert sorted(found) == [(1, 4), (2, 5)]
+
+    def test_weights_frozen_when_full(self, full):
+        before = [full.weight(c) for c in range(len(full))]
+        full.add(0, 3)
+        assert [full.weight(c) for c in range(len(full))] == before
+
+
+class TestReset:
+    """The adaptive variant's flush must restore the pristine state."""
+
+    def test_reset_restores_base_state(self, d):
+        c1 = d.add(0, 1)
+        d.add(c1, 2)
+        d.reset()
+        assert len(d) == 4
+        assert d.allocated == 0
+        assert not d.is_full
+        for c in range(4):
+            assert d.weight(c) == 1
+            assert d.children(c) == {}
+
+    def test_reset_clears_active_bases(self, d):
+        d.add(3, 1)
+        d.reset()
+        # Only the zero-fill fallback remains a candidate.
+        assert d.compatible_bases(TernaryVector.xs(2)) == [0]
+
+    def test_allocation_after_reset_reuses_codes(self, d):
+        first = d.add(0, 1)
+        d.reset()
+        again = d.add(2, 3)
+        assert again == first == 4
+        assert d.string(4) == (2, 3)
+
+    def test_longest_entry_zero_after_reset(self, d):
+        c1 = d.add(0, 1)
+        d.add(c1, 2)
+        d.reset()
+        assert d.longest_entry_chars() == 0
+
+
 class TestIntrospection:
     def test_iter_entries(self, d):
         c1 = d.add(0, 1)

@@ -115,3 +115,79 @@ class TestChildSelector:
         first = sel.choose_child(0, chars, 0)
         again = sel.choose_child(0, chars, 0)
         assert first == again
+
+
+class TestTieBreakDeterminism:
+    """Equal-scoring candidates must resolve identically on every run.
+
+    The determinism contract (identical batch bytes at any worker
+    count) rests on these tie-breaks: depth, then subtree weight, then
+    the lowest code.
+    """
+
+    def test_popular_tie_falls_to_lowest_code(self):
+        config, d = _setup("popular")
+        c1 = d.add(0, 1)
+        d.add(0, 3)  # equal weight (both leaves)
+        sel = ChildSelector(d, config)
+        assert sel.choose_child(0, [TernaryVector.xs(2)], 0) == (1, c1)
+
+    def test_lookahead_tie_falls_to_lowest_code(self):
+        config, d = _setup("lookahead")
+        c1 = d.add(0, 1)
+        c3 = d.add(0, 3)
+        # Symmetric continuations: both children go one deeper.
+        d.add(c1, 2)
+        d.add(c3, 2)
+        sel = ChildSelector(d, config)
+        chars = [TernaryVector.xs(2)] * 3
+        assert sel.choose_child(0, chars, 0) == (1, c1)
+
+    def test_choose_base_popular_tie_falls_to_lowest_base(self):
+        config, d = _setup("popular")
+        d.add(1, 0)
+        d.add(3, 0)  # bases 1 and 3, equal weights
+        sel = ChildSelector(d, config)
+        chars = [TernaryVector.xs(2)]
+        assert sel.choose_base(chars, 0) == 1
+
+    def test_same_choice_from_identically_built_dictionaries(self):
+        def build():
+            config, d = _setup("lookahead")
+            for base, char in ((0, 1), (0, 3), (2, 2)):
+                d.add(base, char)
+            return ChildSelector(d, config)
+
+        chars = [TernaryVector.xs(2)] * 4
+        picks = {build().choose_child(0, chars, 0) for _ in range(5)}
+        assert len(picks) == 1
+
+    def test_insertion_order_does_not_break_lowest_code_rule(self):
+        # Children registered high-code-first still tie-break to the
+        # lowest code, not to dict iteration order.
+        config, d = _setup("first")
+        d.add(0, 3)  # code 4
+        c_low = d.add(0, 1)  # code 5
+        sel = ChildSelector(d, config)
+        assert sel.choose_child(0, [TernaryVector.xs(2)], 0) == (3, 4)
+        del c_low
+
+    def test_exhausted_budget_is_still_deterministic(self):
+        config = LZWConfig(
+            char_bits=2,
+            dict_size=32,
+            entry_bits=12,
+            policy="lookahead",
+            lookahead=4,
+            lookahead_budget=1,
+        )
+        d = LZWDictionary(config)
+        c1 = d.add(0, 1)
+        c3 = d.add(0, 3)
+        d.add(c1, 2)
+        d.add(c3, 2)
+        chars = [TernaryVector.xs(2)] * 4
+        picks = {
+            ChildSelector(d, config).choose_child(0, chars, 0) for _ in range(5)
+        }
+        assert len(picks) == 1

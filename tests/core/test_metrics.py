@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.bitstream import TernaryVector
 from repro.core import (
+    LZWConfig,
+    compress,
     compression_percent,
     compression_ratio,
     geometric_mean,
@@ -39,6 +42,85 @@ class TestXDensity:
             x_density_percent(5, 0)
         with pytest.raises(ValueError):
             x_density_percent(11, 10)
+
+
+class TestRatioDelegation:
+    """Every stats object defers to the one ratio definition here.
+
+    This pins the duplication fix: before it, ``CompressedStream``,
+    ``MultiChainResult`` and ``BaselineResult`` each re-derived
+    ``1 - compressed/original`` locally and could drift apart.
+    """
+
+    def test_compressed_stream_delegates(self):
+        stream = TernaryVector("01XX10XX" * 40)
+        result = compress(stream, LZWConfig(char_bits=4, dict_size=64))
+        cs = result.compressed
+        assert cs.ratio == compression_ratio(cs.original_bits, cs.compressed_bits)
+        assert cs.ratio_percent == compression_percent(
+            cs.original_bits, cs.compressed_bits
+        )
+
+    def test_baseline_result_delegates(self):
+        from repro.baselines import GolombCompressor
+
+        stream = TernaryVector("0X" * 200)
+        r = GolombCompressor().compress(stream)
+        assert r.ratio == compression_ratio(r.original_bits, r.compressed_bits)
+        assert r.ratio_percent == compression_percent(
+            r.original_bits, r.compressed_bits
+        )
+
+    def test_batch_item_delegates(self):
+        from repro.core import compress_batch
+
+        stream = TernaryVector("01XX10XX" * 40)
+        item = compress_batch(None, [stream], workers=1)[0]
+        assert item.ratio == pytest.approx(
+            compression_ratio(item.original_bits, item.compressed_bits)
+        )
+
+
+class TestPaperTable3Pins:
+    """Formula orientation pinned against the paper's published rows.
+
+    Table 3 reports ``1 - compressed/original`` in percent; if anyone
+    flips the fraction (``compressed/original``) or the sign, these
+    exact-value regressions break.
+    """
+
+    # (benchmark, vectors, width, paper compression %) from Table 3 /
+    # repro.workloads.paper.BENCHMARKS.
+    TABLE3 = [
+        ("s13207f", 236, 700, 80.69),
+        ("s15850f", 126, 611, 76.26),
+        ("s38417f", 99, 1664, 70.60),
+        ("s38584f", 136, 1464, 75.40),
+        ("s9234f", 159, 247, 70.67),
+    ]
+
+    @pytest.mark.parametrize("name,vectors,width,paper_pct", TABLE3)
+    def test_percent_orientation(self, name, vectors, width, paper_pct):
+        total = vectors * width
+        compressed = round(total * (1.0 - paper_pct / 100.0))
+        assert compression_percent(total, compressed) == pytest.approx(
+            paper_pct, abs=0.01
+        )
+
+    def test_pins_match_workload_registry(self):
+        from repro.workloads.paper import BENCHMARKS
+
+        for name, vectors, width, paper_pct in self.TABLE3:
+            bench = BENCHMARKS[name]
+            assert (bench.vectors, bench.width) == (vectors, width)
+            assert bench.paper_lzw == paper_pct
+            assert bench.total_bits == vectors * width
+
+    def test_s13207f_exact_bit_budget(self):
+        # The headline row: 165200 original bits and an 80.69% ratio
+        # imply a 31903-or-31904-bit budget; both round to 80.69%.
+        assert compression_percent(165200, 31904) == pytest.approx(80.69, abs=0.01)
+        assert compression_ratio(165200, 31904) > 0.8
 
 
 class TestGeometricMean:

@@ -122,3 +122,43 @@ class TestCompression:
         chains = partition_chains(test_set, 2)
         result = compress_per_chain(test_set, chains, CONFIG)
         assert result.ratio_percent == pytest.approx(100 * result.ratio)
+
+    def test_ratio_delegates_to_metrics(self, test_set):
+        from repro.core.metrics import compression_percent, compression_ratio
+
+        chains = partition_chains(test_set, 2)
+        for result in (
+            compress_per_chain(test_set, chains, CONFIG),
+            compress_interleaved(test_set, chains, CONFIG),
+        ):
+            assert result.ratio == compression_ratio(
+                result.original_bits, result.compressed_bits
+            )
+            assert result.ratio_percent == compression_percent(
+                result.original_bits, result.compressed_bits
+            )
+
+    def test_interleaved_original_bits_exclude_idle_slots(self, test_set):
+        # 4 chains of lengths 2,2,1,1 pad to 2 cycles x 4 slots, but the
+        # accounted test-data volume stays the true 18 bits.
+        chains = partition_chains(test_set, 4)
+        result = compress_interleaved(test_set, chains, CONFIG)
+        assert result.original_bits == 18
+        assert len(interleave_stream(test_set, chains)) == 24
+
+    def test_repeated_runs_emit_identical_codes(self, test_set):
+        chains = partition_chains(test_set, 2)
+        runs = [compress_per_chain(test_set, chains, CONFIG) for _ in range(3)]
+        code_sets = {
+            tuple(r.compressed.codes for r in run.results) for run in runs
+        }
+        assert len(code_sets) == 1
+
+    def test_single_chain_matches_plain_compress(self, test_set):
+        from repro.core import compress
+
+        chains = partition_chains(test_set, 1)
+        multi = compress_per_chain(test_set, chains, CONFIG)
+        plain = compress(test_set.to_stream(), CONFIG)
+        assert multi.results[0].compressed.codes == plain.compressed.codes
+        assert multi.ratio == pytest.approx(plain.ratio)

@@ -6,7 +6,12 @@ configurations) this locks down, per case:
 * the serial path — compressed bit count, code count, ratio and the
   SHA-256 of the v2 container bytes;
 * the batch path — segment count and the SHA-256 of the multi-segment
-  container produced by a fixed pattern-aligned shard plan.
+  container produced by a fixed pattern-aligned shard plan;
+* the recorder-counter snapshot of the serial encode+assign pass — the
+  per-decision event counts (dictionary allocations, C_MDATA
+  truncations, X bits resolved, ...) that byte digests cannot localise:
+  a digest mismatch says *something* changed, the counter diff says
+  *which decision site*.
 
 Any change to the encoder, the don't-care heuristics, the shard
 planner or the container framings shows up here as a digest mismatch.
@@ -27,6 +32,7 @@ import pytest
 
 from repro.container import dump_bytes
 from repro.core import LZWConfig, compress, compress_batch
+from repro.observability import CounterRecorder
 from repro.parallel import plan_shards
 from repro.workloads import build_testset
 
@@ -76,7 +82,8 @@ def _compute_case(workload: str, scale: float, config_name: str) -> dict:
     stream = test_set.to_stream()
     config = CONFIGS[config_name]
 
-    result = compress(stream, config)
+    recorder = CounterRecorder()
+    result = compress(stream, config, recorder=recorder)
     container = dump_bytes(result.compressed, result.assigned_stream)
 
     plan = plan_shards(len(stream), max(1, len(stream) // 3), test_set.width)
@@ -92,6 +99,10 @@ def _compute_case(workload: str, scale: float, config_name: str) -> dict:
         "batch_segments": item.num_shards,
         "batch_compressed_bits": item.compressed_bits,
         "batch_container_sha256": hashlib.sha256(item.container).hexdigest(),
+        # Deterministic recorder snapshot of the serial pass (counters
+        # and histograms only — spans carry timings and are excluded).
+        "counters": recorder.snapshot()["counters"],
+        "histograms": recorder.snapshot()["histograms"],
     }
 
 

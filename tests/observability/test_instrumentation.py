@@ -1,0 +1,218 @@
+"""Instrumentation at the pipeline seams: the counters must mean what
+the schema says they mean, and attaching a recorder must never change
+any output."""
+
+import math
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.container import dump_bytes, load_bytes
+from repro.core import LZWConfig, compress, compress_batch
+from repro.core.decoder import decode
+from repro.core.encoder import LZWEncoder
+from repro.observability import (
+    CompositeRecorder,
+    CounterRecorder,
+    SpanRecorder,
+    metrics_snapshot,
+    strip_timing,
+)
+from repro.observability import schema as ev
+from repro.reliability.verify import verify_container
+
+CONFIG = LZWConfig(char_bits=3, dict_size=64, entry_bits=18)
+STREAM = TernaryVector("01XX10XXX1" * 60)
+
+
+@pytest.fixture
+def counted():
+    rec = CounterRecorder()
+    result = compress(STREAM, CONFIG, recorder=rec)
+    return rec, result
+
+
+class TestEncoderCounters:
+    def test_chars_is_ceil_of_stream_length(self, counted):
+        rec, _ = counted
+        expected = math.ceil(len(STREAM) / CONFIG.char_bits)
+        assert rec.counters[ev.ENCODE_CHARS] == expected
+
+    def test_codes_matches_output(self, counted):
+        rec, result = counted
+        assert rec.counters[ev.ENCODE_CODES] == result.compressed.num_codes
+
+    def test_phrase_length_histogram_sums_to_chars(self, counted):
+        rec, _ = counted
+        assert rec.histogram_total(ev.HIST_PHRASE_LEN) == rec.counters[
+            ev.ENCODE_CODES
+        ]
+        assert rec.histogram_weighted_sum(ev.HIST_PHRASE_LEN) == rec.counters[
+            ev.ENCODE_CHARS
+        ]
+
+    def test_xbits_account_for_every_dont_care(self, counted):
+        rec, _ = counted
+        total_chars = rec.counters[ev.ENCODE_CHARS]
+        care_bits = len(STREAM) - STREAM.x_count
+        # Padding of the final partial character counts as X bits.
+        assert rec.counters[ev.ENCODE_XBITS] == (
+            total_chars * CONFIG.char_bits - care_bits
+        )
+        assert rec.histogram_weighted_sum(ev.HIST_XBITS_PER_PHRASE) == (
+            rec.counters[ev.ENCODE_XBITS]
+        )
+
+    def test_codes_per_width_single_bin(self, counted):
+        rec, result = counted
+        assert rec.histograms[ev.HIST_CODES_PER_WIDTH] == {
+            CONFIG.code_bits: result.compressed.num_codes
+        }
+
+    def test_recorder_does_not_change_output(self):
+        plain = LZWEncoder(CONFIG).encode(STREAM)
+        recorded = LZWEncoder(CONFIG, recorder=CounterRecorder()).encode(STREAM)
+        assert plain.codes == recorded.codes
+        assert plain.expansion_chars == recorded.expansion_chars
+
+    def test_empty_stream_emits_nothing(self):
+        rec = CounterRecorder()
+        LZWEncoder(CONFIG, recorder=rec).encode(TernaryVector(""))
+        assert rec.counters == {}
+
+
+class TestDecoderCounters:
+    def test_decode_mirrors_encode(self, counted):
+        enc_rec, result = counted
+        dec_rec = CounterRecorder()
+        decode(result.compressed, recorder=dec_rec)
+        assert dec_rec.counters[ev.DECODE_CODES] == enc_rec.counters[
+            ev.ENCODE_CODES
+        ]
+        assert dec_rec.counters[ev.DECODE_CHARS] == enc_rec.counters[
+            ev.ENCODE_CHARS
+        ]
+
+    def test_dict_rebuild_matches_encoder_allocs(self, counted):
+        enc_rec, result = counted
+        dec_rec = CounterRecorder()
+        decode(result.compressed, recorder=dec_rec)
+        assert dec_rec.counters[ev.DECODE_DICT_ENTRIES] == enc_rec.counters[
+            ev.DICT_ALLOCS
+        ]
+
+    def test_adaptive_resets_mirrored(self):
+        config = LZWConfig(
+            char_bits=1, dict_size=4, entry_bits=3, reset_on_full=True
+        )
+        enc_rec = CounterRecorder()
+        result = compress(
+            TernaryVector("01101100101101001011" * 4), config, recorder=enc_rec
+        )
+        assert enc_rec.counters.get(ev.DICT_RESETS, 0) > 0
+        dec_rec = CounterRecorder()
+        decode(result.compressed, recorder=dec_rec)
+        assert dec_rec.counters.get(ev.DECODE_RESETS, 0) == enc_rec.counters[
+            ev.DICT_RESETS
+        ]
+
+
+class TestDictionaryPressureCounters:
+    def test_full_skips_once_dictionary_saturates(self):
+        config = LZWConfig(char_bits=2, dict_size=8, entry_bits=16)
+        rec = CounterRecorder()
+        compress(TernaryVector("01" * 300), config, recorder=rec)
+        assert rec.counters[ev.DICT_ALLOCS] == 8 - config.base_codes
+        assert rec.counters.get(ev.DICT_FULL_SKIPS, 0) > 0
+
+    def test_cmdata_truncations_on_tiny_entries(self):
+        # max_entry_chars = 2: every 2-char entry is at the wall.
+        config = LZWConfig(char_bits=2, dict_size=256, entry_bits=4)
+        rec = CounterRecorder()
+        compress(TernaryVector("0110" * 120), config, recorder=rec)
+        assert rec.counters.get(ev.DICT_CMDATA_TRUNCATIONS, 0) > 0
+
+
+class TestContainerCounters:
+    def test_write_and_read_byte_accounting(self, counted):
+        _, result = counted
+        rec = CounterRecorder()
+        blob = dump_bytes(result.compressed, result.assigned_stream, recorder=rec)
+        assert rec.counters[ev.CONTAINER_BYTES_WRITTEN] == len(blob)
+        assert rec.counters[ev.CONTAINER_SEGMENTS_WRITTEN] == 1
+        load_bytes(blob, recorder=rec)
+        assert rec.counters[ev.CONTAINER_BYTES_READ] == len(blob)
+        assert rec.counters[ev.CONTAINER_SEGMENTS_READ] == 1
+
+    def test_recorder_does_not_change_bytes(self, counted):
+        _, result = counted
+        plain = dump_bytes(result.compressed, result.assigned_stream)
+        recorded = dump_bytes(
+            result.compressed, result.assigned_stream, recorder=CounterRecorder()
+        )
+        assert plain == recorded
+
+
+class TestPipelineSpans:
+    def test_compress_records_encode_and_assign(self):
+        spans = SpanRecorder()
+        compress(STREAM, CONFIG, recorder=spans)
+        assert [name for name, _ in spans.spans] == ["encode", "assign"]
+        assert all(seconds >= 0 for _, seconds in spans.spans)
+
+
+class TestBatchMerging:
+    def _snapshot(self, workers):
+        rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        items = compress_batch(
+            CONFIG,
+            [STREAM, TernaryVector("1X0X" * 80)],
+            workers=workers,
+            shard_bits=256,
+            pattern_bits=0,
+            recorder=rec,
+        )
+        return strip_timing(metrics_snapshot(rec)), [i.container for i in items]
+
+    def test_merged_counters_worker_count_independent(self):
+        one, containers_one = self._snapshot(workers=1)
+        four, containers_four = self._snapshot(workers=4)
+        assert one == four
+        assert containers_one == containers_four
+
+    def test_batch_counters_present(self):
+        snap, _ = self._snapshot(workers=1)
+        assert snap["counters"][ev.BATCH_WORKLOADS] == 2
+        assert snap["counters"][ev.BATCH_SHARDS] >= 2
+        # Per-shard worker spans surface under the shard[i.j] label.
+        assert any(s["name"].startswith("shard[") for s in snap["spans"])
+
+
+class TestVerifyMetrics:
+    def _container(self):
+        result = compress(STREAM, CONFIG)
+        return dump_bytes(result.compressed, result.assigned_stream)
+
+    def test_report_carries_snapshot_on_pass(self):
+        rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        report = verify_container(self._container(), STREAM, recorder=rec)
+        assert report.ok
+        assert report.metrics is not None
+        assert report.metrics["schema"] == "repro.metrics/1"
+        assert ev.DECODE_CODES in report.metrics["counters"]
+        assert any(
+            s["name"].startswith("verify.") for s in report.metrics["spans"]
+        )
+
+    def test_report_carries_snapshot_on_failure(self):
+        blob = bytearray(self._container())
+        blob[-1] ^= 0xFF  # corrupt the payload tail
+        rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        report = verify_container(bytes(blob), recorder=rec)
+        assert not report.ok
+        assert report.metrics is not None
+        assert report.metrics["spans"]  # stages that ran are on record
+
+    def test_no_recorder_no_metrics(self):
+        report = verify_container(self._container())
+        assert report.metrics is None

@@ -1,0 +1,176 @@
+"""Unit tests for the recorder sinks themselves."""
+
+import pytest
+
+from repro.observability import (
+    NULL_RECORDER,
+    CompositeRecorder,
+    CounterRecorder,
+    NullRecorder,
+    Recorder,
+    SpanRecorder,
+)
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NullRecorder().enabled is False
+        assert NULL_RECORDER.enabled is False
+
+    def test_every_event_is_a_noop(self):
+        rec = NullRecorder()
+        rec.incr("a", 5)
+        rec.observe("h", 3)
+        with rec.span("stage"):
+            pass
+        rec.merge_child({"counters": {"a": 1}}, "child")
+        assert rec.snapshot() == {}
+
+    def test_base_recorder_defaults_enabled(self):
+        # A custom subclass that overrides some events must be seen.
+        assert Recorder.enabled is True
+
+
+class TestCounterRecorder:
+    def test_incr_accumulates(self):
+        rec = CounterRecorder()
+        rec.incr("encode.codes")
+        rec.incr("encode.codes", 4)
+        assert rec.counters == {"encode.codes": 5}
+
+    def test_observe_bins(self):
+        rec = CounterRecorder()
+        rec.observe("h", 2)
+        rec.observe("h", 2)
+        rec.observe("h", 7, count=3)
+        assert rec.histograms == {"h": {2: 2, 7: 3}}
+        assert rec.histogram_total("h") == 5
+        assert rec.histogram_weighted_sum("h") == 2 * 2 + 7 * 3
+
+    def test_missing_histogram_helpers(self):
+        rec = CounterRecorder()
+        assert rec.histogram_total("nope") == 0
+        assert rec.histogram_weighted_sum("nope") == 0
+
+    def test_merge_child_sums(self):
+        rec = CounterRecorder()
+        rec.incr("a", 1)
+        rec.observe("h", 2)
+        child = {
+            "counters": {"a": 2, "b": 7},
+            "histograms": {"h": {"2": 1, "3": 4}},
+        }
+        rec.merge_child(child, "shard[0.0]")
+        assert rec.counters == {"a": 3, "b": 7}
+        assert rec.histograms == {"h": {2: 2, 3: 4}}
+
+    def test_merge_child_ignores_none_and_empty(self):
+        rec = CounterRecorder()
+        rec.merge_child(None, "x")
+        rec.merge_child({}, "x")
+        assert rec.counters == {}
+
+    def test_snapshot_sorted_and_stringified(self):
+        rec = CounterRecorder()
+        rec.incr("z")
+        rec.incr("a")
+        rec.observe("h", 10)
+        rec.observe("h", 2)
+        snap = rec.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["histograms"] == {"h": {"2": 1, "10": 1}}
+
+    def test_spans_absent_from_snapshot(self):
+        assert "spans" not in CounterRecorder().snapshot()
+
+
+class TestSpanRecorder:
+    def test_span_records_positive_duration(self):
+        rec = SpanRecorder()
+        with rec.span("encode"):
+            pass
+        assert len(rec.spans) == 1
+        name, seconds = rec.spans[0]
+        assert name == "encode"
+        assert seconds >= 0.0
+
+    def test_seconds_sums_same_name(self):
+        rec = SpanRecorder()
+        rec._record("encode", 0.5)
+        rec._record("encode", 0.25)
+        rec._record("other", 1.0)
+        assert rec.seconds("encode") == pytest.approx(0.75)
+        assert rec.seconds("missing") == 0.0
+
+    def test_merge_child_prefixes_names(self):
+        rec = SpanRecorder()
+        rec.merge_child(
+            {"spans": [{"name": "encode", "seconds": 0.1}]}, "shard[1.2]"
+        )
+        assert rec.spans == [("shard[1.2].encode", 0.1)]
+
+    def test_iter_named(self):
+        rec = SpanRecorder()
+        rec._record("shard[0.0].encode", 0.1)
+        rec._record("plan", 0.2)
+        rec._record("shard[0.1].assign", 0.3)
+        assert list(rec.iter_named("shard[")) == [
+            ("shard[0.0].encode", 0.1),
+            ("shard[0.1].assign", 0.3),
+        ]
+
+    def test_snapshot_shape(self):
+        rec = SpanRecorder()
+        rec._record("encode", 0.5)
+        assert rec.snapshot() == {"spans": [{"name": "encode", "seconds": 0.5}]}
+
+    def test_nested_spans_record_inner_first(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        assert [name for name, _ in rec.spans] == ["inner", "outer"]
+
+
+class TestCompositeRecorder:
+    def test_fans_out_to_all_children(self):
+        counters = CounterRecorder()
+        spans = SpanRecorder()
+        rec = CompositeRecorder([counters, spans])
+        rec.incr("a", 2)
+        rec.observe("h", 1)
+        with rec.span("stage"):
+            pass
+        assert counters.counters == {"a": 2}
+        assert counters.histograms == {"h": {1: 1}}
+        assert spans.seconds("stage") >= 0.0
+
+    def test_snapshot_merges_sections(self):
+        rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        rec.incr("a")
+        with rec.span("s"):
+            pass
+        snap = rec.snapshot()
+        assert set(snap) == {"counters", "histograms", "spans"}
+
+    def test_disabled_children_are_dropped(self):
+        rec = CompositeRecorder([NullRecorder(), NullRecorder()])
+        assert rec.enabled is False
+        assert rec.children == []
+
+    def test_empty_composite_disabled(self):
+        assert CompositeRecorder([]).enabled is False
+
+    def test_merge_child_reaches_every_sink(self):
+        counters = CounterRecorder()
+        spans = SpanRecorder()
+        rec = CompositeRecorder([counters, spans])
+        rec.merge_child(
+            {
+                "counters": {"a": 1},
+                "spans": [{"name": "encode", "seconds": 0.2}],
+            },
+            "shard[0.0]",
+        )
+        assert counters.counters == {"a": 1}
+        assert spans.spans == [("shard[0.0].encode", 0.2)]

@@ -1,0 +1,79 @@
+"""Unit tests for the versioned metrics envelope."""
+
+import json
+
+from repro.observability import (
+    SCHEMA_VERSION,
+    CompositeRecorder,
+    CounterRecorder,
+    SpanRecorder,
+    metrics_snapshot,
+    strip_timing,
+    write_metrics_json,
+)
+
+
+def _loaded_recorder():
+    counters = CounterRecorder()
+    spans = SpanRecorder()
+    rec = CompositeRecorder([counters, spans])
+    rec.incr("encode.codes", 3)
+    rec.observe("encode.phrase_len_chars", 2, 3)
+    with rec.span("encode"):
+        pass
+    return rec
+
+
+class TestEnvelope:
+    def test_four_keys_always_present(self):
+        snap = metrics_snapshot(CounterRecorder())
+        assert set(snap) == {"schema", "counters", "histograms", "spans"}
+        assert snap["schema"] == SCHEMA_VERSION
+        assert snap["spans"] == []
+
+    def test_snapshot_content(self):
+        snap = metrics_snapshot(_loaded_recorder())
+        assert snap["counters"] == {"encode.codes": 3}
+        assert snap["histograms"] == {"encode.phrase_len_chars": {"2": 3}}
+        assert [s["name"] for s in snap["spans"]] == ["encode"]
+
+    def test_json_round_trip(self):
+        snap = metrics_snapshot(_loaded_recorder())
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestStripTiming:
+    def test_drops_seconds_keeps_names(self):
+        snap = metrics_snapshot(_loaded_recorder())
+        stripped = strip_timing(snap)
+        assert stripped["spans"] == [{"name": "encode"}]
+        assert stripped["counters"] == snap["counters"]
+        assert stripped["histograms"] == snap["histograms"]
+
+    def test_original_not_mutated(self):
+        snap = metrics_snapshot(_loaded_recorder())
+        strip_timing(snap)
+        assert "seconds" in snap["spans"][0]
+
+    def test_same_counters_different_timings_agree(self):
+        a = strip_timing(metrics_snapshot(_loaded_recorder()))
+        b = strip_timing(metrics_snapshot(_loaded_recorder()))
+        assert a == b
+
+
+class TestWriteMetricsJson:
+    def test_writes_valid_envelope(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        envelope = write_metrics_json(_loaded_recorder(), path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == envelope
+        assert on_disk["schema"] == SCHEMA_VERSION
+
+    def test_stable_key_order(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(_loaded_recorder(), path)
+        text = path.read_text()
+        # sort_keys=True: "counters" before "histograms" before "schema".
+        assert text.index('"counters"') < text.index('"histograms"')
+        assert text.index('"histograms"') < text.index('"schema"')
+        assert text.endswith("\n")

@@ -1,0 +1,139 @@
+"""Property-based tests of the observability subsystem.
+
+The counter invariants hold for *any* ternary stream and legal config:
+
+* round-trips still cover the original with a recorder attached (the
+  hooks must never perturb the encoding);
+* ``encode.codes`` equals the emitted code count, so the serialised
+  stream carries exactly ``encode.codes * C_E`` bits;
+* the phrase-length histogram partitions the (padded) input: its
+  observation count is the code count and its weighted sum the
+  character count;
+* ``encode.xbits_assigned`` accounts for every don't-care the encoder
+  resolved, final-character padding included;
+* merged batch counters are a pure function of the inputs — identical
+  at ``workers=1`` and ``workers=4``.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, compress, compress_batch, decode
+from repro.observability import (
+    CompositeRecorder,
+    CounterRecorder,
+    SpanRecorder,
+    metrics_snapshot,
+    strip_timing,
+)
+from repro.observability import schema as ev
+
+ternary_streams = st.text(alphabet="01X", min_size=0, max_size=400).map(
+    TernaryVector
+)
+
+configs = st.builds(
+    LZWConfig,
+    char_bits=st.integers(min_value=1, max_value=5),
+    dict_size=st.sampled_from([32, 64, 256]),
+    entry_bits=st.integers(min_value=5, max_value=40),
+    policy=st.sampled_from(["first", "popular", "lookahead"]),
+    lookahead=st.integers(min_value=1, max_value=4),
+).filter(lambda c: c.dict_size >= c.base_codes and c.entry_bits >= c.char_bits)
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=200, deadline=None)
+def test_counter_invariants(stream, config):
+    """The CI acceptance property: 200 random (stream, config) pairs."""
+    rec = CounterRecorder()
+    result = compress(stream, config, recorder=rec)
+    cs = result.compressed
+
+    if len(stream) == 0:
+        assert rec.counters == {}
+        return
+
+    total_chars = math.ceil(len(stream) / config.char_bits)
+    assert rec.counters[ev.ENCODE_CHARS] == total_chars
+    # codes_emitted == len(stream.to_bits()) events at width C_E.
+    assert rec.counters[ev.ENCODE_CODES] == cs.num_codes
+    assert len(cs.to_bits()) == rec.counters[ev.ENCODE_CODES] * config.code_bits
+    assert rec.histograms[ev.HIST_CODES_PER_WIDTH] == {
+        config.code_bits: cs.num_codes
+    }
+
+    # Phrase-length histogram partitions the padded input.
+    assert rec.histogram_total(ev.HIST_PHRASE_LEN) == cs.num_codes
+    assert rec.histogram_weighted_sum(ev.HIST_PHRASE_LEN) == total_chars
+
+    # Every X (including final-char padding) is assigned exactly once.
+    care_bits = len(stream) - stream.x_count
+    assert rec.counters[ev.ENCODE_XBITS] == (
+        total_chars * config.char_bits - care_bits
+    )
+    assert (
+        rec.histogram_weighted_sum(ev.HIST_XBITS_PER_PHRASE)
+        == rec.counters[ev.ENCODE_XBITS]
+    )
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=100, deadline=None)
+def test_recorder_never_perturbs_roundtrip(stream, config):
+    rec = CounterRecorder()
+    recorded = compress(stream, config, recorder=rec)
+    plain = compress(stream, config)
+    assert recorded.compressed.codes == plain.compressed.codes
+    assert recorded.assigned_stream.covers(stream)
+    assert recorded.assigned_stream.is_fully_specified
+
+
+@given(stream=ternary_streams, config=configs)
+@settings(max_examples=100, deadline=None)
+def test_decode_mirrors_encode_counters(stream, config):
+    enc = CounterRecorder()
+    result = compress(stream, config, recorder=enc)
+    dec = CounterRecorder()
+    decode(result.compressed, recorder=dec)
+    assert dec.counters.get(ev.DECODE_CODES, 0) == enc.counters.get(
+        ev.ENCODE_CODES, 0
+    )
+    assert dec.counters.get(ev.DECODE_CHARS, 0) == enc.counters.get(
+        ev.ENCODE_CHARS, 0
+    )
+    # Dictionary rebuild steps == encoder allocations.
+    assert dec.counters.get(ev.DECODE_DICT_ENTRIES, 0) == enc.counters.get(
+        ev.DICT_ALLOCS, 0
+    )
+
+
+@given(
+    streams=st.lists(
+        st.text(alphabet="01X", min_size=1, max_size=200).map(TernaryVector),
+        min_size=1,
+        max_size=3,
+    ),
+    config=configs,
+)
+@settings(max_examples=25, deadline=None)
+def test_batch_counters_worker_count_independent(streams, config):
+    """Pool-based, so fewer examples; the invariant is the tentpole's
+    acceptance criterion: merged snapshots identical at 1 vs 4 workers
+    modulo span timings."""
+
+    def run(workers):
+        rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        items = compress_batch(
+            config, streams, workers=workers, shard_bits=64, recorder=rec
+        )
+        return strip_timing(metrics_snapshot(rec)), [i.container for i in items]
+
+    snap_one, bytes_one = run(1)
+    snap_four, bytes_four = run(4)
+    assert snap_one == snap_four
+    assert bytes_one == bytes_four
+    assert snap_one["counters"][ev.BATCH_WORKLOADS] == len(streams)
