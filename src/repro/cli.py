@@ -3,7 +3,10 @@
 Subcommands::
 
     repro compress   FILE  [--char-bits N --dict-size N --entry-bits N ...]
-    repro batch      FILE...  [--workers N --shard-bits B -o DIR]
+    repro batch      FILE...  [--workers N --shard-bits B -o DIR
+                     --max-retries N --shard-timeout S
+                     --on-failure {fail,degrade,skip}
+                     --checkpoint PATH --resume]
     repro decompress FILE.lzwt  -o OUT.test  [--width W]
     repro atpg       FILE.bench | --builtin c17 | --random N  [-o OUT]
     repro synth      BENCHMARK  [-o OUT --scale S]
@@ -29,7 +32,9 @@ Errors never surface as tracebacks: every typed
 :class:`~repro.reliability.errors.ReproError` (and ``OSError``) is
 reported as a one-line message on stderr with a documented exit code —
 2 for usage/configuration errors, 3 for unreadable or malformed input,
-4 for integrity failures (corrupt containers, undecodable streams).
+4 for integrity failures (corrupt containers, undecodable streams),
+5 for batch shards that failed every recovery path (see the README's
+failure handling matrix).
 """
 
 from __future__ import annotations
@@ -62,7 +67,8 @@ from .observability import (
     metrics_snapshot,
     write_metrics_json,
 )
-from .reliability import ReproError
+from .parallel import RetryPolicy
+from .reliability import ConfigError, ReproError
 from .reliability.verify import verify_container
 from .testfile import read_test_file, write_test_file
 from .workloads import available_workloads, build_testset
@@ -152,6 +158,10 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     config = _config_from(args)
+    if args.resume and not args.checkpoint:
+        raise ConfigError(
+            "--resume requires --checkpoint PATH", field="resume"
+        )
     names, streams, originals, widths = [], [], [], []
     for file in args.files:
         test_set = read_test_file(file)
@@ -168,6 +178,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         shard_bits=args.shard_bits,
         pattern_bits=widths,
         recorder=recorder,
+        retry_policy=RetryPolicy(max_attempts=args.max_retries + 1),
+        shard_timeout=args.shard_timeout,
+        on_failure=args.on_failure,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     elapsed = time.perf_counter() - started
     # Emit before per-workload verification so a coverage failure still
@@ -178,7 +193,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     rows = []
+    exit_code = 0
     for name, stream, item in zip(names, streams, results):
+        if not item.ok:
+            # on_failure="skip" surfaced typed shard errors instead of a
+            # container; report them all and keep going — the batch exit
+            # code says "degraded", per-workload lines say where.
+            for error in item.errors:
+                print(
+                    f"ERROR: {name}: {type(error).__name__}: {error}",
+                    file=sys.stderr,
+                )
+            print(f"{name}: FAILED ({len(item.errors)} shard(s) skipped)")
+            rows.append({"name": name, "failed_shards": len(item.errors)})
+            exit_code = 5
+            continue
         if not item.verify(stream):
             print(f"ERROR: {name}: decoded stream does not cover the original cubes")
             return 1
@@ -199,14 +228,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             row["container"] = str(path)
             print(f"  wrote {path}")
         rows.append(row)
-    total_bits = sum(item.original_bits for item in results)
-    total_compressed = sum(item.compressed_bits for item in results)
+    ok_items = [item for item in results if item.ok]
+    total_bits = sum(item.original_bits for item in ok_items)
+    total_compressed = sum(item.compressed_bits for item in ok_items)
     ratio = 100.0 * (1.0 - total_compressed / total_bits) if total_bits else 0.0
     mb_per_s = total_bits / 8 / 1e6 / elapsed if elapsed else 0.0
+    failed = len(results) - len(ok_items)
+    suffix = f", {failed} FAILED" if failed else ""
     print(
         f"batch: {len(results)} workload(s), {total_bits} bits, "
         f"ratio {ratio:.2f}%, {elapsed:.2f}s ({mb_per_s:.3f} MB/s, "
-        f"workers={args.workers or 'auto'})"
+        f"workers={args.workers or 'auto'}{suffix})"
     )
     if args.json:
         summary = {
@@ -216,11 +248,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "seconds": round(elapsed, 6),
             "mb_per_s": round(mb_per_s, 6),
             "ratio_percent": round(ratio, 4),
+            "failed_workloads": failed,
             "workloads": rows,
         }
         Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
         print(f"wrote {args.json}")
-    return 0
+    return exit_code
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
@@ -422,6 +455,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0: one segment per file)",
     )
     p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-attempts per failed/hung/crashed shard before the "
+        "--on-failure policy applies (default 2)",
+    )
+    p.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard attempt timeout; a slower shard counts as hung "
+        "and is retried (default: no timeout)",
+    )
+    p.add_argument(
+        "--on-failure",
+        choices=("fail", "degrade", "skip"),
+        default="fail",
+        help="shard exhausted its retries: 'fail' aborts the batch "
+        "(exit 5), 'degrade' re-runs it inline without a timeout, "
+        "'skip' drops the workload's container and exits 5 after "
+        "finishing the rest (default fail)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="append completed shards to this journal so an interrupted "
+        "batch can be resumed",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed shards from the --checkpoint journal "
+        "(must match this batch's inputs; output bytes are identical "
+        "to an uninterrupted run)",
+    )
+    p.add_argument(
         "-o",
         "--output-dir",
         help="write one .lzwt container per input file here",
@@ -523,7 +593,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     Converts every typed library error and ``OSError`` into a one-line
     stderr message with a documented exit code (2 usage, 3 bad input,
-    4 integrity failure) — no traceback ever reaches the operator.
+    4 integrity failure, 5 unrecoverable batch shard) — no traceback
+    ever reaches the operator.
     """
     parser = build_parser()
     args = parser.parse_args(argv)

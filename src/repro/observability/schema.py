@@ -57,6 +57,12 @@ __all__ = [
     "CONTAINER_SEGMENTS_READ",
     "BATCH_WORKLOADS",
     "BATCH_SHARDS",
+    "BATCH_RETRIES",
+    "BATCH_WORKER_CRASHES",
+    "BATCH_TIMEOUTS",
+    "BATCH_DEGRADED_SHARDS",
+    "BATCH_SKIPPED_SHARDS",
+    "BATCH_JOURNAL_HITS",
     # histogram names
     "HIST_PHRASE_LEN",
     "HIST_XBITS_PER_PHRASE",
@@ -101,6 +107,18 @@ CONTAINER_SEGMENTS_READ = "container.segments_read"
 # -- batch-engine counters ---------------------------------------------
 BATCH_WORKLOADS = "batch.workloads"
 BATCH_SHARDS = "batch.shards"
+#: Shard attempts re-submitted by the supervisor after a failure.
+BATCH_RETRIES = "batch.retries"
+#: Pool-break events (a worker process died, e.g. SIGKILL/OOM).
+BATCH_WORKER_CRASHES = "batch.worker_crashes"
+#: Shard attempts abandoned because they exceeded the shard timeout.
+BATCH_TIMEOUTS = "batch.timeouts"
+#: Shards recovered by the inline (serial) fallback after pool retries.
+BATCH_DEGRADED_SHARDS = "batch.degraded_shards"
+#: Shards given up on under ``on_failure="skip"`` (surfaced as ShardError).
+BATCH_SKIPPED_SHARDS = "batch.skipped_shards"
+#: Shards restored from a checkpoint journal instead of re-encoded.
+BATCH_JOURNAL_HITS = "batch.journal_hits"
 
 # -- histograms --------------------------------------------------------
 #: LZW phrase lengths, in characters.

@@ -5,18 +5,30 @@ Public surface:
 * :class:`ShardPlan` / :func:`plan_shards` — explicit, pattern-aligned
   cut plans;
 * :func:`compress_batch` — encode many workloads (optionally sharded)
-  across a process pool, returning per-workload
+  across a supervised process pool, returning per-workload
   :class:`BatchItemResult`\\ s whose containers are bit-identical for
-  any worker count.
+  any worker count and any crash/retry schedule;
+* :class:`RetryPolicy` / :func:`run_supervised` — the fault-tolerant
+  execution layer (retries, per-shard timeouts, pool respawn,
+  degrade/skip policies);
+* :class:`ShardJournal` / :func:`batch_fingerprint` — the
+  shard-completion checkpoint behind ``repro batch --checkpoint/--resume``.
 """
 
 from .engine import BatchItemResult, ShardResult, compress_batch
+from .journal import ShardJournal, batch_fingerprint
 from .shard import ShardPlan, plan_shards
+from .supervisor import ON_FAILURE_POLICIES, RetryPolicy, run_supervised
 
 __all__ = [
     "BatchItemResult",
+    "ON_FAILURE_POLICIES",
+    "RetryPolicy",
+    "ShardJournal",
     "ShardPlan",
     "ShardResult",
+    "batch_fingerprint",
     "compress_batch",
     "plan_shards",
+    "run_supervised",
 ]

@@ -3,23 +3,36 @@
 The unit of work is one *shard* — a pattern-aligned slice of one
 workload's scan stream — encoded with its own fresh LZW dictionary.
 All shards of all workloads in a batch are flattened into one job list
-and spread over a :class:`concurrent.futures.ProcessPoolExecutor`;
-results are reassembled strictly by ``(workload, shard)`` index, so the
-output is a pure function of the inputs and the shard plans.  Worker
-count and completion order can never leak into the container bytes —
-the determinism contract ``tests/parallel`` locks down.
+and driven through the fault-tolerant supervisor
+(:mod:`repro.parallel.supervisor`) over a
+:class:`~concurrent.futures.ProcessPoolExecutor`; results are
+reassembled strictly by ``(workload, shard)`` index, so the output is a
+pure function of the inputs and the shard plans.  Worker count,
+completion order — and, because ``_encode_shard`` is pure, any
+crash/retry/timeout schedule — can never leak into the container bytes:
+the determinism contract ``tests/parallel`` and
+``tests/reliability/test_chaos.py`` lock down.
+
+The pool is pinned to the ``spawn`` multiprocessing start method on
+every platform.  ``fork`` (the historical Linux default) duplicates the
+parent's arbitrary state into workers, so fork-started and
+spawn-started pools can diverge in behaviour (inherited globals, open
+handles, signal dispositions) between Linux and macOS; ``spawn`` starts
+every worker from a clean interpreter, makes the picklability of jobs
+an enforced invariant, and is also what lets the supervisor respawn a
+crashed pool identically.
 
 With ``workers <= 1`` the engine runs inline in the calling process
-(no pool, no pickling), which is also the deterministic reference the
+(no pool, no pickling) with the same retry/timeout/degradation
+semantics; the inline path is also the deterministic reference the
 parallel paths are compared against.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bitstream import TernaryVector
 from ..container import dump_segments
@@ -34,13 +47,18 @@ from ..observability import (
     SpanRecorder,
 )
 from ..observability import schema as ev
+from ..reliability.chaos import ChaosPlan
+from ..reliability.errors import ConfigError, ShardError
+from .journal import ShardJournal, batch_fingerprint
 from .shard import ShardPlan, plan_shards
+from .supervisor import ON_FAILURE_POLICIES, RetryPolicy, run_supervised
 
 __all__ = ["ShardResult", "BatchItemResult", "compress_batch"]
 
-#: One pool job: (workload index, shard index, shard stream, config,
-#: whether the worker should record a metrics snapshot).
-_Job = Tuple[int, int, TernaryVector, LZWConfig, bool]
+#: One shard job: (workload index, shard index, shard stream, config,
+#: whether the worker should record a metrics snapshot, the chaos plan
+#: (None outside fault drills), and the 0-based attempt number).
+_Job = Tuple[int, int, TernaryVector, LZWConfig, bool, Optional[ChaosPlan], int]
 
 
 @dataclass(frozen=True)
@@ -67,12 +85,22 @@ class BatchItemResult:
 
     ``container`` is the serialised artefact: a v2 container for a
     single shard, the multi-segment v3 framing otherwise (see
-    :mod:`repro.container`).
+    :mod:`repro.container`).  Under ``on_failure="skip"`` a workload
+    with failed shards carries the typed
+    :class:`~repro.reliability.errors.ShardError`\\ s in ``errors`` and
+    ``container is None`` — there is no such thing as a partially
+    trustworthy container.
     """
 
     plan: ShardPlan
     shards: Tuple[ShardResult, ...]
-    container: bytes
+    container: Optional[bytes]
+    errors: Tuple[ShardError, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every planned shard encoded successfully."""
+        return not self.errors
 
     @property
     def num_shards(self) -> int:
@@ -113,18 +141,23 @@ class BatchItemResult:
 
     def verify(self, original: TernaryVector) -> bool:
         """True iff the decoded stream covers every specified bit."""
-        return self.assigned_stream.covers(original)
+        return self.ok and self.assigned_stream.covers(original)
 
 
-def _encode_shard(job: _Job) -> Tuple[int, int, ShardResult]:
+def _encode_shard(job: _Job) -> ShardResult:
     """Pool worker: encode one shard with a fresh dictionary.
 
     Module-level (picklable by reference) and pure — the only state is
-    the job tuple, so fork, spawn and inline execution agree exactly.
+    the job tuple, so spawn and inline execution (and any retry of the
+    same job) agree exactly.  The chaos plan, when present, is the
+    injectable pre-encode hook the fault drills use: it may raise, kill
+    or hang the worker, or corrupt the input stream before encoding.
     When recording, the shard gets its own counter+span sinks and ships
     the snapshot back with the result for deterministic merging.
     """
-    item_index, shard_index, stream, config, record = job
+    item_index, shard_index, stream, config, record, chaos, attempt = job
+    if chaos is not None:
+        stream = chaos.apply(item_index, shard_index, attempt, stream)
     rec: Recorder = NULL_RECORDER
     if record:
         rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
@@ -133,7 +166,7 @@ def _encode_shard(job: _Job) -> Tuple[int, int, ShardResult]:
         compressed = encoder.encode(stream)
     with rec.span("assign"):
         assigned = decode(compressed, recorder=rec)
-    return item_index, shard_index, ShardResult(
+    return ShardResult(
         index=shard_index,
         compressed=compressed,
         assigned_stream=assigned,
@@ -147,7 +180,12 @@ def _broadcast(value, count: int, name: str) -> List:
     if value is None or not isinstance(value, (list, tuple)):
         return [value] * count
     if len(value) != count:
-        raise ValueError(f"{name} has {len(value)} entries for {count} streams")
+        raise ConfigError(
+            f"{name} has {len(value)} entries for {count} streams",
+            field=name,
+            expected=count,
+            actual=len(value),
+        )
     return list(value)
 
 
@@ -159,8 +197,14 @@ def compress_batch(
     pattern_bits: Union[int, Sequence[int]] = 0,
     plans: Optional[Sequence[ShardPlan]] = None,
     recorder: Optional[Recorder] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    shard_timeout: Optional[float] = None,
+    on_failure: str = "fail",
+    checkpoint: Optional[Union[str, "os.PathLike"]] = None,
+    resume: bool = False,
+    chaos: Optional[ChaosPlan] = None,
 ) -> List[BatchItemResult]:
-    """Compress a batch of scan streams across a worker pool.
+    """Compress a batch of scan streams across a supervised worker pool.
 
     Parameters
     ----------
@@ -168,7 +212,9 @@ def compress_batch(
         One :class:`LZWConfig` shared by every stream, a per-stream
         sequence, or ``None`` for the defaults.
     streams:
-        The ternary scan streams, one per workload.
+        The ternary scan streams, one per workload.  An empty sequence
+        returns an empty result list; a zero-length stream yields one
+        (empty-segment) container.
     workers:
         Pool size; ``None`` means ``os.cpu_count()`` and ``<= 1`` runs
         inline.  **Never affects the output bytes.**
@@ -183,15 +229,56 @@ def compress_batch(
         ``shard_bits``/``pattern_bits`` planning.
     recorder:
         Optional :mod:`repro.observability` sink.  The parent records
-        ``plan``/``encode``/``reassemble`` spans and ``batch.*``
-        counters; each worker records its own shard snapshot which is
-        merged back in ``(workload, shard)`` order under a
-        ``shard[i.j]`` label — so merged counters are identical for
-        every ``workers`` value, and only span timings vary.
+        ``plan``/``encode``/``reassemble`` spans, the ``batch.*``
+        planning and supervision counters, and ``retry`` spans; each
+        worker records its own shard snapshot which is merged back in
+        ``(workload, shard)`` order under a ``shard[i.j]`` label — so
+        merged counters are identical for every ``workers`` value, and
+        only span timings vary.
+    retry_policy:
+        :class:`~repro.parallel.supervisor.RetryPolicy` for failed shard
+        attempts (default: 3 attempts, deterministic seeded backoff).
+    shard_timeout:
+        Seconds one shard attempt may run before it is declared hung
+        (``None`` disables timeouts).
+    on_failure:
+        What to do with a shard that exhausts its retries: ``"fail"``
+        raises :class:`~repro.reliability.errors.ShardError`,
+        ``"degrade"`` re-runs it inline (serial fallback), ``"skip"``
+        records the error in the workload's
+        :attr:`BatchItemResult.errors` and continues.
+    checkpoint:
+        Path of a shard-completion journal.  Completed shards are
+        appended as they finish; with ``resume=True`` an existing
+        journal for the *same* batch (validated by fingerprint and
+        per-entry CRC) is replayed so a killed run restarts from its
+        completed shards — with bytes identical to an uninterrupted run.
+    chaos:
+        A :class:`~repro.reliability.chaos.ChaosPlan` for fault drills;
+        ``None`` (always, outside the chaos harness) runs clean.
 
     Returns one :class:`BatchItemResult` per input stream, in input
     order.
     """
+    # Validate the supervision knobs up front (not lazily in
+    # run_supervised) so an empty batch with a bogus policy still fails
+    # with the typed error instead of silently succeeding.
+    if on_failure not in ON_FAILURE_POLICIES:
+        raise ConfigError(
+            f"on_failure must be one of {', '.join(ON_FAILURE_POLICIES)}",
+            field="on_failure",
+            value=on_failure,
+        )
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ConfigError(
+            "shard_timeout must be positive",
+            field="shard_timeout",
+            value=shard_timeout,
+        )
+    if resume and checkpoint is None:
+        raise ConfigError(
+            "resume=True needs a checkpoint path", field="resume"
+        )
     rec = recorder if recorder is not None else NULL_RECORDER
     recording = rec.enabled
     streams = list(streams)
@@ -208,53 +295,117 @@ def compress_batch(
         else:
             plan_list = list(plans)
             if len(plan_list) != len(streams):
-                raise ValueError(
-                    f"plans has {len(plan_list)} entries for {len(streams)} streams"
+                raise ConfigError(
+                    f"plans has {len(plan_list)} entries for {len(streams)} streams",
+                    field="plans",
+                    expected=len(streams),
+                    actual=len(plan_list),
                 )
 
-        jobs: List[_Job] = []
+        shard_streams: Dict[Tuple[int, int], TernaryVector] = {}
+        shard_configs: Dict[Tuple[int, int], LZWConfig] = {}
         for item_index, (stream, config, plan) in enumerate(
             zip(streams, config_list, plan_list)
         ):
             for shard_index, shard in enumerate(plan.split(stream)):
-                jobs.append((item_index, shard_index, shard, config, recording))
+                shard_streams[(item_index, shard_index)] = shard
+                shard_configs[(item_index, shard_index)] = config
     if recording:
         rec.incr(ev.BATCH_WORKLOADS, len(streams))
-        rec.incr(ev.BATCH_SHARDS, len(jobs))
+        rec.incr(ev.BATCH_SHARDS, len(shard_streams))
 
-    with rec.span("encode"):
-        if workers is None:
-            workers = os.cpu_count() or 1
-        if workers <= 1 or len(jobs) <= 1:
-            outcomes = [_encode_shard(job) for job in jobs]
-        else:
-            pool_size = min(workers, len(jobs))
-            # Batch jobs per IPC round trip; chunking changes scheduling
-            # granularity only, never the (index-sorted) results.
-            chunksize = max(1, len(jobs) // (pool_size * 4))
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                outcomes = list(pool.map(_encode_shard, jobs, chunksize=chunksize))
+    journal: Optional[ShardJournal] = None
+    results: Dict[Tuple[int, int], object] = {}
+    if checkpoint is not None:
+        fingerprint = batch_fingerprint(config_list, streams, plan_list)
+        journal = ShardJournal.open(checkpoint, fingerprint, resume=resume)
+        for key, replayed in journal.completed.items():
+            if key in shard_streams:
+                results[key] = replayed
+                if recording:
+                    rec.incr(ev.BATCH_JOURNAL_HITS)
+
+    pending = sorted(key for key in shard_streams if key not in results)
+
+    def _make_args(key: Tuple[int, int], attempt: int) -> _Job:
+        return (
+            key[0],
+            key[1],
+            shard_streams[key],
+            shard_configs[key],
+            recording,
+            chaos,
+            attempt,
+        )
+
+    def _validate(key: Tuple[int, int], result: ShardResult) -> Optional[str]:
+        # The one cheap end-to-end check the parent can make without
+        # the workload context: the decoded shard must still cover the
+        # shard it was cut from.  Catches corrupted-input encodes that
+        # are otherwise perfectly well-formed.
+        if not result.assigned_stream.covers(shard_streams[key]):
+            return (
+                f"shard ({key[0]}, {key[1]}) result does not cover its "
+                "input stream"
+            )
+        return None
+
+    def _on_result(key: Tuple[int, int], result: ShardResult) -> None:
+        # Fired per accepted shard, so a batch aborted by a later
+        # shard's ShardError still leaves its completed work resumable.
+        if journal is not None:
+            journal.record(key[0], key[1], result)
+
+    try:
+        with rec.span("encode"):
+            if workers is None:
+                workers = os.cpu_count() or 1
+            if pending:
+                supervised = run_supervised(
+                    _encode_shard,
+                    pending,
+                    _make_args,
+                    workers=workers,
+                    retry_policy=retry_policy,
+                    shard_timeout=shard_timeout,
+                    on_failure=on_failure,
+                    validate=_validate,
+                    recorder=rec,
+                    on_result=_on_result,
+                )
+                for key in pending:
+                    results[key] = supervised[key]
+    finally:
+        if journal is not None:
+            journal.close()
 
     with rec.span("reassemble"):
         # Deterministic reassembly: order by (workload, shard), never by
-        # completion.  pool.map already preserves order; sorting makes the
-        # invariant explicit and future-proof.  Worker snapshots merge in
-        # the same order, so merged metrics are worker-count-independent.
+        # completion.  Worker snapshots merge in the same order, so
+        # merged metrics are worker-count- and retry-schedule-
+        # independent.
         per_item: List[List[ShardResult]] = [[] for _ in streams]
-        for item_index, shard_index, result in sorted(
-            outcomes, key=lambda o: (o[0], o[1])
-        ):
-            per_item[item_index].append(result)
+        per_item_errors: List[List[ShardError]] = [[] for _ in streams]
+        for (item_index, shard_index), outcome in sorted(results.items()):
+            if isinstance(outcome, ShardError):
+                per_item_errors[item_index].append(outcome)
+                continue
+            per_item[item_index].append(outcome)
             if recording:
-                rec.merge_child(result.metrics, f"shard[{item_index}.{shard_index}]")
+                rec.merge_child(outcome.metrics, f"shard[{item_index}.{shard_index}]")
 
-        results = []
-        for plan, shards in zip(plan_list, per_item):
+        out = []
+        for plan, shards, errors in zip(plan_list, per_item, per_item_errors):
             shard_tuple = tuple(shards)
+            if errors:
+                out.append(
+                    BatchItemResult(plan, shard_tuple, None, tuple(errors))
+                )
+                continue
             container = dump_segments(
                 [s.compressed for s in shard_tuple],
                 [s.assigned_stream for s in shard_tuple],
                 recorder=rec,
             )
-            results.append(BatchItemResult(plan, shard_tuple, container))
-    return results
+            out.append(BatchItemResult(plan, shard_tuple, container))
+    return out

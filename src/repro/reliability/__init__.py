@@ -8,8 +8,12 @@ that *proves* the decode stack fails loudly:
   (:class:`ReproError` and friends) used across every layer;
 * :mod:`~repro.reliability.inject` — deterministic, seeded fault
   injectors over container bytes;
-* :mod:`~repro.reliability.campaign` — the injection campaign runner
-  asserting the *detected / correct / silent-corruption* trichotomy;
+* :mod:`~repro.reliability.chaos` — deterministic *process-level*
+  injectors (worker exception / SIGKILL / hang / corrupt-result) for
+  the supervised batch engine;
+* :mod:`~repro.reliability.campaign` — the injection campaign runners
+  asserting the *detected / correct / silent-corruption* trichotomy,
+  over container bytes and over batch worker processes;
 * :mod:`~repro.reliability.salvage` — :func:`decode_partial`, the
   graceful-degradation decoder for debugging bad ATE dumps;
 * :mod:`~repro.reliability.verify` — staged container integrity
@@ -26,6 +30,7 @@ from .errors import (
     ContainerError,
     DecodeError,
     ReproError,
+    ShardError,
     StreamError,
     TestFileError,
 )
@@ -35,19 +40,25 @@ __all__ = [
     "ContainerError",
     "DecodeError",
     "ReproError",
+    "ShardError",
     "StreamError",
     "TestFileError",
     # lazily loaded:
     "CampaignResult",
+    "ChaosPlan",
     "Check",
     "INJECTORS",
+    "PROCESS_FAULTS",
     "PartialDecodeResult",
+    "ProcessCampaignResult",
+    "ProcessTrial",
     "Trial",
     "TrialOutcome",
     "VerifyReport",
     "decode_partial",
     "inject",
     "run_campaign",
+    "run_process_campaign",
     "run_trial",
     "salvage_container",
     "verify_container",
@@ -56,10 +67,15 @@ __all__ = [
 _LAZY = {
     "INJECTORS": "inject",
     "inject": "inject",
+    "ChaosPlan": "chaos",
+    "PROCESS_FAULTS": "chaos",
     "CampaignResult": "campaign",
+    "ProcessCampaignResult": "campaign",
+    "ProcessTrial": "campaign",
     "Trial": "campaign",
     "TrialOutcome": "campaign",
     "run_campaign": "campaign",
+    "run_process_campaign": "campaign",
     "run_trial": "campaign",
     "Check": "verify",
     "PartialDecodeResult": "salvage",

@@ -1,0 +1,122 @@
+"""Process-level chaos injection for the supervised batch engine.
+
+The byte-level injectors (:mod:`repro.reliability.inject`) corrupt a
+finished container; the chaos harness instead attacks the *processes*
+that produce one, modelling the failures a long multi-workload batch
+run actually meets on a build farm:
+
+``exception``
+    the worker raises mid-shard (a transient bug, a flaky dependency);
+``kill``
+    the worker is SIGKILLed (OOM killer, operator) — the pool breaks
+    and must be respawned; **only meaningful with a real pool**: an
+    inline run would kill the calling process;
+``hang``
+    the worker stops making progress (deadlock, livelock) — caught by
+    the per-shard timeout;
+``corrupt``
+    the *pre-encode hook*: the shard's input stream is deterministically
+    corrupted before encoding, so the worker returns a well-formed but
+    wrong result — the case only the supervisor's result validation can
+    catch.
+
+A :class:`ChaosPlan` is a frozen, picklable value object; which shards
+it targets and what the corruption does are pure functions of
+``(seed, workload, shard)``, so a failing trial is reproducible from
+its ``(fault, seed)`` pair alone, exactly like the byte injectors.
+Faults trigger only while ``attempt < attempts``, which is what lets
+the retry path win: the default plan faults the first attempt and lets
+every retry through clean.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass
+
+from ..bitstream import TernaryVector
+
+__all__ = ["PROCESS_FAULTS", "ChaosPlan", "InjectedWorkerError"]
+
+#: The process-level fault classes, in campaign order.
+PROCESS_FAULTS = ("exception", "kill", "hang", "corrupt")
+
+
+class InjectedWorkerError(RuntimeError):
+    """The chaos harness's injected worker exception (picklable)."""
+
+
+def _corrupt_stream(stream: TernaryVector, rng: random.Random) -> TernaryVector:
+    """Deterministically flip one care bit of ``stream``.
+
+    Flipping a *care* bit makes the encoded result fail the
+    covers-the-original check; a stream with no care bits has nothing
+    detectable (or harmful) to corrupt and is returned unchanged.
+    """
+    care_positions = [i for i, bit in enumerate(stream) if bit is not None]
+    if not care_positions:
+        return stream
+    position = rng.choice(care_positions)
+    flipped = TernaryVector.from_int(1 - stream[position], 1)
+    return stream[:position] + flipped + stream[position + 1 :]
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Deterministic schedule of process faults for one batch run.
+
+    ``rate`` is the fraction of shards targeted (decided per shard from
+    ``seed``); a targeted shard faults on every attempt below
+    ``attempts`` and runs clean afterwards.  ``hang_seconds`` bounds the
+    injected hang so an un-timeouted test cannot wedge forever.
+    """
+
+    fault: str
+    seed: int = 0
+    rate: float = 1.0
+    attempts: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.fault not in PROCESS_FAULTS:
+            raise ValueError(
+                f"unknown fault {self.fault!r}; known: {', '.join(PROCESS_FAULTS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def _rng(self, workload: int, shard: int) -> random.Random:
+        # String seeds hash deterministically across processes (sha512),
+        # unlike tuples through the salted builtin hash().
+        return random.Random(f"chaos:{self.fault}:{self.seed}:{workload}.{shard}")
+
+    def targets(self, workload: int, shard: int) -> bool:
+        """Whether this plan faults shard ``(workload, shard)`` at all."""
+        return self._rng(workload, shard).random() < self.rate
+
+    def apply(
+        self, workload: int, shard: int, attempt: int, stream: TernaryVector
+    ) -> TernaryVector:
+        """Trigger the planned fault, or pass ``stream`` through clean.
+
+        Called by the shard worker immediately before encoding (the
+        pre-encode hook).  Returns the (possibly corrupted) stream.
+        """
+        if attempt >= self.attempts or not self.targets(workload, shard):
+            return stream
+        if self.fault == "exception":
+            raise InjectedWorkerError(
+                f"injected worker exception on shard ({workload}, {shard}) "
+                f"attempt {attempt}"
+            )
+        if self.fault == "kill":  # pragma: no cover - dies in the worker
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.fault == "hang":
+            deadline = time.monotonic() + self.hang_seconds
+            while time.monotonic() < deadline:
+                time.sleep(0.01)
+            return stream
+        return _corrupt_stream(stream, self._rng(workload, shard))

@@ -21,11 +21,12 @@ working.
 Class-level :attr:`ReproError.exit_code` gives the CLI its documented
 process exit status per failure class:
 
-==========================  ====
-usage / bad configuration     2
-unreadable or malformed input 3
-integrity failure             4
-==========================  ====
+==============================  ====
+usage / bad configuration         2
+unreadable or malformed input     3
+integrity failure                 4
+shard failure / degraded batch    5
+==============================  ====
 """
 
 from __future__ import annotations
@@ -39,6 +40,7 @@ __all__ = [
     "ContainerError",
     "ConfigError",
     "TestFileError",
+    "ShardError",
 ]
 
 
@@ -116,6 +118,24 @@ class ConfigError(ReproError, ValueError):
     """
 
     exit_code = 2
+
+
+class ShardError(ReproError, RuntimeError):
+    """A batch shard failed every recovery path the supervisor has.
+
+    Raised (policy ``fail``/``degrade``) or surfaced in
+    :attr:`~repro.parallel.engine.BatchItemResult.errors` (policy
+    ``skip``) when a shard exhausted its retries, timed out, or kept
+    crashing its worker — the process-level analogue of
+    :class:`DecodeError`.
+
+    Typical diagnostics: ``workload`` / ``shard`` (the job key),
+    ``attempts`` (how many were made), ``kind`` (``error`` / ``timeout``
+    / ``crash`` / ``invalid``), ``cause`` (repr of the last underlying
+    failure).
+    """
+
+    exit_code = 5
 
 
 class TestFileError(ReproError, ValueError):

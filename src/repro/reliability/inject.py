@@ -34,6 +34,11 @@ Multi-segment (v3) containers get two additional injector classes in
     come from the per-segment checks (offset/size validation, payload
     CRC, code-count cross-check or the decoded-stream digest), and the
     failing segment index must be reported.
+
+These injectors corrupt *bytes at rest*.  Their process-level
+counterparts — worker exceptions, SIGKILL, hangs and corrupt results
+inside a live batch — live in :mod:`repro.reliability.chaos` and drive
+:func:`~repro.reliability.campaign.run_process_campaign`.
 """
 
 from __future__ import annotations

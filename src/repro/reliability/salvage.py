@@ -50,9 +50,18 @@ class PartialDecodeResult:
     failed_code_index / failed_bit_offset:
         Position of the first undecodable code in the code sequence and
         in the packed payload bit stream (``None`` when ``complete``).
+        For a multi-segment container these are relative to the failing
+        *segment*'s code sequence and payload.
     notes:
         Human-readable observations gathered while salvaging (CRC
         mismatches tolerated, payload truncation, ...).
+    failed_segment:
+        For a multi-segment (v3) container, the table index of the first
+        segment that failed to decode (``None`` when ``complete`` or for
+        single-stream containers).  Segments before it are recovered in
+        full; segments after it are not attempted (each decodes with a
+        fresh dictionary, but the *logical* stream is their ordered
+        concatenation, so a hole would misalign every later bit).
     """
 
     stream: TernaryVector
@@ -64,6 +73,7 @@ class PartialDecodeResult:
     failed_code_index: Optional[int] = None
     failed_bit_offset: Optional[int] = None
     notes: Tuple[str, ...] = field(default=())
+    failed_segment: Optional[int] = None
 
     @property
     def recovered_bits(self) -> int:
@@ -82,6 +92,8 @@ class PartialDecodeResult:
             if self.failed_code_index is not None
             else "end of stream"
         )
+        if self.failed_segment is not None:
+            where = f"segment {self.failed_segment}, {where}"
         reason = self.error.message if self.error is not None else "unknown"
         return (
             f"partial: recovered {self.codes_decoded}/{self.total_codes} codes "
@@ -141,16 +153,29 @@ def _decode_partial_codes(
 def salvage_container(data: bytes) -> PartialDecodeResult:
     """Best-effort decode starting from raw ``.lzwt`` container bytes.
 
-    The header must still parse (magic, version, a valid configuration);
-    beyond that every integrity failure is tolerated and recorded in
-    ``notes``: payload CRC mismatches, declared bit counts exceeding the
-    data, and trailing partial codes are all clamped rather than fatal.
+    The header must still parse (magic, version, a valid configuration —
+    and, for multi-segment v3 containers, a structurally valid segment
+    table); beyond that every integrity failure is tolerated and
+    recorded in ``notes``: header/payload CRC mismatches, declared bit
+    counts exceeding the data, and trailing partial codes are all
+    clamped rather than fatal.  A v3 container salvages segment by
+    segment: every segment before the first undecodable one is
+    recovered in full and the failing table index is reported as
+    ``failed_segment`` (matching the ``segment=i`` diagnostics of
+    ``repro verify``'s exit-code-4 errors).
 
     Raises :class:`~repro.reliability.errors.ContainerError` only when
-    the header itself is unusable.
+    the header (or v3 segment table) itself is unusable.
     """
-    from ..container import _parse_header  # deferred: container imports core
+    from ..container import _parse_header, container_version
+    from .errors import ContainerError
 
+    try:
+        version = container_version(data)
+    except ContainerError:
+        version = None  # let _parse_header report the header problem
+    if version == 3:
+        return _salvage_multi(data)
     header = _parse_header(data)
     config = header.config
     notes = []
@@ -176,4 +201,69 @@ def salvage_container(data: bytes) -> PartialDecodeResult:
         notes.append("payload ended mid-code")
     return _decode_partial_codes(
         tuple(codes), config, header.original_bits, notes=tuple(notes)
+    )
+
+
+def _salvage_multi(data: bytes) -> PartialDecodeResult:
+    """Segment-by-segment best-effort decode of a v3 container.
+
+    The segment table must be structurally sound (:func:`_parse_multi`
+    still raises on a torn table); a mismatching header CRC or segment
+    payload CRC is tolerated with a note, and the decode stops at the
+    first segment whose payload does not decode.
+    """
+    from ..container import (  # deferred: container imports core
+        V3_HEADER_CRC_OFFSET,
+        _parse_multi,
+        _segment_payload,
+    )
+
+    header = _parse_multi(data)
+    config = header.config
+    notes = []
+    actual_crc = zlib.crc32(data[:V3_HEADER_CRC_OFFSET] + header.table)
+    if actual_crc != header.header_crc:
+        notes.append("header CRC mismatch (tolerated)")
+    streams = []
+    chars = []
+    codes_decoded = 0
+    total_codes = sum(entry.num_codes for entry in header.segments)
+    for index, entry in enumerate(header.segments):
+        payload = _segment_payload(header, entry)
+        if zlib.crc32(payload) != entry.payload_crc:
+            notes.append(f"segment {index}: payload CRC mismatch (tolerated)")
+        reader = BitReader.from_bytes(payload, entry.payload_bits)
+        codes = []
+        while not reader.exhausted:
+            codes.append(reader.read(config.code_bits))
+        partial = _decode_partial_codes(tuple(codes), config, entry.original_bits)
+        codes_decoded += partial.codes_decoded
+        streams.append(partial.stream)
+        chars.extend(partial.chars)
+        if not partial.complete:
+            notes.append(
+                f"segment {index} undecodable; segments {index + 1}.."
+                f"{len(header.segments) - 1} not attempted"
+                if index + 1 < len(header.segments)
+                else f"segment {index} undecodable"
+            )
+            return PartialDecodeResult(
+                stream=TernaryVector.concat_all(streams),
+                chars=tuple(chars),
+                codes_decoded=codes_decoded,
+                total_codes=total_codes,
+                complete=False,
+                error=partial.error,
+                failed_code_index=partial.failed_code_index,
+                failed_bit_offset=partial.failed_bit_offset,
+                notes=tuple(notes),
+                failed_segment=index,
+            )
+    return PartialDecodeResult(
+        stream=TernaryVector.concat_all(streams),
+        chars=tuple(chars),
+        codes_decoded=codes_decoded,
+        total_codes=total_codes,
+        complete=True,
+        notes=tuple(notes),
     )

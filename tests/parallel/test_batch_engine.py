@@ -82,14 +82,69 @@ def test_mismatched_lengths_rejected(small_config, streams):
         )
 
 
+def test_mismatched_lengths_raise_typed_config_error(small_config, streams):
+    # The errors double as ValueError (above) for API compatibility, but
+    # must be the typed ConfigError so the CLI maps them to exit 2.
+    from repro.reliability import ConfigError
+
+    with pytest.raises(ConfigError):
+        compress_batch([small_config], streams, workers=1)
+    with pytest.raises(ConfigError):
+        compress_batch(
+            small_config, streams, workers=1, plans=[ShardPlan(len(streams[0]))]
+        )
+
+
 def test_empty_batch(small_config):
     assert compress_batch(small_config, [], workers=1) == []
+
+
+def test_empty_batch_with_supervision_options(small_config, tmp_path):
+    # No streams is a clean no-op even with the full fault-tolerance
+    # machinery switched on — not an error.
+    assert (
+        compress_batch(
+            small_config,
+            [],
+            workers=1,
+            on_failure="degrade",
+            shard_timeout=1.0,
+            checkpoint=tmp_path / "ck.jsonl",
+        )
+        == []
+    )
+
+
+def test_empty_batch_still_validates_policies(small_config):
+    # ...but a genuinely invalid knob is typed ConfigError even when
+    # there is no work to do.
+    from repro.reliability import ConfigError
+
+    with pytest.raises(ConfigError):
+        compress_batch(small_config, [], workers=1, on_failure="explode")
+    with pytest.raises(ConfigError):
+        compress_batch(small_config, [], workers=1, shard_timeout=-1.0)
 
 
 def test_empty_stream_roundtrips(small_config):
     item = compress_batch(small_config, [TernaryVector()], workers=1)[0]
     assert item.original_bits == 0
     assert item.ratio == 0.0
+    assert item.verify(TernaryVector())
+
+
+def test_empty_stream_with_retries_and_checkpoint(small_config, tmp_path):
+    from repro.parallel import RetryPolicy
+
+    item = compress_batch(
+        small_config,
+        [TernaryVector()],
+        workers=1,
+        retry_policy=RetryPolicy(max_attempts=2),
+        checkpoint=tmp_path / "ck.jsonl",
+    )[0]
+    assert item.ok
+    assert item.original_bits == 0
     assert item.verify(TernaryVector())
 
 

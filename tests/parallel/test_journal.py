@@ -1,0 +1,215 @@
+"""Checkpoint journal: fingerprint binding, replay, corruption handling.
+
+The journal is a *cache* of completed shards: every failure mode (torn
+line, corrupted entry, wrong batch) must degrade to recomputation or a
+typed error — never to wrong bytes.
+"""
+
+import json
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig
+from repro.observability import (
+    CompositeRecorder,
+    CounterRecorder,
+    SpanRecorder,
+    metrics_snapshot,
+)
+from repro.observability import schema as ev
+from repro.parallel import (
+    ShardJournal,
+    batch_fingerprint,
+    compress_batch,
+    plan_shards,
+)
+from repro.reliability import ConfigError
+
+CONFIG = LZWConfig(char_bits=3, dict_size=32, entry_bits=12)
+
+
+@pytest.fixture
+def streams(rng):
+    return [
+        TernaryVector.random(900, x_density=0.7, rng=rng),
+        TernaryVector.random(500, x_density=0.4, rng=rng),
+    ]
+
+
+@pytest.fixture
+def reference(streams):
+    return compress_batch(CONFIG, streams, workers=1, shard_bits=300)
+
+
+def containers(items):
+    return [item.container for item in items]
+
+
+class TestFingerprint:
+    def test_stable_for_identical_batches(self, streams):
+        plans = [plan_shards(len(s), 300, 0) for s in streams]
+        a = batch_fingerprint([CONFIG] * 2, streams, plans)
+        b = batch_fingerprint([CONFIG] * 2, streams, plans)
+        assert a == b
+
+    def test_changes_with_stream_bits(self, streams):
+        plans = [plan_shards(len(s), 300, 0) for s in streams]
+        a = batch_fingerprint([CONFIG] * 2, streams, plans)
+        flipped = TernaryVector.from_int(1, 1) + streams[0][1:]
+        b = batch_fingerprint([CONFIG] * 2, [flipped, streams[1]], plans)
+        assert a != b
+
+    def test_changes_with_config(self, streams):
+        plans = [plan_shards(len(s), 300, 0) for s in streams]
+        other = LZWConfig(char_bits=4, dict_size=64, entry_bits=20)
+        a = batch_fingerprint([CONFIG] * 2, streams, plans)
+        b = batch_fingerprint([CONFIG, other], streams, plans)
+        assert a != b
+
+    def test_changes_with_shard_plan(self, streams):
+        a = batch_fingerprint(
+            [CONFIG] * 2, streams, [plan_shards(len(s), 300, 0) for s in streams]
+        )
+        b = batch_fingerprint(
+            [CONFIG] * 2, streams, [plan_shards(len(s), 200, 0) for s in streams]
+        )
+        assert a != b
+
+
+class TestJournalFile:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with ShardJournal.open(path, "abc123"):
+            pass
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == "header"
+        assert header["fingerprint"] == "abc123"
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        with ShardJournal.open(tmp_path / "new.jsonl", "abc", resume=True) as j:
+            assert j.completed == {}
+
+    def test_resume_fingerprint_mismatch_raises(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with ShardJournal.open(path, "fingerprint-one"):
+            pass
+        with pytest.raises(ConfigError):
+            ShardJournal.open(path, "fingerprint-two", resume=True)
+
+    def test_resume_non_journal_file_raises(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text("this is not json\n")
+        with pytest.raises(ConfigError):
+            ShardJournal.open(path, "abc", resume=True)
+
+    def test_open_without_resume_truncates(self, tmp_path, streams):
+        path = tmp_path / "ck.jsonl"
+        compress_batch(CONFIG, streams, workers=1, shard_bits=300, checkpoint=path)
+        assert len(path.read_text().splitlines()) > 1
+        with ShardJournal.open(path, "different", resume=False) as j:
+            assert j.completed == {}
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestCheckpointResume:
+    def test_resumed_batch_replays_and_matches(self, tmp_path, streams, reference):
+        path = tmp_path / "ck.jsonl"
+        first = compress_batch(
+            CONFIG, streams, workers=1, shard_bits=300, checkpoint=path
+        )
+        assert containers(first) == containers(reference)
+        rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        resumed = compress_batch(
+            CONFIG,
+            streams,
+            workers=1,
+            shard_bits=300,
+            checkpoint=path,
+            resume=True,
+            recorder=rec,
+        )
+        assert containers(resumed) == containers(reference)
+        total_shards = sum(item.num_shards for item in reference)
+        snap = metrics_snapshot(rec)["counters"]
+        assert snap[ev.BATCH_JOURNAL_HITS] == total_shards
+
+    def test_partial_journal_resumes_remaining_work(
+        self, tmp_path, streams, reference
+    ):
+        # Simulate a run killed partway: keep the header and the first
+        # completed-shard entry only, then resume.
+        path = tmp_path / "ck.jsonl"
+        compress_batch(CONFIG, streams, workers=1, shard_bits=300, checkpoint=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        resumed = compress_batch(
+            CONFIG, streams, workers=1, shard_bits=300, checkpoint=path, resume=True
+        )
+        assert containers(resumed) == containers(reference)
+
+    def test_torn_last_line_is_discarded(self, tmp_path, streams, reference):
+        path = tmp_path / "ck.jsonl"
+        compress_batch(CONFIG, streams, workers=1, shard_bits=300, checkpoint=path)
+        text = path.read_text()
+        path.write_text(text[: len(text) - 40])  # tear the final entry
+        resumed = compress_batch(
+            CONFIG, streams, workers=1, shard_bits=300, checkpoint=path, resume=True
+        )
+        assert containers(resumed) == containers(reference)
+
+    def test_corrupted_entry_is_recomputed_not_trusted(
+        self, tmp_path, streams, reference
+    ):
+        path = tmp_path / "ck.jsonl"
+        compress_batch(CONFIG, streams, workers=1, shard_bits=300, checkpoint=path)
+        lines = path.read_text().splitlines()
+        entry = json.loads(lines[1])
+        entry["crc"] ^= 0xFFFF  # entry no longer matches its container
+        lines[1] = json.dumps(entry, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        resumed = compress_batch(
+            CONFIG, streams, workers=1, shard_bits=300, checkpoint=path, resume=True
+        )
+        assert containers(resumed) == containers(reference)
+
+    def test_resume_against_changed_inputs_raises(self, tmp_path, streams):
+        path = tmp_path / "ck.jsonl"
+        compress_batch(CONFIG, streams, workers=1, shard_bits=300, checkpoint=path)
+        with pytest.raises(ConfigError):
+            compress_batch(
+                CONFIG,
+                list(reversed(streams)),
+                workers=1,
+                shard_bits=300,
+                checkpoint=path,
+                resume=True,
+            )
+
+    def test_resume_without_checkpoint_raises(self, streams):
+        with pytest.raises(ConfigError):
+            compress_batch(CONFIG, streams, workers=1, resume=True)
+
+    def test_journal_roundtrips_metrics_snapshots(self, tmp_path, streams):
+        path = tmp_path / "ck.jsonl"
+        rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        compress_batch(
+            CONFIG, streams, workers=1, shard_bits=300, checkpoint=path, recorder=rec
+        )
+        rec2 = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+        compress_batch(
+            CONFIG,
+            streams,
+            workers=1,
+            shard_bits=300,
+            checkpoint=path,
+            resume=True,
+            recorder=rec2,
+        )
+        first = metrics_snapshot(rec)["counters"]
+        replayed = metrics_snapshot(rec2)["counters"]
+        # The replayed run merges the same per-shard counters; only the
+        # journal-hit counter differs (and planning counters repeat).
+        for name, value in first.items():
+            if name.startswith(("encode.", "decode.", "assign.")):
+                assert replayed[name] == value

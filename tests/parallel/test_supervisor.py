@@ -1,0 +1,292 @@
+"""Unit tests of the fault-tolerant supervisor (inline execution paths).
+
+The pooled paths (real spawn workers, SIGKILL, watchdog) are exercised
+end-to-end in ``tests/reliability/test_chaos.py``; here the supervisor's
+retry / policy / validation logic is pinned down with plain in-process
+worker functions and an injected sleep.
+"""
+
+import time
+
+import pytest
+
+from repro.observability import (
+    CompositeRecorder,
+    CounterRecorder,
+    SpanRecorder,
+    metrics_snapshot,
+)
+from repro.observability import schema as ev
+from repro.parallel import ON_FAILURE_POLICIES, RetryPolicy, run_supervised
+from repro.reliability import ConfigError, ShardError
+
+KEYS = [(0, 0), (0, 1), (1, 0)]
+
+NO_BACKOFF = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+
+
+def make_args(key, attempt):
+    return (key, attempt)
+
+
+def flaky_below(threshold):
+    """A worker that fails while ``attempt < threshold``, then succeeds."""
+
+    def worker(args):
+        key, attempt = args
+        if attempt < threshold:
+            raise RuntimeError(f"transient failure on {key} attempt {attempt}")
+        return ("ok", key, attempt)
+
+    return worker
+
+
+def no_sleep(_seconds):
+    return None
+
+
+def recording_sink():
+    return CompositeRecorder([CounterRecorder(), SpanRecorder()])
+
+
+def counters(rec):
+    return metrics_snapshot(rec)["counters"]
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base": -0.1},
+            {"backoff_factor": -1.0},
+            {"backoff_max": -1.0},
+            {"jitter": -0.5},
+        ],
+    )
+    def test_invalid_values_raise_typed_config_error(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(seed=7)
+        first = [policy.delay((0, 3), n) for n in range(1, 5)]
+        second = [policy.delay((0, 3), n) for n in range(1, 5)]
+        assert first == second
+
+    def test_delay_varies_by_key_and_attempt(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay((0, 0), 1) != policy.delay((0, 1), 1)
+        assert policy.delay((0, 0), 1) != policy.delay((0, 0), 2)
+
+    def test_delay_bounded_by_backoff_max(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_max=0.5, jitter=0.0)
+        assert policy.delay((0, 0), 10) == pytest.approx(0.5)
+
+    def test_no_wall_clock_in_the_decision_path(self, monkeypatch):
+        # The deterministic contract: the schedule may not read a clock.
+        policy = RetryPolicy(seed=3)
+        expected = policy.delay((1, 2), 2)
+        monkeypatch.setattr(time, "time", lambda: 1e9)
+        monkeypatch.setattr(time, "monotonic", lambda: 1e9)
+        assert policy.delay((1, 2), 2) == expected
+
+
+class TestRunSupervised:
+    def test_all_succeed_first_attempt(self):
+        results = run_supervised(flaky_below(0), KEYS, make_args, workers=1)
+        assert set(results) == set(KEYS)
+        assert all(results[k] == ("ok", k, 0) for k in KEYS)
+
+    def test_transient_failures_healed_by_retry(self):
+        rec = recording_sink()
+        results = run_supervised(
+            flaky_below(2),
+            KEYS,
+            make_args,
+            workers=1,
+            retry_policy=NO_BACKOFF,
+            recorder=rec,
+            sleep=no_sleep,
+        )
+        assert all(results[k] == ("ok", k, 2) for k in KEYS)
+        assert counters(rec)[ev.BATCH_RETRIES] == 2 * len(KEYS)
+
+    def test_fail_policy_raises_shard_error_with_diagnostics(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_supervised(
+                flaky_below(99),
+                KEYS,
+                make_args,
+                workers=1,
+                retry_policy=NO_BACKOFF,
+                sleep=no_sleep,
+            )
+        error = excinfo.value
+        assert error.exit_code == 5
+        assert error.diagnostics["attempts"] == NO_BACKOFF.max_attempts
+        assert error.diagnostics["kind"] == "error"
+        assert (error.diagnostics["workload"], error.diagnostics["shard"]) in KEYS
+
+    def test_skip_policy_stores_typed_errors_and_continues(self):
+        rec = recording_sink()
+
+        def worker(args):
+            key, attempt = args
+            if key == (0, 1):
+                raise RuntimeError("persistent failure")
+            return key
+
+        results = run_supervised(
+            worker,
+            KEYS,
+            make_args,
+            workers=1,
+            retry_policy=NO_BACKOFF,
+            on_failure="skip",
+            recorder=rec,
+            sleep=no_sleep,
+        )
+        assert isinstance(results[(0, 1)], ShardError)
+        assert results[(0, 0)] == (0, 0)
+        assert results[(1, 0)] == (1, 0)
+        assert counters(rec)[ev.BATCH_SKIPPED_SHARDS] == 1
+
+    def test_degrade_policy_reruns_inline(self):
+        rec = recording_sink()
+        # Fails every pooled attempt; the degrade fallback runs attempt
+        # number == max_attempts, which this worker finally accepts.
+        results = run_supervised(
+            flaky_below(NO_BACKOFF.max_attempts),
+            KEYS[:1],
+            make_args,
+            workers=1,
+            retry_policy=NO_BACKOFF,
+            on_failure="degrade",
+            recorder=rec,
+            sleep=no_sleep,
+        )
+        assert results[KEYS[0]] == ("ok", KEYS[0], NO_BACKOFF.max_attempts)
+        assert counters(rec)[ev.BATCH_DEGRADED_SHARDS] == 1
+
+    def test_degrade_fallback_failure_raises_shard_error(self):
+        with pytest.raises(ShardError):
+            run_supervised(
+                flaky_below(99),
+                KEYS[:1],
+                make_args,
+                workers=1,
+                retry_policy=NO_BACKOFF,
+                on_failure="degrade",
+                sleep=no_sleep,
+            )
+
+    def test_validate_hook_turns_bad_results_into_retries(self):
+        def worker(args):
+            key, attempt = args
+            return "bad" if attempt == 0 else "good"
+
+        def validate(key, result):
+            return None if result == "good" else f"{key} returned {result}"
+
+        rec = recording_sink()
+        results = run_supervised(
+            worker,
+            KEYS,
+            make_args,
+            workers=1,
+            retry_policy=NO_BACKOFF,
+            validate=validate,
+            recorder=rec,
+            sleep=no_sleep,
+        )
+        assert all(results[k] == "good" for k in KEYS)
+        assert counters(rec)[ev.BATCH_RETRIES] == len(KEYS)
+
+    def test_validate_exhaustion_reports_invalid_kind(self):
+        with pytest.raises(ShardError) as excinfo:
+            run_supervised(
+                lambda args: "bad",
+                KEYS[:1],
+                make_args,
+                workers=1,
+                retry_policy=NO_BACKOFF,
+                validate=lambda key, result: "always wrong",
+                sleep=no_sleep,
+            )
+        assert excinfo.value.diagnostics["kind"] == "invalid"
+
+    def test_shard_timeout_inline_retries_hung_attempt(self):
+        def worker(args):
+            key, attempt = args
+            if attempt == 0:
+                time.sleep(30.0)
+            return ("ok", key, attempt)
+
+        rec = recording_sink()
+        results = run_supervised(
+            worker,
+            KEYS[:1],
+            make_args,
+            workers=1,
+            retry_policy=NO_BACKOFF,
+            shard_timeout=0.2,
+            recorder=rec,
+            sleep=no_sleep,
+        )
+        assert results[KEYS[0]] == ("ok", KEYS[0], 1)
+        assert counters(rec)[ev.BATCH_TIMEOUTS] == 1
+
+    def test_on_result_fires_per_accepted_shard(self):
+        seen = []
+        run_supervised(
+            flaky_below(0),
+            KEYS,
+            make_args,
+            workers=1,
+            on_result=lambda key, result: seen.append(key),
+        )
+        assert sorted(seen) == sorted(KEYS)
+
+    def test_on_result_not_fired_for_skipped_shards(self):
+        seen = []
+        run_supervised(
+            flaky_below(99),
+            KEYS[:1],
+            make_args,
+            workers=1,
+            retry_policy=NO_BACKOFF,
+            on_failure="skip",
+            sleep=no_sleep,
+            on_result=lambda key, result: seen.append(key),
+        )
+        assert seen == []
+
+    def test_backoff_sleeps_are_the_policy_delays(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.1, jitter=0.5, seed=11)
+        run_supervised(
+            flaky_below(2),
+            KEYS[:1],
+            make_args,
+            workers=1,
+            retry_policy=policy,
+            sleep=slept.append,
+        )
+        assert slept == [policy.delay(KEYS[0], 1), policy.delay(KEYS[0], 2)]
+
+    def test_invalid_on_failure_rejected(self):
+        assert "fail" in ON_FAILURE_POLICIES
+        with pytest.raises(ConfigError):
+            run_supervised(
+                flaky_below(0), KEYS, make_args, workers=1, on_failure="retry"
+            )
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            run_supervised(
+                flaky_below(0), KEYS, make_args, workers=1, shard_timeout=0.0
+            )

@@ -84,3 +84,86 @@ class TestCorruptContainers:
         out = tmp_path / "out.txt"
         assert main(["decompress", str(container_file), "-o", str(out)]) == 0
         assert out.exists()
+
+
+@pytest.fixture
+def cube_files(tmp_path):
+    contents = {
+        "a": ["01X0X1X0", "X1X00X10", "0XX1X010", "10X0XX01"],
+        "b": ["11XX0010", "0X01X0X1", "X010X10X", "01XX100X"],
+    }
+    paths = []
+    for name, rows in contents.items():
+        path = tmp_path / f"{name}.test"
+        path.write_text("\n".join(rows) + "\n")
+        paths.append(str(path))
+    return paths
+
+
+BATCH_OPTS = ["--char-bits", "3", "--dict-size", "32", "--entry-bits", "12",
+              "--workers", "1"]
+
+
+class TestBatchSupervision:
+    def test_batch_with_supervision_flags_succeeds(
+        self, cube_files, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "out"
+        rc = main(
+            ["batch", *cube_files, *BATCH_OPTS, "-o", str(out_dir),
+             "--max-retries", "1", "--shard-timeout", "30",
+             "--on-failure", "degrade"]
+        )
+        assert rc == 0
+        assert sorted(p.name for p in out_dir.iterdir()) == ["a.lzwt", "b.lzwt"]
+
+    def test_resume_without_checkpoint_exit_2(self, cube_files, capsys):
+        assert main(["batch", *cube_files, *BATCH_OPTS, "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "ConfigError" in err
+        assert "Traceback" not in err
+
+    def test_negative_max_retries_exit_2(self, cube_files, capsys):
+        rc = main(["batch", *cube_files, *BATCH_OPTS, "--max-retries", "-1"])
+        assert rc == 2
+        assert "ConfigError" in capsys.readouterr().err
+
+    def test_unknown_on_failure_rejected_by_parser(self, cube_files, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", *cube_files, *BATCH_OPTS, "--on-failure", "panic"])
+
+    def test_checkpoint_then_resume_reproduces_containers(
+        self, cube_files, tmp_path, capsys
+    ):
+        journal = tmp_path / "ck.jsonl"
+        first_dir = tmp_path / "first"
+        rc = main(
+            ["batch", *cube_files, *BATCH_OPTS, "-o", str(first_dir),
+             "--checkpoint", str(journal)]
+        )
+        assert rc == 0
+        assert journal.exists()
+        resumed_dir = tmp_path / "resumed"
+        rc = main(
+            ["batch", *cube_files, *BATCH_OPTS, "-o", str(resumed_dir),
+             "--checkpoint", str(journal), "--resume"]
+        )
+        assert rc == 0
+        for name in ("a.lzwt", "b.lzwt"):
+            assert (resumed_dir / name).read_bytes() == (
+                first_dir / name
+            ).read_bytes()
+
+    def test_checkpoint_for_different_inputs_exit_2(
+        self, cube_files, tmp_path, capsys
+    ):
+        journal = tmp_path / "ck.jsonl"
+        assert main(
+            ["batch", cube_files[0], *BATCH_OPTS, "--checkpoint", str(journal)]
+        ) == 0
+        rc = main(
+            ["batch", cube_files[1], *BATCH_OPTS,
+             "--checkpoint", str(journal), "--resume"]
+        )
+        assert rc == 2
+        assert "ConfigError" in capsys.readouterr().err
