@@ -1,0 +1,408 @@
+"""Soak harness for the hardened compression service (``repro serve``).
+
+Drives a real ``repro serve`` subprocess with a mixed fleet of clients —
+well-behaved compress/decompress/verify traffic, deadline abusers,
+breaker-tripping failure injectors, and one hostile client per
+:data:`repro.reliability.chaos.CLIENT_FAULTS` class (slow-loris,
+oversized frame, garbage frame, mid-request disconnect) — then asserts
+the service's whole robustness contract at once:
+
+* **no hangs, no crashes** — every request gets a structured reply (or
+  a clean close after a framing violation by that client) within its
+  budget, and the server process survives the entire run;
+* **typed shedding** — every rejected request carries a typed error
+  (`OverloadError` / `DeadlineError` / `ProtocolError` / `ShardError`)
+  with an HTTP-flavoured code from the documented set;
+* **byte identity** — every *accepted* compress reply's container is
+  byte-identical to the serial ``repro compress`` path on the same
+  input;
+* **graceful drain** — SIGTERM ends the run with exit 0 and a valid
+  final ``repro.metrics/1`` snapshot on disk.
+
+Run it as CI does::
+
+    PYTHONPATH=src python benchmarks/service_soak.py --smoke   # fast gate
+    PYTHONPATH=src python benchmarks/service_soak.py --seconds 30 \
+        --report soak_report.json                              # full soak
+
+``--smoke`` round-trips the three golden workloads through a live
+server and byte-compares against the serial path, then exits.  The full
+soak adds the concurrent fleet for ``--seconds``.  Exit status: 0 clean,
+1 with every violation listed on stderr (and in the ``--report`` JSON).
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.container import dump_bytes
+from repro.core import LZWConfig, compress
+from repro.reliability.chaos import CLIENT_FAULTS, ClientFaultPlan
+from repro.reliability.errors import ProtocolError
+from repro.service import CODE_OK, ServiceClient
+from repro.testfile import format_test_text
+from repro.workloads import build_testset
+
+#: The golden corpus (mirrors tests/golden): name, scale.
+WORKLOADS = (("s5378f", 0.12), ("s9234f", 0.08), ("s35932f", 0.25))
+
+#: Reply codes a well-formed request may legitimately receive.
+EXPECTED_CODES = frozenset({CODE_OK, 408, 429, 500, 503})
+
+#: Server tuning for the soak: tight enough that shedding and the
+#: breaker actually fire under the fleet's load.
+SERVER_ARGS = [
+    "--port", "0",
+    "--workers", "2",
+    "--queue-depth", "6",
+    "--io-timeout", "0.5",
+    "--default-deadline", "10.0",
+    "--drain-grace", "5.0",
+    "--breaker-threshold", "4",
+    "--breaker-cooldown", "0.5",
+    "--debug-ops",
+]
+
+
+def _workload_texts():
+    """The golden corpus as (name, cube text, serial container) triples."""
+    triples = []
+    for name, scale in WORKLOADS:
+        test_set = build_testset(name, scale=scale)
+        text = format_test_text(test_set)
+        result = compress(test_set.to_stream(), LZWConfig())
+        serial = dump_bytes(result.compressed, result.assigned_stream)
+        triples.append((name, text, serial))
+    return triples
+
+
+class Stats:
+    """Thread-safe outcome tally plus the violation list."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.outcomes = {}
+        self.violations = []
+
+    def count(self, label):
+        with self.lock:
+            self.outcomes[label] = self.outcomes.get(label, 0) + 1
+
+    def violation(self, message):
+        with self.lock:
+            self.violations.append(message)
+
+    def snapshot(self):
+        with self.lock:
+            return dict(sorted(self.outcomes.items())), list(self.violations)
+
+
+def _check_reply(stats, label, header):
+    """Every reply must be structured: ok, or a typed coded error."""
+    code = header.get("code")
+    if header.get("ok"):
+        stats.count(f"{label}.ok")
+        return True
+    error = header.get("error")
+    if not isinstance(error, dict) or "type" not in error:
+        stats.violation(f"{label}: untyped error reply: {header}")
+    elif code not in EXPECTED_CODES:
+        stats.violation(f"{label}: unexpected reply code {code}: {header}")
+    else:
+        stats.count(f"{label}.code_{code}")
+    return False
+
+
+def _good_client(index, address, corpus, stats, stop):
+    """Round-robins compress (byte-checked), decompress and verify."""
+    try:
+        client = ServiceClient(address, timeout=15.0)
+    except OSError as exc:
+        stats.violation(f"good[{index}]: could not connect: {exc}")
+        return
+    containers = {}
+    turn = 0
+    with client:
+        while not stop.is_set():
+            name, text, serial = corpus[turn % len(corpus)]
+            try:
+                op = ("compress", "decompress", "verify")[turn % 3]
+                if op == "compress" or name not in containers:
+                    header, payload = client.compress(text)
+                    if _check_reply(stats, "compress", header):
+                        if payload != serial:
+                            stats.violation(
+                                f"compress({name}): container differs from "
+                                f"serial path ({len(payload)} vs "
+                                f"{len(serial)} bytes)"
+                            )
+                        containers[name] = payload
+                elif op == "decompress":
+                    header, _ = client.decompress(containers[name])
+                    _check_reply(stats, "decompress", header)
+                else:
+                    header, _ = client.verify(containers[name])
+                    if _check_reply(stats, "verify", header) and (
+                        header.get("verify_exit_code") != 0
+                    ):
+                        stats.violation(
+                            f"verify({name}): good container reported "
+                            f"exit {header.get('verify_exit_code')}"
+                        )
+            except ProtocolError as exc:
+                # A conforming server never hangs up on this client's
+                # well-formed traffic — except when drain raced the send.
+                if not stop.is_set():
+                    stats.violation(f"good[{index}]: {exc}")
+                return
+            except OSError as exc:
+                if not stop.is_set():
+                    stats.violation(f"good[{index}]: socket error: {exc}")
+                return
+            turn += 1
+
+
+def _deadline_client(address, stats, stop):
+    """Sends slow ops with tiny deadlines: every reply must be a 408."""
+    try:
+        client = ServiceClient(address, timeout=15.0)
+    except OSError as exc:
+        stats.violation(f"deadline: could not connect: {exc}")
+        return
+    with client:
+        while not stop.is_set():
+            try:
+                header, _ = client.request("sleep", deadline_ms=30, seconds=2.0)
+                if header.get("ok"):
+                    stats.violation(f"deadline: slow op beat a 30ms deadline")
+                else:
+                    _check_reply(stats, "deadline", header)
+            except (ProtocolError, OSError) as exc:
+                if not stop.is_set():
+                    stats.violation(f"deadline: {exc}")
+                return
+            time.sleep(0.05)
+
+
+def _breaker_client(address, stats, stop):
+    """Bursts injected failures, then watches the breaker shed (503)."""
+    try:
+        client = ServiceClient(address, timeout=15.0)
+    except OSError as exc:
+        stats.violation(f"breaker: could not connect: {exc}")
+        return
+    with client:
+        while not stop.is_set():
+            try:
+                header, _ = client.request("fail")
+                _check_reply(stats, "breaker", header)
+            except (ProtocolError, OSError) as exc:
+                if not stop.is_set():
+                    stats.violation(f"breaker: {exc}")
+                return
+            time.sleep(0.02)
+
+
+def _fault_client(fault, address, stats, stop):
+    """Repeats one hostile behaviour; asserts typed-reply-or-close."""
+    turn = 0
+    while not stop.is_set():
+        plan = ClientFaultPlan(fault, seed=turn, reply_timeout=6.0)
+        try:
+            outcome = plan.run(address)
+        except OSError as exc:
+            if not stop.is_set():
+                stats.violation(f"{fault}: connect failed: {exc}")
+            return
+        reply = outcome["reply"]
+        if fault == "disconnect":
+            stats.count(f"{fault}.sent")
+        elif reply is not None:
+            if reply.get("ok") or "error" not in reply:
+                stats.violation(f"{fault}: expected typed error, got {reply}")
+            else:
+                stats.count(f"{fault}.code_{reply.get('code')}")
+        elif outcome["closed"]:
+            stats.count(f"{fault}.closed")
+        else:
+            stats.violation(f"{fault}: no reply and no close (leaked thread?)")
+        turn += 1
+        time.sleep(0.1)
+
+
+def _start_server(metrics_path, extra=()):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--metrics-json", str(metrics_path), *SERVER_ARGS, *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    banner = proc.stdout.readline()
+    if "serving on" not in banner:
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {banner!r}")
+    return proc, banner.split()[2]
+
+
+def _stop_server(proc, stats):
+    """SIGTERM, require exit 0 within the drain budget."""
+    proc.send_signal(signal.SIGTERM)
+    try:
+        output, _ = proc.communicate(timeout=20)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        stats.violation("server did not drain within 20s of SIGTERM")
+        return ""
+    if proc.returncode != 0:
+        stats.violation(f"server exited {proc.returncode} after drain")
+    return output
+
+
+def _check_metrics(metrics_path, stats):
+    try:
+        snapshot = json.loads(Path(metrics_path).read_text())
+    except (OSError, ValueError) as exc:
+        stats.violation(f"final metrics snapshot unreadable: {exc}")
+        return {}
+    if snapshot.get("schema") != "repro.metrics/1":
+        stats.violation(f"bad metrics schema: {snapshot.get('schema')!r}")
+    if snapshot.get("partial"):
+        stats.violation("final drain snapshot must not be marked partial")
+    return snapshot.get("counters", {})
+
+
+def run_smoke(report_path=None):
+    """Golden round-trip: three workloads, byte-equal to serial, drain 0."""
+    stats = Stats()
+    corpus = _workload_texts()
+    metrics_path = Path("soak_smoke_metrics.json").resolve()
+    proc, address = _start_server(metrics_path)
+    try:
+        with ServiceClient(address, timeout=30.0) as client:
+            for name, text, serial in corpus:
+                header, payload = client.compress(text)
+                if not header.get("ok"):
+                    stats.violation(f"smoke compress({name}): {header}")
+                    continue
+                if payload != serial:
+                    stats.violation(
+                        f"smoke compress({name}): not byte-identical to "
+                        f"serial ({len(payload)} vs {len(serial)} bytes)"
+                    )
+                stats.count("smoke.compress_ok")
+                header, _ = client.verify(payload)
+                if header.get("verify_exit_code") != 0:
+                    stats.violation(f"smoke verify({name}): {header}")
+                else:
+                    stats.count("smoke.verify_ok")
+    finally:
+        _stop_server(proc, stats)
+    counters = _check_metrics(metrics_path, stats)
+    return _report(stats, counters, report_path, mode="smoke")
+
+
+def run_soak(seconds, good_clients, report_path=None):
+    """The full mixed-fleet soak (module docstring)."""
+    stats = Stats()
+    corpus = _workload_texts()
+    metrics_path = Path("soak_metrics.json").resolve()
+    proc, address = _start_server(metrics_path)
+    stop = threading.Event()
+    threads = [
+        threading.Thread(
+            target=_good_client, args=(i, address, corpus, stats, stop)
+        )
+        for i in range(good_clients)
+    ]
+    threads.append(
+        threading.Thread(target=_deadline_client, args=(address, stats, stop))
+    )
+    threads.append(
+        threading.Thread(target=_breaker_client, args=(address, stats, stop))
+    )
+    threads.extend(
+        threading.Thread(target=_fault_client, args=(f, address, stats, stop))
+        for f in CLIENT_FAULTS
+    )
+    print(
+        f"soak: {len(threads)} concurrent clients "
+        f"({good_clients} good, 1 deadline, 1 breaker, "
+        f"{len(CLIENT_FAULTS)} hostile) for {seconds}s against {address}"
+    )
+    for thread in threads:
+        thread.start()
+    time.sleep(seconds)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+        if thread.is_alive():
+            stats.violation(f"client thread {thread.name} failed to stop")
+    _stop_server(proc, stats)
+    counters = _check_metrics(metrics_path, stats)
+    if not counters.get("service.completed"):
+        stats.violation("soak completed zero requests — nothing was tested")
+    return _report(stats, counters, report_path, mode="soak")
+
+
+def _report(stats, counters, report_path, mode):
+    outcomes, violations = stats.snapshot()
+    report = {
+        "mode": mode,
+        "outcomes": outcomes,
+        "server_counters": counters,
+        "violations": violations,
+        "ok": not violations,
+    }
+    if report_path:
+        Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {report_path}")
+    print(f"{mode} outcomes:")
+    for label, count in outcomes.items():
+        print(f"  {label}: {count}")
+    interesting = (
+        "service.requests", "service.completed", "service.shed",
+        "service.deadline_exceeded", "service.breaker_open",
+        "service.protocol_errors", "service.drained", "service.errors",
+    )
+    print("server counters:")
+    for name in interesting:
+        print(f"  {name}: {counters.get(name, 0)}")
+    if violations:
+        print(f"{mode} FAILED: {len(violations)} violation(s)", file=sys.stderr)
+        for message in violations:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    print(f"{mode} passed: no hangs, no crashes, every reply typed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="golden round-trip only (fast CI gate)",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=30.0, help="soak duration"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=3, help="well-behaved client threads"
+    )
+    parser.add_argument("--report", help="write the JSON report here")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args.report)
+    return run_soak(args.seconds, args.clients, args.report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,8 @@ Subcommands::
                      pass with per-decision counters and stage spans)
     repro rtl        [-o DIR]  (generate the decompressor Verilog)
     repro table      NAME      [--scale S]
+    repro serve      [--port N | --socket PATH]  [--workers N
+                     --queue-depth N --rate-limit R --drain-grace S]
     repro list       (workloads, tables, builtin circuits)
 
 The CLI is a thin veneer over the library; every command prints what the
@@ -41,8 +43,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import List, Optional
 
@@ -69,6 +74,7 @@ from .observability import (
 )
 from .parallel import RetryPolicy
 from .reliability import ConfigError, ReproError
+from .reliability.atomic import atomic_write_bytes, atomic_write_text
 from .reliability.verify import verify_container
 from .testfile import read_test_file, write_test_file
 from .workloads import available_workloads, build_testset
@@ -111,6 +117,43 @@ def _emit_metrics(
         print(f"wrote {args.metrics_json}")
 
 
+@contextmanager
+def _interruptible_metrics(recorder, args: argparse.Namespace):
+    """Flush a *partial* ``--metrics-json`` snapshot on SIGINT/SIGTERM.
+
+    A long compress/batch run killed mid-way still leaves a valid
+    ``repro.metrics/1`` envelope on disk, marked ``"partial": true`` so
+    consumers never mistake it for a complete run.  The signal is then
+    re-delivered with the default disposition so the process exits with
+    the conventional 128+signum status.  Handler installation fails
+    (and is skipped) off the main thread — tests that call commands
+    from threads run unguarded, which is the pre-existing behaviour.
+    """
+    if recorder is None or not getattr(args, "metrics_json", None):
+        yield
+        return
+
+    def _on_signal(signum, frame):
+        write_metrics_json(recorder, args.metrics_json, partial=True)
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # non-main thread
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+
 def _config_from(args: argparse.Namespace) -> LZWConfig:
     return LZWConfig(
         char_bits=args.char_bits,
@@ -127,7 +170,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     stream = test_set.to_stream()
     config = _config_from(args)
     recorder = _metrics_recorder(args)
-    result = compress(stream, config, recorder=recorder)
+    with _interruptible_metrics(recorder, args):
+        result = compress(stream, config, recorder=recorder)
     print(f"config: {config.describe()}")
     print(
         f"compressed: {result.compressed_bits} bits "
@@ -171,19 +215,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         widths.append(test_set.width)
     recorder = _metrics_recorder(args)
     started = time.perf_counter()
-    results = compress_batch(
-        config,
-        streams,
-        workers=args.workers,
-        shard_bits=args.shard_bits,
-        pattern_bits=widths,
-        recorder=recorder,
-        retry_policy=RetryPolicy(max_attempts=args.max_retries + 1),
-        shard_timeout=args.shard_timeout,
-        on_failure=args.on_failure,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-    )
+    with _interruptible_metrics(recorder, args):
+        results = compress_batch(
+            config,
+            streams,
+            workers=args.workers,
+            shard_bits=args.shard_bits,
+            pattern_bits=widths,
+            recorder=recorder,
+            retry_policy=RetryPolicy(max_attempts=args.max_retries + 1),
+            shard_timeout=args.shard_timeout,
+            on_failure=args.on_failure,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
     elapsed = time.perf_counter() - started
     # Emit before per-workload verification so a coverage failure still
     # leaves the instrumented evidence on disk.
@@ -224,7 +269,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         }
         if out_dir is not None:
             path = out_dir / f"{name}.lzwt"
-            path.write_bytes(item.container)
+            atomic_write_bytes(path, item.container)
             row["container"] = str(path)
             print(f"  wrote {path}")
         rows.append(row)
@@ -251,7 +296,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "failed_workloads": failed,
             "workloads": rows,
         }
-        Path(args.json).write_text(json.dumps(summary, indent=2) + "\n")
+        atomic_write_text(Path(args.json), json.dumps(summary, indent=2) + "\n")
         print(f"wrote {args.json}")
     return exit_code
 
@@ -275,7 +320,7 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
         test_set = TestSet.from_stream(stream, names, name=Path(args.file).stem)
         write_test_file(test_set, args.output)
     else:
-        Path(args.output).write_text(str(stream) + "\n")
+        atomic_write_text(Path(args.output), str(stream) + "\n")
     print(f"wrote {args.output}")
     return 0
 
@@ -394,6 +439,68 @@ def _cmd_table(args: argparse.Namespace) -> int:
     lab = Lab(scale=args.scale)
     print(runner(lab).render())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CompressionServer, FORCED_EXIT_CODE, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_payload=args.max_payload,
+        io_timeout=args.io_timeout,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        retry_attempts=args.max_retries + 1,
+        drain_grace=args.drain_grace,
+        metrics_json=args.metrics_json,
+        debug_ops=args.debug_ops,
+    )
+    server = CompressionServer(config)
+    signals_seen = {"count": 0}
+
+    def _on_signal(signum, frame):
+        signals_seen["count"] += 1
+        if signals_seen["count"] > 1:
+            # Second SIGTERM/SIGINT: the operator means *now*.  Skip the
+            # drain and die loudly with a distinct status.
+            os._exit(FORCED_EXIT_CODE)
+        server.request_drain()
+
+    # Handlers go in *before* the banner: once the address is printed a
+    # supervisor may signal us at any moment, and the default disposition
+    # would skip the drain entirely.
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # non-main thread (in-process tests)
+            pass
+    try:
+        server.start()
+        print(
+            f"serving on {server.address_str} "
+            f"({config.workers} workers, queue depth {config.queue_depth})",
+            flush=True,
+        )
+        code = server.serve_forever()
+    finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+    if args.metrics_json:
+        print(f"wrote {args.metrics_json}")
+    print("drained, exiting")
+    return code
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -582,6 +689,104 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="table1..table6 or an ablation (see `repro list`)")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the hardened compression service (NDJSON over TCP or a "
+        "unix socket; SIGTERM drains gracefully, a second forces exit)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=7878,
+        help="TCP port (0 picks an ephemeral port, printed at startup)",
+    )
+    p.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="serve a unix domain socket here instead of TCP",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="request worker threads"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="admission queue capacity; a full queue sheds with a typed "
+        "429-style reply (default 16)",
+    )
+    p.add_argument(
+        "--max-payload",
+        type=int,
+        default=16 * 1024 * 1024,
+        help="per-request payload cap in bytes (oversized: 413 reply)",
+    )
+    p.add_argument(
+        "--io-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a message may take to arrive once started "
+        "(slow-loris defence)",
+    )
+    p.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        help="deadline for requests that set no deadline_ms",
+    )
+    p.add_argument(
+        "--max-deadline",
+        type=float,
+        default=300.0,
+        help="cap on client-requested deadlines",
+    )
+    p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-client sustained requests/second (default: unlimited)",
+    )
+    p.add_argument(
+        "--rate-burst", type=int, default=None, help="per-client burst size"
+    )
+    p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive worker failures that open the circuit breaker",
+    )
+    p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        help="seconds the breaker stays open before its half-open probe",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="supervised re-attempts per request before it fails 500",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds in-flight requests get to finish during drain "
+        "before their deadlines are cancelled",
+    )
+    p.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the final repro.metrics/1 snapshot here on drain",
+    )
+    p.add_argument(
+        "--debug-ops",
+        action="store_true",
+        help=argparse.SUPPRESS,  # sleep/fail ops for tests and the soak
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("list", help="list workloads, tables and circuits")
     p.set_defaults(func=_cmd_list)

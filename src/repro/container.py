@@ -74,6 +74,7 @@ from .bitstream import BitReader, BitWriter, TernaryVector
 from .core import CompressedStream, LZWConfig, decode
 from .observability import NULL_RECORDER, Recorder
 from .observability import schema as ev
+from .reliability.atomic import atomic_write_bytes
 from .reliability.errors import ConfigError, ContainerError
 
 __all__ = [
@@ -590,8 +591,13 @@ def dump_file(
     stream: Optional[TernaryVector] = None,
     recorder: Optional[Recorder] = None,
 ) -> None:
-    """Write a container file (``stream`` as in :func:`dump_bytes`)."""
-    Path(path).write_bytes(dump_bytes(compressed, stream, recorder))
+    """Write a container file (``stream`` as in :func:`dump_bytes`).
+
+    The write is atomic (tmp + fsync + rename): a killed writer leaves
+    either the previous container or none, never a torn file that
+    ``repro verify`` would misreport as corruption.
+    """
+    atomic_write_bytes(path, dump_bytes(compressed, stream, recorder))
 
 
 def load_file(

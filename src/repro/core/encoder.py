@@ -118,10 +118,15 @@ class LZWEncoder:
         self,
         config: Optional[LZWConfig] = None,
         recorder: Optional[Recorder] = None,
+        cancel: Optional[object] = None,
     ) -> None:
         self.config = config or LZWConfig()
         self.dictionary = LZWDictionary(self.config)
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        # Cooperative cancellation: any object with a ``check()`` that
+        # raises (see repro.service.cancel.CancellationToken).  Duck
+        # typed so the core never imports the service layer.
+        self.cancel = cancel
         self._used = False
 
     def encode(self, stream: TernaryVector) -> CompressedStream:
@@ -147,11 +152,20 @@ class LZWEncoder:
         if recording:
             rec.incr(ev.ENCODE_CHARS, len(chars))
 
+        # Deadline checkpoint, hoisted like the recorder: the common
+        # no-token path pays one extra local-bool test per character.
+        cancel = self.cancel
+        cancelling = cancel is not None
+        if cancelling:
+            cancel.check()
+
         selector = ChildSelector(dictionary, cfg)
         buffer = selector.choose_base(chars, 0)
         phrase_start = 0
         i = 1
         while i < len(chars):
+            if cancelling and not (i & 1023):  # every CHECK_INTERVAL chars
+                cancel.check()
             choice = selector.choose_child(buffer, chars, i)
             if choice is not None:
                 _char, child = choice

@@ -82,6 +82,7 @@ def compress(
     stream: TernaryVector,
     config: Optional[LZWConfig] = None,
     recorder: Optional[Recorder] = None,
+    cancel: Optional[object] = None,
 ) -> CompressionResult:
     """Compress a ternary scan stream with don't-care-aware LZW.
 
@@ -93,13 +94,24 @@ def compress(
     ``recorder`` (see :mod:`repro.observability`) collects encode/decode
     counters plus ``encode``/``assign`` wall-time spans; the default
     null recorder costs one flag check.
+
+    ``cancel`` is a cooperative cancellation token (any object with a
+    raising ``check()``; see :class:`repro.service.cancel.
+    CancellationToken`): it is checked inside the encoder's symbol loop
+    and at each stage boundary, so a deadlined service request stops
+    burning CPU within ~:data:`~repro.service.cancel.CHECK_INTERVAL`
+    characters of its deadline.
     """
     rec = recorder if recorder is not None else NULL_RECORDER
-    encoder = LZWEncoder(config, recorder=rec)
+    encoder = LZWEncoder(config, recorder=rec, cancel=cancel)
     with rec.span("encode"):
         compressed = encoder.encode(stream)
+    if cancel is not None:
+        cancel.check()
     with rec.span("assign"):
         assigned = decode(compressed, recorder=rec)
+    if cancel is not None:
+        cancel.check()
     return CompressionResult(compressed, assigned, encoder.stats())
 
 

@@ -32,6 +32,7 @@ import json
 from pathlib import Path
 from typing import Union
 
+from ..reliability.atomic import atomic_write_text
 from .recorder import Recorder
 
 __all__ = [
@@ -63,10 +64,21 @@ __all__ = [
     "BATCH_DEGRADED_SHARDS",
     "BATCH_SKIPPED_SHARDS",
     "BATCH_JOURNAL_HITS",
+    "SERVICE_REQUESTS",
+    "SERVICE_ACCEPTED",
+    "SERVICE_COMPLETED",
+    "SERVICE_ERRORS",
+    "SERVICE_SHED",
+    "SERVICE_DEADLINE_EXCEEDED",
+    "SERVICE_BREAKER_OPEN",
+    "SERVICE_DRAINED",
+    "SERVICE_PROTOCOL_ERRORS",
+    "SERVICE_DISCONNECTS",
     # histogram names
     "HIST_PHRASE_LEN",
     "HIST_XBITS_PER_PHRASE",
     "HIST_CODES_PER_WIDTH",
+    "HIST_REQUEST_LATENCY_MS",
 ]
 
 #: Version tag embedded in every emitted snapshot.
@@ -120,6 +132,30 @@ BATCH_SKIPPED_SHARDS = "batch.skipped_shards"
 #: Shards restored from a checkpoint journal instead of re-encoded.
 BATCH_JOURNAL_HITS = "batch.journal_hits"
 
+# -- service counters (repro serve) ------------------------------------
+#: Requests fully received and parsed off a client connection.
+SERVICE_REQUESTS = "service.requests"
+#: Requests admitted to the work queue.
+SERVICE_ACCEPTED = "service.accepted"
+#: Requests that produced a successful reply.
+SERVICE_COMPLETED = "service.completed"
+#: Requests that produced a typed error reply (bad input, internal).
+SERVICE_ERRORS = "service.errors"
+#: Requests shed by admission control (queue full or rate limited).
+SERVICE_SHED = "service.shed"
+#: Requests rejected or aborted because their deadline expired.
+SERVICE_DEADLINE_EXCEEDED = "service.deadline_exceeded"
+#: Requests rejected because the circuit breaker was open.
+SERVICE_BREAKER_OPEN = "service.breaker_open"
+#: Requests shed because the server was draining (includes queued
+#: requests flushed with a typed reply at drain time).
+SERVICE_DRAINED = "service.drained"
+#: Connections dropped for protocol violations (garbage, oversized,
+#: slow clients that blew the I/O budget).
+SERVICE_PROTOCOL_ERRORS = "service.protocol_errors"
+#: Replies that could not be delivered (client hung up mid-request).
+SERVICE_DISCONNECTS = "service.disconnects"
+
 # -- histograms --------------------------------------------------------
 #: LZW phrase lengths, in characters.
 HIST_PHRASE_LEN = "encode.phrase_len_chars"
@@ -127,21 +163,31 @@ HIST_PHRASE_LEN = "encode.phrase_len_chars"
 HIST_XBITS_PER_PHRASE = "encode.xbits_per_phrase"
 #: Codes emitted keyed by their bit width ``C_E``.
 HIST_CODES_PER_WIDTH = "encode.codes_per_width"
+#: End-to-end request latency, bucketed to whole milliseconds.
+HIST_REQUEST_LATENCY_MS = "service.request_latency_ms"
 
 
-def metrics_snapshot(recorder: Recorder) -> dict:
+def metrics_snapshot(recorder: Recorder, partial: bool = False) -> dict:
     """Wrap a recorder's snapshot in the versioned envelope.
 
     Missing sections are filled with empty values so every emitted file
     has the same four keys regardless of which sinks were attached.
+
+    ``partial=True`` marks an envelope flushed mid-run (an interrupted
+    ``compress``/``batch``, a draining server): the counters are valid
+    but cover only the work done so far.  Complete envelopes omit the
+    key entirely, so existing consumers and goldens are unaffected.
     """
     data = recorder.snapshot()
-    return {
+    envelope = {
         "schema": SCHEMA_VERSION,
         "counters": data.get("counters", {}),
         "histograms": data.get("histograms", {}),
         "spans": data.get("spans", []),
     }
+    if partial:
+        envelope["partial"] = True
+    return envelope
 
 
 def strip_timing(snapshot: dict) -> dict:
@@ -156,8 +202,15 @@ def strip_timing(snapshot: dict) -> dict:
     return out
 
 
-def write_metrics_json(recorder: Recorder, path: Union[str, Path]) -> dict:
-    """Write a recorder's snapshot to ``path``; returns the envelope."""
-    envelope = metrics_snapshot(recorder)
-    Path(path).write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+def write_metrics_json(
+    recorder: Recorder, path: Union[str, Path], partial: bool = False
+) -> dict:
+    """Write a recorder's snapshot to ``path``; returns the envelope.
+
+    The write is atomic (tmp + fsync + rename), so a consumer polling
+    the file never reads a torn envelope — which matters for the
+    ``partial=True`` flushes written from signal handlers.
+    """
+    envelope = metrics_snapshot(recorder, partial=partial)
+    atomic_write_text(path, json.dumps(envelope, indent=2, sort_keys=True) + "\n")
     return envelope

@@ -30,8 +30,10 @@ from __future__ import annotations
 
 import base64
 import binascii
+import errno
 import hashlib
 import json
+import os
 import zlib
 from dataclasses import asdict
 from pathlib import Path
@@ -42,7 +44,7 @@ from ..container import dump_bytes, load_bytes
 from ..core.config import LZWConfig
 from ..core.decoder import decode
 from ..core.encoder import CompressedStream, EncodeStats
-from ..reliability.errors import ConfigError
+from ..reliability.errors import ConfigError, ContainerError
 from .shard import ShardPlan
 
 __all__ = ["ShardJournal", "batch_fingerprint"]
@@ -126,6 +128,19 @@ class ShardJournal:
     def _write_line(self, record: dict) -> None:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
+        # fsync per entry: a completed shard recorded here must survive
+        # the very crash the journal exists for.  ENOSPC/EACCES surface
+        # as typed ContainerErrors like every other artefact write.
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            if exc.errno in (errno.ENOSPC, errno.EDQUOT, errno.EACCES, errno.EROFS):
+                raise ContainerError(
+                    f"cannot write checkpoint journal {self.path}: {exc.strerror}",
+                    path=str(self.path),
+                    errno=errno.errorcode.get(exc.errno, exc.errno),
+                ) from exc
+            raise
 
     def _load(self) -> None:
         lines = self.path.read_text(encoding="utf-8").splitlines()

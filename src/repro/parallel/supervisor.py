@@ -125,9 +125,14 @@ class _WorkerTimeout(Exception):
 def _call_with_timeout(fn: Callable[[Any], Any], args: Any, timeout: Optional[float]):
     """Run ``fn(args)``, bounded by a ``SIGALRM``-based timeout.
 
-    Module-level so the pool can pickle it by reference.  Platforms or
-    threads without ``SIGALRM`` run unbounded here — the parent-side
-    watchdog still applies.
+    Module-level so the pool can pickle it by reference.  Contexts
+    without a usable alarm — Windows (no ``SIGALRM``), non-main threads
+    (``signal.signal`` raises ``ValueError``), restricted environments
+    where installing the handler or arming the timer fails — degrade
+    cleanly to an unbounded call here; the parent-side wave watchdog is
+    the backstop that still catches the hang.  Nothing in this function
+    may raise at startup for a platform limitation: a worker that can't
+    arm an alarm must still run its shard.
     """
     if not timeout or not hasattr(signal, "SIGALRM"):
         return fn(args)
@@ -137,9 +142,16 @@ def _call_with_timeout(fn: Callable[[Any], Any], args: Any, timeout: Optional[fl
 
     try:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
-    except ValueError:  # not the main thread: alarm unavailable
+    except (ValueError, OSError, RuntimeError):
+        # Not the main thread, or signals are unavailable entirely.
         return fn(args)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    except (ValueError, OSError, AttributeError):
+        # Handler installed but the timer can't be armed: restore and
+        # fall back to the watchdog rather than failing the shard.
+        signal.signal(signal.SIGALRM, previous)
+        return fn(args)
     try:
         return fn(args)
     finally:

@@ -28,7 +28,10 @@ importable from the lowest layers (``repro.bitstream`` raises
 from .errors import (
     ConfigError,
     ContainerError,
+    DeadlineError,
     DecodeError,
+    OverloadError,
+    ProtocolError,
     ReproError,
     ShardError,
     StreamError,
@@ -38,11 +41,16 @@ from .errors import (
 __all__ = [
     "ConfigError",
     "ContainerError",
+    "DeadlineError",
     "DecodeError",
+    "OverloadError",
+    "ProtocolError",
     "ReproError",
     "ShardError",
     "StreamError",
     "TestFileError",
+    "atomic_write_bytes",
+    "atomic_write_text",
     # lazily loaded:
     "CampaignResult",
     "ChaosPlan",
@@ -65,6 +73,8 @@ __all__ = [
 ]
 
 _LAZY = {
+    "atomic_write_bytes": "atomic",
+    "atomic_write_text": "atomic",
     "INJECTORS": "inject",
     "inject": "inject",
     "ChaosPlan": "chaos",

@@ -34,15 +34,25 @@ from __future__ import annotations
 import os
 import random
 import signal
+import socket
 import time
 from dataclasses import dataclass
 
 from ..bitstream import TernaryVector
 
-__all__ = ["PROCESS_FAULTS", "ChaosPlan", "InjectedWorkerError"]
+__all__ = [
+    "CLIENT_FAULTS",
+    "PROCESS_FAULTS",
+    "ChaosPlan",
+    "ClientFaultPlan",
+    "InjectedWorkerError",
+]
 
 #: The process-level fault classes, in campaign order.
 PROCESS_FAULTS = ("exception", "kill", "hang", "corrupt")
+
+#: The service-client fault classes the soak harness drives.
+CLIENT_FAULTS = ("slow_loris", "oversized_frame", "garbage_frame", "disconnect")
 
 
 class InjectedWorkerError(RuntimeError):
@@ -120,3 +130,123 @@ class ChaosPlan:
                 time.sleep(0.01)
             return stream
         return _corrupt_stream(stream, self._rng(workload, shard))
+
+
+@dataclass(frozen=True)
+class ClientFaultPlan:
+    """One hostile service client, as a reproducible value object.
+
+    Where :class:`ChaosPlan` attacks the batch engine's *workers*,
+    this attacks the serving layer's *front door* — the four client
+    behaviours a network service must survive without hanging a
+    connection thread or crashing:
+
+    ``slow_loris``
+        starts a header and then dribbles bytes slower than the
+        server's I/O budget — must become a typed ``timeout`` reply
+        (or a close), never a parked thread;
+    ``oversized_frame``
+        declares a payload bigger than the server's cap — must be
+        rejected from the *header alone* (413-style reply) without
+        buffering the body;
+    ``garbage_frame``
+        sends bytes that are not a JSON header — typed ``bad_header``
+        reply, connection closed;
+    ``disconnect``
+        vanishes mid-payload — the server must treat the connection as
+        over and reclaim the thread, with nothing to reply to.
+
+    :meth:`run` executes one such interaction against a live server and
+    reports what actually happened, so the soak harness can assert the
+    contract (typed reply or clean close — never a hang) per fault.
+    The service modules are imported lazily: reliability sits *below*
+    the service layer and must stay importable without it.
+    """
+
+    fault: str
+    seed: int = 0
+    #: Seconds between dribbled bytes for ``slow_loris``; the driver
+    #: must pair this with a server ``io_timeout`` it exceeds.
+    dribble_interval: float = 0.3
+    #: Ceiling on one interaction, so a misbehaving server fails the
+    #: soak instead of wedging it.
+    reply_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.fault not in CLIENT_FAULTS:
+            raise ValueError(
+                f"unknown fault {self.fault!r}; known: {', '.join(CLIENT_FAULTS)}"
+            )
+
+    def run(self, address) -> dict:
+        """Attack ``address`` once; return the observed outcome.
+
+        The outcome dict has ``fault``, ``reply`` (the decoded reply
+        header, or ``None`` if the server just closed) and ``closed``
+        (whether the server ended the connection afterwards, which the
+        protocol requires after any framing violation).
+        """
+        from ..service.protocol import MessageStream, connect, encode_message
+
+        sock = connect(address, timeout=self.reply_timeout)
+        try:
+            if self.fault == "slow_loris":
+                header = encode_message({"op": "ping", "id": "loris"})
+                # Three dribbled bytes are enough: the server's message
+                # clock starts at the first one.
+                for byte in header[:3]:
+                    sock.sendall(bytes([byte]))
+                    time.sleep(self.dribble_interval)
+            elif self.fault == "oversized_frame":
+                sock.sendall(
+                    b'{"op": "compress", "id": "oversized", '
+                    b'"payload_len": 1099511627776}\n'
+                )
+            elif self.fault == "garbage_frame":
+                rng = random.Random(f"client-chaos:{self.seed}")
+                junk = bytes(rng.randrange(256) for _ in range(64))
+                sock.sendall(junk.replace(b"\n", b"?") + b"\n")
+            else:  # disconnect: declare a payload, send half, vanish
+                sock.sendall(
+                    b'{"op": "compress", "id": "gone", "payload_len": 1024}\n'
+                )
+                sock.sendall(b"01X0" * 128)  # 512 of the promised 1024
+                return {"fault": self.fault, "reply": None, "closed": True}
+            reply = self._read_reply(sock)
+            closed = self._observe_close(sock)
+            return {"fault": self.fault, "reply": reply, "closed": closed}
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _read_reply(self, sock) -> "dict | None":
+        from ..service.protocol import MessageStream
+
+        stream = MessageStream(sock, io_timeout=self.reply_timeout)
+        deadline = time.monotonic() + self.reply_timeout
+        try:
+            while time.monotonic() < deadline:
+                message = stream.recv_message()
+                if message is not None:
+                    return message[0]
+                if stream._eof:
+                    return None
+        except Exception:  # noqa: BLE001 - a garbage reply is "no reply"
+            return None
+        return None
+
+    def _observe_close(self, sock) -> bool:
+        """True if the server closes the connection within the budget."""
+        deadline = time.monotonic() + self.reply_timeout
+        sock.settimeout(0.1)
+        while time.monotonic() < deadline:
+            try:
+                if sock.recv(4096) == b"":
+                    return True
+            except socket.timeout:
+                continue
+            except OSError:
+                return True  # reset counts as closed
+        return False

@@ -41,6 +41,9 @@ __all__ = [
     "ConfigError",
     "TestFileError",
     "ShardError",
+    "ProtocolError",
+    "OverloadError",
+    "DeadlineError",
 ]
 
 
@@ -136,6 +139,52 @@ class ShardError(ReproError, RuntimeError):
     """
 
     exit_code = 5
+
+
+class ProtocolError(ReproError, ValueError):
+    """A service request violates the wire protocol.
+
+    Raised by the :mod:`repro.service` framing layer for malformed
+    request lines, declared payloads over the limit, or clients too slow
+    to complete a request within the I/O budget.
+
+    Typical diagnostics: ``reason`` (``"bad_header"`` / ``"oversized"``
+    / ``"timeout"`` / ``"bad_field"``), ``limit`` / ``actual`` for size
+    violations.
+    """
+
+    exit_code = 3
+
+
+class OverloadError(ReproError, RuntimeError):
+    """The service shed a request instead of accepting it.
+
+    The structured 429/503-style rejection: the admission queue is
+    full, the client exceeded its rate limit, the circuit breaker is
+    open, or the server is draining.  Never silent, never a hang — the
+    caller always gets a typed reply.
+
+    Typical diagnostics: ``reason`` (``"queue_full"`` /
+    ``"rate_limited"`` / ``"breaker_open"`` / ``"draining"``),
+    ``depth`` / ``capacity`` for queue sheds, ``retry_after``
+    (seconds) when the server can estimate one.
+    """
+
+    exit_code = 1
+
+
+class DeadlineError(ReproError, RuntimeError):
+    """A request's deadline expired (or it was cancelled) mid-flight.
+
+    Raised by :class:`repro.service.cancel.CancellationToken` checks in
+    the encoder's symbol loop and between pipeline stages, so a slow
+    request stops burning CPU the moment its client stopped caring.
+
+    Typical diagnostics: ``reason`` (``"deadline"`` / ``"cancelled"``),
+    ``deadline_s`` (the original budget in seconds).
+    """
+
+    exit_code = 1
 
 
 class TestFileError(ReproError, ValueError):

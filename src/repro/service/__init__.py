@@ -1,0 +1,75 @@
+"""Hardened long-running compression service (``repro serve``).
+
+The service turns the library's compress/decompress/verify pipeline
+into a concurrent network daemon with an explicit robustness envelope:
+
+* :mod:`~repro.service.protocol` — NDJSON-header + framed-payload wire
+  format, typed structured replies, defensive limits;
+* :mod:`~repro.service.admission` — bounded queue with load shedding
+  and a per-client token-bucket rate limiter;
+* :mod:`~repro.service.breaker` — circuit breaker over the worker
+  execution path (consecutive ShardErrors open it, a half-open probe
+  closes it);
+* :mod:`~repro.service.cancel` — cooperative deadline/cancellation
+  token checked inside the encoder's symbol loop;
+* :mod:`~repro.service.server` — the server tying those together, with
+  graceful drain on SIGTERM.
+
+Import layering: :mod:`repro.core` never imports this package (the
+encoder takes the cancellation token duck-typed); this package sits on
+top of core, container, parallel, reliability and observability.
+"""
+
+from .admission import AdmissionQueue, RateLimiter
+from .breaker import CircuitBreaker
+from .cancel import CHECK_INTERVAL, CancellationToken
+from .protocol import (
+    CODE_BAD_REQUEST,
+    CODE_DEADLINE,
+    CODE_INTERNAL,
+    CODE_OK,
+    CODE_PAYLOAD_TOO_LARGE,
+    CODE_SHED,
+    CODE_UNAVAILABLE,
+    CODE_UNPROCESSABLE,
+    DEFAULT_MAX_PAYLOAD,
+    MAX_HEADER_BYTES,
+    MessageStream,
+    ServiceClient,
+    connect,
+    encode_message,
+    error_code,
+    error_reply,
+    ok_reply,
+    parse_address,
+)
+from .server import FORCED_EXIT_CODE, CompressionServer, ServiceConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "CHECK_INTERVAL",
+    "CODE_BAD_REQUEST",
+    "CODE_DEADLINE",
+    "CODE_INTERNAL",
+    "CODE_OK",
+    "CODE_PAYLOAD_TOO_LARGE",
+    "CODE_SHED",
+    "CODE_UNAVAILABLE",
+    "CODE_UNPROCESSABLE",
+    "CancellationToken",
+    "CircuitBreaker",
+    "CompressionServer",
+    "DEFAULT_MAX_PAYLOAD",
+    "FORCED_EXIT_CODE",
+    "MAX_HEADER_BYTES",
+    "MessageStream",
+    "RateLimiter",
+    "ServiceClient",
+    "ServiceConfig",
+    "connect",
+    "encode_message",
+    "error_code",
+    "error_reply",
+    "ok_reply",
+    "parse_address",
+]

@@ -1,0 +1,175 @@
+"""Admission control: the bounded queue and the per-client rate limiter.
+
+The serving layer's first robustness rule is *shed, never hang*: when
+the server cannot take more work it says so immediately with a typed
+:class:`~repro.reliability.errors.OverloadError` (which the protocol
+layer turns into a structured 429-style reply), instead of letting an
+unbounded queue absorb requests until memory or every client's patience
+runs out.
+
+:class:`AdmissionQueue` is that bounded handoff between connection
+threads (producers) and the worker pool (consumers).  Its capacity is
+the server's entire buffering budget — ``submit`` on a full queue
+raises, period.  On drain the queue closes: producers get a typed
+``draining`` rejection, and everything still queued is *flushed back*
+to the drain logic so each queued-but-unstarted request receives a shed
+reply rather than silently vanishing with the process.
+
+:class:`RateLimiter` is a classic token bucket per client identity
+(remote IP for TCP, per-connection for unix sockets): ``rate`` tokens
+per second refill up to a ``burst`` cap, one token per request.  Both
+classes take an injectable clock so tests drive them deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, TypeVar
+
+from ..reliability.errors import ConfigError, OverloadError
+
+__all__ = ["AdmissionQueue", "RateLimiter"]
+
+T = TypeVar("T")
+
+#: Bucket-table size that triggers pruning of fully refilled buckets.
+_PRUNE_THRESHOLD = 4096
+
+
+class AdmissionQueue:
+    """Bounded FIFO with explicit load shedding and a closable drain.
+
+    ``submit`` never blocks: a full queue is an immediate typed
+    :class:`OverloadError` (reason ``queue_full``), a closed queue one
+    with reason ``draining``.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(
+                "queue capacity must be >= 1", field="queue_depth", value=capacity
+            )
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        """Number of queued (not yet taken) items."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def submit(self, item: T) -> None:
+        """Enqueue ``item`` or shed it with a typed error, never block."""
+        with self._lock:
+            if self._closed:
+                raise OverloadError(
+                    "server is draining, request shed", reason="draining"
+                )
+            if len(self._items) >= self.capacity:
+                raise OverloadError(
+                    "admission queue full, request shed",
+                    reason="queue_full",
+                    depth=len(self._items),
+                    capacity=self.capacity,
+                )
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def take(self, timeout: Optional[float] = None) -> Optional[T]:
+        """Dequeue one item, waiting up to ``timeout``.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        empty — workers distinguish the two via :attr:`closed`.
+        """
+        with self._lock:
+            if not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def close(self) -> List[T]:
+        """Stop accepting work; return everything still queued.
+
+        The returned items are the queued-but-unstarted requests the
+        drain path owes a typed shed reply to.  Waiting consumers are
+        woken so they can observe the close.
+        """
+        with self._lock:
+            self._closed = True
+            pending = list(self._items)
+            self._items.clear()
+            self._not_empty.notify_all()
+        return pending
+
+
+class RateLimiter:
+    """Token-bucket limiter keyed by client identity.
+
+    ``rate`` is sustained requests/second, ``burst`` the bucket size
+    (default: ``max(1, ceil(rate))``).  ``rate=None`` (or ``<= 0``)
+    disables limiting entirely.  ``try_acquire`` is O(1) per call; the
+    bucket table self-prunes once it grows past a few thousand idle
+    clients.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate if rate and rate > 0 else None
+        if self.rate is not None and burst is None:
+            burst = max(1, int(self.rate + 0.999999))
+        if burst is not None and burst < 1:
+            raise ConfigError(
+                "rate burst must be >= 1", field="rate_burst", value=burst
+            )
+        self.burst = burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, List[float]] = {}  # client -> [tokens, stamp]
+
+    def try_acquire(self, client: str) -> bool:
+        """Take one token for ``client``; False means rate-limited."""
+        if self.rate is None:
+            return True
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = [float(self.burst), now]
+                self._buckets[client] = bucket
+            tokens, stamp = bucket
+            tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+            allowed = tokens >= 1.0
+            if allowed:
+                tokens -= 1.0
+            bucket[0] = tokens
+            bucket[1] = now
+            if len(self._buckets) > _PRUNE_THRESHOLD:
+                self._prune(now)
+            return allowed
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets that have refilled completely (idle clients)."""
+        full = [
+            client
+            for client, (tokens, stamp) in self._buckets.items()
+            if tokens + (now - stamp) * self.rate >= self.burst
+        ]
+        for client in full:
+            del self._buckets[client]

@@ -1,0 +1,122 @@
+"""Circuit breaker around the service's shared worker execution path.
+
+When the workers start failing *consecutively* — the encode path is
+broken, a dependency is wedged, every attempt ends in a typed
+:class:`~repro.reliability.errors.ShardError` after the supervisor's
+retries — continuing to accept work just burns each request's full
+retry budget before failing it anyway.  The breaker converts that into
+fast, honest rejection:
+
+* **closed** — normal operation; failures are counted, any success
+  resets the count;
+* **open** — entered after ``threshold`` consecutive failures; every
+  request is rejected immediately (reason ``breaker_open``, a 503-style
+  reply) for ``cooldown`` seconds;
+* **half-open** — after the cooldown, exactly *one* probe request is
+  let through; its success closes the breaker, its failure re-opens it
+  for another cooldown.
+
+Failures that are the *client's* fault (bad cube text, corrupt
+containers, expired deadlines) never touch the breaker — only
+exhausted-supervisor failures do, which is what makes it a signal about
+the pool rather than about traffic quality.
+
+The clock is injectable; state transitions are serialised by a lock so
+concurrent workers agree on who the half-open probe is.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..reliability.errors import ConfigError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(
+                "breaker threshold must be >= 1",
+                field="breaker_threshold",
+                value=threshold,
+            )
+        if cooldown < 0:
+            raise ConfigError(
+                "breaker cooldown must be non-negative",
+                field="breaker_cooldown",
+                value=cooldown,
+            )
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+
+    @property
+    def state(self) -> str:
+        """Current state, re-evaluating an elapsed cooldown."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() >= self._opened_at + self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+            self._probe_outstanding = False
+
+    def allow(self) -> bool:
+        """Whether a request may proceed right now.
+
+        In half-open state exactly one caller gets ``True`` (the probe)
+        until its outcome is recorded; everyone else is rejected.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and not self._probe_outstanding:
+                self._probe_outstanding = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A permitted request succeeded: close and reset."""
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+            self._probe_outstanding = False
+
+    def record_failure(self) -> None:
+        """A permitted request failed its every recovery path."""
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN or self._failures >= self.threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probe_outstanding = False

@@ -1,0 +1,103 @@
+"""Cooperative cancellation for long-running requests.
+
+A service with per-request deadlines needs more than rejecting late
+work at the door: a compress request whose client gave up must stop
+*mid-encode*, or slow requests pile up in the workers and the whole
+pool wedges.  Python threads cannot be killed, so cancellation is
+cooperative: the request carries a :class:`CancellationToken` and the
+CPU-bound loops check it at bounded intervals.
+
+Checkpoint sites:
+
+* the encoder's symbol loop (every :data:`CHECK_INTERVAL` characters —
+  cheap enough that the uncancelled path stays within the observability
+  overhead budget);
+* pipeline stage boundaries (between encode and the assign decode);
+* the service's debug/sleep handlers and the drain path, which cancels
+  every in-flight token when the grace period expires.
+
+A tripped check raises a typed
+:class:`~repro.reliability.errors.DeadlineError` carrying whether the
+token *expired* (deadline) or was *cancelled* (drain, client gone).
+The token is clock-injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from ..reliability.errors import DeadlineError
+
+__all__ = ["CHECK_INTERVAL", "CancellationToken"]
+
+#: Encoder symbol-loop characters between two token checks.  Power of
+#: two so the loop can use a mask instead of a modulo.
+CHECK_INTERVAL = 1024
+
+
+class CancellationToken:
+    """A deadline plus an explicit cancel flag, checked cooperatively.
+
+    ``deadline`` is absolute on the injected monotonic ``clock``;
+    ``None`` means no deadline (the token can still be cancelled).
+    Thread-safe by construction: the flag is a single attribute write
+    and the deadline is immutable.
+    """
+
+    __slots__ = ("_deadline", "_budget", "_cancelled", "_clock")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        budget: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._deadline = deadline
+        self._budget = budget
+        self._cancelled = False
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: Optional[float], clock: Callable[[], float] = time.monotonic
+    ) -> "CancellationToken":
+        """A token expiring ``seconds`` from now (``None``: no deadline)."""
+        deadline = None if seconds is None else clock() + seconds
+        return cls(deadline=deadline, budget=seconds, clock=clock)
+
+    def cancel(self) -> None:
+        """Trip the token explicitly (drain, client disconnect)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` was called."""
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        """True once the deadline (if any) has passed."""
+        return self._deadline is not None and self._clock() >= self._deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` if there is none).
+
+        Clamped at 0.0 — an expired token never reports negative time.
+        """
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineError` if cancelled or past deadline."""
+        if self._cancelled:
+            raise DeadlineError(
+                "request cancelled", reason="cancelled", deadline_s=self._budget
+            )
+        if self._deadline is not None and self._clock() >= self._deadline:
+            raise DeadlineError(
+                "request deadline exceeded",
+                reason="deadline",
+                deadline_s=self._budget,
+            )

@@ -1,0 +1,401 @@
+"""Wire protocol of the compression service.
+
+One message — request or reply — is a newline-terminated JSON header
+line followed by a binary payload of exactly ``payload_len`` bytes::
+
+    {"op": "compress", "id": 7, "deadline_ms": 2000, "payload_len": 96}\\n
+    <96 raw payload bytes>
+
+Requests carry ``op`` (``compress`` / ``decompress`` / ``verify`` /
+``ping`` / ``metrics``), an optional client-chosen ``id`` (echoed back
+verbatim), an optional ``config`` object of LZW parameters and an
+optional ``deadline_ms``.  The payload is the operation's input: cube
+text for ``compress``, container bytes for ``decompress``/``verify``.
+
+Replies carry ``ok``, a numeric ``code`` (0 on success, HTTP-flavoured
+on failure — see :func:`error_code`), the echoed ``id``, per-op result
+fields, and on failure a structured ``error`` object with the typed
+exception's class name, message and diagnostics.  *Every* failure mode
+produces such a reply — shed, deadline, breaker, protocol violation —
+never a silent close and never a hang.
+
+Framing defends itself: header lines are capped at
+:data:`MAX_HEADER_BYTES`, declared payloads at the server's configured
+limit, and a message must complete within the server's I/O budget once
+its first byte arrives (which is what turns a slow-loris client into a
+typed 400 instead of a leaked connection).  Violations raise
+:class:`~repro.reliability.errors.ProtocolError` with a ``reason`` the
+reply map translates to a status code.
+
+:class:`MessageStream` is the shared reader/writer (server connections
+and :class:`ServiceClient` both use it); it owns the buffering, limits
+and timeout bookkeeping but no sockets' lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from ..reliability.errors import (
+    ConfigError,
+    ContainerError,
+    DeadlineError,
+    DecodeError,
+    OverloadError,
+    ProtocolError,
+    ShardError,
+    StreamError,
+    TestFileError,
+)
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "DEFAULT_MAX_PAYLOAD",
+    "CODE_OK",
+    "CODE_BAD_REQUEST",
+    "CODE_DEADLINE",
+    "CODE_PAYLOAD_TOO_LARGE",
+    "CODE_UNPROCESSABLE",
+    "CODE_SHED",
+    "CODE_INTERNAL",
+    "CODE_UNAVAILABLE",
+    "MessageStream",
+    "ServiceClient",
+    "encode_message",
+    "error_code",
+    "error_reply",
+    "ok_reply",
+]
+
+#: Upper bound on one JSON header line, newline included.
+MAX_HEADER_BYTES = 64 * 1024
+#: Default cap on a message's binary payload (servers may lower it).
+DEFAULT_MAX_PAYLOAD = 16 * 1024 * 1024
+
+#: Socket poll granularity while waiting for bytes, seconds.
+_TICK = 0.1
+
+# Reply status codes (HTTP-flavoured so operators can read them cold).
+CODE_OK = 0
+CODE_BAD_REQUEST = 400  # malformed header / unknown op / bad config
+CODE_DEADLINE = 408  # deadline expired before or during the work
+CODE_PAYLOAD_TOO_LARGE = 413  # declared payload over the server cap
+CODE_UNPROCESSABLE = 422  # well-framed payload that fails to process
+CODE_SHED = 429  # admission control: queue full / rate limited
+CODE_INTERNAL = 500  # worker failed every recovery path
+CODE_UNAVAILABLE = 503  # breaker open / server draining
+
+
+def error_code(exc: BaseException) -> int:
+    """Map a typed error to the reply status code clients switch on."""
+    if isinstance(exc, OverloadError):
+        reason = getattr(exc, "reason", None)
+        if reason in ("breaker_open", "draining"):
+            return CODE_UNAVAILABLE
+        return CODE_SHED
+    if isinstance(exc, DeadlineError):
+        return CODE_DEADLINE
+    if isinstance(exc, ProtocolError):
+        if getattr(exc, "reason", None) == "oversized":
+            return CODE_PAYLOAD_TOO_LARGE
+        return CODE_BAD_REQUEST
+    if isinstance(exc, ConfigError):
+        return CODE_BAD_REQUEST
+    if isinstance(exc, (TestFileError, ContainerError, DecodeError, StreamError)):
+        return CODE_UNPROCESSABLE
+    if isinstance(exc, ShardError):
+        return CODE_INTERNAL
+    return CODE_INTERNAL
+
+
+def error_reply(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    """The structured error header for a failed request."""
+    error: Dict[str, Any] = {
+        "type": type(exc).__name__,
+        "message": getattr(exc, "message", str(exc)),
+    }
+    diagnostics = getattr(exc, "diagnostics", None)
+    if diagnostics:
+        # Diagnostics must survive JSON: stringify anything exotic.
+        error["diagnostics"] = {
+            key: value
+            if isinstance(value, (str, int, float, bool, type(None)))
+            else repr(value)
+            for key, value in diagnostics.items()
+        }
+    return {"id": request_id, "ok": False, "code": error_code(exc), "error": error}
+
+
+def ok_reply(request_id: Any, **fields: Any) -> Dict[str, Any]:
+    """The header of a successful reply."""
+    header: Dict[str, Any] = {"id": request_id, "ok": True, "code": CODE_OK}
+    header.update(fields)
+    return header
+
+
+def encode_message(header: Dict[str, Any], payload: bytes = b"") -> bytes:
+    """Serialise one message; sets ``payload_len`` from ``payload``."""
+    head = dict(header)
+    head["payload_len"] = len(payload)
+    line = json.dumps(head, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(line) + 1 > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            "header too large to encode",
+            reason="oversized",
+            limit=MAX_HEADER_BYTES,
+            actual=len(line) + 1,
+        )
+    return line + b"\n" + payload
+
+
+class MessageStream:
+    """Framed message I/O over one connected socket.
+
+    ``io_timeout`` bounds how long a *single message* may take to
+    arrive once its first byte is in (slow-loris defence); waiting for
+    a new message to start is unbounded but interruptible through the
+    ``stop`` callable, polled every ~100 ms.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_header: int = MAX_HEADER_BYTES,
+        max_payload: int = DEFAULT_MAX_PAYLOAD,
+        io_timeout: Optional[float] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.sock = sock
+        self.max_header = max_header
+        self.max_payload = max_payload
+        self.io_timeout = io_timeout
+        self.stop = stop
+        self._buffer = bytearray()
+        self._eof = False
+        sock.settimeout(_TICK)
+
+    # -- receiving -----------------------------------------------------
+
+    def _fill(self) -> bool:
+        """Pull one chunk into the buffer; False on EOF/reset."""
+        try:
+            chunk = self.sock.recv(65536)
+        except socket.timeout:
+            return True
+        except (ConnectionError, OSError):
+            self._eof = True
+            return False
+        if not chunk:
+            self._eof = True
+            return False
+        self._buffer.extend(chunk)
+        return True
+
+    def _deadline_expired(self, deadline: Optional[float]) -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    def recv_message(self) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        """Read one ``(header, payload)`` message.
+
+        Returns ``None`` on a clean close (EOF with no partial message
+        buffered, or mid-message disconnect — nothing can be replied to
+        a gone client either way, so both are "connection over").
+        Raises :class:`ProtocolError` for framing violations, with
+        ``reason`` in ``bad_header`` / ``oversized`` / ``timeout``.
+        """
+        deadline: Optional[float] = None
+        # Phase 1: the header line.
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                break
+            if len(self._buffer) > self.max_header:
+                raise ProtocolError(
+                    "header line exceeds the limit",
+                    reason="bad_header",
+                    limit=self.max_header,
+                    actual=len(self._buffer),
+                )
+            if self._eof or not self._fill():
+                return None
+            if self._buffer and deadline is None and self.io_timeout:
+                deadline = time.monotonic() + self.io_timeout
+            if self._deadline_expired(deadline):
+                raise ProtocolError(
+                    "client too slow: header incomplete within the I/O budget",
+                    reason="timeout",
+                    limit=self.io_timeout,
+                )
+            if self.stop is not None and self.stop():
+                return None
+        line = bytes(self._buffer[:newline])
+        del self._buffer[: newline + 1]
+        if len(line) + 1 > self.max_header:
+            raise ProtocolError(
+                "header line exceeds the limit",
+                reason="bad_header",
+                limit=self.max_header,
+                actual=len(line) + 1,
+            )
+        try:
+            header = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ProtocolError(
+                "header is not a JSON object", reason="bad_header"
+            ) from None
+        if not isinstance(header, dict):
+            raise ProtocolError("header is not a JSON object", reason="bad_header")
+        payload_len = header.get("payload_len", 0)
+        if not isinstance(payload_len, int) or payload_len < 0:
+            raise ProtocolError(
+                "payload_len must be a non-negative integer",
+                reason="bad_header",
+                field="payload_len",
+            )
+        if payload_len > self.max_payload:
+            raise ProtocolError(
+                "declared payload exceeds the limit",
+                reason="oversized",
+                limit=self.max_payload,
+                actual=payload_len,
+            )
+        # Phase 2: the payload bytes, under the same message deadline.
+        if deadline is None and self.io_timeout:
+            deadline = time.monotonic() + self.io_timeout
+        while len(self._buffer) < payload_len:
+            if self._eof or not self._fill():
+                return None  # disconnected mid-payload
+            if self._deadline_expired(deadline):
+                raise ProtocolError(
+                    "client too slow: payload incomplete within the I/O budget",
+                    reason="timeout",
+                    limit=self.io_timeout,
+                )
+            if self.stop is not None and self.stop():
+                return None
+        payload = bytes(self._buffer[:payload_len])
+        del self._buffer[:payload_len]
+        return header, payload
+
+    # -- sending -------------------------------------------------------
+
+    def send_message(self, header: Dict[str, Any], payload: bytes = b"") -> None:
+        """Write one message (callers serialise access per connection)."""
+        self.sock.sendall(encode_message(header, payload))
+
+
+#: Address forms accepted by :class:`ServiceClient` and the server:
+#: ``("tcp", host, port)`` or ``("unix", path)``.
+Address = Union[Tuple[str, str, int], Tuple[str, str]]
+
+
+def parse_address(text: str) -> Address:
+    """Parse ``host:port`` or ``unix:/path`` into an address tuple."""
+    if text.startswith("unix:"):
+        return ("unix", text[5:])
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ConfigError(
+            "address must be HOST:PORT or unix:/path", field="address", value=text
+        )
+    return ("tcp", host, int(port))
+
+
+def connect(address: Union[str, Address], timeout: float = 10.0) -> socket.socket:
+    """Open a client socket to a server address tuple or string."""
+    if isinstance(address, str):
+        address = parse_address(address)
+    if address[0] == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(address[1])
+    else:
+        sock = socket.create_connection((address[1], address[2]), timeout=timeout)
+    return sock
+
+
+class ServiceClient:
+    """Small synchronous client for tests, tooling and the soak driver."""
+
+    def __init__(self, address: Union[str, Address], timeout: float = 30.0) -> None:
+        self.sock = connect(address, timeout=timeout)
+        self.stream = MessageStream(
+            self.sock,
+            max_payload=DEFAULT_MAX_PAYLOAD * 4,
+            io_timeout=timeout,
+        )
+        self._next_id = 0
+
+    def request(
+        self,
+        op: str,
+        payload: bytes = b"",
+        config: Optional[Dict[str, Any]] = None,
+        deadline_ms: Optional[int] = None,
+        request_id: Optional[Any] = None,
+        **fields: Any,
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """Send one request and block for its reply.
+
+        Raises :class:`ProtocolError` (reason ``closed``) if the server
+        hung up without replying — which a conforming server only does
+        after a framing violation by *this* client.
+        """
+        if request_id is None:
+            self._next_id += 1
+            request_id = self._next_id
+        header: Dict[str, Any] = {"op": op, "id": request_id}
+        if config is not None:
+            header["config"] = config
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        header.update(fields)
+        self.stream.send_message(header, payload)
+        reply = self.stream.recv_message()
+        if reply is None:
+            raise ProtocolError(
+                "connection closed before a reply arrived", reason="closed"
+            )
+        return reply
+
+    # Convenience wrappers -------------------------------------------------
+
+    def compress(
+        self,
+        text: Union[str, bytes],
+        config: Optional[Dict[str, Any]] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> Tuple[Dict[str, Any], bytes]:
+        payload = text.encode("utf-8") if isinstance(text, str) else text
+        return self.request(
+            "compress", payload, config=config, deadline_ms=deadline_ms
+        )
+
+    def decompress(self, container: bytes, **kw: Any) -> Tuple[Dict[str, Any], bytes]:
+        return self.request("decompress", container, **kw)
+
+    def verify(self, container: bytes, **kw: Any) -> Tuple[Dict[str, Any], bytes]:
+        return self.request("verify", container, **kw)
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")[0]
+
+    def metrics(self) -> Dict[str, Any]:
+        header, _ = self.request("metrics")
+        return header.get("metrics", {})
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+

@@ -290,3 +290,75 @@ class TestRunSupervised:
             run_supervised(
                 flaky_below(0), KEYS, make_args, workers=1, shard_timeout=0.0
             )
+
+
+class TestTimeoutDegradation:
+    """The SIGALRM in-worker timeout must degrade, never crash.
+
+    ``signal.signal`` only works on the main thread (and SIGALRM only
+    exists on POSIX); a supervised run driven from a service worker
+    thread — exactly what ``repro serve`` does — must fall back to an
+    un-alarmed call and leave the hang to the parent wave watchdog.
+    """
+
+    def test_call_with_timeout_works_off_the_main_thread(self):
+        import threading
+
+        from repro.parallel.supervisor import _call_with_timeout
+
+        outcome = []
+
+        def run():
+            outcome.append(_call_with_timeout(lambda x: x + 1, 41, timeout=5.0))
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=10)
+        assert outcome == [42]
+
+    def test_supervised_run_with_timeout_off_the_main_thread(self):
+        import threading
+
+        results = {}
+
+        def run():
+            results.update(
+                run_supervised(
+                    flaky_below(1),
+                    KEYS[:1],
+                    make_args,
+                    workers=1,
+                    retry_policy=NO_BACKOFF,
+                    shard_timeout=5.0,
+                    sleep=no_sleep,
+                )
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert results[KEYS[0]] == ("ok", KEYS[0], 1)
+
+    def test_unarmable_timer_falls_back_and_restores_handler(self, monkeypatch):
+        import signal as signal_module
+
+        from repro.parallel.supervisor import _call_with_timeout
+
+        before = signal_module.getsignal(signal_module.SIGALRM)
+
+        def refuse(which, seconds):
+            raise OSError("timer unavailable")
+
+        monkeypatch.setattr(signal_module, "setitimer", refuse)
+        assert _call_with_timeout(lambda x: x * 2, 21, timeout=5.0) == 42
+        assert signal_module.getsignal(signal_module.SIGALRM) is before
+
+    def test_alarm_still_fires_on_the_main_thread(self):
+        from repro.parallel.supervisor import _call_with_timeout, _WorkerTimeout
+
+        def hang(_args):
+            time.sleep(30.0)
+
+        with pytest.raises(_WorkerTimeout):
+            _call_with_timeout(hang, None, timeout=0.2)

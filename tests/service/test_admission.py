@@ -1,0 +1,116 @@
+"""Admission queue shed/close semantics and the token-bucket limiter."""
+
+import threading
+
+import pytest
+
+from repro.reliability.errors import ConfigError, OverloadError
+from repro.service.admission import AdmissionQueue, RateLimiter
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_queue_rejects_bad_capacity():
+    with pytest.raises(ConfigError):
+        AdmissionQueue(0)
+
+
+def test_fifo_order_preserved():
+    queue = AdmissionQueue(4)
+    for item in ("a", "b", "c"):
+        queue.submit(item)
+    assert [queue.take(0) for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_full_queue_sheds_with_typed_error():
+    queue = AdmissionQueue(2)
+    queue.submit(1)
+    queue.submit(2)
+    with pytest.raises(OverloadError) as info:
+        queue.submit(3)
+    assert info.value.reason == "queue_full"
+    assert info.value.depth == 2
+    assert info.value.capacity == 2
+    # Shedding never blocks and never loses the queued work.
+    assert queue.depth == 2
+
+
+def test_take_times_out_with_none():
+    queue = AdmissionQueue(1)
+    assert queue.take(timeout=0.01) is None
+
+
+def test_closed_queue_rejects_with_draining_reason():
+    queue = AdmissionQueue(2)
+    queue.close()
+    with pytest.raises(OverloadError) as info:
+        queue.submit(1)
+    assert info.value.reason == "draining"
+
+
+def test_close_flushes_pending_items_for_shed_replies():
+    queue = AdmissionQueue(4)
+    queue.submit("x")
+    queue.submit("y")
+    pending = queue.close()
+    assert pending == ["x", "y"]
+    assert queue.depth == 0
+    assert queue.take(0.01) is None  # closed and empty
+
+
+def test_close_wakes_blocked_consumer():
+    queue = AdmissionQueue(1)
+    seen = []
+
+    def consume():
+        seen.append(queue.take(timeout=5.0))
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    queue.close()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert seen == [None]
+
+
+def test_rate_limiter_disabled_when_rate_none():
+    limiter = RateLimiter(None)
+    assert all(limiter.try_acquire("c") for _ in range(1000))
+
+
+def test_rate_limiter_enforces_burst_then_refills():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=1.0, burst=2, clock=clock)
+    assert limiter.try_acquire("c")
+    assert limiter.try_acquire("c")
+    assert not limiter.try_acquire("c")  # burst spent
+    clock.now += 1.0
+    assert limiter.try_acquire("c")  # one token refilled
+    assert not limiter.try_acquire("c")
+
+
+def test_rate_limiter_isolates_clients():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+    assert limiter.try_acquire("a")
+    assert not limiter.try_acquire("a")
+    assert limiter.try_acquire("b")  # b has its own bucket
+
+
+def test_rate_limiter_prunes_idle_buckets():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=100.0, burst=1, clock=clock)
+    from repro.service import admission
+
+    for i in range(admission._PRUNE_THRESHOLD + 10):
+        limiter.try_acquire(f"client-{i}")
+        clock.now += 1.0  # every earlier bucket fully refills
+    assert len(limiter._buckets) <= admission._PRUNE_THRESHOLD + 10
+    # The table must have shrunk below the number of clients seen.
+    assert len(limiter._buckets) < admission._PRUNE_THRESHOLD

@@ -1,0 +1,110 @@
+"""Circuit breaker state machine: closed -> open -> half-open -> ..."""
+
+import threading
+
+import pytest
+
+from repro.reliability.errors import ConfigError
+from repro.service.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold, cooldown, clock=clock), clock
+
+
+def test_validates_configuration():
+    with pytest.raises(ConfigError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ConfigError):
+        CircuitBreaker(cooldown=-1.0)
+
+
+def test_stays_closed_below_threshold():
+    breaker, _ = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+
+
+def test_success_resets_consecutive_count():
+    breaker, _ = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # never 3 in a row
+
+
+def test_opens_at_threshold_and_rejects():
+    breaker, _ = make(threshold=3)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    assert not breaker.allow()
+
+
+def test_half_open_after_cooldown_grants_single_probe():
+    breaker, clock = make(threshold=2, cooldown=5.0)
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.now += 5.0
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # everyone else keeps waiting
+    assert not breaker.allow()
+
+
+def test_probe_success_closes():
+    breaker, clock = make(threshold=2, cooldown=5.0)
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.now += 5.0
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()
+    assert breaker.consecutive_failures == 0
+
+
+def test_probe_failure_reopens_for_another_cooldown():
+    breaker, clock = make(threshold=2, cooldown=5.0)
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.now += 5.0
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+    clock.now += 5.0
+    assert breaker.allow()  # next probe after the second cooldown
+
+
+def test_concurrent_allow_grants_exactly_one_probe():
+    breaker, clock = make(threshold=1, cooldown=1.0)
+    breaker.record_failure()
+    clock.now += 1.0
+    grants = []
+    barrier = threading.Barrier(8)
+
+    def contend():
+        barrier.wait()
+        grants.append(breaker.allow())
+
+    threads = [threading.Thread(target=contend) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert grants.count(True) == 1

@@ -1,0 +1,93 @@
+"""Cancellation token semantics and the encoder's cooperative checks."""
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, compress
+from repro.reliability.errors import DeadlineError
+from repro.service.cancel import CHECK_INTERVAL, CancellationToken
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_unexpired_token_checks_clean():
+    clock = FakeClock()
+    token = CancellationToken.after(5.0, clock=clock)
+    token.check()
+    assert not token.expired
+    assert not token.cancelled
+    assert token.remaining() == pytest.approx(5.0)
+
+
+def test_deadline_expiry_raises_typed_error():
+    clock = FakeClock()
+    token = CancellationToken.after(2.0, clock=clock)
+    clock.now = 2.5
+    assert token.expired
+    with pytest.raises(DeadlineError) as info:
+        token.check()
+    assert info.value.reason == "deadline"
+    assert info.value.deadline_s == 2.0
+    assert token.remaining() == 0.0
+
+
+def test_explicit_cancel_raises_with_cancelled_reason():
+    token = CancellationToken.after(3600.0)
+    token.cancel()
+    with pytest.raises(DeadlineError) as info:
+        token.check()
+    assert info.value.reason == "cancelled"
+
+
+def test_unbounded_token_never_expires():
+    token = CancellationToken.after(None)
+    token.check()
+    assert not token.expired
+    assert token.remaining() is None
+
+
+def test_compress_with_expired_token_raises_before_work():
+    clock = FakeClock()
+    token = CancellationToken.after(1.0, clock=clock)
+    clock.now = 2.0
+    with pytest.raises(DeadlineError):
+        compress(TernaryVector("01X0" * 50), LZWConfig(), cancel=token)
+
+
+def test_encoder_loop_observes_mid_stream_expiry():
+    """The symbol loop itself checks the token, not just stage borders.
+
+    The clock expires after the first check interval, so a stream much
+    longer than CHECK_INTERVAL must abort from *inside* the encode loop.
+    """
+
+    class ExpireAfterFirstCheck:
+        calls = 0
+
+        def __call__(self):
+            ExpireAfterFirstCheck.calls += 1
+            return 0.0 if ExpireAfterFirstCheck.calls < 3 else 10.0
+
+    token = CancellationToken.after(1.0, clock=ExpireAfterFirstCheck())
+    config = LZWConfig(char_bits=3, dict_size=32, entry_bits=12)
+    stream = TernaryVector("01X" * (CHECK_INTERVAL * 4))
+    with pytest.raises(DeadlineError):
+        compress(stream, config, cancel=token)
+
+
+def test_compress_result_unaffected_by_live_token():
+    """A token that never fires must not change the output bytes."""
+    stream = TernaryVector("01X0XX10" * 40)
+    config = LZWConfig(char_bits=3, dict_size=64, entry_bits=15)
+    plain = compress(stream, config)
+    guarded = compress(
+        stream, config, cancel=CancellationToken.after(3600.0)
+    )
+    assert plain.compressed.codes == guarded.compressed.codes
+    assert str(plain.assigned_stream) == str(guarded.assigned_stream)

@@ -1,0 +1,194 @@
+"""Wire-protocol framing, limits and the error-to-code reply map."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.reliability.errors import (
+    ConfigError,
+    ContainerError,
+    DeadlineError,
+    OverloadError,
+    ProtocolError,
+    ShardError,
+    TestFileError,
+)
+from repro.service.protocol import (
+    CODE_BAD_REQUEST,
+    CODE_DEADLINE,
+    CODE_INTERNAL,
+    CODE_PAYLOAD_TOO_LARGE,
+    CODE_SHED,
+    CODE_UNAVAILABLE,
+    CODE_UNPROCESSABLE,
+    MessageStream,
+    encode_message,
+    error_code,
+    error_reply,
+    ok_reply,
+    parse_address,
+)
+
+
+def pair():
+    """A connected socketpair wrapped as (writer socket, reader stream)."""
+    a, b = socket.socketpair()
+    return a, MessageStream(b)
+
+
+def test_round_trip_header_and_payload():
+    sender, stream = pair()
+    sender.sendall(encode_message({"op": "compress", "id": 7}, b"01X0"))
+    header, payload = stream.recv_message()
+    assert header["op"] == "compress"
+    assert header["id"] == 7
+    assert header["payload_len"] == 4
+    assert payload == b"01X0"
+
+
+def test_messages_arrive_back_to_back():
+    sender, stream = pair()
+    sender.sendall(
+        encode_message({"op": "ping", "id": 1})
+        + encode_message({"op": "ping", "id": 2}, b"xy")
+    )
+    assert stream.recv_message()[0]["id"] == 1
+    header, payload = stream.recv_message()
+    assert header["id"] == 2
+    assert payload == b"xy"
+
+
+def test_clean_eof_returns_none():
+    sender, stream = pair()
+    sender.close()
+    assert stream.recv_message() is None
+
+
+def test_mid_payload_disconnect_returns_none():
+    sender, stream = pair()
+    message = encode_message({"op": "compress"}, b"x" * 100)
+    sender.sendall(message[:-40])  # 40 payload bytes short
+    sender.close()
+    assert stream.recv_message() is None
+
+
+def test_garbage_header_raises_bad_header():
+    sender, stream = pair()
+    sender.sendall(b"\x00\xffnot json at all\n")
+    with pytest.raises(ProtocolError) as info:
+        stream.recv_message()
+    assert info.value.reason == "bad_header"
+
+
+def test_non_object_header_raises_bad_header():
+    sender, stream = pair()
+    sender.sendall(b"[1, 2, 3]\n")
+    with pytest.raises(ProtocolError) as info:
+        stream.recv_message()
+    assert info.value.reason == "bad_header"
+
+
+def test_oversized_declared_payload_rejected_from_header_alone():
+    a, b = socket.socketpair()
+    stream = MessageStream(b, max_payload=1024)
+    a.sendall(b'{"op": "compress", "payload_len": 1048576}\n')
+    with pytest.raises(ProtocolError) as info:
+        stream.recv_message()
+    assert info.value.reason == "oversized"
+    assert info.value.limit == 1024
+
+
+def test_negative_payload_len_rejected():
+    sender, stream = pair()
+    sender.sendall(b'{"op": "x", "payload_len": -1}\n')
+    with pytest.raises(ProtocolError) as info:
+        stream.recv_message()
+    assert info.value.reason == "bad_header"
+
+
+def test_unterminated_header_over_limit_rejected():
+    a, b = socket.socketpair()
+    stream = MessageStream(b, max_header=256)
+    a.sendall(b"x" * 300)  # no newline, past the cap
+    with pytest.raises(ProtocolError) as info:
+        stream.recv_message()
+    assert info.value.reason == "bad_header"
+
+
+def test_slow_loris_hits_io_timeout():
+    a, b = socket.socketpair()
+    stream = MessageStream(b, io_timeout=0.3)
+
+    def dribble():
+        try:
+            a.sendall(b"{")
+        except OSError:
+            pass
+
+    thread = threading.Thread(target=dribble)
+    thread.start()
+    with pytest.raises(ProtocolError) as info:
+        stream.recv_message()
+    assert info.value.reason == "timeout"
+    thread.join()
+
+
+def test_stop_callable_interrupts_idle_wait():
+    a, b = socket.socketpair()
+    calls = []
+
+    def stop():
+        calls.append(1)
+        return len(calls) > 2
+
+    stream = MessageStream(b, stop=stop)
+    assert stream.recv_message() is None
+    a.close()
+
+
+def test_parse_address_forms():
+    assert parse_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    assert parse_address("127.0.0.1:7878") == ("tcp", "127.0.0.1", 7878)
+    with pytest.raises(ConfigError):
+        parse_address("no-port-here")
+
+
+@pytest.mark.parametrize(
+    "exc, code",
+    [
+        (OverloadError("x", reason="queue_full"), CODE_SHED),
+        (OverloadError("x", reason="rate_limited"), CODE_SHED),
+        (OverloadError("x", reason="breaker_open"), CODE_UNAVAILABLE),
+        (OverloadError("x", reason="draining"), CODE_UNAVAILABLE),
+        (DeadlineError("x", reason="deadline"), CODE_DEADLINE),
+        (ProtocolError("x", reason="bad_header"), CODE_BAD_REQUEST),
+        (ProtocolError("x", reason="oversized"), CODE_PAYLOAD_TOO_LARGE),
+        (ConfigError("x"), CODE_BAD_REQUEST),
+        (TestFileError("x"), CODE_UNPROCESSABLE),
+        (ContainerError("x"), CODE_UNPROCESSABLE),
+        (ShardError("x"), CODE_INTERNAL),
+        (RuntimeError("x"), CODE_INTERNAL),
+    ],
+)
+def test_error_code_map(exc, code):
+    assert error_code(exc) == code
+
+
+def test_error_reply_is_structured_and_json_safe():
+    reply = error_reply(
+        42, OverloadError("queue full", reason="queue_full", depth=6, extra=object())
+    )
+    assert reply["id"] == 42
+    assert reply["ok"] is False
+    assert reply["code"] == CODE_SHED
+    assert reply["error"]["type"] == "OverloadError"
+    assert reply["error"]["diagnostics"]["depth"] == 6
+    json.dumps(reply)  # exotic diagnostic values were stringified
+
+
+def test_ok_reply_carries_fields():
+    reply = ok_reply(3, ratio_percent=12.5)
+    assert reply["ok"] is True and reply["code"] == 0
+    assert reply["ratio_percent"] == 12.5
