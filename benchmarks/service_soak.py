@@ -236,13 +236,20 @@ def _fault_client(fault, address, stats, stop):
         time.sleep(0.1)
 
 
-def _start_server(metrics_path, extra=()):
+def _start_server(metrics_path, extra=(), subcommand="serve", base_args=None):
+    """Launch one ``repro <subcommand>`` process, return (proc, address).
+
+    The fleet soak reuses this with ``subcommand="fleet"`` — both
+    subcommands print the same ``serving on <address> ...`` banner.
+    """
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    if base_args is None:
+        base_args = SERVER_ARGS
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve",
-         "--metrics-json", str(metrics_path), *SERVER_ARGS, *extra],
+        [sys.executable, "-m", "repro.cli", subcommand,
+         "--metrics-json", str(metrics_path), *base_args, *extra],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
     )
     banner = proc.stdout.readline()
@@ -352,7 +359,7 @@ def run_soak(seconds, good_clients, report_path=None):
     return _report(stats, counters, report_path, mode="soak")
 
 
-def _report(stats, counters, report_path, mode):
+def _report(stats, counters, report_path, mode, interesting=None):
     outcomes, violations = stats.snapshot()
     report = {
         "mode": mode,
@@ -367,11 +374,12 @@ def _report(stats, counters, report_path, mode):
     print(f"{mode} outcomes:")
     for label, count in outcomes.items():
         print(f"  {label}: {count}")
-    interesting = (
-        "service.requests", "service.completed", "service.shed",
-        "service.deadline_exceeded", "service.breaker_open",
-        "service.protocol_errors", "service.drained", "service.errors",
-    )
+    if interesting is None:
+        interesting = (
+            "service.requests", "service.completed", "service.shed",
+            "service.deadline_exceeded", "service.breaker_open",
+            "service.protocol_errors", "service.drained", "service.errors",
+        )
     print("server counters:")
     for name in interesting:
         print(f"  {name}: {counters.get(name, 0)}")

@@ -18,6 +18,8 @@ Subcommands::
     repro table      NAME      [--scale S]
     repro serve      [--port N | --socket PATH]  [--workers N
                      --queue-depth N --rate-limit R --drain-grace S]
+    repro fleet      [--backend ADDR ... | --spawn N]  [--cache-dir DIR
+                     --failover-attempts N --hedge-after-ms MS]
     repro list       (workloads, tables, builtin circuits)
 
 The CLI is a thin veneer over the library; every command prints what the
@@ -441,29 +443,14 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import CompressionServer, FORCED_EXIT_CODE, ServiceConfig
+def _serve_until_drained(server, banner: str, metrics_json: Optional[str]) -> int:
+    """Shared serve/fleet run loop: signals, banner, drain, exit code.
 
-    config = ServiceConfig(
-        host=args.host,
-        port=args.port,
-        socket_path=args.socket,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        max_payload=args.max_payload,
-        io_timeout=args.io_timeout,
-        default_deadline=args.default_deadline,
-        max_deadline=args.max_deadline,
-        rate_limit=args.rate_limit,
-        rate_burst=args.rate_burst,
-        breaker_threshold=args.breaker_threshold,
-        breaker_cooldown=args.breaker_cooldown,
-        retry_attempts=args.max_retries + 1,
-        drain_grace=args.drain_grace,
-        metrics_json=args.metrics_json,
-        debug_ops=args.debug_ops,
-    )
-    server = CompressionServer(config)
+    First SIGTERM/SIGINT triggers the graceful drain; a second one
+    forces an immediate exit with the documented status.
+    """
+    from .service import FORCED_EXIT_CODE
+
     signals_seen = {"count": 0}
 
     def _on_signal(signum, frame):
@@ -485,11 +472,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pass
     try:
         server.start()
-        print(
-            f"serving on {server.address_str} "
-            f"({config.workers} workers, queue depth {config.queue_depth})",
-            flush=True,
-        )
+        print(f"serving on {server.address_str} {banner}", flush=True)
         code = server.serve_forever()
     finally:
         for signum, handler in previous.items():
@@ -497,10 +480,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 signal.signal(signum, handler)
             except (ValueError, OSError):
                 pass
-    if args.metrics_json:
-        print(f"wrote {args.metrics_json}")
+    if metrics_json:
+        print(f"wrote {metrics_json}")
     print("drained, exiting")
     return code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CompressionServer, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_payload=args.max_payload,
+        io_timeout=args.io_timeout,
+        default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        retry_attempts=args.max_retries + 1,
+        drain_grace=args.drain_grace,
+        metrics_json=args.metrics_json,
+        debug_ops=args.debug_ops,
+    )
+    server = CompressionServer(config)
+    banner = f"({config.workers} workers, queue depth {config.queue_depth})"
+    return _serve_until_drained(server, banner, args.metrics_json)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetConfig, FleetDispatcher, spawn_backend, stop_backend
+
+    spawned = []
+    backends = list(args.backend or ())
+    try:
+        if args.spawn:
+            spawn_args = ["--workers", str(args.backend_workers)]
+            if args.debug_ops:
+                spawn_args.append("--debug-ops")
+            for _ in range(args.spawn):
+                child = spawn_backend(spawn_args)
+                spawned.append(child)
+                backends.append(child.address)
+                print(f"spawned backend {child.address} (pid {child.pid})")
+        config = FleetConfig(
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            max_payload=args.max_payload,
+            io_timeout=args.io_timeout,
+            default_deadline=args.default_deadline,
+            max_deadline=args.max_deadline,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+            drain_grace=args.drain_grace,
+            metrics_json=args.metrics_json,
+            debug_ops=args.debug_ops,
+            backends=tuple(backends),
+            probe_interval=args.probe_interval,
+            probe_timeout=args.probe_timeout,
+            backend_timeout=args.backend_timeout,
+            failover_attempts=args.failover_attempts,
+            hedge_after_ms=args.hedge_after_ms,
+            cache_dir=args.cache_dir,
+            cache_entries=args.cache_entries,
+        )
+        dispatcher = FleetDispatcher(config)
+        banner = (
+            f"({len(backends)} backends, {config.workers} relay workers, "
+            f"cache {'at ' + config.cache_dir if config.cache_dir else 'off'})"
+        )
+        return _serve_until_drained(dispatcher, banner, args.metrics_json)
+    finally:
+        for child in spawned:
+            code = stop_backend(child)
+            if code not in (0, None):
+                print(
+                    f"backend {child.address} exited {code} on drain",
+                    file=sys.stderr,
+                )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -787,6 +852,149 @@ def build_parser() -> argparse.ArgumentParser:
         help=argparse.SUPPRESS,  # sleep/fail ops for tests and the soak
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run the dispatcher tier: route the serve protocol across "
+        "N backends with health-checked failover and a verified result "
+        "cache (SIGTERM drains the whole tier gracefully)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=7800,
+        help="TCP port (0 picks an ephemeral port, printed at startup)",
+    )
+    p.add_argument(
+        "--socket",
+        metavar="PATH",
+        help="serve a unix domain socket here instead of TCP",
+    )
+    p.add_argument(
+        "--backend",
+        action="append",
+        metavar="ADDR",
+        help="backend address (HOST:PORT or unix:/path); repeatable",
+    )
+    p.add_argument(
+        "--spawn",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also spawn N local repro-serve backends on ephemeral ports "
+        "(drained when the dispatcher exits)",
+    )
+    p.add_argument(
+        "--backend-workers",
+        type=int,
+        default=2,
+        help="worker threads per --spawn backend (default 2)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4, help="concurrent relay threads"
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="admission queue capacity; a full queue sheds with a typed "
+        "429-style reply (default 32)",
+    )
+    p.add_argument(
+        "--max-payload",
+        type=int,
+        default=16 * 1024 * 1024,
+        help="per-request payload cap in bytes (oversized: 413 reply)",
+    )
+    p.add_argument(
+        "--io-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a message may take to arrive once started",
+    )
+    p.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        help="deadline for requests that set no deadline_ms",
+    )
+    p.add_argument(
+        "--max-deadline",
+        type=float,
+        default=300.0,
+        help="cap on client-requested deadlines",
+    )
+    p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        help="per-client sustained requests/second (default: unlimited)",
+    )
+    p.add_argument(
+        "--rate-burst", type=int, default=None, help="per-client burst size"
+    )
+    p.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        help="seconds between backend health probes (default 1)",
+    )
+    p.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=2.0,
+        help="per-probe reply budget (default 2)",
+    )
+    p.add_argument(
+        "--backend-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for a backend reply before failing over",
+    )
+    p.add_argument(
+        "--failover-attempts",
+        type=int,
+        default=2,
+        help="extra backends tried after an infrastructure failure "
+        "(client errors are never retried; default 2)",
+    )
+    p.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        default=None,
+        help="launch a tail-latency hedge on a second backend after this "
+        "many ms without a reply (default: off)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed result cache directory (default: off); "
+        "entries are CRC-verified on every hit",
+    )
+    p.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="result-cache entry bound; oldest entries are evicted",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds in-flight requests get to finish during drain",
+    )
+    p.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        help="write the final repro.metrics/1 snapshot here on drain",
+    )
+    p.add_argument(
+        "--debug-ops",
+        action="store_true",
+        help=argparse.SUPPRESS,  # relay sleep/fail for tests and the soak
+    )
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("list", help="list workloads, tables and circuits")
     p.set_defaults(func=_cmd_list)

@@ -1,0 +1,46 @@
+"""Dispatcher tier: one front door across N ``repro serve`` backends.
+
+``repro serve`` (PR 5) hardened a single process; this package makes
+the service survive the process itself dying.  A
+:class:`~repro.fleet.dispatcher.FleetDispatcher` speaks the exact same
+NDJSON/framed protocol to clients and routes each request across a
+fleet of independent backends:
+
+* :mod:`~repro.fleet.router` — workload fingerprints + rendezvous
+  hashing (stable placement, 1/N disruption on membership change);
+* :mod:`~repro.fleet.backends` — per-backend connection pools and
+  circuit breakers, plus the health-probe thread;
+* :mod:`~repro.fleet.cache` — the content-addressed, CRC-verified
+  result cache (atomic writes; corrupt entries are misses, never
+  served);
+* :mod:`~repro.fleet.dispatcher` — admission + routing + failover +
+  hedging, reusing the whole service envelope by subclassing
+  :class:`~repro.service.server.CompressionServer`;
+* :mod:`~repro.fleet.procs` — backend subprocess management (spawn,
+  drain, and the kill/pause fault hooks);
+* :mod:`~repro.fleet.chaos` — the oracle-checked chaos campaign over
+  :data:`~repro.reliability.chaos.FLEET_FAULTS`.
+
+Import layering: fleet sits on top of service, reliability and
+observability; nothing below imports it.
+"""
+
+from .backends import BackendError, BackendState, HealthProber
+from .cache import ResultCache
+from .dispatcher import FleetConfig, FleetDispatcher
+from .procs import BackendProcess, spawn_backend, stop_backend
+from .router import rank_backends, workload_fingerprint
+
+__all__ = [
+    "BackendError",
+    "BackendProcess",
+    "BackendState",
+    "FleetConfig",
+    "FleetDispatcher",
+    "HealthProber",
+    "ResultCache",
+    "rank_backends",
+    "spawn_backend",
+    "stop_backend",
+    "workload_fingerprint",
+]

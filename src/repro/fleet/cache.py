@@ -1,0 +1,194 @@
+"""Content-addressed, integrity-verified cache of compressed containers.
+
+Regression-test traffic repeats itself: the same cube sets get
+compressed with the same configs over and over.  The cache turns those
+repeats into zero-encode-cost replays — *iff* a hit can be trusted.
+The durability story is therefore the whole design:
+
+* **keying** — entries are addressed by the request's workload
+  fingerprint (op + canonical config + payload bytes, see
+  :func:`~repro.fleet.router.workload_fingerprint`), so a hit is by
+  construction the answer to this exact request;
+* **writes** — every entry goes through
+  :func:`~repro.reliability.atomic.atomic_write_bytes` (tmp + fsync +
+  rename), so a crash mid-write leaves no torn entry to find later;
+* **reads** — every hit is re-verified before replay: the entry's own
+  CRC over the stored container, then the container's header + payload
+  CRCs (and, with ``deep_verify``, a full decode against the stored
+  stream digest).  A failed check unlinks the entry, bumps
+  ``fleet.cache_corrupt`` and reports a miss — corrupt bytes are
+  *never* served;
+* **bounding** — the entry count is capped; the oldest entries (mtime)
+  are evicted after each write.
+
+An entry file is one JSON metadata line (reply fields + container CRC)
+followed by the raw container bytes.  Only ``compress`` results are
+cached: they are deterministic pure functions of the fingerprint, and
+they are the expensive op the fleet exists to absorb.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..container import load_bytes
+from ..observability import NULL_RECORDER, Recorder
+from ..observability import schema as ev
+from ..reliability.atomic import atomic_write_bytes
+from ..reliability.errors import ContainerError, ReproError
+
+__all__ = ["ResultCache"]
+
+#: Entry filename suffix (anything else in the tree is ignored).
+_SUFFIX = ".entry"
+
+
+class ResultCache:
+    """Bounded on-disk cache of ``(reply fields, container bytes)``.
+
+    Thread-safe; every public method tolerates a concurrently-mutated
+    directory (entries vanishing underneath it are treated as misses,
+    never as errors).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_entries: int = 1024,
+        recorder: Optional[Recorder] = None,
+        deep_verify: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.max_entries = max(1, int(max_entries))
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.deep_verify = deep_verify
+        self._lock = threading.Lock()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, fingerprint: str) -> Path:
+        # Two-level fan-out keeps any one directory small.
+        return self.directory / fingerprint[:2] / f"{fingerprint}{_SUFFIX}"
+
+    # -- reads ---------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        """A verified ``(fields, container)`` hit, or ``None`` (miss).
+
+        Any integrity failure — torn metadata, CRC mismatch, container
+        that no longer parses — quarantines the entry (unlink + the
+        ``fleet.cache_corrupt`` counter) and reports a miss.
+        """
+        path = self._path_for(fingerprint)
+        try:
+            data = path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return None
+        entry = self._verify(fingerprint, data)
+        if entry is None:
+            self._quarantine(path)
+            return None
+        try:
+            os.utime(path)  # LRU-ish: refresh the eviction clock on hits
+        except OSError:
+            pass
+        return entry
+
+    def _verify(
+        self, fingerprint: str, data: bytes
+    ) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        newline = data.find(b"\n")
+        if newline < 0:
+            return None
+        try:
+            meta = json.loads(data[:newline].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(meta, dict) or meta.get("fingerprint") != fingerprint:
+            return None
+        container = data[newline + 1 :]
+        if meta.get("crc") != zlib.crc32(container):
+            return None
+        fields = meta.get("fields")
+        if not isinstance(fields, dict):
+            return None
+        try:
+            # verify=False still checks the header and payload CRCs;
+            # deep_verify additionally decodes the stream and checks
+            # the stored digest (catches CRC-preserving tampering).
+            load_bytes(container, verify=self.deep_verify)
+        except (ContainerError, ReproError, ValueError):
+            return None
+        return fields, container
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        if self.recorder.enabled:
+            self.recorder.incr(ev.FLEET_CACHE_CORRUPT)
+
+    # -- writes --------------------------------------------------------
+
+    def put(self, fingerprint: str, fields: Dict[str, Any], container: bytes) -> None:
+        """Store one result; failures are silent (the cache is advisory)."""
+        meta = {
+            "fingerprint": fingerprint,
+            "crc": zlib.crc32(container),
+            "fields": {
+                key: value
+                for key, value in fields.items()
+                if key not in ("id", "ok", "code", "payload_len")
+            },
+        }
+        line = json.dumps(meta, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        path = self._path_for(fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, line + b"\n" + container)
+        except (ContainerError, OSError):
+            return  # full/readonly disk: the backend result still flows
+        self._evict()
+
+    def _entries(self):
+        try:
+            return [
+                path
+                for path in self.directory.glob(f"*/*{_SUFFIX}")
+                if path.is_file()
+            ]
+        except OSError:
+            return []
+
+    def _evict(self) -> None:
+        """Drop oldest entries until the count bound holds again."""
+        with self._lock:
+            entries = self._entries()
+            excess = len(entries) - self.max_entries
+            if excess <= 0:
+                return
+
+            def mtime(path: Path) -> float:
+                try:
+                    return path.stat().st_mtime
+                except OSError:
+                    return 0.0
+
+            entries.sort(key=mtime)
+            evicted = 0
+            for path in entries[:excess]:
+                try:
+                    path.unlink()
+                    evicted += 1
+                except OSError:
+                    pass
+            if evicted and self.recorder.enabled:
+                self.recorder.incr(ev.FLEET_CACHE_EVICTIONS, evicted)
+
+    def __len__(self) -> int:
+        return len(self._entries())

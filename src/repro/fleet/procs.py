@@ -1,0 +1,128 @@
+"""Backend subprocess management for the fleet.
+
+Shared by the ``repro fleet --spawn N`` convenience mode, the fleet
+chaos harness and the soak benchmark: start real ``repro serve``
+processes, parse their readiness banner for the bound address, and stop
+them with the same drain contract the service tests enforce (SIGTERM →
+exit 0 within the grace budget).
+
+Fault injection hooks (used by :mod:`repro.fleet.chaos`):
+
+* :meth:`BackendProcess.kill` — SIGKILL, the crashed-backend fault;
+* :meth:`BackendProcess.pause` / :meth:`BackendProcess.resume` —
+  SIGSTOP / SIGCONT, the hung-backend fault (the process keeps its
+  sockets but stops answering, which is what distinguishes *hung* from
+  *dead* at the dispatcher).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+__all__ = ["BackendProcess", "spawn_backend", "stop_backend"]
+
+#: Seconds a draining backend gets before we call it hung.
+DRAIN_TIMEOUT = 20.0
+
+
+class BackendProcess:
+    """One spawned ``repro serve`` child and its bound address."""
+
+    def __init__(
+        self, proc: subprocess.Popen, address: str, metrics_path: Optional[str]
+    ) -> None:
+        self.proc = proc
+        self.address = address
+        self.metrics_path = metrics_path
+        self.paused = False
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL: the backend vanishes without any goodbye."""
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+        self.proc.wait()
+
+    def pause(self) -> None:
+        """SIGSTOP: sockets stay open, nothing gets answered."""
+        os.kill(self.proc.pid, signal.SIGSTOP)
+        self.paused = True
+
+    def resume(self) -> None:
+        """SIGCONT after :meth:`pause` (cleanup path of the hang fault)."""
+        if self.paused and self.alive():
+            try:
+                os.kill(self.proc.pid, signal.SIGCONT)
+            except OSError:
+                pass
+        self.paused = False
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def spawn_backend(
+    args: Sequence[str] = (),
+    metrics_json: Optional[str] = None,
+    python: str = sys.executable,
+) -> BackendProcess:
+    """Start one ``repro serve`` child; returns it with its address.
+
+    ``args`` are extra CLI flags (``--port 0`` is the default, so each
+    backend binds an ephemeral port).  Raises ``RuntimeError`` with the
+    child's first output line if the readiness banner never appears.
+    """
+    command: List[str] = [python, "-m", "repro.cli", "serve", "--port", "0"]
+    if metrics_json:
+        command += ["--metrics-json", str(metrics_json)]
+    command += list(args)
+    proc = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_child_env(),
+    )
+    banner = proc.stdout.readline()
+    if "serving on" not in banner:
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(f"backend failed to start: {banner!r}")
+    return BackendProcess(proc, banner.split()[2], metrics_json)
+
+
+def stop_backend(
+    backend: BackendProcess, timeout: float = DRAIN_TIMEOUT
+) -> Optional[int]:
+    """SIGTERM and wait for the drain; returns the exit code.
+
+    ``None`` means the backend failed to exit within ``timeout`` and
+    was killed — callers treat that as a drain-contract violation.
+    """
+    backend.resume()  # a paused process cannot handle SIGTERM
+    if not backend.alive():
+        return backend.proc.returncode
+    backend.proc.send_signal(signal.SIGTERM)
+    try:
+        backend.proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        backend.kill()
+        return None
+    return backend.proc.returncode

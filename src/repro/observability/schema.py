@@ -74,11 +74,23 @@ __all__ = [
     "SERVICE_DRAINED",
     "SERVICE_PROTOCOL_ERRORS",
     "SERVICE_DISCONNECTS",
+    "FLEET_REQUESTS",
+    "FLEET_CACHE_HITS",
+    "FLEET_CACHE_MISSES",
+    "FLEET_CACHE_CORRUPT",
+    "FLEET_CACHE_EVICTIONS",
+    "FLEET_FAILOVERS",
+    "FLEET_HEDGES",
+    "FLEET_HEDGE_WINS",
+    "FLEET_BACKEND_ERRORS",
+    "FLEET_NO_BACKENDS",
+    "FLEET_PROBE_FAILURES",
     # histogram names
     "HIST_PHRASE_LEN",
     "HIST_XBITS_PER_PHRASE",
     "HIST_CODES_PER_WIDTH",
     "HIST_REQUEST_LATENCY_MS",
+    "HIST_ROUTING_LATENCY_MS",
 ]
 
 #: Version tag embedded in every emitted snapshot.
@@ -156,6 +168,31 @@ SERVICE_PROTOCOL_ERRORS = "service.protocol_errors"
 #: Replies that could not be delivered (client hung up mid-request).
 SERVICE_DISCONNECTS = "service.disconnects"
 
+# -- fleet counters (repro fleet dispatcher) ---------------------------
+#: Requests routed by the dispatcher (cache hits included).
+FLEET_REQUESTS = "fleet.requests"
+#: Compress requests served from the verified result cache.
+FLEET_CACHE_HITS = "fleet.cache_hits"
+#: Cacheable requests that had no (valid) cache entry.
+FLEET_CACHE_MISSES = "fleet.cache_misses"
+#: Cache entries that failed CRC/digest verification on read; each one
+#: is unlinked and treated as a miss — corrupt bytes are never served.
+FLEET_CACHE_CORRUPT = "fleet.cache_corrupt"
+#: Cache entries removed to enforce the entry-count bound.
+FLEET_CACHE_EVICTIONS = "fleet.cache_evictions"
+#: Requests retried on another backend after an infrastructure failure.
+FLEET_FAILOVERS = "fleet.failovers"
+#: Tail-latency hedges launched against a secondary backend.
+FLEET_HEDGES = "fleet.hedges"
+#: Hedged requests where the secondary's reply was used.
+FLEET_HEDGE_WINS = "fleet.hedge_wins"
+#: Backend transport/infrastructure failures observed by the dispatcher.
+FLEET_BACKEND_ERRORS = "fleet.backend_errors"
+#: Requests shed with a typed 503 because no healthy backend remained.
+FLEET_NO_BACKENDS = "fleet.no_backends"
+#: Health probes that failed (connect error, timeout, bad reply).
+FLEET_PROBE_FAILURES = "fleet.probe_failures"
+
 # -- histograms --------------------------------------------------------
 #: LZW phrase lengths, in characters.
 HIST_PHRASE_LEN = "encode.phrase_len_chars"
@@ -165,6 +202,9 @@ HIST_XBITS_PER_PHRASE = "encode.xbits_per_phrase"
 HIST_CODES_PER_WIDTH = "encode.codes_per_width"
 #: End-to-end request latency, bucketed to whole milliseconds.
 HIST_REQUEST_LATENCY_MS = "service.request_latency_ms"
+#: Dispatcher routing overhead (fingerprint + backend selection +
+#: cache lookup), bucketed to whole milliseconds.
+HIST_ROUTING_LATENCY_MS = "fleet.routing_latency_ms"
 
 
 def metrics_snapshot(recorder: Recorder, partial: bool = False) -> dict:

@@ -42,9 +42,11 @@ from ..bitstream import TernaryVector
 
 __all__ = [
     "CLIENT_FAULTS",
+    "FLEET_FAULTS",
     "PROCESS_FAULTS",
     "ChaosPlan",
     "ClientFaultPlan",
+    "FleetFaultPlan",
     "InjectedWorkerError",
 ]
 
@@ -53,6 +55,9 @@ PROCESS_FAULTS = ("exception", "kill", "hang", "corrupt")
 
 #: The service-client fault classes the soak harness drives.
 CLIENT_FAULTS = ("slow_loris", "oversized_frame", "garbage_frame", "disconnect")
+
+#: The dispatcher-tier fault classes the fleet chaos campaign drives.
+FLEET_FAULTS = ("backend_kill", "backend_hang", "backend_partition", "cache_tamper")
 
 
 class InjectedWorkerError(RuntimeError):
@@ -130,6 +135,81 @@ class ChaosPlan:
                 time.sleep(0.01)
             return stream
         return _corrupt_stream(stream, self._rng(workload, shard))
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """One dispatcher-tier fault, as a reproducible value object.
+
+    Where :class:`ChaosPlan` attacks batch workers and
+    :class:`ClientFaultPlan` attacks the serving front door, this
+    attacks the *fleet* — the layer between a dispatcher and its
+    backends:
+
+    ``backend_kill``
+        one backend is SIGKILLed mid-campaign (crash, OOM);
+    ``backend_hang``
+        one backend is SIGSTOPped — sockets stay open, nothing is
+        answered (wedged process, GC death spiral);
+    ``backend_partition``
+        the network path to one backend starts dropping connections
+        (the harness interposes a proxy and cuts it);
+    ``cache_tamper``
+        bytes of one result-cache entry are flipped on disk (bit rot,
+        torn write escaping the atomic path) — the dispatcher must
+        treat the entry as a miss, never serve it.
+
+    Which backend (or cache entry) is targeted and when the fault fires
+    are pure functions of ``(fault, seed)``, so a failing campaign
+    trial is reproducible from that pair alone.  The plan only
+    *decides*; the fleet harness (:mod:`repro.fleet.chaos`) owns the
+    processes and actually pulls the trigger — reliability sits below
+    the fleet layer and must stay importable without it.
+    """
+
+    fault: str
+    seed: int = 0
+    #: Requests the campaign sends for this trial.
+    requests: int = 24
+    #: Backends the trial assumes (targeting is modulo this count).
+    backends: int = 3
+
+    def __post_init__(self) -> None:
+        if self.fault not in FLEET_FAULTS:
+            raise ValueError(
+                f"unknown fault {self.fault!r}; known: {', '.join(FLEET_FAULTS)}"
+            )
+        if self.requests < 2:
+            raise ValueError("a trial needs at least 2 requests")
+        if self.backends < 1:
+            raise ValueError("a trial needs at least 1 backend")
+
+    def _rng(self) -> random.Random:
+        return random.Random(f"fleet-chaos:{self.fault}:{self.seed}")
+
+    @property
+    def trigger_index(self) -> int:
+        """Request ordinal after which the fault is injected.
+
+        Strictly inside the run (never before the first request or
+        after the last), so every trial exercises both the healthy and
+        the faulted regime.
+        """
+        return 1 + self._rng().randrange(max(1, self.requests - 2))
+
+    @property
+    def target_backend(self) -> int:
+        """Index of the backend (or cache shard) the fault targets."""
+        return self._rng().randrange(self.backends)
+
+    def tamper(self, data: bytes) -> bytes:
+        """Deterministically flip one byte of a cache entry's bytes."""
+        if not data:
+            return data
+        rng = self._rng()
+        position = rng.randrange(len(data))
+        flipped = data[position] ^ (1 << rng.randrange(8))
+        return data[:position] + bytes([flipped]) + data[position + 1 :]
 
 
 @dataclass(frozen=True)

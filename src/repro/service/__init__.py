@@ -39,6 +39,7 @@ from .protocol import (
     connect,
     encode_message,
     error_code,
+    error_from_reply,
     error_reply,
     ok_reply,
     parse_address,
@@ -69,6 +70,7 @@ __all__ = [
     "connect",
     "encode_message",
     "error_code",
+    "error_from_reply",
     "error_reply",
     "ok_reply",
     "parse_address",

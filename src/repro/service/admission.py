@@ -73,7 +73,9 @@ class AdmissionQueue:
         with self._lock:
             if self._closed:
                 raise OverloadError(
-                    "server is draining, request shed", reason="draining"
+                    "server is draining, request shed",
+                    reason="draining",
+                    retry_after=1.0,
                 )
             if len(self._items) >= self.capacity:
                 raise OverloadError(
@@ -81,6 +83,7 @@ class AdmissionQueue:
                     reason="queue_full",
                     depth=len(self._items),
                     capacity=self.capacity,
+                    retry_after=0.1,
                 )
             self._items.append(item)
             self._not_empty.notify()
@@ -163,6 +166,25 @@ class RateLimiter:
             if len(self._buckets) > _PRUNE_THRESHOLD:
                 self._prune(now)
             return allowed
+
+    def seconds_until_token(self, client: str) -> float:
+        """How long ``client`` must wait before a token is available.
+
+        Zero when limiting is disabled or a token is already there; the
+        shed path attaches this as the reply's ``retry_after_ms`` hint.
+        """
+        if self.rate is None:
+            return 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                return 0.0
+            tokens, stamp = bucket
+            tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+            if tokens >= 1.0:
+                return 0.0
+            return (1.0 - tokens) / self.rate
 
     def _prune(self, now: float) -> None:
         """Drop buckets that have refilled completely (idle clients)."""

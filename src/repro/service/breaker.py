@@ -105,6 +105,19 @@ class CircuitBreaker:
                 return True
             return False
 
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe could be admitted.
+
+        Zero when the breaker is closed or already half-open; clients
+        that see a ``breaker_open`` rejection can use this as an honest
+        back-off hint instead of guessing.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state != self.OPEN:
+                return 0.0
+            return max(0.0, self._opened_at + self.cooldown - self._clock())
+
     def record_success(self) -> None:
         """A permitted request succeeded: close and reset."""
         with self._lock:

@@ -66,6 +66,7 @@ __all__ = [
     "ServiceClient",
     "encode_message",
     "error_code",
+    "error_from_reply",
     "error_reply",
     "ok_reply",
 ]
@@ -93,7 +94,7 @@ def error_code(exc: BaseException) -> int:
     """Map a typed error to the reply status code clients switch on."""
     if isinstance(exc, OverloadError):
         reason = getattr(exc, "reason", None)
-        if reason in ("breaker_open", "draining"):
+        if reason in ("breaker_open", "draining", "no_backends"):
             return CODE_UNAVAILABLE
         return CODE_SHED
     if isinstance(exc, DeadlineError):
@@ -126,7 +127,52 @@ def error_reply(request_id: Any, exc: BaseException) -> Dict[str, Any]:
             else repr(value)
             for key, value in diagnostics.items()
         }
-    return {"id": request_id, "ok": False, "code": error_code(exc), "error": error}
+    header = {"id": request_id, "ok": False, "code": error_code(exc), "error": error}
+    # Overload rejections carry an honest back-off hint when the server
+    # knows one (breaker cooldown remainder, token-bucket refill time).
+    retry_after = getattr(exc, "retry_after", None)
+    if isinstance(retry_after, (int, float)) and retry_after >= 0:
+        header["retry_after_ms"] = max(1, int(retry_after * 1000))
+    return header
+
+
+#: Reply ``error.type`` names the dispatcher can reconstruct as typed
+#: exceptions when relaying a backend failure to its own client.
+_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        ConfigError,
+        ContainerError,
+        DeadlineError,
+        DecodeError,
+        OverloadError,
+        ProtocolError,
+        ShardError,
+        StreamError,
+        TestFileError,
+    )
+}
+
+
+def error_from_reply(header: Dict[str, Any]) -> Exception:
+    """Rebuild the typed exception an error reply describes.
+
+    The inverse of :func:`error_reply`, as far as the wire allows: the
+    class is looked up by name (unknown types degrade to
+    :class:`ShardError`), and the diagnostics dict rides along so
+    ``reason`` / ``retry_after_ms`` survive a relay hop intact.
+    """
+    error = header.get("error") or {}
+    cls = _ERROR_TYPES.get(error.get("type"), ShardError)
+    diagnostics = dict(error.get("diagnostics") or {})
+    retry_after_ms = header.get("retry_after_ms")
+    if isinstance(retry_after_ms, int) and "retry_after" not in diagnostics:
+        diagnostics["retry_after"] = retry_after_ms / 1000.0
+    message = error.get("message") or "backend reported an error"
+    try:
+        return cls(message, **diagnostics)
+    except TypeError:  # diagnostics keys the constructor rejects
+        return ShardError(message, **diagnostics)
 
 
 def ok_reply(request_id: Any, **fields: Any) -> Dict[str, Any]:
@@ -318,16 +364,86 @@ def connect(address: Union[str, Address], timeout: float = 10.0) -> socket.socke
 
 
 class ServiceClient:
-    """Small synchronous client for tests, tooling and the soak driver."""
+    """Small synchronous client for tests, tooling and the soak driver.
 
-    def __init__(self, address: Union[str, Address], timeout: float = 30.0) -> None:
-        self.sock = connect(address, timeout=timeout)
+    ``auto_reconnect=True`` makes a broken connection self-healing: a
+    send failure or a close-without-reply triggers one reconnect and one
+    resend before the transport error surfaces — enough to ride out a
+    backend restart without callers managing sockets.  ``reply_timeout``
+    bounds the wait for a reply's *first byte* (the per-message
+    ``io_timeout`` only starts counting once a reply begins arriving);
+    when it trips, the socket is closed so a late reply can never be
+    mis-paired with a later request, and a :class:`ProtocolError` with
+    reason ``timeout`` is raised.
+
+    ``retry_overloads=N`` opts in to honouring the server's 429/503
+    ``retry_after_ms`` hint: the client sleeps the hinted back-off and
+    resends, up to ``N`` times, before handing the overload reply back.
+    """
+
+    def __init__(
+        self,
+        address: Union[str, Address],
+        timeout: float = 30.0,
+        auto_reconnect: bool = False,
+        reply_timeout: Optional[float] = None,
+        retry_overloads: int = 0,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.auto_reconnect = auto_reconnect
+        self.reply_timeout = reply_timeout
+        self.retry_overloads = retry_overloads
+        self._next_id = 0
+        self._reply_deadline: Optional[float] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self.sock = connect(self.address, timeout=self.timeout)
         self.stream = MessageStream(
             self.sock,
             max_payload=DEFAULT_MAX_PAYLOAD * 4,
-            io_timeout=timeout,
+            io_timeout=self.timeout,
+            stop=self._reply_timed_out,
         )
-        self._next_id = 0
+
+    def _reply_timed_out(self) -> bool:
+        return (
+            self._reply_deadline is not None
+            and time.monotonic() >= self._reply_deadline
+        )
+
+    def reconnect(self) -> None:
+        """Drop the current connection and dial the server again."""
+        self.close()
+        self._connect()
+
+    def _exchange(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """One send/recv round trip; raises on any transport failure."""
+        if self.reply_timeout is not None:
+            self._reply_deadline = time.monotonic() + self.reply_timeout
+        try:
+            self.stream.send_message(header, payload)
+            reply = self.stream.recv_message()
+        finally:
+            timed_out = self._reply_timed_out()
+            self._reply_deadline = None
+        if reply is None:
+            if timed_out:
+                # The connection now has an unread reply in flight;
+                # poison it so a retry cannot pair replies wrongly.
+                self.close()
+                raise ProtocolError(
+                    "no reply within the reply timeout",
+                    reason="timeout",
+                    limit=self.reply_timeout,
+                )
+            raise ProtocolError(
+                "connection closed before a reply arrived", reason="closed"
+            )
+        return reply
 
     def request(
         self,
@@ -353,13 +469,29 @@ class ServiceClient:
         if deadline_ms is not None:
             header["deadline_ms"] = deadline_ms
         header.update(fields)
-        self.stream.send_message(header, payload)
-        reply = self.stream.recv_message()
-        if reply is None:
-            raise ProtocolError(
-                "connection closed before a reply arrived", reason="closed"
-            )
-        return reply
+        overload_budget = self.retry_overloads
+        reconnect_budget = 1 if self.auto_reconnect else 0
+        while True:
+            try:
+                reply = self._exchange(header, payload)
+            except (ProtocolError, OSError) as exc:
+                reason = getattr(exc, "reason", None)
+                if reconnect_budget < 1 or reason == "timeout":
+                    raise
+                reconnect_budget -= 1
+                self.reconnect()
+                continue
+            code = reply[0].get("code")
+            retry_after_ms = reply[0].get("retry_after_ms")
+            if (
+                overload_budget > 0
+                and code in (CODE_SHED, CODE_UNAVAILABLE)
+                and isinstance(retry_after_ms, int)
+            ):
+                overload_budget -= 1
+                time.sleep(min(retry_after_ms / 1000.0, 5.0))
+                continue
+            return reply
 
     # Convenience wrappers -------------------------------------------------
 
@@ -392,6 +524,9 @@ class ServiceClient:
             self.sock.close()
         except OSError:
             pass
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
 
     def __enter__(self) -> "ServiceClient":
         return self

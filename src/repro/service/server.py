@@ -370,6 +370,7 @@ class CompressionServer:
                     OverloadError(
                         "server draining before this request started",
                         reason="draining",
+                        retry_after=self.config.drain_grace,
                     ),
                 )
             )
@@ -476,7 +477,9 @@ class CompressionServer:
                 if rec.enabled:
                     rec.incr(ev.SERVICE_DRAINED)
                 raise OverloadError(
-                    "server is draining, request shed", reason="draining"
+                    "server is draining, request shed",
+                    reason="draining",
+                    retry_after=self.config.drain_grace,
                 )
             if not self.limiter.try_acquire(connection.client_id):
                 if rec.enabled:
@@ -485,6 +488,10 @@ class CompressionServer:
                     "client rate limit exceeded",
                     reason="rate_limited",
                     client=connection.client_id,
+                    retry_after=max(
+                        0.001,
+                        self.limiter.seconds_until_token(connection.client_id),
+                    ),
                 )
             config = self._config_for(header)
             job = _Job(
@@ -572,31 +579,24 @@ class CompressionServer:
                     self._inflight.pop(id(job), None)
 
     def _process(self, job: _Job) -> None:
+        """Reply bookkeeping around one job, execution model agnostic.
+
+        Everything specific to *how* a job runs — breaker gates, the
+        supervised pool, or (in the fleet dispatcher subclass) routing
+        to a backend — lives behind :meth:`_execute_job`; this method
+        only turns its outcome into exactly one reply plus counters.
+        """
         rec = self.recorder
         started = time.monotonic()
         header: Dict[str, Any]
         payload = b""
         try:
             job.token.check()  # expired while queued: no work, reply 408
-            if not self.breaker.allow():
-                if rec.enabled:
-                    rec.incr(ev.SERVICE_BREAKER_OPEN)
-                raise OverloadError(
-                    "circuit breaker open, request shed",
-                    reason="breaker_open",
-                    retry_after=self.config.breaker_cooldown,
-                )
-            outcome = self._execute_supervised(job)
-            if isinstance(outcome, _CLIENT_ERRORS):
-                self.breaker.record_success()  # infra worked; input didn't
-                raise outcome
-            self.breaker.record_success()
-            fields, payload = outcome
+            fields, payload = self._execute_job(job)
             header = ok_reply(job.request_id, **fields)
             if rec.enabled:
                 rec.incr(ev.SERVICE_COMPLETED)
         except ShardError as exc:
-            self.breaker.record_failure()
             if rec.enabled:
                 rec.incr(ev.SERVICE_ERRORS)
             header = error_reply(job.request_id, exc)
@@ -613,6 +613,35 @@ class CompressionServer:
             elapsed_ms = int((time.monotonic() - started) * 1000)
             rec.observe(ev.HIST_REQUEST_LATENCY_MS, elapsed_ms)
         job.writer.reply(header, payload)
+
+    def _execute_job(self, job: _Job) -> Tuple[Dict[str, Any], bytes]:
+        """Run one admitted job; returns ``(reply fields, payload)``.
+
+        The local execution model: breaker gate, then the supervised
+        worker pool.  Client-class errors are raised for ``_process`` to
+        reply (they count as breaker successes — the infrastructure
+        worked, the input didn't); a ShardError records a breaker
+        failure and propagates.
+        """
+        rec = self.recorder
+        if not self.breaker.allow():
+            if rec.enabled:
+                rec.incr(ev.SERVICE_BREAKER_OPEN)
+            raise OverloadError(
+                "circuit breaker open, request shed",
+                reason="breaker_open",
+                retry_after=self.breaker.retry_after() or 0.05,
+            )
+        try:
+            outcome = self._execute_supervised(job)
+        except ShardError:
+            self.breaker.record_failure()
+            raise
+        if isinstance(outcome, _CLIENT_ERRORS):
+            self.breaker.record_success()  # infra worked; input didn't
+            raise outcome
+        self.breaker.record_success()
+        return outcome
 
     def _execute_supervised(self, job: _Job):
         """Run one job through the supervisor's retry machinery.

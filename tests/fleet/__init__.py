@@ -1,0 +1,1 @@
+"""Tests for the dispatcher tier (repro.fleet)."""

@@ -1,0 +1,188 @@
+"""Failover, breaker gating, hedging and the no-backends contract."""
+
+import socket
+import time
+
+import pytest
+
+from repro.container import dump_bytes
+from repro.core import LZWConfig, compress
+from repro.fleet import FleetConfig, FleetDispatcher
+from repro.fleet.router import rank_backends, workload_fingerprint
+from repro.observability import schema as ev
+from repro.service import CompressionServer, ServiceClient, ServiceConfig
+from repro.testfile import parse_test_text
+
+
+def serial_container(text, config=None):
+    result = compress(parse_test_text(text).to_stream(), config or LZWConfig())
+    return dump_bytes(result.compressed, result.assigned_stream)
+
+
+def texts_ranking_first(address, backends, count):
+    """Deterministic cube texts whose rendezvous order starts at ``address``."""
+    found = []
+    for i in range(10_000):
+        text = f"{i % 16:04b}\n{i // 16 % 16:04b}\n{i // 256 % 16:04b}\n"
+        fp = workload_fingerprint("compress", None, text.encode())
+        if rank_backends(fp, backends)[0] == address and text not in found:
+            found.append(text)
+            if len(found) == count:
+                return found
+    raise AssertionError("could not steer enough texts to the target backend")
+
+
+def make_fleet(addresses, tmp_path, **overrides):
+    settings = dict(
+        port=0,
+        workers=2,
+        queue_depth=16,
+        backends=tuple(addresses),
+        probe_interval=5.0,  # slow: these tests drive the breakers directly
+        probe_timeout=1.0,
+        backend_timeout=5.0,
+        backend_connect_timeout=2.0,
+        failover_attempts=2,
+        backend_breaker_threshold=2,
+        backend_breaker_cooldown=0.5,
+        cache_dir=str(tmp_path / "cache"),
+    )
+    settings.update(overrides)
+    dispatcher = FleetDispatcher(FleetConfig(**settings))
+    dispatcher.start()
+    return dispatcher
+
+
+def test_dead_backend_fails_over_to_the_survivor(tmp_path):
+    servers = [
+        CompressionServer(ServiceConfig(workers=2, queue_depth=8)) for _ in range(2)
+    ]
+    for server in servers:
+        server.start()
+    addresses = tuple(server.address_str for server in servers)
+    dispatcher = make_fleet(addresses, tmp_path)
+    try:
+        # Kill backend 0 and send requests that *rank it first*, so every
+        # one of them must take the failover path to succeed.
+        servers[0].drain()
+        texts = texts_ranking_first(addresses[0], addresses, 4)
+        with ServiceClient(dispatcher.address) as client:
+            for text in texts:
+                header, payload = client.compress(text)
+                assert header["ok"], header
+                assert payload == serial_container(text)
+        counters = dispatcher.recorder.snapshot()["counters"]
+        assert counters[ev.FLEET_FAILOVERS] >= 1
+        assert counters[ev.FLEET_BACKEND_ERRORS] >= 1
+        # Two transport failures tripped the dead backend's breaker, so
+        # later requests skip it without burning a connect attempt.
+        assert dispatcher.backends[addresses[0]].breaker.state != "closed"
+    finally:
+        dispatcher.drain()
+        for server in servers:
+            if server.state != "stopped":
+                server.drain()
+
+
+def test_no_healthy_backend_is_a_typed_503_with_retry_hint(tmp_path):
+    # An address nobody listens on: bind, note the port, close.
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    dead = "%s:%d" % probe.getsockname()[:2]
+    probe.close()
+    dispatcher = make_fleet((dead,), tmp_path, backend_connect_timeout=0.5)
+    try:
+        with ServiceClient(dispatcher.address) as client:
+            header, _ = client.compress("01X0\n1XX1\n")
+        assert header["code"] == 503
+        assert header["error"]["type"] == "OverloadError"
+        assert header["error"]["diagnostics"]["reason"] == "no_backends"
+        assert isinstance(header["retry_after_ms"], int)
+        assert header["retry_after_ms"] >= 1
+        counters = dispatcher.recorder.snapshot()["counters"]
+        assert counters[ev.FLEET_NO_BACKENDS] == 1
+    finally:
+        dispatcher.drain()
+
+
+def test_hedge_rescues_a_hung_primary(tmp_path):
+    # The primary is a black hole: it accepts connections (via the
+    # listen backlog) but never answers.  The hedge must win.
+    hole = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    hole.bind(("127.0.0.1", 0))
+    hole.listen(8)
+    hole_address = "%s:%d" % hole.getsockname()[:2]
+    server = CompressionServer(ServiceConfig(workers=2, queue_depth=8))
+    server.start()
+    addresses = (hole_address, server.address_str)
+    dispatcher = make_fleet(
+        addresses,
+        tmp_path,
+        hedge_after_ms=150.0,
+        backend_timeout=3.0,
+        cache_dir=None,
+    )
+    try:
+        text = texts_ranking_first(hole_address, addresses, 1)[0]
+        started = time.monotonic()
+        with ServiceClient(dispatcher.address) as client:
+            header, payload = client.compress(text)
+        elapsed = time.monotonic() - started
+        assert header["ok"], header
+        assert payload == serial_container(text)
+        assert elapsed < 3.0, "the hedge, not the primary timeout, must answer"
+        counters = dispatcher.recorder.snapshot()["counters"]
+        assert counters[ev.FLEET_HEDGES] == 1
+        assert counters[ev.FLEET_HEDGE_WINS] == 1
+    finally:
+        dispatcher.drain()
+        hole.close()
+        if server.state != "stopped":
+            server.drain()
+
+
+def test_fast_primary_never_hedges(tmp_path):
+    server = CompressionServer(ServiceConfig(workers=2, queue_depth=8))
+    server.start()
+    dispatcher = make_fleet(
+        (server.address_str,), tmp_path, hedge_after_ms=2000.0, cache_dir=None
+    )
+    try:
+        with ServiceClient(dispatcher.address) as client:
+            header, _ = client.compress("01X0\n1XX1\n")
+        assert header["ok"]
+        counters = dispatcher.recorder.snapshot()["counters"]
+        assert ev.FLEET_HEDGES not in counters
+    finally:
+        dispatcher.drain()
+        if server.state != "stopped":
+            server.drain()
+
+
+def test_open_breaker_reroutes_without_dialing(tmp_path):
+    servers = [
+        CompressionServer(ServiceConfig(workers=2, queue_depth=8)) for _ in range(2)
+    ]
+    for server in servers:
+        server.start()
+    addresses = tuple(server.address_str for server in servers)
+    dispatcher = make_fleet(addresses, tmp_path, backend_breaker_cooldown=60.0)
+    try:
+        target = dispatcher.backends[addresses[0]]
+        target.breaker.record_failure()
+        target.breaker.record_failure()  # threshold 2: now open
+        texts = texts_ranking_first(addresses[0], addresses, 2)
+        with ServiceClient(dispatcher.address) as client:
+            for text in texts:
+                header, payload = client.compress(text)
+                assert header["ok"]
+                assert payload == serial_container(text)
+        counters = dispatcher.recorder.snapshot()["counters"]
+        # Skipping an open breaker is routing, not failover: no transport
+        # attempt was made against the broken backend.
+        assert ev.FLEET_BACKEND_ERRORS not in counters
+    finally:
+        dispatcher.drain()
+        for server in servers:
+            if server.state != "stopped":
+                server.drain()

@@ -1,0 +1,68 @@
+"""Workload fingerprints and rendezvous routing."""
+
+from repro.fleet.router import rank_backends, workload_fingerprint
+
+BACKENDS = ("10.0.0.1:7878", "10.0.0.2:7878", "10.0.0.3:7878")
+
+
+def test_fingerprint_is_stable_and_config_order_insensitive():
+    a = workload_fingerprint("compress", {"char_bits": 2, "dict_size": 64}, b"01X0")
+    b = workload_fingerprint("compress", {"dict_size": 64, "char_bits": 2}, b"01X0")
+    assert a == b
+    assert len(a) == 64 and int(a, 16) >= 0  # a hex sha256 digest
+
+
+def test_fingerprint_treats_missing_and_empty_config_alike():
+    assert workload_fingerprint("compress", None, b"x") == workload_fingerprint(
+        "compress", {}, b"x"
+    )
+
+
+def test_fingerprint_separates_op_config_and_payload():
+    base = workload_fingerprint("compress", {"char_bits": 2}, b"01X0")
+    assert workload_fingerprint("verify", {"char_bits": 2}, b"01X0") != base
+    assert workload_fingerprint("compress", {"char_bits": 3}, b"01X0") != base
+    assert workload_fingerprint("compress", {"char_bits": 2}, b"01X1") != base
+
+
+def test_field_separator_prevents_boundary_collisions():
+    # op/config/payload are length-delimited by the NUL separator, so
+    # shifting bytes across a field boundary must change the digest.
+    assert workload_fingerprint("ab", None, b"cd") != workload_fingerprint(
+        "abc", None, b"d"
+    )
+
+
+def test_ranking_is_deterministic_and_a_permutation():
+    fp = workload_fingerprint("compress", None, b"0101")
+    first = rank_backends(fp, BACKENDS)
+    assert first == rank_backends(fp, BACKENDS)
+    assert sorted(first) == sorted(BACKENDS)
+    # Input order of the membership set must not matter.
+    assert first == rank_backends(fp, tuple(reversed(BACKENDS)))
+
+
+def test_different_fingerprints_spread_over_backends():
+    tops = {
+        rank_backends(workload_fingerprint("compress", None, bytes([i])), BACKENDS)[0]
+        for i in range(64)
+    }
+    assert tops == set(BACKENDS)  # no backend is unreachable
+
+
+def test_membership_change_only_moves_the_dead_backends_keys():
+    fingerprints = [
+        workload_fingerprint("compress", None, b"key-%d" % i) for i in range(128)
+    ]
+    dead = BACKENDS[0]
+    survivors = tuple(b for b in BACKENDS if b != dead)
+    moved = 0
+    for fp in fingerprints:
+        before = rank_backends(fp, BACKENDS)[0]
+        after = rank_backends(fp, survivors)[0]
+        if before == dead:
+            moved += 1
+            assert after == rank_backends(fp, BACKENDS)[1]  # failover order
+        else:
+            assert after == before  # unaffected keys keep their backend
+    assert 0 < moved < len(fingerprints)  # ~1/N, never 0, never all

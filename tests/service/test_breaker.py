@@ -91,6 +91,71 @@ def test_probe_failure_reopens_for_another_cooldown():
     assert breaker.allow()  # next probe after the second cooldown
 
 
+def test_retry_after_counts_down_while_open_and_zero_otherwise():
+    breaker, clock = make(threshold=1, cooldown=10.0)
+    assert breaker.retry_after() == 0.0  # closed
+    breaker.record_failure()
+    assert breaker.retry_after() == 10.0
+    clock.now += 4.0
+    assert breaker.retry_after() == 6.0
+    clock.now += 6.0
+    assert breaker.retry_after() == 0.0  # half-open: a probe may go now
+
+
+def test_half_open_losers_wait_for_the_probes_success():
+    breaker, clock = make(threshold=1, cooldown=1.0)
+    breaker.record_failure()
+    clock.now += 1.0
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()  # raced the probe slot, lost
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.allow()  # the loser's retry now sails through
+
+
+def test_half_open_probe_failure_restarts_the_cooldown_for_everyone():
+    breaker, clock = make(threshold=1, cooldown=1.0)
+    breaker.record_failure()
+    clock.now += 1.0
+    assert breaker.allow()
+    breaker.record_failure()  # the probe itself failed
+    assert not breaker.allow()
+    clock.now += 0.5
+    assert not breaker.allow()  # still cooling down again
+    assert breaker.retry_after() == pytest.approx(0.5)
+    clock.now += 0.5
+    assert breaker.allow()  # exactly one fresh probe
+    assert not breaker.allow()
+
+
+def test_concurrent_half_open_race_with_failing_probe():
+    # 8 threads race the half-open slot; the winner's probe *fails*.
+    # Exactly one thread may have probed, and the failure must leave
+    # the breaker open for every later arrival.
+    breaker, clock = make(threshold=1, cooldown=1.0)
+    breaker.record_failure()
+    clock.now += 1.0
+    outcomes = []
+    barrier = threading.Barrier(8)
+
+    def contend():
+        barrier.wait()
+        if breaker.allow():
+            breaker.record_failure()
+            outcomes.append("probed")
+        else:
+            outcomes.append("rejected")
+
+    threads = [threading.Thread(target=contend) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert outcomes.count("probed") == 1
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+
+
 def test_concurrent_allow_grants_exactly_one_probe():
     breaker, clock = make(threshold=1, cooldown=1.0)
     breaker.record_failure()

@@ -1,0 +1,41 @@
+"""Deadline/limiter/breaker timing must never read the wall clock.
+
+Wall-clock time (``time.time``) jumps under NTP corrections and
+timezone games; a deadline or cooldown computed from it can fire years
+early or never.  Every timing decision in the serving and fleet layers
+is required to use ``time.monotonic`` — this audit pins that, so a
+future edit reintroducing the wall clock fails loudly.
+"""
+
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Packages whose timing paths the audit covers.
+PACKAGES = ("service", "fleet")
+
+
+def test_no_wall_clock_reads_in_service_or_fleet_sources():
+    offenders = []
+    for package in PACKAGES:
+        for path in sorted((SRC / package).rglob("*.py")):
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if "time.time(" in line.split("#")[0]:
+                    offenders.append(f"{path}:{number}: {line.strip()}")
+    assert not offenders, "wall-clock reads in timing-sensitive code:\n" + "\n".join(
+        offenders
+    )
+
+
+def test_the_audit_actually_detects_an_offender(tmp_path):
+    # Guard the guard: the scan must trip on a real wall-clock read.
+    sample = tmp_path / "offender.py"
+    sample.write_text("import time\ndeadline = time.time() + 5\n")
+    hits = [
+        line
+        for line in sample.read_text().splitlines()
+        if "time.time(" in line.split("#")[0]
+    ]
+    assert hits

@@ -1,0 +1,126 @@
+"""ServiceClient resilience: reconnects, reply timeouts, overload retries."""
+
+import time
+
+import pytest
+
+from repro.container import dump_bytes
+from repro.core import LZWConfig, compress
+from repro.reliability.errors import ProtocolError
+from repro.service import CompressionServer, ServiceClient, ServiceConfig
+from repro.testfile import parse_test_text
+
+TEXT = "01X0\n1XX1\nX01X\n0110\nXXXX\n"
+
+
+def serial_container():
+    result = compress(parse_test_text(TEXT).to_stream(), LZWConfig())
+    return dump_bytes(result.compressed, result.assigned_stream)
+
+
+def test_auto_reconnect_rides_out_a_backend_restart(tmp_path):
+    # A unix socket keeps the address stable across the restart.
+    path = str(tmp_path / "repro.sock")
+    first = CompressionServer(ServiceConfig(socket_path=path))
+    first.start()
+    client = ServiceClient(("unix", path), auto_reconnect=True)
+    try:
+        assert client.compress(TEXT)[0]["ok"]
+        first.drain()  # the backend goes away mid-session
+        second = CompressionServer(ServiceConfig(socket_path=path))
+        second.start()
+        try:
+            header, payload = client.compress(TEXT)
+            assert header["ok"], "one reconnect+resend must recover"
+            assert payload == serial_container()
+        finally:
+            second.drain()
+    finally:
+        client.close()
+        if first.state != "stopped":
+            first.drain()
+
+
+def test_plain_client_surfaces_the_restart_as_a_transport_error(tmp_path):
+    path = str(tmp_path / "repro.sock")
+    first = CompressionServer(ServiceConfig(socket_path=path))
+    first.start()
+    client = ServiceClient(("unix", path))  # auto_reconnect off
+    try:
+        assert client.compress(TEXT)[0]["ok"]
+        first.drain()
+        with pytest.raises((ProtocolError, OSError)):
+            client.compress(TEXT)
+    finally:
+        client.close()
+        if first.state != "stopped":
+            first.drain()
+
+
+def test_reconnect_budget_is_one_not_a_loop(tmp_path):
+    # With the server gone for good, auto_reconnect must fail after its
+    # single retry, not spin forever.
+    path = str(tmp_path / "repro.sock")
+    srv = CompressionServer(ServiceConfig(socket_path=path))
+    srv.start()
+    client = ServiceClient(("unix", path), auto_reconnect=True)
+    try:
+        assert client.compress(TEXT)[0]["ok"]
+        srv.drain()
+        with pytest.raises((ProtocolError, OSError)):
+            client.compress(TEXT)
+    finally:
+        client.close()
+        if srv.state != "stopped":
+            srv.drain()
+
+
+def test_reply_timeout_raises_typed_and_is_never_retried():
+    srv = CompressionServer(ServiceConfig(workers=1, debug_ops=True))
+    srv.start()
+    client = ServiceClient(srv.address, auto_reconnect=True, reply_timeout=0.3)
+    started = time.monotonic()
+    try:
+        with pytest.raises(ProtocolError) as info:
+            client.request("sleep", seconds=1.5)
+        assert info.value.reason == "timeout"
+        # A timeout means the reply may still be in flight: retrying on
+        # the same (or a fresh) connection risks mis-pairing replies, so
+        # the client must give up immediately despite auto_reconnect.
+        assert time.monotonic() - started < 1.4
+    finally:
+        client.close()
+        srv.drain()
+
+
+def test_retry_overloads_honours_the_servers_hint():
+    srv = CompressionServer(
+        ServiceConfig(rate_limit=5.0, rate_burst=1, debug_ops=True)
+    )
+    srv.start()
+    try:
+        with ServiceClient(srv.address, retry_overloads=3) as client:
+            assert client.compress(TEXT)[0]["ok"]  # burns the only token
+            started = time.monotonic()
+            header, payload = client.compress(TEXT)
+            elapsed = time.monotonic() - started
+        assert header["ok"], "the client should wait out the hint and win"
+        assert payload == serial_container()
+        assert elapsed >= 0.1, "success came without honouring the back-off"
+    finally:
+        srv.drain()
+
+
+def test_zero_budget_returns_the_overload_reply_as_a_value():
+    srv = CompressionServer(
+        ServiceConfig(rate_limit=5.0, rate_burst=1, debug_ops=True)
+    )
+    srv.start()
+    try:
+        with ServiceClient(srv.address) as client:  # retry_overloads=0
+            assert client.compress(TEXT)[0]["ok"]
+            header, _ = client.compress(TEXT)
+        assert header["code"] == 429
+        assert isinstance(header["retry_after_ms"], int)
+    finally:
+        srv.drain()

@@ -1,0 +1,148 @@
+"""Overload replies carry an honest ``retry_after_ms`` back-off hint."""
+
+import threading
+import time
+
+import pytest
+
+from repro.observability import schema as ev  # noqa: F401 - parity with peers
+from repro.reliability.errors import OverloadError
+from repro.service import CompressionServer, ServiceClient, ServiceConfig
+from repro.service.admission import AdmissionQueue, RateLimiter
+from repro.service.protocol import error_reply
+
+TEXT = "01X0\n1XX1\nX01X\n0110\nXXXX\n"
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+# -- unit level ----------------------------------------------------------
+
+
+def test_error_reply_lifts_retry_after_into_the_header():
+    reply = error_reply(1, OverloadError("x", reason="queue_full", retry_after=0.25))
+    assert reply["retry_after_ms"] == 250
+
+
+def test_error_reply_rounds_tiny_hints_up_to_one_ms():
+    reply = error_reply(1, OverloadError("x", reason="queue_full", retry_after=1e-6))
+    assert reply["retry_after_ms"] == 1
+
+
+def test_error_reply_omits_the_hint_when_there_is_none():
+    reply = error_reply(1, OverloadError("x", reason="queue_full"))
+    assert "retry_after_ms" not in reply
+
+
+def test_queue_full_shed_carries_a_retry_hint():
+    queue = AdmissionQueue(1)
+    queue.submit(object())
+    with pytest.raises(OverloadError) as info:
+        queue.submit(object())
+    assert info.value.reason == "queue_full"
+    assert info.value.retry_after > 0
+
+
+def test_draining_shed_carries_a_retry_hint():
+    queue = AdmissionQueue(1)
+    queue.close()
+    with pytest.raises(OverloadError) as info:
+        queue.submit(object())
+    assert info.value.reason == "draining"
+    assert info.value.retry_after > 0
+
+
+def test_rate_limiter_reports_seconds_until_token():
+    clock = FakeClock()
+    limiter = RateLimiter(rate=2.0, burst=1, clock=clock)
+    assert limiter.seconds_until_token("c") == 0.0  # untouched bucket
+    assert limiter.try_acquire("c")
+    assert limiter.seconds_until_token("c") == pytest.approx(0.5)
+    clock.now += 0.25
+    assert limiter.seconds_until_token("c") == pytest.approx(0.25)
+    clock.now += 0.25
+    assert limiter.seconds_until_token("c") == 0.0
+
+
+def test_disabled_rate_limiter_never_asks_for_a_wait():
+    assert RateLimiter(rate=None).seconds_until_token("c") == 0.0
+
+
+# -- end to end ----------------------------------------------------------
+
+
+def test_rate_limited_reply_hints_the_refill_time():
+    srv = CompressionServer(
+        ServiceConfig(rate_limit=2.0, rate_burst=1, debug_ops=True)
+    )
+    srv.start()
+    try:
+        with ServiceClient(srv.address) as client:
+            assert client.compress(TEXT)[0]["ok"]
+            header, _ = client.compress(TEXT)
+        assert header["code"] == 429
+        assert header["error"]["diagnostics"]["reason"] == "rate_limited"
+        # One token refills in <= 0.5s at rate 2/s.
+        assert 1 <= header["retry_after_ms"] <= 600
+    finally:
+        srv.drain()
+
+
+def test_breaker_open_reply_hints_the_cooldown_remainder():
+    srv = CompressionServer(
+        ServiceConfig(
+            workers=1,
+            breaker_threshold=1,
+            breaker_cooldown=30.0,
+            retry_attempts=1,
+            debug_ops=True,
+        )
+    )
+    srv.start()
+    try:
+        with ServiceClient(srv.address) as client:
+            assert client.request("fail")[0]["code"] == 500  # opens the breaker
+            header, _ = client.compress(TEXT)
+        assert header["code"] == 503
+        assert header["error"]["diagnostics"]["reason"] == "breaker_open"
+        assert 1 <= header["retry_after_ms"] <= 30_000
+    finally:
+        srv.drain()
+
+
+def test_draining_reply_hints_the_drain_grace():
+    srv = CompressionServer(
+        ServiceConfig(workers=1, queue_depth=4, drain_grace=7.0, debug_ops=True)
+    )
+    srv.start()
+    replies = []
+
+    def queued_request():
+        with ServiceClient(srv.address, timeout=30.0) as client:
+            replies.append(client.request("sleep", seconds=0.0))
+
+    with ServiceClient(srv.address, timeout=30.0) as blocker_client:
+        blocker = threading.Thread(
+            target=lambda: replies.append(
+                blocker_client.request("sleep", seconds=0.8)
+            )
+        )
+        blocker.start()
+        time.sleep(0.3)  # the sleep now occupies the single worker
+        queued = threading.Thread(target=queued_request)
+        queued.start()
+        time.sleep(0.2)  # and this one sits in the queue behind it
+        assert srv.drain() == 0
+        blocker.join(timeout=10)
+        queued.join(timeout=10)
+    shed = [h for h, _ in replies if not h["ok"]]
+    assert len(shed) == 1
+    assert shed[0]["code"] == 503
+    assert shed[0]["error"]["diagnostics"]["reason"] == "draining"
+    assert shed[0]["retry_after_ms"] == 7_000
