@@ -1,10 +1,11 @@
 """The paper's contribution: don't-care-aware LZW test compression."""
 
-from .config import ConfigError, LZWConfig, POLICIES
+from .config import ConfigError, ENGINES, LZWConfig, POLICIES
 from .decoder import DecodeError, LZWDecodeError, decode, decode_codes, iter_decode
 from .dictionary import LZWDictionary
 from .dontcare import STATIC_FILLS, ChildSelector, static_fill
 from .encoder import CompressedStream, EncodeStats, LZWEncoder
+from .fastpath import PackedCandidateIndex, encode_fast, resolve_engine
 from .metrics import (
     compression_percent,
     compression_ratio,
@@ -23,8 +24,10 @@ from .multichain import (
 from .pipeline import CompressionResult, compress, compress_batch, decompress
 
 __all__ = [
+    "ENGINES",
     "POLICIES",
     "STATIC_FILLS",
+    "PackedCandidateIndex",
     "ChildSelector",
     "CompressedStream",
     "CompressionResult",
@@ -49,8 +52,10 @@ __all__ = [
     "decode",
     "decode_codes",
     "decompress",
+    "encode_fast",
     "geometric_mean",
     "iter_decode",
+    "resolve_engine",
     "static_fill",
     "x_density_percent",
 ]

@@ -19,6 +19,7 @@ from ..observability import schema as ev
 from .config import LZWConfig
 from .dictionary import LZWDictionary
 from .dontcare import ChildSelector
+from .fastpath import encode_fast, resolve_engine
 from .metrics import compression_percent, compression_ratio
 
 __all__ = ["CompressedStream", "EncodeStats", "LZWEncoder"]
@@ -39,10 +40,16 @@ class CompressedStream:
     expansion_chars: Tuple[int, ...] = field(repr=False, default=())
 
     def __post_init__(self) -> None:
-        limit = self.config.dict_size
-        for code in self.codes:
-            if not 0 <= code < limit:
-                raise ValueError(f"code {code} out of range for N={limit}")
+        # Range-validate the whole tuple with C-speed min/max; the
+        # Python loop runs only on the failure path to name the bad
+        # code.  Construction is hot on reassembly/decode paths, so the
+        # valid case must not pay a per-code interpreter loop.
+        codes = self.codes
+        if codes and not (0 <= min(codes) and max(codes) < self.config.dict_size):
+            limit = self.config.dict_size
+            for code in codes:
+                if not 0 <= code < limit:
+                    raise ValueError(f"code {code} out of range for N={limit}")
         if self.expansion_chars and len(self.expansion_chars) != len(self.codes):
             raise ValueError("expansion_chars must align with codes")
 
@@ -130,11 +137,27 @@ class LZWEncoder:
         self._used = False
 
     def encode(self, stream: TernaryVector) -> CompressedStream:
-        """Compress a ternary scan stream into a :class:`CompressedStream`."""
+        """Compress a ternary scan stream into a :class:`CompressedStream`.
+
+        The engine is picked by ``config.engine``: ``"fast"`` (and
+        ``"auto"``, the default) runs the bit-parallel matcher of
+        :mod:`repro.core.fastpath`; ``"reference"`` runs the original
+        per-candidate trie walk.  Both are byte-identical — the
+        differential conformance suite and the golden files lock the
+        equivalence — so the knob only trades implementation.
+        """
         if self._used:
             raise RuntimeError("LZWEncoder instances are single-use; make a new one")
         self._used = True
+        if resolve_engine(self.config.engine) == "fast":
+            codes, expansions = encode_fast(self, stream)
+            return CompressedStream(
+                tuple(codes), self.config, len(stream), tuple(expansions)
+            )
+        return self._encode_reference(stream)
 
+    def _encode_reference(self, stream: TernaryVector) -> CompressedStream:
+        """The original per-candidate trie walk (the conformance oracle)."""
         cfg = self.config
         dictionary = self.dictionary
         # Hoisted once: with the default NullRecorder the whole run pays

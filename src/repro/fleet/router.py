@@ -39,8 +39,14 @@ def workload_fingerprint(
 
     Two requests get the same fingerprint iff they would produce the
     same reply on a correct backend: same op, semantically identical
-    ``config`` (key order normalised), same payload bytes.
+    ``config`` (key order normalised), same payload bytes.  The
+    ``engine`` knob is normalised *out*: both engines are byte-identical
+    (locked by the differential conformance suite), so requests that
+    differ only in engine selection share cached results and route to
+    the same backend.
     """
+    if config and "engine" in config:
+        config = {k: v for k, v in config.items() if k != "engine"}
     canonical_config = json.dumps(
         config or {}, sort_keys=True, separators=(",", ":")
     ).encode("utf-8")

@@ -93,7 +93,15 @@ DEBUG_OPS = frozenset({"sleep", "fail"})
 
 #: ``config`` keys a request may set (mirrors the CLI's LZW options).
 _CONFIG_KEYS = frozenset(
-    {"char_bits", "dict_size", "entry_bits", "policy", "lookahead", "reset_on_full"}
+    {
+        "char_bits",
+        "dict_size",
+        "entry_bits",
+        "policy",
+        "lookahead",
+        "reset_on_full",
+        "engine",
+    }
 )
 
 #: Errors that are the request's fault: replied, never retried, and

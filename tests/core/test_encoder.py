@@ -132,6 +132,23 @@ class TestCompressedStream:
         with pytest.raises(ValueError, match="out of range"):
             CompressedStream((9,), config, 3)
 
+    def test_invalid_codes_raise_through_vectorized_validation(self):
+        """The min/max fast path must still reject every bad tuple.
+
+        Construction validates with C-speed ``min``/``max`` and only
+        falls back to the naming loop on failure — pin that a bad code
+        buried among valid ones, and a negative code, both still raise
+        and name the offender.
+        """
+        config = LZWConfig(char_bits=1, dict_size=8, entry_bits=3)
+        with pytest.raises(ValueError, match="code 8 out of range"):
+            CompressedStream((0, 3, 8, 1), config, 8)
+        with pytest.raises(ValueError, match="code -1 out of range"):
+            CompressedStream((0, -1, 1), config, 6)
+        # The happy path stays loop-free and accepts boundary codes.
+        cs = CompressedStream((0, 7), config, 6)
+        assert cs.num_codes == 2
+
     def test_expansion_alignment_enforced(self):
         config = LZWConfig(char_bits=1, dict_size=8, entry_bits=3)
         with pytest.raises(ValueError, match="align"):
