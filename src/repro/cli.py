@@ -4,6 +4,7 @@ Subcommands::
 
     repro compress   FILE  [--char-bits N --dict-size N --entry-bits N ...]
     repro batch      FILE...  [--workers N --shard-bits B -o DIR
+                     --seed-mode {cold,preamble,wave} --preamble-bits B
                      --max-retries N --shard-timeout S
                      --on-failure {fail,degrade,skip}
                      --checkpoint PATH --resume]
@@ -58,8 +59,8 @@ from .atpg import generate_tests
 from .baselines import GolombCompressor, LZ77Compressor
 from .circuit import BUILTIN_CIRCUITS, TestSet, load_bench, load_builtin, random_circuit
 from .bitstream import TernaryVector
-from .container import dump_file, load_segments
-from .core import LZWConfig, compress, compress_batch, decompress
+from .container import dump_file, load_seeded
+from .core import LZWConfig, compress, compress_batch, decode, decompress
 from .experiments import ALL_TABLES, Lab
 from .hardware import (
     MemoryRequirements,
@@ -74,7 +75,7 @@ from .observability import (
     metrics_snapshot,
     write_metrics_json,
 )
-from .parallel import RetryPolicy
+from .parallel import RetryPolicy, SeedPlan
 from .reliability import ConfigError, ReproError
 from .reliability.atomic import atomic_write_bytes, atomic_write_text
 from .reliability.verify import verify_container
@@ -238,6 +239,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             on_failure=args.on_failure,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            seed_plan=SeedPlan(
+                mode=args.seed_mode, preamble_bits=args.preamble_bits
+            ),
         )
     elapsed = time.perf_counter() - started
     # Emit before per-workload verification so a coverage failure still
@@ -300,6 +304,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "config": config.describe(),
             "workers": args.workers,
             "shard_bits": args.shard_bits,
+            "seed_mode": args.seed_mode,
             "seconds": round(elapsed, 6),
             "mb_per_s": round(mb_per_s, 6),
             "ratio_percent": round(ratio, 4),
@@ -313,11 +318,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
     data = Path(args.file).read_bytes()
-    segments = load_segments(data)
-    stream = TernaryVector.concat_all([decompress(segment) for segment in segments])
-    config = segments[0].config
-    num_codes = sum(segment.num_codes for segment in segments)
+    segments = load_seeded(data)
+    stream = TernaryVector.concat_all(
+        [
+            decode(seg.compressed, seed=seg.seed, link=seg.link)
+            for seg in segments
+        ]
+    )
+    config = segments[0].compressed.config
+    num_codes = sum(seg.compressed.num_codes for seg in segments)
+    warm = sum(1 for seg in segments if seg.seed is not None or seg.link is not None)
     suffix = f" in {len(segments)} segments" if len(segments) > 1 else ""
+    if warm:
+        suffix += f" ({warm} warm-seeded)"
     print(
         f"decoded {len(stream)} bits from {num_codes} codes{suffix} "
         f"({config.describe()})"
@@ -626,6 +639,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes (default: all cores; output is identical "
         "for any value)",
+    )
+    p.add_argument(
+        "--seed-mode",
+        choices=("cold", "preamble", "wave"),
+        default="cold",
+        help="shard dictionary seeding: 'cold' starts every shard "
+        "empty, 'preamble' trains a shared snapshot on each workload's "
+        "leading bits, 'wave' chains each shard from its predecessor's "
+        "final dictionary (serial ratio at pipelined speedup)",
+    )
+    p.add_argument(
+        "--preamble-bits",
+        type=int,
+        default=0,
+        help="training-prefix length for --seed-mode preamble "
+        "(default 0: one shard's worth)",
     )
     p.add_argument(
         "--shard-bits",

@@ -50,6 +50,49 @@ the concatenation of the segment decodes in table order.  A batch of
 exactly one segment is written as a plain v2 container, so the serial
 and batch paths are bit-identical in the single-shard case.
 
+Format version 4 is the **seeded** multi-segment framing: segments may
+start from a warm dictionary (a trained preamble stored once in a blob
+table, or the previous segment's final state in a pipelined wave)::
+
+    0   4   magic  b"LZWT"
+    4   1   format version (4)
+    5   1   char_bits (C_C)
+    6   4   dict_size (N)
+    10  4   entry_bits (C_MDATA)
+    14  4   segment count S (>= 1)
+    18  1   flags (bit 0: reset_on_full)
+    19  2   blob count B
+    21  4   CRC32 of header bytes 0..21 + segment table + blob table
+    25  ..  segment table: S entries of 40 bytes each ::
+
+            0   8   payload byte offset (relative to the payload area)
+            8   8   original_bits of this segment
+            16  8   payload bit count
+            24  4   code count
+            28  4   CRC32 of the segment's payload bytes
+            32  4   CRC32 digest of the segment's *decoded* stream
+            36  1   seed mode (0 cold, 1 blob, 2 chain)
+            37  2   blob index (0xFFFF when the mode takes no blob)
+            39  1   reserved (0)
+
+        ..  blob table: B entries of 16 bytes each ::
+
+            0   8   blob byte offset (relative to the blob area)
+            8   4   blob byte length
+            12  4   CRC32 of the blob bytes
+
+        ..  blob area: ``LZWS`` dictionary snapshots, deduplicated by
+            digest (segments sharing a preamble share one blob)
+        ..  payload area: per-segment code streams as in v3
+
+A *cold* segment decodes with a fresh dictionary.  A *blob* segment
+decodes with the dictionary restored from its blob-table snapshot.  A
+*chain* segment decodes with the previous segment's **final** state —
+derived from the previous segment's codes, never stored — with the
+cross-segment link code being the previous segment's last code.  A
+container whose segments are all cold is written in the v2/v3 formats
+bit-for-bit, so cold plans never see the v4 framing.
+
 The three checksums split the failure modes cleanly:
 
 * the **header CRC** catches any flipped header field (the payload CRC
@@ -71,20 +114,34 @@ from pathlib import Path
 from typing import NamedTuple, Optional, Sequence, Tuple, Union
 
 from .bitstream import BitReader, BitWriter, TernaryVector
-from .core import CompressedStream, LZWConfig, decode
+from .core import (
+    CompressedStream,
+    DictionarySnapshot,
+    LZWConfig,
+    decode,
+    derive_final_snapshot,
+)
 from .observability import NULL_RECORDER, Recorder
 from .observability import schema as ev
 from .reliability.atomic import atomic_write_bytes
-from .reliability.errors import ConfigError, ContainerError
+from .reliability.errors import ConfigError, ContainerError, DecodeError, SnapshotError
 
 __all__ = [
     "ContainerError",
+    "LoadedSegment",
+    "SEED_BLOB",
+    "SEED_CHAIN",
+    "SEED_COLD",
+    "SEED_MODE_NAMES",
     "SegmentInfo",
+    "SegmentSeed",
+    "SeededSegmentInfo",
     "container_version",
     "decode_container",
     "dump_bytes",
     "dump_segments",
     "load_bytes",
+    "load_seeded",
     "load_segments",
     "dump_file",
     "load_file",
@@ -94,10 +151,14 @@ __all__ = [
 _MAGIC = b"LZWT"
 _VERSION = 2
 _VERSION_MULTI = 3
+_VERSION_SEEDED = 4
 _HEADER_V1 = struct.Struct(">4sBBIIQQI")
 _HEADER_V2 = struct.Struct(">4sBBIIQQIII")
 _HEADER_V3 = struct.Struct(">4sBBIIII")
+_HEADER_V4 = struct.Struct(">4sBBIIIBHI")
 _SEGMENT_ENTRY = struct.Struct(">QQQIII")
+_SEGMENT_ENTRY_V4 = struct.Struct(">QQQIIIBHB")
+_BLOB_ENTRY = struct.Struct(">QII")
 
 # Field offsets of the v2 header (used by the fault injectors to build
 # checksum-consistent corruptions).
@@ -112,6 +173,55 @@ V3_SEGMENT_COUNT_OFFSET = 14
 V3_HEADER_CRC_OFFSET = 18
 V3_SEGMENT_TABLE_OFFSET = _HEADER_V3.size
 SEGMENT_ENTRY_SIZE = _SEGMENT_ENTRY.size
+
+# v4 (seeded multi-segment) layout constants.
+V4_SEGMENT_COUNT_OFFSET = 14
+V4_FLAGS_OFFSET = 18
+V4_BLOB_COUNT_OFFSET = 19
+V4_HEADER_CRC_OFFSET = 21
+V4_SEGMENT_TABLE_OFFSET = _HEADER_V4.size
+SEGMENT_ENTRY_V4_SIZE = _SEGMENT_ENTRY_V4.size
+BLOB_ENTRY_SIZE = _BLOB_ENTRY.size
+SEED_MODE_ENTRY_OFFSET = 36
+BLOB_INDEX_ENTRY_OFFSET = 37
+
+_FLAG_RESET_ON_FULL = 0x01
+_NO_BLOB = 0xFFFF
+
+# Segment seeding modes of the v4 format.
+SEED_COLD = 0
+SEED_BLOB = 1
+SEED_CHAIN = 2
+SEED_MODE_NAMES = {SEED_COLD: "cold", SEED_BLOB: "blob", SEED_CHAIN: "chain"}
+
+
+class SegmentSeed(NamedTuple):
+    """How one segment's dictionary is initialised.
+
+    ``snapshot`` must carry the **resolved** seeding state for any warm
+    mode: for ``SEED_BLOB`` it is written to the blob table; for
+    ``SEED_CHAIN`` it is the previous segment's derived final state
+    (used only to compute this segment's stream digest — chains are
+    re-derived from codes at load time, never stored).  ``link`` is the
+    cross-segment link code of a chain segment (the previous segment's
+    last emitted code).
+    """
+
+    mode: int = SEED_COLD
+    snapshot: Optional[DictionarySnapshot] = None
+    link: Optional[int] = None
+
+
+COLD_SEED = SegmentSeed()
+
+
+class LoadedSegment(NamedTuple):
+    """One loaded segment plus the seeding state it decodes under."""
+
+    compressed: CompressedStream
+    seed: Optional[DictionarySnapshot]
+    link: Optional[int]
+    seed_mode: int
 
 
 def stream_digest(stream: TernaryVector) -> int:
@@ -156,6 +266,12 @@ def _parse_header(data: bytes) -> _Header:
     elif version == _VERSION_MULTI:
         raise ContainerError(
             "multi-segment (v3) container; load it with load_segments()",
+            byte_offset=4,
+            field="version",
+        )
+    elif version == _VERSION_SEEDED:
+        raise ContainerError(
+            "seeded (v4) container; load it with load_seeded()",
             byte_offset=4,
             field="version",
         )
@@ -449,14 +565,17 @@ def dump_segments(
     parts: Sequence[CompressedStream],
     streams: Optional[Sequence[Optional[TernaryVector]]] = None,
     recorder: Optional[Recorder] = None,
+    seeds: Optional[Sequence[SegmentSeed]] = None,
 ) -> bytes:
     """Serialise independently coded segments into one container.
 
     ``parts`` must share one :class:`LZWConfig` (they decode on the same
     hardware).  ``streams`` optionally supplies the already-decoded
-    stream per segment, as in :func:`dump_bytes`.  A single segment is
-    written in the v2 format, so batch output degenerates to the serial
-    container bit-for-bit when there is no sharding.
+    stream per segment, as in :func:`dump_bytes`.  ``seeds`` optionally
+    supplies per-segment warm-dictionary seeding; any non-cold entry
+    switches the output to the v4 seeded framing.  A single cold
+    segment is written in the v2 format, so batch output degenerates to
+    the serial container bit-for-bit when there is no sharding.
     """
     if not parts:
         raise ValueError("dump_segments needs at least one segment")
@@ -468,6 +587,10 @@ def dump_segments(
     for part in parts[1:]:
         if part.config != config:
             raise ValueError("all segments must share one LZWConfig")
+    if seeds is not None and len(seeds) != len(parts):
+        raise ValueError("seeds must align with parts")
+    if seeds is not None and any(seed.mode != SEED_COLD for seed in seeds):
+        return _dump_seeded(parts, streams, seeds, recorder)
     if len(parts) == 1:
         return dump_bytes(parts[0], streams[0], recorder)
 
@@ -568,19 +691,438 @@ def load_segments(
     return tuple(out)
 
 
+# ----------------------------------------------------------------------
+# Seeded multi-segment (v4) framing
+# ----------------------------------------------------------------------
+
+
+class SeededSegmentInfo(NamedTuple):
+    """One parsed segment-table entry of a v4 container."""
+
+    offset: int
+    original_bits: int
+    payload_bits: int
+    num_codes: int
+    payload_crc: int
+    stream_crc: int
+    seed_mode: int
+    blob_index: int
+
+
+class BlobInfo(NamedTuple):
+    """One parsed blob-table entry of a v4 container."""
+
+    offset: int
+    length: int
+    crc: int
+
+
+class _SeededHeader(NamedTuple):
+    """Parsed v4 header: configuration, tables and the data areas."""
+
+    config: LZWConfig
+    segments: Tuple[SeededSegmentInfo, ...]
+    blobs: Tuple[BlobInfo, ...]
+    header_crc: int
+    tables: bytes
+    blob_area: bytes
+    payload_area: bytes
+
+
+def _dump_seeded(
+    parts: Sequence[CompressedStream],
+    streams: Sequence[Optional[TernaryVector]],
+    seeds: Sequence[SegmentSeed],
+    recorder: Optional[Recorder] = None,
+) -> bytes:
+    """Serialise segments with warm-dictionary seeding into a v4 container."""
+    config = parts[0].config
+    expected_link: Optional[int] = None
+    for index, (part, seed) in enumerate(zip(parts, seeds)):
+        if seed.mode not in SEED_MODE_NAMES:
+            raise ValueError(f"segment {index}: unknown seed mode {seed.mode}")
+        if seed.mode == SEED_CHAIN:
+            if index == 0:
+                raise ValueError("segment 0 cannot chain from a previous segment")
+            if seed.snapshot is None or seed.link is None:
+                raise ValueError(
+                    f"segment {index}: chain seeding needs the resolved "
+                    "snapshot and link"
+                )
+            if seed.link != expected_link:
+                raise ValueError(
+                    f"segment {index}: chain link {seed.link} is not the "
+                    f"previous segment's last code {expected_link}"
+                )
+        elif seed.mode == SEED_BLOB:
+            if seed.snapshot is None:
+                raise ValueError(f"segment {index}: blob seeding needs a snapshot")
+            if seed.link is not None:
+                raise ValueError(f"segment {index}: blob seeding takes no link")
+        elif seed.snapshot is not None or seed.link is not None:
+            raise ValueError(f"segment {index}: cold seeding takes no state")
+        if seed.snapshot is not None:
+            seed.snapshot.require_config(config)
+        expected_link = part.codes[-1] if part.codes else (
+            seed.link if seed.mode == SEED_CHAIN else None
+        )
+
+    rec = recorder if recorder is not None else NULL_RECORDER
+    with rec.span("pack"):
+        # Blob table: deduplicate snapshots by digest, first-reference order.
+        blob_bytes: list = []
+        blob_order: dict = {}
+        for seed in seeds:
+            if seed.mode != SEED_BLOB:
+                continue
+            digest = seed.snapshot.digest
+            if digest not in blob_order:
+                blob_order[digest] = len(blob_bytes)
+                blob_bytes.append(seed.snapshot.to_bytes())
+        if len(blob_bytes) >= _NO_BLOB:
+            raise ValueError(f"too many distinct seed blobs ({len(blob_bytes)})")
+
+        entries = []
+        payloads = []
+        offset = 0
+        width = config.code_bits
+        for part, stream, seed in zip(parts, streams, seeds):
+            writer = BitWriter()
+            for code in part.codes:
+                writer.write(code, width)
+            payload = writer.to_bytes()
+            if stream is None:
+                stream = decode(part, seed=seed.snapshot, link=seed.link)
+            blob_index = (
+                blob_order[seed.snapshot.digest] if seed.mode == SEED_BLOB else _NO_BLOB
+            )
+            entries.append(
+                _SEGMENT_ENTRY_V4.pack(
+                    offset,
+                    part.original_bits,
+                    writer.bit_length,
+                    len(part.codes),
+                    zlib.crc32(payload),
+                    stream_digest(stream),
+                    seed.mode,
+                    blob_index,
+                    0,
+                )
+            )
+            payloads.append(payload)
+            offset += len(payload)
+
+        blob_entries = []
+        blob_offset = 0
+        for blob in blob_bytes:
+            blob_entries.append(
+                _BLOB_ENTRY.pack(blob_offset, len(blob), zlib.crc32(blob))
+            )
+            blob_offset += len(blob)
+
+        flags = _FLAG_RESET_ON_FULL if config.reset_on_full else 0
+        tables = b"".join(entries) + b"".join(blob_entries)
+        fixed_wo_crc = _HEADER_V4.pack(
+            _MAGIC,
+            _VERSION_SEEDED,
+            config.char_bits,
+            config.dict_size,
+            config.entry_bits,
+            len(parts),
+            flags,
+            len(blob_bytes),
+            0,
+        )[:V4_HEADER_CRC_OFFSET]
+        header_crc = zlib.crc32(fixed_wo_crc + tables)
+        data = (
+            fixed_wo_crc
+            + struct.pack(">I", header_crc)
+            + tables
+            + b"".join(blob_bytes)
+            + b"".join(payloads)
+        )
+    if rec.enabled:
+        rec.incr(ev.CONTAINER_BYTES_WRITTEN, len(data))
+        rec.incr(ev.CONTAINER_SEGMENTS_WRITTEN, len(parts))
+    return data
+
+
+def _parse_seeded(data: bytes, strict: bool = True) -> _SeededHeader:
+    """Parse a v4 header, segment table and blob table (no checksum checks).
+
+    ``strict=False`` tolerates a container whose blob or payload area
+    has been truncated — the tables must still parse, but the area
+    bounds checks are skipped so a best-effort consumer (salvage) can
+    clamp to whatever bytes survive.
+    """
+    if len(data) < _HEADER_V4.size:
+        raise ContainerError("truncated container header", byte_offset=len(data))
+    if data[:4] != _MAGIC:
+        raise ContainerError(f"bad magic {data[:4]!r}", byte_offset=0, field="magic")
+    if data[4] != _VERSION_SEEDED:
+        raise ContainerError(
+            f"not a seeded container (version {data[4]})",
+            byte_offset=4,
+            field="version",
+        )
+    (
+        _,
+        _,
+        char_bits,
+        dict_size,
+        entry_bits,
+        count,
+        flags,
+        blob_count,
+        header_crc,
+    ) = _HEADER_V4.unpack_from(data)
+    if count < 1:
+        raise ContainerError(
+            "segment count must be >= 1",
+            byte_offset=V4_SEGMENT_COUNT_OFFSET,
+            field="segment_count",
+        )
+    if flags & ~_FLAG_RESET_ON_FULL:
+        raise ContainerError(
+            f"unknown container flags 0x{flags:02x}",
+            byte_offset=V4_FLAGS_OFFSET,
+            field="flags",
+        )
+    try:
+        config = LZWConfig(
+            char_bits=char_bits,
+            dict_size=dict_size,
+            entry_bits=entry_bits,
+            reset_on_full=bool(flags & _FLAG_RESET_ON_FULL),
+        )
+    except ConfigError as exc:
+        raise ContainerError(
+            f"invalid configuration in header: {exc.message}",
+            field=getattr(exc, "field", None),
+        ) from None
+    table_end = V4_SEGMENT_TABLE_OFFSET + count * SEGMENT_ENTRY_V4_SIZE
+    blob_table_end = table_end + blob_count * BLOB_ENTRY_SIZE
+    if len(data) < blob_table_end:
+        raise ContainerError(
+            f"truncated segment/blob table ({count} segments, "
+            f"{blob_count} blobs declared)",
+            byte_offset=len(data),
+            field="segment_table",
+        )
+    tables = data[V4_SEGMENT_TABLE_OFFSET:blob_table_end]
+    seg_table = data[V4_SEGMENT_TABLE_OFFSET:table_end]
+    blob_table = data[table_end:blob_table_end]
+
+    blobs = []
+    blob_area_len = 0
+    for index in range(blob_count):
+        blob = BlobInfo(*_BLOB_ENTRY.unpack_from(blob_table, index * BLOB_ENTRY_SIZE))
+        blob_area_len = max(blob_area_len, blob.offset + blob.length)
+        blobs.append(blob)
+    if strict and len(data) < blob_table_end + blob_area_len:
+        raise ContainerError(
+            "blob area extends past the end of the container",
+            field="blob_table",
+            expected=blob_table_end + blob_area_len,
+            actual=len(data),
+        )
+    blob_area = data[blob_table_end : blob_table_end + blob_area_len]
+    payload_area = data[blob_table_end + blob_area_len :]
+
+    segments = []
+    for index in range(count):
+        fields = _SEGMENT_ENTRY_V4.unpack_from(seg_table, index * SEGMENT_ENTRY_V4_SIZE)
+        entry = SeededSegmentInfo(*fields[:8])
+        if entry.seed_mode not in SEED_MODE_NAMES:
+            raise ContainerError(
+                f"unknown segment seed mode {entry.seed_mode}",
+                segment=index,
+                field="seed_mode",
+            )
+        if entry.seed_mode == SEED_CHAIN and index == 0:
+            raise ContainerError(
+                "segment 0 cannot chain from a previous segment",
+                segment=index,
+                field="seed_mode",
+            )
+        if entry.seed_mode == SEED_BLOB:
+            if entry.blob_index >= len(blobs):
+                raise ContainerError(
+                    f"segment references blob {entry.blob_index} of {len(blobs)}",
+                    segment=index,
+                    field="blob_index",
+                )
+        elif entry.blob_index != _NO_BLOB:
+            raise ContainerError(
+                f"{SEED_MODE_NAMES[entry.seed_mode]} segment carries a blob index",
+                segment=index,
+                field="blob_index",
+            )
+        end = entry.offset + (entry.payload_bits + 7) // 8
+        if strict and end > len(payload_area):
+            raise ContainerError(
+                "segment payload extends past the end of the container",
+                segment=index,
+                expected=end,
+                actual=len(payload_area),
+            )
+        if entry.payload_bits % config.code_bits:
+            raise ContainerError(
+                "segment payload is not a whole number of codes",
+                segment=index,
+                field="payload_bits",
+                expected=config.code_bits,
+                actual=entry.payload_bits,
+            )
+        if entry.num_codes != entry.payload_bits // config.code_bits:
+            raise ContainerError(
+                "segment code count disagrees with its payload bit count",
+                segment=index,
+                field="num_codes",
+                expected=entry.payload_bits // config.code_bits,
+                actual=entry.num_codes,
+            )
+        segments.append(entry)
+    return _SeededHeader(
+        config=config,
+        segments=tuple(segments),
+        blobs=tuple(blobs),
+        header_crc=header_crc,
+        tables=tables,
+        blob_area=blob_area,
+        payload_area=payload_area,
+    )
+
+
+def _seeded_payload(header: _SeededHeader, entry: SeededSegmentInfo) -> bytes:
+    """The padded payload bytes of one v4 segment."""
+    return header.payload_area[
+        entry.offset : entry.offset + (entry.payload_bits + 7) // 8
+    ]
+
+
+def _load_blob(header: _SeededHeader, index: int) -> DictionarySnapshot:
+    """Check, parse and config-validate one seed blob."""
+    blob = header.blobs[index]
+    raw = header.blob_area[blob.offset : blob.offset + blob.length]
+    actual = zlib.crc32(raw)
+    if actual != blob.crc:
+        raise ContainerError(
+            "seed blob CRC mismatch (corrupted container)",
+            blob=index,
+            expected=blob.crc,
+            actual=actual,
+        )
+    snapshot = DictionarySnapshot.from_bytes(raw)
+    snapshot.require_config(header.config)
+    return snapshot
+
+
+def _chain_seed(
+    prev: LoadedSegment, config: LZWConfig, index: int
+) -> Tuple[DictionarySnapshot, Optional[int]]:
+    """Derive segment ``index``'s seeding state from its predecessor."""
+    codes = prev.compressed.codes
+    try:
+        snapshot = derive_final_snapshot(codes, config, seed=prev.seed, link=prev.link)
+    except (DecodeError, SnapshotError) as exc:
+        raise ContainerError(
+            f"chain seed underivable from segment {index - 1}: {exc}",
+            segment=index,
+            field="seed_mode",
+        ) from exc
+    link = codes[-1] if codes else prev.link
+    return snapshot, link
+
+
+def load_seeded(
+    data: bytes, verify: bool = True, recorder: Optional[Recorder] = None
+) -> Tuple[LoadedSegment, ...]:
+    """Parse container bytes into seed-aware segments, any format version.
+
+    v1/v2/v3 containers load as cold segments; v4 containers resolve
+    each segment's seeding state — blob snapshots are CRC-checked and
+    parsed, chain states re-derived from the previous segment's codes.
+    Integrity failures raise :class:`ContainerError` (or
+    :class:`SnapshotError` for malformed blobs).
+    """
+    version = container_version(data)
+    if version != _VERSION_SEEDED:
+        return tuple(
+            LoadedSegment(compressed, None, None, SEED_COLD)
+            for compressed in load_segments(data, verify=verify, recorder=recorder)
+        )
+    rec = recorder if recorder is not None else NULL_RECORDER
+    header = _parse_seeded(data)
+    if rec.enabled:
+        rec.incr(ev.CONTAINER_BYTES_READ, len(data))
+        rec.incr(ev.CONTAINER_SEGMENTS_READ, len(header.segments))
+    actual_crc = zlib.crc32(data[:V4_HEADER_CRC_OFFSET] + header.tables)
+    if actual_crc != header.header_crc:
+        raise ContainerError(
+            "header CRC mismatch (corrupted header or tables)",
+            byte_offset=V4_HEADER_CRC_OFFSET,
+            expected=header.header_crc,
+            actual=actual_crc,
+        )
+    snapshots = [_load_blob(header, index) for index in range(len(header.blobs))]
+    out: list = []
+    for index, entry in enumerate(header.segments):
+        payload = _seeded_payload(header, entry)
+        actual = zlib.crc32(payload)
+        if actual != entry.payload_crc:
+            raise ContainerError(
+                "segment payload CRC mismatch (corrupted container)",
+                segment=index,
+                expected=entry.payload_crc,
+                actual=actual,
+            )
+        codes = _read_codes(payload, entry.payload_bits, header.config)
+        try:
+            compressed = CompressedStream(codes, header.config, entry.original_bits)
+        except ValueError as exc:
+            raise ContainerError(str(exc), segment=index) from None
+        seed: Optional[DictionarySnapshot] = None
+        link: Optional[int] = None
+        if entry.seed_mode == SEED_BLOB:
+            seed = snapshots[entry.blob_index]
+        elif entry.seed_mode == SEED_CHAIN:
+            seed, link = _chain_seed(out[index - 1], header.config, index)
+        if verify:
+            try:
+                decoded = decode(compressed, seed=seed, link=link)
+            except (DecodeError, SnapshotError) as exc:
+                raise ContainerError(
+                    f"segment does not decode under its declared seed: {exc}",
+                    segment=index,
+                    field="seed_mode",
+                ) from exc
+            actual_digest = stream_digest(decoded)
+            if actual_digest != entry.stream_crc:
+                raise ContainerError(
+                    "segment decoded stream digest mismatch (tampered payload)",
+                    segment=index,
+                    expected=entry.stream_crc,
+                    actual=actual_digest,
+                )
+        out.append(LoadedSegment(compressed, seed, link, entry.seed_mode))
+    return tuple(out)
+
+
 def decode_container(
     data: bytes, verify: bool = True, recorder: Optional[Recorder] = None
 ) -> TernaryVector:
     """Decode container bytes of any version to the full logical stream.
 
     For multi-segment containers this is the concatenation of the
-    per-segment decodes in table order.
+    per-segment decodes in table order; v4 segments decode under their
+    declared seeding state.
     """
     rec = recorder if recorder is not None else NULL_RECORDER
     return TernaryVector.concat_all(
         [
-            decode(segment, recorder=rec)
-            for segment in load_segments(data, verify=verify, recorder=rec)
+            decode(segment.compressed, recorder=rec, seed=segment.seed, link=segment.link)
+            for segment in load_seeded(data, verify=verify, recorder=rec)
         ]
     )
 

@@ -1,8 +1,15 @@
 """The paper's contribution: don't-care-aware LZW test compression."""
 
 from .config import ConfigError, ENGINES, LZWConfig, POLICIES
-from .decoder import DecodeError, LZWDecodeError, decode, decode_codes, iter_decode
-from .dictionary import LZWDictionary
+from .decoder import (
+    DecodeError,
+    LZWDecodeError,
+    decode,
+    decode_codes,
+    derive_final_snapshot,
+    iter_decode,
+)
+from .dictionary import DictionarySnapshot, LZWDictionary
 from .dontcare import STATIC_FILLS, ChildSelector, static_fill
 from .encoder import CompressedStream, EncodeStats, LZWEncoder
 from .fastpath import PackedCandidateIndex, encode_fast, resolve_engine
@@ -33,6 +40,7 @@ __all__ = [
     "CompressionResult",
     "ConfigError",
     "DecodeError",
+    "DictionarySnapshot",
     "EncodeStats",
     "LZWConfig",
     "LZWDecodeError",
@@ -52,6 +60,7 @@ __all__ = [
     "decode",
     "decode_codes",
     "decompress",
+    "derive_final_snapshot",
     "encode_fast",
     "geometric_mean",
     "iter_decode",

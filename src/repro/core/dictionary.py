@@ -20,12 +20,193 @@ every specified bit of that character?
 
 from __future__ import annotations
 
+import hashlib
+import struct
+import zlib
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..bitstream import TernaryVector
+from ..reliability.errors import SnapshotError
 from .config import LZWConfig
 
-__all__ = ["LZWDictionary"]
+__all__ = ["DictionarySnapshot", "LZWDictionary", "SNAPSHOT_MAGIC", "SNAPSHOT_VERSION"]
+
+#: Serialized snapshot framing (see :meth:`DictionarySnapshot.to_bytes`).
+SNAPSHOT_MAGIC = b"LZWS"
+SNAPSHOT_VERSION = 1
+
+#: ``>4sB B I I I`` — magic, version, char_bits, dict_size, entry_bits,
+#: entry count.  Entries follow as ``>IH`` (parent code, character), then
+#: a trailing CRC-32 over everything before it.
+_SNAP_HEADER = struct.Struct(">4sBBIII")
+_SNAP_ENTRY = struct.Struct(">IH")
+_SNAP_CRC = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class DictionarySnapshot:
+    """Canonical, versioned serialization of LZW dictionary state.
+
+    A trie state is fully determined by the ordered ``(parent, char)``
+    allocation history: replaying those pairs through
+    :meth:`LZWDictionary.add` reproduces *every* derived structure —
+    strings, subtree weights, children insertion order and the
+    ``_active_bases`` insertion history — so a restored dictionary
+    continues **byte-identically** under both encoder engines (children
+    iteration order and active-base scan order are part of the output
+    contract).
+
+    The snapshot also names the configuration identity it was taken
+    under (``char_bits``/``dict_size``/``entry_bits``); seeding a
+    dictionary with a different shape is a typed
+    :class:`~repro.reliability.errors.SnapshotError`, never silent
+    corruption.
+    """
+
+    char_bits: int
+    dict_size: int
+    entry_bits: int
+    #: ``(parent, char)`` per allocated code, in allocation order.
+    entries: Tuple[Tuple[int, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def base_codes(self) -> int:
+        return 1 << self.char_bits
+
+    def require_config(self, config: LZWConfig) -> None:
+        """Raise :class:`SnapshotError` unless ``config`` matches."""
+        for field in ("char_bits", "dict_size", "entry_bits"):
+            want = getattr(config, field)
+            have = getattr(self, field)
+            if want != have:
+                raise SnapshotError(
+                    f"snapshot was taken under {field}={have}, "
+                    f"stream decodes under {field}={want}",
+                    field=field,
+                    expected=want,
+                    actual=have,
+                )
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the canonical ``LZWS`` framing (CRC-terminated)."""
+        out = bytearray(
+            _SNAP_HEADER.pack(
+                SNAPSHOT_MAGIC,
+                SNAPSHOT_VERSION,
+                self.char_bits,
+                self.dict_size,
+                self.entry_bits,
+                len(self.entries),
+            )
+        )
+        pack = _SNAP_ENTRY.pack
+        for parent, char in self.entries:
+            out += pack(parent, char)
+        out += _SNAP_CRC.pack(zlib.crc32(bytes(out)) & 0xFFFFFFFF)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DictionarySnapshot":
+        """Parse and structurally validate a serialized snapshot.
+
+        Every failure is a typed :class:`SnapshotError`; a snapshot
+        that parses is still *replayed* by :meth:`LZWDictionary.
+        restore`, which catches the semantic corruptions (duplicate
+        children, width/capacity violations) a re-signed tamper can
+        produce.
+        """
+        size = _SNAP_HEADER.size + _SNAP_CRC.size
+        if len(data) < size:
+            raise SnapshotError(
+                f"snapshot truncated: {len(data)} bytes < minimum {size}",
+                field="length",
+                actual=len(data),
+            )
+        magic, version, char_bits, dict_size, entry_bits, count = _SNAP_HEADER.unpack(
+            data[: _SNAP_HEADER.size]
+        )
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotError(
+                "bad snapshot magic", field="magic", actual=magic
+            )
+        if version != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"unsupported snapshot version {version}",
+                field="version",
+                actual=version,
+            )
+        expected_len = _SNAP_HEADER.size + count * _SNAP_ENTRY.size + _SNAP_CRC.size
+        if len(data) != expected_len:
+            raise SnapshotError(
+                f"snapshot length {len(data)} != {expected_len} "
+                f"implied by entry count {count}",
+                field="length",
+                expected=expected_len,
+                actual=len(data),
+            )
+        (crc,) = _SNAP_CRC.unpack(data[-_SNAP_CRC.size:])
+        actual_crc = zlib.crc32(data[: -_SNAP_CRC.size]) & 0xFFFFFFFF
+        if crc != actual_crc:
+            raise SnapshotError(
+                "snapshot CRC mismatch",
+                field="crc",
+                expected=crc,
+                actual=actual_crc,
+            )
+        n_base = 1 << char_bits
+        if not 0 <= count <= max(0, dict_size - n_base):
+            raise SnapshotError(
+                f"snapshot entry count {count} exceeds capacity "
+                f"(N={dict_size}, base codes {n_base})",
+                field="count",
+                actual=count,
+            )
+        entries = []
+        offset = _SNAP_HEADER.size
+        unpack = _SNAP_ENTRY.unpack_from
+        for i in range(count):
+            parent, char = unpack(data, offset)
+            offset += _SNAP_ENTRY.size
+            if parent >= n_base + i:
+                raise SnapshotError(
+                    f"snapshot entry {i} parent {parent} is not an "
+                    f"earlier code (< {n_base + i})",
+                    field=f"entries[{i}].parent",
+                    actual=parent,
+                )
+            if char >= n_base:
+                raise SnapshotError(
+                    f"snapshot entry {i} character {char} out of range "
+                    f"(< {n_base})",
+                    field=f"entries[{i}].char",
+                    actual=char,
+                )
+            entries.append((parent, char))
+        return cls(char_bits, dict_size, entry_bits, tuple(entries))
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 of the canonical bytes — the snapshot's *seed id*."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    def strings(self) -> List[Tuple[int, ...]]:
+        """Allocated-entry strings, in code order (decoder seeding).
+
+        Entry ``i`` is the full character string of code
+        ``base_codes + i`` — exactly the list :func:`repro.core.decoder.
+        iter_decode` would have accumulated after decoding the stream
+        the snapshot was derived from.
+        """
+        n_base = self.base_codes
+        out: List[Tuple[int, ...]] = []
+        for parent, char in self.entries:
+            prefix = (parent,) if parent < n_base else out[parent - n_base]
+            out.append(prefix + (char,))
+        return out
 
 
 class LZWDictionary:
@@ -180,6 +361,57 @@ class LZWDictionary:
         base = self._strings[new_code][0]
         self._active_bases.add(base)
         return new_code
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (warm-dictionary seeding)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> DictionarySnapshot:
+        """Capture the allocation history as a :class:`DictionarySnapshot`.
+
+        O(allocated); the returned value is immutable and independent
+        of this dictionary's further evolution.
+        """
+        n_base = self.config.base_codes
+        entries = tuple(zip(self._parent[n_base:], self._char[n_base:]))
+        return DictionarySnapshot(
+            self.config.char_bits,
+            self.config.dict_size,
+            self.config.entry_bits,
+            entries,
+        )
+
+    def restore(self, snapshot: DictionarySnapshot) -> None:
+        """Replay ``snapshot`` into this freshly constructed dictionary.
+
+        Replaying the ``(parent, char)`` history through :meth:`add`
+        rebuilds every derived structure — including the children
+        insertion order and the ``_active_bases`` insertion history the
+        encoders' candidate scans iterate — so a restored dictionary is
+        indistinguishable from one that lived through the original
+        encode.  Raises :class:`SnapshotError` on a config mismatch or
+        when an entry cannot be replayed (duplicate child / width /
+        capacity — the semantic corruptions structural validation
+        cannot see).
+        """
+        if self.allocated:
+            raise SnapshotError(
+                "restore() requires a freshly constructed dictionary",
+                actual=self.allocated,
+            )
+        snapshot.require_config(self.config)
+        for i, (parent, char) in enumerate(snapshot.entries):
+            if parent >= len(self._parent) or char >= self.config.base_codes:
+                raise SnapshotError(
+                    f"snapshot entry {i} ({parent}, {char}) is out of range",
+                    field=f"entries[{i}]",
+                )
+            if self.add(parent, char) is None:
+                raise SnapshotError(
+                    f"snapshot entry {i} ({parent}, {char}) is not "
+                    "replayable (duplicate child, entry width or "
+                    "capacity violation)",
+                    field=f"entries[{i}]",
+                )
 
     # ------------------------------------------------------------------
     # Introspection for experiments

@@ -16,8 +16,9 @@ from typing import List, Optional, Tuple
 from ..bitstream import BitReader, BitWriter, TernaryVector, to_characters
 from ..observability import NULL_RECORDER, Recorder
 from ..observability import schema as ev
+from ..reliability.errors import SnapshotError
 from .config import LZWConfig
-from .dictionary import LZWDictionary
+from .dictionary import DictionarySnapshot, LZWDictionary
 from .dontcare import ChildSelector
 from .fastpath import encode_fast, resolve_engine
 from .metrics import compression_percent, compression_ratio
@@ -119,6 +120,14 @@ class LZWEncoder:
 
     The dictionary persists on the instance afterwards so experiments can
     inspect it (entry lengths, occupancy, Table 6's longest string).
+
+    ``seed`` starts the dictionary from a
+    :class:`~repro.core.dictionary.DictionarySnapshot` instead of cold
+    base codes; ``link`` additionally replays the cross-shard phrase
+    boundary of a pipelined wave (the previous shard's last emitted
+    code), so encoding a stream suffix from the matching seed is
+    byte-identical to the uninterrupted serial encode — the contract
+    ``tests/core/test_seeded_differential.py`` locks for both engines.
     """
 
     def __init__(
@@ -126,9 +135,22 @@ class LZWEncoder:
         config: Optional[LZWConfig] = None,
         recorder: Optional[Recorder] = None,
         cancel: Optional[object] = None,
+        seed: Optional[DictionarySnapshot] = None,
+        link: Optional[int] = None,
     ) -> None:
         self.config = config or LZWConfig()
         self.dictionary = LZWDictionary(self.config)
+        if seed is not None:
+            self.dictionary.restore(seed)
+        if link is not None and not 0 <= link < self.dictionary.next_code:
+            raise SnapshotError(
+                f"seed link {link} is not a live code in the seeded "
+                f"dictionary (next free {self.dictionary.next_code})",
+                actual=link,
+                expected=self.dictionary.next_code,
+            )
+        self.seed = seed
+        self.link = link
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         # Cooperative cancellation: any object with a ``check()`` that
         # raises (see repro.service.cancel.CancellationToken).  Duck
@@ -184,6 +206,13 @@ class LZWEncoder:
 
         selector = ChildSelector(dictionary, cfg)
         buffer = selector.choose_base(chars, 0)
+        if self.link is not None:
+            # Pipelined-wave continuation: perform the cross-shard
+            # boundary the serial encoder would have run between the
+            # previous shard's last phrase (``link``) and this one —
+            # after the head is chosen (the serial ordering), before
+            # any character is consumed.
+            self._seed_boundary(dictionary, rec, recording, self.link, buffer)
         phrase_start = 0
         i = 1
         while i < len(chars):
@@ -238,6 +267,35 @@ class LZWEncoder:
             rec.observe(ev.HIST_CODES_PER_WIDTH, cfg.code_bits, len(codes))
 
         return CompressedStream(tuple(codes), cfg, len(stream), tuple(expansions))
+
+    def _seed_boundary(
+        self,
+        dictionary: LZWDictionary,
+        rec: Recorder,
+        recording: bool,
+        link: int,
+        head: int,
+    ) -> None:
+        """The maybe-reset-or-allocate step at a pipelined-wave boundary."""
+        cfg = self.config
+        if (
+            cfg.reset_on_full
+            and not dictionary.is_full
+            and dictionary.can_extend(link)
+            and dictionary.next_code == cfg.dict_size - 1
+        ):
+            dictionary.reset()
+            if recording:
+                rec.incr(ev.DICT_RESETS)
+            return
+        added = dictionary.add(link, head)
+        if recording:
+            if added is not None:
+                rec.incr(ev.DICT_ALLOCS)
+            elif dictionary.is_full:
+                rec.incr(ev.DICT_FULL_SKIPS)
+            elif not dictionary.can_extend(link):
+                rec.incr(ev.DICT_CMDATA_TRUNCATIONS)
 
     @staticmethod
     def _record_phrase(

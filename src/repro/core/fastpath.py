@@ -485,6 +485,37 @@ def encode_fast(encoder, stream) -> Tuple[List[int], List[int]]:
     # shape and the DFS's sort keys only change through such adds.
     fullsim_cache: Dict[tuple, int] = {}
 
+    # Seeded dictionary: the suffix packs are maintained append-only at
+    # the add site, so a dictionary restored from a snapshot arrives
+    # with *empty* packs — the lookahead would silently degrade to the
+    # weight argmax and diverge from the seeded reference.  Replay the
+    # pack-maintenance walk for every pre-allocated entry in code order
+    # (allocation order), which reproduces the exact pack lanes, lane
+    # order and ``sver`` counters an uninterrupted run would hold.
+    if K and dictionary.allocated:
+        sver_bump = sver.get
+        for added in range(cfg.base_codes, dictionary.next_code):
+            sfx = charr[added]
+            prev = added
+            anc = parent[added]
+            k = 1
+            while k <= KP:
+                pk = packs[k]
+                entry = pk.get(anc)
+                if entry is None:
+                    pk[anc] = [sfx, 1, [prev]]
+                else:
+                    entry[0] |= sfx << (entry[1] * lane_w[k])
+                    entry[1] += 1
+                    entry[2].append(prev)
+                sver[anc] = sver_bump(anc, 0) + 1
+                if anc == -1:
+                    break
+                sfx = charr[anc] | (sfx << char_bits)
+                prev = anc
+                anc = parent[anc]
+                k += 1
+
     def ztest(child: int, k: int, wv: int, wc: int) -> int:
         """Compatible-lane bitmap of ``child``'s depth-``k`` pack (0 = none)."""
         e = packs[k].get(child)
@@ -788,6 +819,78 @@ def encode_fast(encoder, stream) -> Tuple[List[int], List[int]]:
                 best = base
         return best
 
+    def boundary(bcode: int, head: int) -> None:
+        """Reset-or-allocate at a phrase boundary (string(bcode) + head).
+
+        One shared replica of the reference's boundary block, used by
+        the in-stream boundaries of the main loop *and* the cross-shard
+        link boundary of a seeded continuation — the pack maintenance,
+        invalidation and recorder sites must stay literally identical
+        at both.
+        """
+        nonlocal allocs, weight, children
+        if (
+            reset_on_full
+            and not dictionary.is_full
+            and dictionary.can_extend(bcode)
+            and dictionary.next_code == last_alloc_code
+        ):
+            dictionary.reset()
+            index.clear()
+            for pk in packs:
+                pk.clear()
+            decision_memo.clear()
+            sver.clear()
+            cone_cache.clear()
+            fullsim_cache.clear()
+            allocs = dictionary.allocated
+            weight = dictionary._weight
+            children = dictionary._children
+            if recording:
+                rec.incr(ev.DICT_RESETS)
+            return
+        bases_before = len(active_bases)
+        added = dictionary.add(bcode, head)
+        if added is not None:
+            allocs += 1
+            index.invalidate_node(bcode)
+            if len(active_bases) != bases_before:
+                index.invalidate_bases()
+            # Append the new entry's path suffix to the packs of its
+            # K+1 nearest ancestors: the ancestor at distance k gains a
+            # depth-k descendant whose lane is the last k characters of
+            # the new string (first consumed lowest).  The walk ends at
+            # the virtual root (-1), whose lane is the entry's whole
+            # string.
+            if K:
+                sfx = head
+                prev = added  # the path's first-step child from anc
+                anc = bcode
+                k = 1
+                while k <= KP:
+                    pk = packs[k]
+                    entry = pk.get(anc)
+                    if entry is None:
+                        pk[anc] = [sfx, 1, [prev]]
+                    else:
+                        entry[0] |= sfx << (entry[1] * lane_w[k])
+                        entry[1] += 1
+                        entry[2].append(prev)
+                    sver[anc] = sver_get(anc, 0) + 1
+                    if anc == -1:
+                        break
+                    sfx = charr[anc] | (sfx << char_bits)
+                    prev = anc
+                    anc = parent[anc]
+                    k += 1
+        if recording:
+            if added is not None:
+                rec.incr(ev.DICT_ALLOCS)
+            elif dictionary.is_full:
+                rec.incr(ev.DICT_FULL_SKIPS)
+            elif not dictionary.can_extend(bcode):
+                rec.incr(ev.DICT_CMDATA_TRUNCATIONS)
+
     # ------------------------------------------------------------------
     # Main loop — control flow mirrors LZWEncoder._encode_reference
     # ------------------------------------------------------------------
@@ -795,6 +898,11 @@ def encode_fast(encoder, stream) -> Tuple[List[int], List[int]]:
     expansions_append = expansions.append
     longest_phrase = 0
     buffer = choose_base(0)
+    if encoder.link is not None:
+        # Pipelined-wave continuation: replay the cross-shard boundary
+        # after the head is chosen (the serial ordering), before any
+        # character is consumed — mirrors the reference's seeded path.
+        boundary(encoder.link, buffer)
     phrase_start = 0
     i = 1
     while i < n:
@@ -873,67 +981,7 @@ def encode_fast(encoder, stream) -> Tuple[List[int], List[int]]:
         if recording:
             _record_phrase(rec, char_bits, cares, phrase_start, i)
         head = choose_base(i)
-        if (
-            reset_on_full
-            and not dictionary.is_full
-            and dictionary.can_extend(buffer)
-            and dictionary.next_code == last_alloc_code
-        ):
-            dictionary.reset()
-            index.clear()
-            for pk in packs:
-                pk.clear()
-            decision_memo.clear()
-            sver.clear()
-            cone_cache.clear()
-            fullsim_cache.clear()
-            allocs = dictionary.allocated
-            weight = dictionary._weight
-            children = dictionary._children
-            if recording:
-                rec.incr(ev.DICT_RESETS)
-        else:
-            bases_before = len(active_bases)
-            added = dictionary.add(buffer, head)
-            if added is not None:
-                allocs += 1
-                index.invalidate_node(buffer)
-                if len(active_bases) != bases_before:
-                    index.invalidate_bases()
-                # Append the new entry's path suffix to the packs of
-                # its K+1 nearest ancestors: the ancestor at distance
-                # k gains a depth-k descendant whose lane is the last
-                # k characters of the new string (first consumed
-                # lowest).  The walk ends at the virtual root (-1),
-                # whose lane is the entry's whole string.
-                if K:
-                    sfx = head
-                    prev = added  # the path's first-step child from anc
-                    anc = buffer
-                    k = 1
-                    while k <= KP:
-                        pk = packs[k]
-                        entry = pk.get(anc)
-                        if entry is None:
-                            pk[anc] = [sfx, 1, [prev]]
-                        else:
-                            entry[0] |= sfx << (entry[1] * lane_w[k])
-                            entry[1] += 1
-                            entry[2].append(prev)
-                        sver[anc] = sver_get(anc, 0) + 1
-                        if anc == -1:
-                            break
-                        sfx = charr[anc] | (sfx << char_bits)
-                        prev = anc
-                        anc = parent[anc]
-                        k += 1
-            if recording:
-                if added is not None:
-                    rec.incr(ev.DICT_ALLOCS)
-                elif dictionary.is_full:
-                    rec.incr(ev.DICT_FULL_SKIPS)
-                elif not dictionary.can_extend(buffer):
-                    rec.incr(ev.DICT_CMDATA_TRUNCATIONS)
+        boundary(buffer, head)
         buffer = head
         phrase_start = i
         i += 1

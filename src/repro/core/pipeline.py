@@ -17,6 +17,7 @@ from ..bitstream import TernaryVector
 from ..observability import NULL_RECORDER, Recorder
 from .config import LZWConfig
 from .decoder import decode
+from .dictionary import DictionarySnapshot
 from .encoder import CompressedStream, EncodeStats, LZWEncoder
 
 __all__ = ["CompressionResult", "compress", "compress_batch", "decompress"]
@@ -40,6 +41,11 @@ class CompressionResult:
     compressed: CompressedStream
     assigned_stream: TernaryVector
     stats: EncodeStats
+    #: Warm-dictionary provenance: the snapshot the encoder started
+    #: from and the pipelined-wave link code, when seeded (both None
+    #: for a cold run).  A seeded code stream only decodes with them.
+    seed: Optional[DictionarySnapshot] = None
+    link: Optional[int] = None
 
     @property
     def ratio(self) -> float:
@@ -74,7 +80,7 @@ class CompressionResult:
 
     def verify(self, original: TernaryVector) -> bool:
         """True iff decoding reproduces every specified bit of ``original``."""
-        decoded = decode(self.compressed)
+        decoded = decode(self.compressed, seed=self.seed, link=self.link)
         return decoded.covers(original)
 
 
@@ -83,6 +89,8 @@ def compress(
     config: Optional[LZWConfig] = None,
     recorder: Optional[Recorder] = None,
     cancel: Optional[object] = None,
+    seed: Optional[DictionarySnapshot] = None,
+    link: Optional[int] = None,
 ) -> CompressionResult:
     """Compress a ternary scan stream with don't-care-aware LZW.
 
@@ -103,16 +111,16 @@ def compress(
     characters of its deadline.
     """
     rec = recorder if recorder is not None else NULL_RECORDER
-    encoder = LZWEncoder(config, recorder=rec, cancel=cancel)
+    encoder = LZWEncoder(config, recorder=rec, cancel=cancel, seed=seed, link=link)
     with rec.span("encode"):
         compressed = encoder.encode(stream)
     if cancel is not None:
         cancel.check()
     with rec.span("assign"):
-        assigned = decode(compressed, recorder=rec)
+        assigned = decode(compressed, recorder=rec, seed=seed, link=link)
     if cancel is not None:
         cancel.check()
-    return CompressionResult(compressed, assigned, encoder.stats())
+    return CompressionResult(compressed, assigned, encoder.stats(), seed, link)
 
 
 def compress_batch(configs, streams, workers=None, **kwargs):

@@ -200,7 +200,10 @@ class FleetDispatcher(CompressionServer):
         rec = self.recorder
         routing_started = time.monotonic()
         fingerprint = workload_fingerprint(
-            job.op, job.header.get("config"), job.payload
+            job.op,
+            job.header.get("config"),
+            job.payload,
+            seed=job.header.get("seed"),
         )
         cacheable = self.cache is not None and job.op == "compress"
         if cacheable:

@@ -33,17 +33,23 @@ __all__ = ["workload_fingerprint", "rank_backends"]
 
 
 def workload_fingerprint(
-    op: str, config: Optional[Dict[str, Any]], payload: bytes
+    op: str,
+    config: Optional[Dict[str, Any]],
+    payload: bytes,
+    seed: Optional[str] = None,
 ) -> str:
     """Stable hex digest identifying one unit of routable work.
 
     Two requests get the same fingerprint iff they would produce the
     same reply on a correct backend: same op, semantically identical
-    ``config`` (key order normalised), same payload bytes.  The
-    ``engine`` knob is normalised *out*: both engines are byte-identical
-    (locked by the differential conformance suite), so requests that
-    differ only in engine selection share cached results and route to
-    the same backend.
+    ``config`` (key order normalised), same payload bytes, same warm
+    dictionary ``seed`` (the request's base64 snapshot field, or
+    ``None`` for a cold compress — the emitted codes depend on the
+    seed, so a cold and a warm compress of identical cubes must never
+    share a cache entry).  The ``engine`` knob is normalised *out*:
+    both engines are byte-identical (locked by the differential
+    conformance suite), so requests that differ only in engine
+    selection share cached results and route to the same backend.
     """
     if config and "engine" in config:
         config = {k: v for k, v in config.items() if k != "engine"}
@@ -54,6 +60,9 @@ def workload_fingerprint(
     digest.update(op.encode("utf-8"))
     digest.update(b"\x00")
     digest.update(canonical_config)
+    digest.update(b"\x00")
+    if seed is not None:
+        digest.update(seed.encode("ascii", "replace"))
     digest.update(b"\x00")
     digest.update(payload)
     return digest.hexdigest()

@@ -64,6 +64,8 @@ __all__ = [
     "BATCH_DEGRADED_SHARDS",
     "BATCH_SKIPPED_SHARDS",
     "BATCH_JOURNAL_HITS",
+    "BATCH_SEEDED_SHARDS",
+    "BATCH_SEED_REDERIVATIONS",
     "SERVICE_REQUESTS",
     "SERVICE_ACCEPTED",
     "SERVICE_COMPLETED",
@@ -143,6 +145,11 @@ BATCH_DEGRADED_SHARDS = "batch.degraded_shards"
 BATCH_SKIPPED_SHARDS = "batch.skipped_shards"
 #: Shards restored from a checkpoint journal instead of re-encoded.
 BATCH_JOURNAL_HITS = "batch.journal_hits"
+#: Shards encoded from a warm (preamble or chained) dictionary seed.
+BATCH_SEEDED_SHARDS = "batch.seeded_shards"
+#: Chained seeds re-derived from the predecessor's codes because the
+#: shipped final-state snapshot was missing or unreadable.
+BATCH_SEED_REDERIVATIONS = "batch.seed_rederivations"
 
 # -- service counters (repro serve) ------------------------------------
 #: Requests fully received and parsed off a client connection.

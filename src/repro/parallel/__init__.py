@@ -12,18 +12,25 @@ Public surface:
   execution layer (retries, per-shard timeouts, pool respawn,
   degrade/skip policies);
 * :class:`ShardJournal` / :func:`batch_fingerprint` — the
-  shard-completion checkpoint behind ``repro batch --checkpoint/--resume``.
+  shard-completion checkpoint behind ``repro batch --checkpoint/--resume``;
+* :class:`SeedPlan` / :func:`train_preamble` — warm-dictionary seeding
+  strategies (``cold`` / ``preamble`` / ``wave``) behind
+  ``repro batch --seed-mode``.
 """
 
 from .engine import BatchItemResult, ShardResult, compress_batch
 from .journal import ShardJournal, batch_fingerprint
+from .seeding import COLD_PLAN, SEED_MODES, SeedPlan, train_preamble
 from .shard import ShardPlan, plan_shards
 from .supervisor import ON_FAILURE_POLICIES, RetryPolicy, run_supervised
 
 __all__ = [
     "BatchItemResult",
+    "COLD_PLAN",
     "ON_FAILURE_POLICIES",
     "RetryPolicy",
+    "SEED_MODES",
+    "SeedPlan",
     "ShardJournal",
     "ShardPlan",
     "ShardResult",
@@ -31,4 +38,5 @@ __all__ = [
     "compress_batch",
     "plan_shards",
     "run_supervised",
+    "train_preamble",
 ]

@@ -35,9 +35,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..bitstream import TernaryVector
-from ..container import dump_segments
+from ..container import SEED_BLOB, SEED_CHAIN, SEED_COLD, SegmentSeed, dump_segments
 from ..core.config import LZWConfig
-from ..core.decoder import decode
+from ..core.decoder import decode, derive_final_snapshot
+from ..core.dictionary import DictionarySnapshot
 from ..core.encoder import CompressedStream, EncodeStats, LZWEncoder
 from ..observability import (
     NULL_RECORDER,
@@ -48,8 +49,9 @@ from ..observability import (
 )
 from ..observability import schema as ev
 from ..reliability.chaos import ChaosPlan
-from ..reliability.errors import ConfigError, ShardError
+from ..reliability.errors import ConfigError, ShardError, SnapshotError
 from .journal import ShardJournal, batch_fingerprint
+from .seeding import COLD_PLAN, SeedPlan, train_preamble
 from .shard import ShardPlan, plan_shards
 from .supervisor import ON_FAILURE_POLICIES, RetryPolicy, run_supervised
 
@@ -57,8 +59,21 @@ __all__ = ["ShardResult", "BatchItemResult", "compress_batch"]
 
 #: One shard job: (workload index, shard index, shard stream, config,
 #: whether the worker should record a metrics snapshot, the chaos plan
-#: (None outside fault drills), and the 0-based attempt number).
-_Job = Tuple[int, int, TernaryVector, LZWConfig, bool, Optional[ChaosPlan], int]
+#: (None outside fault drills), the 0-based attempt number, the seed
+#: snapshot and link code (both None for a cold shard), and whether the
+#: worker should ship its final dictionary state back (wave mode).
+_Job = Tuple[
+    int,
+    int,
+    TernaryVector,
+    LZWConfig,
+    bool,
+    Optional[ChaosPlan],
+    int,
+    Optional[DictionarySnapshot],
+    Optional[int],
+    bool,
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +85,13 @@ class ShardResult:
     recorder attached, else ``None``.  Snapshots travel with the result
     precisely because worker processes cannot share the caller's
     recorder object.
+
+    ``seed_mode``/``seed``/``link`` echo the seeding state the shard
+    was encoded under (see :mod:`repro.parallel.seeding`), and
+    ``final_state`` carries the encoder's final dictionary snapshot in
+    serialized form when the shard feeds a pipelined-wave successor.
+    The final state is an optimisation, never an authority: a missing
+    or unreadable snapshot is re-derived from the shard's codes.
     """
 
     index: int
@@ -77,6 +99,10 @@ class ShardResult:
     assigned_stream: TernaryVector
     stats: EncodeStats
     metrics: Optional[dict] = None
+    seed_mode: int = SEED_COLD
+    seed: Optional[DictionarySnapshot] = None
+    link: Optional[int] = None
+    final_state: Optional[bytes] = None
 
 
 @dataclass(frozen=True)
@@ -84,7 +110,8 @@ class BatchItemResult:
     """Everything produced for one workload of a batch.
 
     ``container`` is the serialised artefact: a v2 container for a
-    single shard, the multi-segment v3 framing otherwise (see
+    single cold shard, the multi-segment v3 framing for cold plans, the
+    seeded v4 framing when any shard encoded warm (see
     :mod:`repro.container`).  Under ``on_failure="skip"`` a workload
     with failed shards carries the typed
     :class:`~repro.reliability.errors.ShardError`\\ s in ``errors`` and
@@ -155,23 +182,47 @@ def _encode_shard(job: _Job) -> ShardResult:
     When recording, the shard gets its own counter+span sinks and ships
     the snapshot back with the result for deterministic merging.
     """
-    item_index, shard_index, stream, config, record, chaos, attempt = job
+    (
+        item_index,
+        shard_index,
+        stream,
+        config,
+        record,
+        chaos,
+        attempt,
+        seed,
+        link,
+        want_final,
+    ) = job
     if chaos is not None:
         stream = chaos.apply(item_index, shard_index, attempt, stream)
     rec: Recorder = NULL_RECORDER
     if record:
         rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
-    encoder = LZWEncoder(config, recorder=rec)
+    encoder = LZWEncoder(config, recorder=rec, seed=seed, link=link)
     with rec.span("encode"):
         compressed = encoder.encode(stream)
     with rec.span("assign"):
-        assigned = decode(compressed, recorder=rec)
+        assigned = decode(compressed, recorder=rec, seed=seed, link=link)
+    if link is not None:
+        seed_mode = SEED_CHAIN
+    elif seed is not None:
+        seed_mode = SEED_BLOB
+    else:
+        seed_mode = SEED_COLD
+    final_state = None
+    if want_final:
+        final_state = encoder.dictionary.snapshot().to_bytes()
     return ShardResult(
         index=shard_index,
         compressed=compressed,
         assigned_stream=assigned,
         stats=encoder.stats(),
         metrics=rec.snapshot() if record else None,
+        seed_mode=seed_mode,
+        seed=seed,
+        link=link,
+        final_state=final_state,
     )
 
 
@@ -203,6 +254,7 @@ def compress_batch(
     checkpoint: Optional[Union[str, "os.PathLike"]] = None,
     resume: bool = False,
     chaos: Optional[ChaosPlan] = None,
+    seed_plan: Union[SeedPlan, str, None] = None,
 ) -> List[BatchItemResult]:
     """Compress a batch of scan streams across a supervised worker pool.
 
@@ -256,6 +308,17 @@ def compress_batch(
     chaos:
         A :class:`~repro.reliability.chaos.ChaosPlan` for fault drills;
         ``None`` (always, outside the chaos harness) runs clean.
+    seed_plan:
+        A :class:`~repro.parallel.seeding.SeedPlan` (or its mode name)
+        choosing how shards warm their dictionaries: ``"cold"`` (the
+        default), ``"preamble"`` (each workload trains a snapshot on a
+        stream prefix and seeds every shard from it) or ``"wave"``
+        (shard *i* seeds from shard *i-1*'s final state; same-numbered
+        shards of different workloads run concurrently).  Warm plans
+        emit v4 containers; cold plans keep v2/v3 bit-for-bit.  Like
+        ``workers``, the *execution schedule* never affects the bytes —
+        but the seed plan itself does, which is why it is part of the
+        batch fingerprint.
 
     Returns one :class:`BatchItemResult` per input stream, in input
     order.
@@ -279,6 +342,10 @@ def compress_batch(
         raise ConfigError(
             "resume=True needs a checkpoint path", field="resume"
         )
+    if seed_plan is None:
+        seed_plan = COLD_PLAN
+    elif isinstance(seed_plan, str):
+        seed_plan = SeedPlan(mode=seed_plan)
     rec = recorder if recorder is not None else NULL_RECORDER
     recording = rec.enabled
     streams = list(streams)
@@ -317,7 +384,7 @@ def compress_batch(
     journal: Optional[ShardJournal] = None
     results: Dict[Tuple[int, int], object] = {}
     if checkpoint is not None:
-        fingerprint = batch_fingerprint(config_list, streams, plan_list)
+        fingerprint = batch_fingerprint(config_list, streams, plan_list, seed_plan)
         journal = ShardJournal.open(checkpoint, fingerprint, resume=resume)
         for key, replayed in journal.completed.items():
             if key in shard_streams:
@@ -327,7 +394,48 @@ def compress_batch(
 
     pending = sorted(key for key in shard_streams if key not in results)
 
+    # Per-shard seeding state: key -> (mode, snapshot, link).  Absent
+    # keys are cold.  Preamble snapshots are trained serially here in
+    # the parent (one prefix encode per multi-shard workload with
+    # pending shards); wave seeds are resolved round by round below.
+    shard_seeds: Dict[Tuple[int, int], Tuple[int, object, Optional[int]]] = {}
+    if seed_plan.mode == "preamble":
+        pending_items = {key[0] for key in pending}
+        with rec.span("train"):
+            for item_index, (stream, config, plan) in enumerate(
+                zip(streams, config_list, plan_list)
+            ):
+                if plan.num_shards <= 1:
+                    continue
+                bits = seed_plan.resolve_preamble_bits(plan)
+                if bits <= 0:
+                    continue
+                if item_index not in pending_items:
+                    # Every shard replayed from the journal: the dump
+                    # below rebuilds seeds from the replayed results,
+                    # no need to re-train.
+                    continue
+                train_rec: Recorder = NULL_RECORDER
+                if recording:
+                    train_rec = CompositeRecorder([CounterRecorder(), SpanRecorder()])
+                snapshot = train_preamble(stream, config, bits, recorder=train_rec)
+                if recording:
+                    rec.merge_child(train_rec.snapshot(), f"preamble[{item_index}]")
+                if snapshot is None:
+                    continue
+                for shard_index in range(plan.num_shards):
+                    shard_seeds[(item_index, shard_index)] = (SEED_BLOB, snapshot, None)
+        if recording and shard_seeds:
+            rec.incr(ev.BATCH_SEEDED_SHARDS, len(shard_seeds))
+
+    want_final = {
+        key: seed_plan.mode == "wave"
+        and key[1] < plan_list[key[0]].num_shards - 1
+        for key in shard_streams
+    }
+
     def _make_args(key: Tuple[int, int], attempt: int) -> _Job:
+        mode, snapshot, link = shard_seeds.get(key, (SEED_COLD, None, None))
         return (
             key[0],
             key[1],
@@ -336,6 +444,9 @@ def compress_batch(
             recording,
             chaos,
             attempt,
+            snapshot,
+            link,
+            want_final[key],
         )
 
     def _validate(key: Tuple[int, int], result: ShardResult) -> Optional[str]:
@@ -356,25 +467,81 @@ def compress_batch(
         if journal is not None:
             journal.record(key[0], key[1], result)
 
+    def _chain_state(prev: ShardResult, config: LZWConfig):
+        # Prefer the final-state snapshot the worker shipped; fall back
+        # to re-deriving it from the predecessor's codes (journal entry
+        # from a degraded run, unreadable snapshot) so a lost seed costs
+        # one replay, never the wave.
+        if prev.final_state is not None:
+            try:
+                return DictionarySnapshot.from_bytes(prev.final_state)
+            except SnapshotError:
+                pass
+        if recording:
+            rec.incr(ev.BATCH_SEED_REDERIVATIONS)
+        return derive_final_snapshot(
+            prev.compressed.codes, config, seed=prev.seed, link=prev.link
+        )
+
     try:
         with rec.span("encode"):
             if workers is None:
                 workers = os.cpu_count() or 1
-            if pending:
-                supervised = run_supervised(
-                    _encode_shard,
-                    pending,
-                    _make_args,
-                    workers=workers,
-                    retry_policy=retry_policy,
-                    shard_timeout=shard_timeout,
-                    on_failure=on_failure,
-                    validate=_validate,
-                    recorder=rec,
-                    on_result=_on_result,
-                )
-                for key in pending:
-                    results[key] = supervised[key]
+            if seed_plan.mode == "wave":
+                # Pipelined rounds: round r encodes shard r of every
+                # workload concurrently, seeded from round r-1's final
+                # states.  Parallelism comes from the workload axis.
+                max_shards = max((plan.num_shards for plan in plan_list), default=0)
+                rounds = [
+                    [key for key in pending if key[1] == index]
+                    for index in range(max_shards)
+                ]
+            else:
+                rounds = [pending]
+            for round_keys in rounds:
+                runnable = []
+                for key in round_keys:
+                    item_index, shard_index = key
+                    if seed_plan.mode == "wave" and shard_index > 0:
+                        prev = results[(item_index, shard_index - 1)]
+                        if isinstance(prev, ShardError):
+                            # Without the predecessor's final state the
+                            # shard cannot be encoded equivalently; under
+                            # "skip" the whole chain tail is abandoned.
+                            results[key] = ShardError(
+                                f"shard ({item_index}, {shard_index}) depends "
+                                "on a failed predecessor shard",
+                                workload=item_index,
+                                shard=shard_index,
+                                kind="dependency",
+                            )
+                            if recording:
+                                rec.incr(ev.BATCH_SKIPPED_SHARDS)
+                            continue
+                        codes = prev.compressed.codes
+                        shard_seeds[key] = (
+                            SEED_CHAIN,
+                            _chain_state(prev, shard_configs[key]),
+                            codes[-1] if codes else prev.link,
+                        )
+                        if recording:
+                            rec.incr(ev.BATCH_SEEDED_SHARDS)
+                    runnable.append(key)
+                if runnable:
+                    supervised = run_supervised(
+                        _encode_shard,
+                        runnable,
+                        _make_args,
+                        workers=workers,
+                        retry_policy=retry_policy,
+                        shard_timeout=shard_timeout,
+                        on_failure=on_failure,
+                        validate=_validate,
+                        recorder=rec,
+                        on_result=_on_result,
+                    )
+                    for key in runnable:
+                        results[key] = supervised[key]
     finally:
         if journal is not None:
             journal.close()
@@ -402,10 +569,16 @@ def compress_batch(
                     BatchItemResult(plan, shard_tuple, None, tuple(errors))
                 )
                 continue
+            seeds = None
+            if any(s.seed_mode != SEED_COLD for s in shard_tuple):
+                seeds = [
+                    SegmentSeed(s.seed_mode, s.seed, s.link) for s in shard_tuple
+                ]
             container = dump_segments(
                 [s.compressed for s in shard_tuple],
                 [s.assigned_stream for s in shard_tuple],
                 recorder=rec,
+                seeds=seeds,
             )
             out.append(BatchItemResult(plan, shard_tuple, container))
     return out

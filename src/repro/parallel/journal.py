@@ -43,13 +43,21 @@ from ..bitstream import TernaryVector
 from ..container import dump_bytes, load_bytes
 from ..core.config import LZWConfig
 from ..core.decoder import decode
+from ..core.dictionary import DictionarySnapshot
 from ..core.encoder import CompressedStream, EncodeStats
-from ..reliability.errors import ConfigError, ContainerError
+from ..reliability.errors import (
+    ConfigError,
+    ContainerError,
+    DecodeError,
+    SnapshotError,
+)
+from .seeding import COLD_PLAN, SeedPlan
 from .shard import ShardPlan
 
 __all__ = ["ShardJournal", "batch_fingerprint"]
 
-_JOURNAL_VERSION = 1
+_JOURNAL_VERSION = 2
+
 
 #: A journal key: (workload index, shard index).
 Key = Tuple[int, int]
@@ -59,17 +67,28 @@ def batch_fingerprint(
     configs: Sequence[LZWConfig],
     streams: Sequence[TernaryVector],
     plans: Sequence[ShardPlan],
+    seed_plan: Optional[SeedPlan] = None,
 ) -> str:
-    """Hex digest of a batch's identity: inputs, configs and plans.
+    """Hex digest of a batch's identity: inputs, configs, plans, seeding.
 
-    Any change to a stream's bits, a config parameter or a shard cut
-    changes the fingerprint, so a journal can never be replayed against
-    a batch it was not written for.
+    Any change to a stream's bits, a config parameter affecting the
+    emitted bytes, a shard cut or the **seed plan** changes the
+    fingerprint, so a journal can never be replayed against a batch it
+    was not written for.  The seed-plan identity is folded in
+    unconditionally: journals from before seeding existed (whose
+    fingerprints omit it) are invalidated rather than silently mixing
+    cold shards into a warm batch.  ``engine`` is deliberately *not*
+    part of the identity — both engines emit identical bytes, so a
+    fast-engine journal may resume a reference-engine batch.
     """
+    seed_plan = seed_plan if seed_plan is not None else COLD_PLAN
     digest = hashlib.sha256()
+    digest.update(f"seed={seed_plan.identity}".encode())
     for config, stream, plan in zip(configs, streams, plans):
         digest.update(
-            f"{config.char_bits}:{config.dict_size}:{config.entry_bits}|"
+            f"|{config.char_bits}:{config.dict_size}:{config.entry_bits}"
+            f":{config.policy}:{config.lookahead}:{config.lookahead_budget}"
+            f":{int(config.reset_on_full)}|"
             f"{plan.total_bits}:{','.join(map(str, plan.cuts))}|"
             f"{len(stream)}".encode()
         )
@@ -183,7 +202,18 @@ class ShardJournal:
             container = base64.b64decode(record["container"], validate=True)
             if zlib.crc32(container) != record["crc"]:
                 return None
-            loaded = load_bytes(container, verify=True)
+            seed: Optional[DictionarySnapshot] = None
+            if record.get("seed"):
+                seed = DictionarySnapshot.from_bytes(
+                    base64.b64decode(record["seed"], validate=True)
+                )
+            link = record.get("link")
+            cold = seed is None and link is None
+            # A seeded shard's stored v2 digest covers its *seeded*
+            # decode; load raw and decode under the recorded seed, so a
+            # corrupt seed/link simply discards the entry and the shard
+            # is re-encoded.
+            loaded = load_bytes(container, verify=cold)
             compressed = CompressedStream(
                 loaded.codes,
                 loaded.config,
@@ -191,32 +221,53 @@ class ShardJournal:
                 tuple(record.get("expansion_chars", ())),
             )
             key = (int(record["workload"]), int(record["shard"]))
+            final_state = None
+            if record.get("final_state"):
+                final_state = base64.b64decode(record["final_state"], validate=True)
             result = ShardResult(
                 index=key[1],
                 compressed=compressed,
-                assigned_stream=decode(compressed),
+                assigned_stream=decode(compressed, seed=seed, link=link),
                 stats=EncodeStats(**record["stats"]),
                 metrics=record.get("metrics"),
+                seed_mode=int(record.get("seed_mode", 0)),
+                seed=seed,
+                link=link,
+                final_state=final_state,
             )
-        except (KeyError, ValueError, TypeError, binascii.Error):
+        except (
+            KeyError,
+            ValueError,
+            TypeError,
+            binascii.Error,
+            ContainerError,
+            DecodeError,
+            SnapshotError,
+        ):
             return None
         return key, result
 
     def record(self, workload: int, shard: int, result) -> None:
         """Append one completed shard (flushed immediately)."""
         container = dump_bytes(result.compressed, result.assigned_stream)
-        self._write_line(
-            {
-                "kind": "shard",
-                "workload": workload,
-                "shard": shard,
-                "crc": zlib.crc32(container),
-                "container": base64.b64encode(container).decode("ascii"),
-                "expansion_chars": list(result.compressed.expansion_chars),
-                "stats": asdict(result.stats),
-                "metrics": result.metrics,
-            }
-        )
+        entry = {
+            "kind": "shard",
+            "workload": workload,
+            "shard": shard,
+            "crc": zlib.crc32(container),
+            "container": base64.b64encode(container).decode("ascii"),
+            "expansion_chars": list(result.compressed.expansion_chars),
+            "stats": asdict(result.stats),
+            "metrics": result.metrics,
+        }
+        if result.seed_mode:
+            entry["seed_mode"] = result.seed_mode
+            entry["link"] = result.link
+            if result.seed is not None:
+                entry["seed"] = base64.b64encode(result.seed.to_bytes()).decode("ascii")
+        if result.final_state is not None:
+            entry["final_state"] = base64.b64encode(result.final_state).decode("ascii")
+        self._write_line(entry)
         self.completed[(workload, shard)] = result
 
     def close(self) -> None:

@@ -1,0 +1,130 @@
+"""Warm-dictionary seed planning for sharded batches.
+
+Cold-started shards pay the LZW learning curve once *per shard*: every
+segment spends its opening codes re-deriving phrases the previous
+segment already knew, which is where the batch engine's ratio loss
+against serial encoding comes from.  A :class:`SeedPlan` names one of
+three strategies for warming the per-shard dictionaries:
+
+``cold``
+    The status quo: every shard starts an empty dictionary.  Shards are
+    fully independent (maximum parallelism), containers stay in the
+    v2/v3 formats bit-for-bit.
+
+``preamble``
+    The parent trains a dictionary serially on a stream prefix (by
+    default the first shard's extent) and seeds **every** shard of the
+    workload from that snapshot.  Shards remain independent — they can
+    encode *and decode* in parallel — at the cost of one serial
+    training pass and of the snapshot stored once in the container's
+    blob table.
+
+``wave``
+    Pipelined chaining: shard ``i`` seeds from shard ``i-1``'s final
+    dictionary state with the cross-shard link code, reproducing the
+    serial encoder's dictionary evolution up to the forced phrase
+    breaks at the cut points.  Best ratio (near-serial); parallelism
+    comes from running the same-numbered shard of *different* workloads
+    concurrently.  Nothing is stored: the decoder re-derives each
+    chained seed from the previous segment's codes.
+
+The plan is part of the batch's identity: it is folded into the
+checkpoint-journal fingerprint (a cold journal can never resume a warm
+batch) and into service/fleet workload fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bitstream import TernaryVector
+from ..core.config import LZWConfig
+from ..core.dictionary import DictionarySnapshot
+from ..core.encoder import LZWEncoder
+from ..observability import Recorder
+from ..reliability.errors import ConfigError
+from .shard import ShardPlan
+
+__all__ = ["COLD_PLAN", "SEED_MODES", "SeedPlan", "train_preamble"]
+
+#: Valid seeding strategies, in increasing order of dictionary warmth.
+SEED_MODES = ("cold", "preamble", "wave")
+
+
+@dataclass(frozen=True)
+class SeedPlan:
+    """How the shards of a batch seed their dictionaries.
+
+    ``preamble_bits`` is the training-prefix length for ``preamble``
+    mode; ``0`` means *auto* — each workload trains on its first
+    shard's extent, so the training pass costs exactly one shard of
+    serial encoding.
+    """
+
+    mode: str = "cold"
+    preamble_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in SEED_MODES:
+            raise ConfigError(
+                f"seed mode must be one of {', '.join(SEED_MODES)}",
+                field="seed_mode",
+                value=self.mode,
+            )
+        if self.preamble_bits < 0:
+            raise ConfigError(
+                "preamble_bits must be >= 0",
+                field="preamble_bits",
+                value=self.preamble_bits,
+            )
+        if self.preamble_bits and self.mode != "preamble":
+            raise ConfigError(
+                f"preamble_bits is only meaningful in preamble mode, not {self.mode}",
+                field="preamble_bits",
+                value=self.preamble_bits,
+            )
+
+    @property
+    def is_cold(self) -> bool:
+        return self.mode == "cold"
+
+    @property
+    def identity(self) -> str:
+        """Canonical string folded into batch/workload fingerprints."""
+        if self.mode == "preamble":
+            return f"preamble:{self.preamble_bits}"
+        return self.mode
+
+    def resolve_preamble_bits(self, plan: ShardPlan) -> int:
+        """The training-prefix length for one workload's shard plan."""
+        if self.mode != "preamble":
+            return 0
+        if self.preamble_bits:
+            return min(self.preamble_bits, plan.total_bits)
+        return plan.cuts[0] if plan.cuts else 0
+
+
+#: The default plan: every shard cold, exactly the pre-seeding engine.
+COLD_PLAN = SeedPlan()
+
+
+def train_preamble(
+    stream: TernaryVector,
+    config: LZWConfig,
+    preamble_bits: int,
+    recorder: Optional[Recorder] = None,
+) -> Optional[DictionarySnapshot]:
+    """Serially encode a stream prefix and snapshot the trained trie.
+
+    Returns ``None`` when there is nothing to train on (zero prefix or
+    a dictionary that allocated no entries) — callers fall back to cold
+    seeding rather than shipping an empty blob.
+    """
+    bits = min(preamble_bits, len(stream))
+    if bits <= 0:
+        return None
+    encoder = LZWEncoder(config, recorder=recorder)
+    encoder.encode(stream[:bits])
+    snapshot = encoder.dictionary.snapshot()
+    return snapshot if len(snapshot) else None

@@ -34,6 +34,7 @@ from .errors import (
     ProtocolError,
     ReproError,
     ShardError,
+    SnapshotError,
     StreamError,
     TestFileError,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ProtocolError",
     "ReproError",
     "ShardError",
+    "SnapshotError",
     "StreamError",
     "TestFileError",
     "atomic_write_bytes",

@@ -38,6 +38,7 @@ __all__ = [
     "StreamError",
     "DecodeError",
     "ContainerError",
+    "SnapshotError",
     "ConfigError",
     "TestFileError",
     "ShardError",
@@ -108,6 +109,24 @@ class ContainerError(ReproError, ValueError):
 
     Typical diagnostics: ``byte_offset``, ``field`` (header field name),
     ``expected`` / ``actual`` (checksum values).
+    """
+
+    exit_code = 4
+
+
+class SnapshotError(ContainerError):
+    """A dictionary snapshot is malformed, tampered, or mismatched.
+
+    Raised when a serialized :class:`~repro.core.dictionary.
+    DictionarySnapshot` fails structural validation (bad magic/CRC,
+    out-of-range entry), cannot be replayed into a dictionary
+    (duplicate child, capacity or entry-width violation — the
+    signature of a re-signed tamper), or names a configuration other
+    than the one the seeded segment decodes under.
+
+    Typical diagnostics: ``field`` (offending header field or entry
+    index), ``expected`` / ``actual``, ``digest`` (the snapshot's seed
+    id when known).
     """
 
     exit_code = 4

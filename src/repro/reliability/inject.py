@@ -35,6 +35,19 @@ Multi-segment (v3) containers get two additional injector classes in
     CRC, code-count cross-check or the decoded-stream digest), and the
     failing segment index must be reported.
 
+Seeded (v4) containers get two more in :data:`SEEDED_INJECTORS`,
+aimed at the warm-dictionary machinery:
+
+``snapshot_tamper``
+    one flipped bit inside a seed blob with the snapshot's own CRC,
+    the blob-table CRC and the header CRC all re-signed — only the
+    snapshot replay or the decoded-stream digest can catch it;
+``seed_mismatch``
+    a segment's ``seed_mode``/``blob_index`` rewritten to a different
+    structurally valid combination with the header CRC re-signed — the
+    stream then decodes under the wrong dictionary, which the seeded
+    decode or the stream digest must reject.
+
 These injectors corrupt *bytes at rest*.  Their process-level
 counterparts — worker exceptions, SIGKILL, hangs and corrupt results
 inside a live batch — live in :mod:`repro.reliability.chaos` and drive
@@ -49,16 +62,28 @@ import zlib
 from typing import Callable, Dict
 
 from ..container import (
+    BLOB_ENTRY_SIZE,
+    BLOB_INDEX_ENTRY_OFFSET,
     HEADER_CRC_OFFSET,
     HEADER_SIZE,
     PAYLOAD_CRC_OFFSET,
+    SEED_BLOB,
+    SEED_CHAIN,
+    SEED_COLD,
+    SEED_MODE_ENTRY_OFFSET,
     SEGMENT_ENTRY_SIZE,
+    SEGMENT_ENTRY_V4_SIZE,
     V3_HEADER_CRC_OFFSET,
     V3_SEGMENT_COUNT_OFFSET,
     V3_SEGMENT_TABLE_OFFSET,
+    V4_BLOB_COUNT_OFFSET,
+    V4_HEADER_CRC_OFFSET,
+    V4_SEGMENT_COUNT_OFFSET,
+    V4_SEGMENT_TABLE_OFFSET,
+    _NO_BLOB,
 )
 
-__all__ = ["INJECTORS", "MULTI_INJECTORS", "inject"]
+__all__ = ["INJECTORS", "MULTI_INJECTORS", "SEEDED_INJECTORS", "inject"]
 
 Injector = Callable[[bytes, random.Random], bytes]
 
@@ -163,6 +188,131 @@ def _segment_entry_tamper(data: bytes, rng: random.Random) -> bytes:
     return bytes(out)
 
 
+def _require_seeded(data: bytes):
+    """Structure of a v4 container (injector precondition check).
+
+    Returns ``(segment_count, blob_count, table_end, blob_table_end)``.
+    """
+    if len(data) < V4_SEGMENT_TABLE_OFFSET or data[4] != 4:
+        raise ValueError("this injector needs a seeded (v4) container")
+    count = int.from_bytes(
+        data[V4_SEGMENT_COUNT_OFFSET : V4_SEGMENT_COUNT_OFFSET + 4], "big"
+    )
+    blob_count = int.from_bytes(
+        data[V4_BLOB_COUNT_OFFSET : V4_BLOB_COUNT_OFFSET + 2], "big"
+    )
+    table_end = V4_SEGMENT_TABLE_OFFSET + count * SEGMENT_ENTRY_V4_SIZE
+    blob_table_end = table_end + blob_count * BLOB_ENTRY_SIZE
+    if count < 1 or len(data) < blob_table_end:
+        raise ValueError("malformed seeded container")
+    return count, blob_count, table_end, blob_table_end
+
+
+def _resign_v4_header(out: bytearray, blob_table_end: int) -> None:
+    """Recompute the v4 header CRC over the header and both tables."""
+    struct.pack_into(
+        ">I",
+        out,
+        V4_HEADER_CRC_OFFSET,
+        zlib.crc32(
+            bytes(out[:V4_HEADER_CRC_OFFSET])
+            + bytes(out[V4_SEGMENT_TABLE_OFFSET:blob_table_end])
+        ),
+    )
+
+
+def _snapshot_tamper(data: bytes, rng: random.Random) -> bytes:
+    """Flip a bit inside a seed blob and re-sign every covering CRC.
+
+    The snapshot's own trailing CRC-32, the blob-table CRC and the
+    header CRC are all recomputed to match, so no transport checksum
+    can catch the corruption — detection must come from the snapshot
+    replay (:class:`~repro.reliability.errors.SnapshotError` on a
+    semantic violation) or from the seeded decode disagreeing with the
+    stored stream digest.  Requires a v4 container with at least one
+    seed blob.
+    """
+    _count, blob_count, table_end, blob_table_end = _require_seeded(data)
+    if not blob_count:
+        raise ValueError("snapshot_tamper needs a container with seed blobs")
+    out = bytearray(data)
+    blob = rng.randrange(blob_count)
+    entry_start = table_end + blob * BLOB_ENTRY_SIZE
+    offset, length, _crc = struct.unpack_from(">QII", out, entry_start)
+    blob_start = blob_table_end + offset
+    if length <= 4:
+        raise ValueError("seed blob too short to tamper")
+    # Flip anywhere except the snapshot's own trailing CRC (re-signing
+    # that field would undo a flip inside it).
+    position = rng.randrange((length - 4) * 8)
+    out[blob_start + position // 8] ^= 1 << (7 - position % 8)
+    struct.pack_into(
+        ">I",
+        out,
+        blob_start + length - 4,
+        zlib.crc32(bytes(out[blob_start : blob_start + length - 4])),
+    )
+    struct.pack_into(
+        ">I",
+        out,
+        entry_start + 12,
+        zlib.crc32(bytes(out[blob_start : blob_start + length])),
+    )
+    _resign_v4_header(out, blob_table_end)
+    return bytes(out)
+
+
+def _seed_mismatch(data: bytes, rng: random.Random) -> bytes:
+    """Rewrite one segment's seed mode to a *structurally valid* lie.
+
+    The segment's ``seed_mode``/``blob_index`` fields are replaced with
+    a different combination the format itself allows (cold ↔ blob ↔
+    chain, respecting chain-not-at-segment-0 and blob-index bounds) and
+    the header CRC is re-signed, so structural validation passes and
+    the decode runs under the *wrong* dictionary seed.  Detection must
+    come from the seeded decode failing outright or from the
+    decoded-stream digest mismatch; a trial where the swapped seed
+    happens not to influence the bytes (an empty preamble blob vs cold,
+    say) may legitimately verify as correct.
+    """
+    count, blob_count, table_end, blob_table_end = _require_seeded(data)
+    out = bytearray(data)
+    options = []
+    for segment in range(count):
+        entry_start = V4_SEGMENT_TABLE_OFFSET + segment * SEGMENT_ENTRY_V4_SIZE
+        mode = out[entry_start + SEED_MODE_ENTRY_OFFSET]
+        alternatives = []
+        if mode != SEED_COLD:
+            alternatives.append((SEED_COLD, _NO_BLOB))
+        if mode != SEED_CHAIN and segment > 0:
+            alternatives.append((SEED_CHAIN, _NO_BLOB))
+        if blob_count:
+            current_blob = int.from_bytes(
+                out[
+                    entry_start
+                    + BLOB_INDEX_ENTRY_OFFSET : entry_start
+                    + BLOB_INDEX_ENTRY_OFFSET
+                    + 2
+                ],
+                "big",
+            )
+            for index in range(blob_count):
+                if mode == SEED_BLOB and index == current_blob:
+                    continue
+                alternatives.append((SEED_BLOB, index))
+        options.extend(
+            (entry_start, new_mode, new_blob)
+            for new_mode, new_blob in alternatives
+        )
+    if not options:
+        raise ValueError("seed_mismatch has no alternative seed to lie about")
+    entry_start, new_mode, new_blob = rng.choice(options)
+    out[entry_start + SEED_MODE_ENTRY_OFFSET] = new_mode
+    struct.pack_into(">H", out, entry_start + BLOB_INDEX_ENTRY_OFFSET, new_blob)
+    _resign_v4_header(out, blob_table_end)
+    return bytes(out)
+
+
 #: Injector classes applicable to any container, keyed by campaign name.
 INJECTORS: Dict[str, Injector] = {
     "bit_flip": _flip_bit,
@@ -178,10 +328,16 @@ MULTI_INJECTORS: Dict[str, Injector] = {
     "segment_entry_tamper": _segment_entry_tamper,
 }
 
+#: Additional injectors that target the seeded (v4) framing.
+SEEDED_INJECTORS: Dict[str, Injector] = {
+    "snapshot_tamper": _snapshot_tamper,
+    "seed_mismatch": _seed_mismatch,
+}
+
 
 def inject(data: bytes, injector: str, seed: int) -> bytes:
     """Apply the named injector to ``data`` under a deterministic seed."""
-    known = {**INJECTORS, **MULTI_INJECTORS}
+    known = {**INJECTORS, **MULTI_INJECTORS, **SEEDED_INJECTORS}
     try:
         fn = known[injector]
     except KeyError:

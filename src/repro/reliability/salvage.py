@@ -117,12 +117,16 @@ def _decode_partial_codes(
     config: LZWConfig,
     original_bits: Optional[int],
     notes: Tuple[str, ...] = (),
+    seed=None,
+    link: Optional[int] = None,
 ) -> PartialDecodeResult:
     chars = []
     codes_decoded = 0
     error: Optional[ReproError] = None
     try:
-        for index, expansion in iter_decode(codes, config):
+        for index, expansion in iter_decode(
+            codes, config, seed=seed, link=link
+        ):
             chars.extend(expansion)
             codes_decoded = index + 1
     except DecodeError as exc:
@@ -162,7 +166,10 @@ def salvage_container(data: bytes) -> PartialDecodeResult:
     segment: every segment before the first undecodable one is
     recovered in full and the failing table index is reported as
     ``failed_segment`` (matching the ``segment=i`` diagnostics of
-    ``repro verify``'s exit-code-4 errors).
+    ``repro verify``'s exit-code-4 errors).  A seeded (v4) container
+    additionally resolves each segment's dictionary seed first — an
+    unreadable seed blob or an underivable chain seed makes that
+    segment undecodable (see :func:`_salvage_seeded`).
 
     Raises :class:`~repro.reliability.errors.ContainerError` only when
     the header (or v3 segment table) itself is unusable.
@@ -176,6 +183,8 @@ def salvage_container(data: bytes) -> PartialDecodeResult:
         version = None  # let _parse_header report the header problem
     if version == 3:
         return _salvage_multi(data)
+    if version == 4:
+        return _salvage_seeded(data)
     header = _parse_header(data)
     config = header.config
     notes = []
@@ -259,6 +268,134 @@ def _salvage_multi(data: bytes) -> PartialDecodeResult:
                 notes=tuple(notes),
                 failed_segment=index,
             )
+    return PartialDecodeResult(
+        stream=TernaryVector.concat_all(streams),
+        chars=tuple(chars),
+        codes_decoded=codes_decoded,
+        total_codes=total_codes,
+        complete=True,
+        notes=tuple(notes),
+    )
+
+
+def _salvage_seeded(data: bytes) -> PartialDecodeResult:
+    """Segment-by-segment best-effort decode of a seeded (v4) container.
+
+    Same stop-at-first-failure structure as :func:`_salvage_multi`,
+    with seeding on top: a blob-seeded segment whose seed blob is
+    unreadable (CRC, parse or config mismatch) is undecodable — a
+    corrupt dictionary would expand every code to the wrong string, so
+    no partial output is attempted from it; a chained segment whose
+    predecessor did not decode in full has no derivable seed and stops
+    the salvage the same way.
+    """
+    from ..container import (  # deferred: container imports core
+        SEED_BLOB,
+        SEED_CHAIN,
+        V4_HEADER_CRC_OFFSET,
+        _load_blob,
+        _parse_seeded,
+        _seeded_payload,
+    )
+    from ..core.decoder import derive_final_snapshot
+    from .errors import SnapshotError
+
+    header = _parse_seeded(data, strict=False)
+    config = header.config
+    notes = []
+    actual_crc = zlib.crc32(data[:V4_HEADER_CRC_OFFSET] + header.tables)
+    if actual_crc != header.header_crc:
+        notes.append("header CRC mismatch (tolerated)")
+    snapshots = {}
+    for index in range(len(header.blobs)):
+        try:
+            snapshots[index] = _load_blob(header, index)
+        except (ReproError, SnapshotError) as exc:
+            notes.append(f"seed blob {index} unreadable: {exc.message}")
+    streams = []
+    chars = []
+    codes_decoded = 0
+    total_codes = sum(entry.num_codes for entry in header.segments)
+    prev_state = None  # (codes, seed, link) of the last complete segment
+
+    def stop(index, partial=None, error=None):
+        if index + 1 < len(header.segments):
+            notes.append(
+                f"segment {index} undecodable; segments {index + 1}.."
+                f"{len(header.segments) - 1} not attempted"
+            )
+        else:
+            notes.append(f"segment {index} undecodable")
+        return PartialDecodeResult(
+            stream=TernaryVector.concat_all(streams),
+            chars=tuple(chars),
+            codes_decoded=codes_decoded,
+            total_codes=total_codes,
+            complete=False,
+            error=partial.error if partial is not None else error,
+            failed_code_index=(
+                partial.failed_code_index if partial is not None else None
+            ),
+            failed_bit_offset=(
+                partial.failed_bit_offset if partial is not None else None
+            ),
+            notes=tuple(notes),
+            failed_segment=index,
+        )
+
+    for index, entry in enumerate(header.segments):
+        payload = _seeded_payload(header, entry)
+        payload_bits = entry.payload_bits
+        if len(payload) < (entry.payload_bits + 7) // 8:
+            notes.append(f"segment {index}: payload truncated (tolerated)")
+            payload_bits = min(payload_bits, len(payload) * 8)
+            payload_bits -= payload_bits % config.code_bits
+        elif zlib.crc32(payload) != entry.payload_crc:
+            notes.append(f"segment {index}: payload CRC mismatch (tolerated)")
+        reader = BitReader.from_bytes(payload, payload_bits)
+        codes = []
+        while not reader.exhausted:
+            codes.append(reader.read(config.code_bits))
+        seed = link = None
+        if entry.seed_mode == SEED_BLOB:
+            seed = snapshots.get(entry.blob_index)
+            if seed is None:
+                return stop(
+                    index,
+                    error=SnapshotError(
+                        f"segment {index} seeds from unreadable blob "
+                        f"{entry.blob_index}",
+                        segment=index,
+                        blob=entry.blob_index,
+                    ),
+                )
+        elif entry.seed_mode == SEED_CHAIN:
+            if prev_state is None:
+                return stop(
+                    index,
+                    error=DecodeError(
+                        f"segment {index} chains from an incomplete "
+                        "predecessor; its seed cannot be derived",
+                        segment=index,
+                    ),
+                )
+            prev_codes, prev_seed, prev_link = prev_state
+            try:
+                seed = derive_final_snapshot(
+                    prev_codes, config, seed=prev_seed, link=prev_link
+                )
+            except (DecodeError, SnapshotError) as exc:
+                return stop(index, error=exc)
+            link = prev_codes[-1] if prev_codes else prev_link
+        partial = _decode_partial_codes(
+            tuple(codes), config, entry.original_bits, seed=seed, link=link
+        )
+        codes_decoded += partial.codes_decoded
+        streams.append(partial.stream)
+        chars.extend(partial.chars)
+        if not partial.complete:
+            return stop(index, partial=partial)
+        prev_state = (tuple(codes), seed, link)
     return PartialDecodeResult(
         stream=TernaryVector.concat_all(streams),
         chars=tuple(chars),

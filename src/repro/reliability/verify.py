@@ -34,22 +34,47 @@ from typing import Optional, Tuple
 
 from ..bitstream import TernaryVector
 from ..container import (
+    BLOB_ENTRY_SIZE,
     HEADER_CRC_OFFSET,
+    SEED_BLOB,
+    SEED_CHAIN,
+    SEED_COLD,
+    SEED_MODE_NAMES,
     SEGMENT_ENTRY_SIZE,
+    SEGMENT_ENTRY_V4_SIZE,
     V3_HEADER_CRC_OFFSET,
     V3_SEGMENT_TABLE_OFFSET,
+    V4_HEADER_CRC_OFFSET,
+    V4_SEGMENT_TABLE_OFFSET,
+    _BLOB_ENTRY,
     _HEADER_V3,
+    _HEADER_V4,
     _MAGIC,
     _SEGMENT_ENTRY,
+    _SEGMENT_ENTRY_V4,
+    BlobInfo,
+    SeededSegmentInfo,
     SegmentInfo,
     _parse_header,
     _read_codes,
     load_bytes,
     stream_digest,
 )
-from ..core import CompressedStream, LZWConfig, decode
+from ..core import (
+    CompressedStream,
+    DictionarySnapshot,
+    LZWConfig,
+    decode,
+    derive_final_snapshot,
+)
+from .errors import (
+    ConfigError,
+    ContainerError,
+    DecodeError,
+    ReproError,
+    SnapshotError,
+)
 from ..observability import NULL_RECORDER, Recorder, metrics_snapshot
-from .errors import ConfigError, ContainerError, ReproError
 
 __all__ = ["Check", "VerifyReport", "verify_container"]
 
@@ -128,6 +153,8 @@ def verify_container(
     rec = recorder if recorder is not None else NULL_RECORDER
     if len(data) >= 5 and data[:4] == _MAGIC and data[4] == 3:
         return _verify_multi(data, original, rec)
+    if len(data) >= 5 and data[:4] == _MAGIC and data[4] == 4:
+        return _verify_seeded(data, original, rec)
     checks = []
     try:
         with rec.span("verify.header"):
@@ -223,8 +250,17 @@ def _verify_segment(
     index: int,
     payload_area: bytes,
     rec: Recorder = NULL_RECORDER,
-) -> Tuple[list, Optional[TernaryVector]]:
-    """Run the payload-crc / decode / stream-digest stages of one segment."""
+    seed: Optional[DictionarySnapshot] = None,
+    link: Optional[int] = None,
+) -> Tuple[list, Optional[TernaryVector], Optional[Tuple[int, ...]]]:
+    """Run the payload-crc / decode / stream-digest stages of one segment.
+
+    ``seed``/``link`` carry a v4 segment's resolved seeding state; the
+    decode stage then runs under it.  Returns the stage checks, the
+    decoded stream (``None`` past the first failure) and the parsed
+    codes (``None`` until the payload parses — v4 chain successors need
+    them to derive their own seed).
+    """
     name = f"segment[{index}]"
     checks = []
     end = entry.offset + (entry.payload_bits + 7) // 8
@@ -237,7 +273,7 @@ def _verify_segment(
                 f"(needs {end} bytes, {len(payload_area)} present)",
             )
         )
-        return checks, None
+        return checks, None, None
     if entry.payload_bits % config.code_bits:
         checks.append(
             Check(
@@ -247,7 +283,7 @@ def _verify_segment(
                 f"of {config.code_bits}-bit codes",
             )
         )
-        return checks, None
+        return checks, None, None
     if entry.num_codes != entry.payload_bits // config.code_bits:
         checks.append(
             Check(
@@ -257,7 +293,7 @@ def _verify_segment(
                 f"{entry.payload_bits} payload bits",
             )
         )
-        return checks, None
+        return checks, None, None
     payload = payload_area[entry.offset : end]
     actual_crc = zlib.crc32(payload)
     if actual_crc != entry.payload_crc:
@@ -268,7 +304,7 @@ def _verify_segment(
                 f"stored {entry.payload_crc:#010x}, computed {actual_crc:#010x}",
             )
         )
-        return checks, None
+        return checks, None, None
     checks.append(
         Check(
             f"{name} payload-crc",
@@ -277,18 +313,21 @@ def _verify_segment(
         )
     )
 
+    codes = _read_codes(payload, entry.payload_bits, config)
     try:
         with rec.span(f"verify.{name} decode"):
-            codes = _read_codes(payload, entry.payload_bits, config)
             stream = decode(
-                CompressedStream(codes, config, entry.original_bits), recorder=rec
+                CompressedStream(codes, config, entry.original_bits),
+                recorder=rec,
+                seed=seed,
+                link=link,
             )
         checks.append(
             Check(f"{name} decode", True, f"{len(codes)} codes -> {len(stream)} bits")
         )
     except (ReproError, ValueError) as exc:
         checks.append(Check(f"{name} decode", False, str(exc)))
-        return checks, None
+        return checks, None, codes
 
     actual_digest = stream_digest(stream)
     checks.append(
@@ -299,8 +338,8 @@ def _verify_segment(
         )
     )
     if actual_digest != entry.stream_crc:
-        return checks, None
-    return checks, stream
+        return checks, None, codes
+    return checks, stream, codes
 
 
 def _verify_multi(
@@ -377,7 +416,7 @@ def _verify_multi(
         )
         total_codes += entry.num_codes
         total_bits += entry.original_bits
-        segment_checks, stream = _verify_segment(
+        segment_checks, stream, _ = _verify_segment(
             config, entry, index, payload_area, rec
         )
         checks.extend(segment_checks)
@@ -399,6 +438,285 @@ def _verify_multi(
         checks=tuple(checks),
         recognised=True,
         version=3,
+        config_summary=config.describe(),
+        num_codes=total_codes,
+        original_bits=total_bits,
+        segments=count,
+        metrics=metrics(),
+    )
+
+
+def _verify_seeded(
+    data: bytes,
+    original: Optional[TernaryVector] = None,
+    rec: Recorder = NULL_RECORDER,
+) -> VerifyReport:
+    """Staged verification of a seeded multi-segment (v4) container.
+
+    Adds ``blob[i] crc`` / ``blob[i] parse`` stages for each stored
+    dictionary snapshot and a ``segment[i] seed`` resolution stage per
+    warm segment; segment decodes then run under the resolved seed.  A
+    chain segment whose predecessor failed any stage reports its seed
+    as unresolvable instead of producing a misleading decode failure.
+    """
+    metrics = (lambda: metrics_snapshot(rec) if rec.enabled else None)
+    if len(data) < _HEADER_V4.size:
+        return VerifyReport(
+            checks=(Check("header", False, "truncated container header"),),
+            recognised=False,
+            version=4,
+            metrics=metrics(),
+        )
+    (
+        _,
+        _,
+        char_bits,
+        dict_size,
+        entry_bits,
+        count,
+        flags,
+        blob_count,
+        header_crc,
+    ) = _HEADER_V4.unpack_from(data)
+    if flags & ~0x01:
+        return VerifyReport(
+            checks=(Check("header", False, f"unknown flags 0x{flags:02x}"),),
+            recognised=True,
+            version=4,
+            metrics=metrics(),
+        )
+    try:
+        config = LZWConfig(
+            char_bits=char_bits,
+            dict_size=dict_size,
+            entry_bits=entry_bits,
+            reset_on_full=bool(flags & 0x01),
+        )
+    except ConfigError as exc:
+        return VerifyReport(
+            checks=(
+                Check("header", False, f"invalid configuration: {exc.message}"),
+            ),
+            recognised=False,
+            version=4,
+            metrics=metrics(),
+        )
+
+    checks = []
+    table_end = V4_SEGMENT_TABLE_OFFSET + count * SEGMENT_ENTRY_V4_SIZE
+    blob_table_end = table_end + blob_count * BLOB_ENTRY_SIZE
+    if count < 1 or len(data) < blob_table_end:
+        detail = (
+            "segment count must be >= 1"
+            if count < 1
+            else f"truncated segment/blob table ({count} segments, "
+            f"{blob_count} blobs declared, {len(data)} bytes total)"
+        )
+        checks.append(Check("header", False, detail))
+        return VerifyReport(
+            checks=tuple(checks),
+            recognised=True,
+            version=4,
+            config_summary=config.describe(),
+            segments=count,
+            metrics=metrics(),
+        )
+    checks.append(
+        Check(
+            "header",
+            True,
+            f"v4, {config.describe()}, {count} segments, {blob_count} seed blobs",
+        )
+    )
+
+    tables = data[V4_SEGMENT_TABLE_OFFSET:blob_table_end]
+    actual_crc = zlib.crc32(data[:V4_HEADER_CRC_OFFSET] + tables)
+    checks.append(
+        Check(
+            "header-crc",
+            actual_crc == header_crc,
+            f"stored {header_crc:#010x}, computed {actual_crc:#010x} "
+            "(covers header + segment table + blob table)",
+        )
+    )
+
+    # Blob stages: CRC, then snapshot parse + config agreement.
+    blob_table = data[table_end:blob_table_end]
+    blobs = [
+        BlobInfo(*_BLOB_ENTRY.unpack_from(blob_table, index * BLOB_ENTRY_SIZE))
+        for index in range(blob_count)
+    ]
+    blob_area_len = max((b.offset + b.length for b in blobs), default=0)
+    blob_area = data[blob_table_end : blob_table_end + blob_area_len]
+    payload_area = data[blob_table_end + blob_area_len :]
+    snapshots: list = []
+    for index, blob in enumerate(blobs):
+        raw = blob_area[blob.offset : blob.offset + blob.length]
+        if len(raw) != blob.length:
+            checks.append(
+                Check(
+                    f"blob[{index}] crc",
+                    False,
+                    f"blob extends past the container "
+                    f"(needs {blob.offset + blob.length} bytes, "
+                    f"{len(blob_area)} present)",
+                )
+            )
+            snapshots.append(None)
+            continue
+        actual = zlib.crc32(raw)
+        ok = actual == blob.crc
+        checks.append(
+            Check(
+                f"blob[{index}] crc",
+                ok,
+                f"stored {blob.crc:#010x}, computed {actual:#010x}",
+            )
+        )
+        if not ok:
+            snapshots.append(None)
+            continue
+        try:
+            snapshot = DictionarySnapshot.from_bytes(raw)
+            snapshot.require_config(config)
+            checks.append(
+                Check(
+                    f"blob[{index}] parse",
+                    True,
+                    f"{len(snapshot)} entries, digest {snapshot.digest[:12]}",
+                )
+            )
+            snapshots.append(snapshot)
+        except (SnapshotError, ContainerError) as exc:
+            checks.append(Check(f"blob[{index}] parse", False, str(exc)))
+            snapshots.append(None)
+
+    # Segment stages: seed resolution, then payload/decode/digest under it.
+    streams = []
+    seg_codes: list = []
+    seg_seeds: list = []
+    seg_links: list = []
+    total_codes = 0
+    total_bits = 0
+    for index in range(count):
+        fields = _SEGMENT_ENTRY_V4.unpack_from(
+            data, V4_SEGMENT_TABLE_OFFSET + index * SEGMENT_ENTRY_V4_SIZE
+        )
+        entry = SeededSegmentInfo(*fields[:8])
+        total_codes += entry.num_codes
+        total_bits += entry.original_bits
+        name = f"segment[{index}]"
+        seed = link = None
+        seed_ok = True
+        if entry.seed_mode == SEED_COLD:
+            pass
+        elif entry.seed_mode == SEED_BLOB:
+            if entry.blob_index >= len(snapshots):
+                checks.append(
+                    Check(
+                        f"{name} seed",
+                        False,
+                        f"references blob {entry.blob_index} of {len(snapshots)}",
+                    )
+                )
+                seed_ok = False
+            elif snapshots[entry.blob_index] is None:
+                checks.append(
+                    Check(
+                        f"{name} seed",
+                        False,
+                        f"blob {entry.blob_index} failed its own checks",
+                    )
+                )
+                seed_ok = False
+            else:
+                seed = snapshots[entry.blob_index]
+                checks.append(
+                    Check(
+                        f"{name} seed",
+                        True,
+                        f"blob {entry.blob_index}, {len(seed)} entries",
+                    )
+                )
+        elif entry.seed_mode == SEED_CHAIN:
+            if index == 0:
+                checks.append(
+                    Check(f"{name} seed", False, "segment 0 cannot chain")
+                )
+                seed_ok = False
+            elif seg_codes[index - 1] is None:
+                checks.append(
+                    Check(
+                        f"{name} seed",
+                        False,
+                        f"predecessor segment {index - 1} failed its own checks",
+                    )
+                )
+                seed_ok = False
+            else:
+                prev_codes = seg_codes[index - 1]
+                try:
+                    seed = derive_final_snapshot(
+                        prev_codes,
+                        config,
+                        seed=seg_seeds[index - 1],
+                        link=seg_links[index - 1],
+                    )
+                    link = prev_codes[-1] if prev_codes else seg_links[index - 1]
+                    checks.append(
+                        Check(
+                            f"{name} seed",
+                            True,
+                            f"chained from segment {index - 1}, "
+                            f"{len(seed)} entries, link {link}",
+                        )
+                    )
+                except (DecodeError, SnapshotError) as exc:
+                    checks.append(Check(f"{name} seed", False, str(exc)))
+                    seed_ok = False
+        else:
+            checks.append(
+                Check(
+                    f"{name} seed",
+                    False,
+                    f"unknown seed mode {entry.seed_mode}",
+                )
+            )
+            seed_ok = False
+
+        if not seed_ok:
+            streams.append(None)
+            seg_codes.append(None)
+            seg_seeds.append(None)
+            seg_links.append(None)
+            continue
+        segment_checks, stream, codes = _verify_segment(
+            config, entry, index, payload_area, rec, seed=seed, link=link
+        )
+        checks.extend(segment_checks)
+        streams.append(stream)
+        # A chain successor needs a fully verified predecessor: only
+        # propagate codes past a clean decode + digest.
+        seg_codes.append(codes if stream is not None else None)
+        seg_seeds.append(seed)
+        seg_links.append(link)
+
+    if original is not None and all(s is not None for s in streams):
+        with rec.span("verify.coverage"):
+            decoded = TernaryVector.concat_all(streams)
+            covers = decoded.covers(original)
+        if covers:
+            detail = f"covers all {original.care_count} specified bits"
+            checks.append(Check("coverage", True, detail))
+        else:
+            checks.append(
+                Check("coverage", False, "decoded stream does not cover original")
+            )
+
+    return VerifyReport(
+        checks=tuple(checks),
+        recognised=True,
+        version=4,
         config_summary=config.describe(),
         num_codes=total_codes,
         original_bits=total_bits,

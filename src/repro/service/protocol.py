@@ -34,6 +34,7 @@ and timeout bookkeeping but no sockets' lifecycle.
 
 from __future__ import annotations
 
+import base64
 import json
 import socket
 import time
@@ -500,10 +501,23 @@ class ServiceClient:
         text: Union[str, bytes],
         config: Optional[Dict[str, Any]] = None,
         deadline_ms: Optional[int] = None,
+        seed: Optional[Union[str, bytes]] = None,
     ) -> Tuple[Dict[str, Any], bytes]:
+        """Compress cube text; ``seed`` warm-starts the dictionary.
+
+        ``seed`` is a serialized :class:`~repro.core.dictionary.
+        DictionarySnapshot` — raw ``LZWS`` bytes (base64-encoded here)
+        or an already-encoded base64 string.  The reply container is
+        then a single-segment seeded (v4) file carrying the snapshot.
+        """
         payload = text.encode("utf-8") if isinstance(text, str) else text
+        fields: Dict[str, Any] = {}
+        if seed is not None:
+            if isinstance(seed, bytes):
+                seed = base64.b64encode(seed).decode("ascii")
+            fields["seed"] = seed
         return self.request(
-            "compress", payload, config=config, deadline_ms=deadline_ms
+            "compress", payload, config=config, deadline_ms=deadline_ms, **fields
         )
 
     def decompress(self, container: bytes, **kw: Any) -> Tuple[Dict[str, Any], bytes]:

@@ -45,6 +45,8 @@ equals ``repro compress -o`` on the same input, bit for bit.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import os
 import socket
 import threading
@@ -52,8 +54,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..container import dump_bytes, decode_container
-from ..core import LZWConfig, compress
+from ..container import SEED_BLOB, SegmentSeed, decode_container, dump_bytes, dump_segments
+from ..core import DictionarySnapshot, LZWConfig, compress
 from ..observability import CounterRecorder, Recorder, metrics_snapshot
 from ..observability import schema as ev
 from ..parallel.supervisor import RetryPolicy, run_supervised
@@ -720,15 +722,28 @@ class CompressionServer:
                 "compress payload is not UTF-8 cube text", source="request"
             ) from None
         test_set = parse_test_text(text, name="request")
+        config = job.config or LZWConfig()
+        seed = self._parse_seed(job, config)
         result = compress(
             test_set.to_stream(),
-            job.config or LZWConfig(),
+            config,
             recorder=self.recorder,
             cancel=job.token,
+            seed=seed,
         )
-        container = dump_bytes(
-            result.compressed, result.assigned_stream, recorder=self.recorder
-        )
+        if seed is not None:
+            # A warm-compressed stream only decodes under its seed, so
+            # the reply container must carry it: v4, one blob segment.
+            container = dump_segments(
+                [result.compressed],
+                [result.assigned_stream],
+                recorder=self.recorder,
+                seeds=[SegmentSeed(SEED_BLOB, seed, None)],
+            )
+        else:
+            container = dump_bytes(
+                result.compressed, result.assigned_stream, recorder=self.recorder
+            )
         job.token.check()
         fields = {
             "original_bits": result.original_bits,
@@ -736,4 +751,31 @@ class CompressionServer:
             "num_codes": result.compressed.num_codes,
             "ratio_percent": round(result.ratio_percent, 4),
         }
+        if seed is not None:
+            fields["seed_digest"] = seed.digest
         return fields, container
+
+    @staticmethod
+    def _parse_seed(job: _Job, config: LZWConfig) -> Optional[DictionarySnapshot]:
+        """Decode the optional base64 ``seed`` request field.
+
+        The snapshot is validated structurally (magic, CRC, entries)
+        and against the request's LZW config before any compression
+        work starts; a bad seed is a client error, never a pool crash.
+        """
+        encoded = job.header.get("seed")
+        if encoded is None:
+            return None
+        if not isinstance(encoded, str):
+            raise ProtocolError(
+                "seed must be a base64 string", reason="bad_field", field="seed"
+            )
+        try:
+            blob = base64.b64decode(encoded, validate=True)
+        except (binascii.Error, ValueError):
+            raise ProtocolError(
+                "seed is not valid base64", reason="bad_field", field="seed"
+            ) from None
+        snapshot = DictionarySnapshot.from_bytes(blob)
+        snapshot.require_config(config)
+        return snapshot

@@ -25,6 +25,17 @@ def test_fingerprint_separates_op_config_and_payload():
     assert workload_fingerprint("compress", {"char_bits": 2}, b"01X1") != base
 
 
+def test_fingerprint_folds_in_the_seed():
+    cold = workload_fingerprint("compress", None, b"01X0")
+    warm = workload_fingerprint("compress", None, b"01X0", seed="TFpXUw==")
+    other = workload_fingerprint("compress", None, b"01X0", seed="TFpXUworMQ==")
+    assert cold != warm != other != cold
+    assert warm == workload_fingerprint(
+        "compress", None, b"01X0", seed="TFpXUw=="
+    )
+    assert cold == workload_fingerprint("compress", None, b"01X0", seed=None)
+
+
 def test_field_separator_prevents_boundary_collisions():
     # op/config/payload are length-delimited by the NUL separator, so
     # shifting bytes across a field boundary must change the digest.

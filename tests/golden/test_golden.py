@@ -73,6 +73,20 @@ CASES = [
     for config_name in CONFIGS
 ]
 
+#: Warm-dictionary batch cases: the same corpus compressed through the
+#: seed planner.  ``preamble`` trains a shared snapshot on the leading
+#: bits; ``wave`` chains each shard from its predecessor's final trie.
+#: Frozen separately from the cold cases (`<workload>/<config>/<mode>`
+#: keys) so adding them churned no existing digest.
+WARM_MODES = ("preamble", "wave")
+
+WARM_CASES = [
+    (workload, scale, config_name, mode)
+    for workload, scale in WORKLOADS
+    for config_name in CONFIGS
+    for mode in WARM_MODES
+]
+
 
 def _case_key(workload: str, config_name: str) -> str:
     return f"{workload}/{config_name}"
@@ -121,6 +135,40 @@ def _compute_case(
     }
 
 
+def _compute_warm_case(
+    workload: str,
+    scale: float,
+    config_name: str,
+    mode: str,
+    engine: str = "reference",
+) -> dict:
+    """The frozen artefacts of one warm-seeded batch case.
+
+    The v4 container digest pins the snapshot serialization, the blob
+    table layout and the seeded code streams all at once; the counter
+    snapshot localises a mismatch to the decision site (seeded encodes
+    shift dictionary-allocation and X-resolution counts relative to
+    cold).  Both engines must reproduce the same entry.
+    """
+    test_set = _testset(workload, scale)
+    stream = test_set.to_stream()
+    config = replace(CONFIGS[config_name], engine=engine)
+    plan = plan_shards(len(stream), max(1, len(stream) // 3), test_set.width)
+    recorder = CounterRecorder()
+    item = compress_batch(
+        config, [stream], workers=1, plans=[plan], seed_plan=mode, recorder=recorder
+    )[0]
+    assert item.verify(stream)
+    return {
+        "segments": item.num_shards,
+        "compressed_bits": item.compressed_bits,
+        "ratio_percent": round(item.ratio_percent, 6),
+        "container_sha256": hashlib.sha256(item.container).hexdigest(),
+        "counters": recorder.snapshot()["counters"],
+        "histograms": recorder.snapshot()["histograms"],
+    }
+
+
 def test_update_golden(request):
     """With ``--update-golden``: rewrite the golden file; otherwise skip."""
     if not request.config.getoption("--update-golden"):
@@ -129,6 +177,14 @@ def test_update_golden(request):
         _case_key(workload, config_name): _compute_case(workload, scale, config_name)
         for workload, scale, config_name in CASES
     }
+    data.update(
+        {
+            f"{_case_key(workload, config_name)}/{mode}": _compute_warm_case(
+                workload, scale, config_name, mode
+            )
+            for workload, scale, config_name, mode in WARM_CASES
+        }
+    )
     GOLDEN_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
@@ -148,6 +204,38 @@ def test_golden_case(request, workload, scale, config_name, engine):
     if key not in golden:
         pytest.fail(f"golden file has no entry for {key}.\n{REGENERATE_HINT}")
     actual = _compute_case(workload, scale, config_name, engine)
+    expected = golden[key]
+    mismatches = {
+        field: (expected.get(field), actual[field])
+        for field in actual
+        if actual[field] != expected.get(field)
+    }
+    assert not mismatches, (
+        f"golden mismatch for {key} (engine={engine}): "
+        + ", ".join(
+            f"{field} expected {want!r} got {got!r}"
+            for field, (want, got) in sorted(mismatches.items())
+        )
+        + f"\n{REGENERATE_HINT}"
+    )
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize(
+    "workload,scale,config_name,mode",
+    WARM_CASES,
+    ids=[f"{_case_key(w, c)}/{m}" for w, _s, c, m in WARM_CASES],
+)
+def test_golden_warm_case(request, workload, scale, config_name, mode, engine):
+    if request.config.getoption("--update-golden"):
+        pytest.skip("regenerating golden file")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(f"{GOLDEN_PATH} is missing.\n{REGENERATE_HINT}")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    key = f"{_case_key(workload, config_name)}/{mode}"
+    if key not in golden:
+        pytest.fail(f"golden file has no entry for {key}.\n{REGENERATE_HINT}")
+    actual = _compute_warm_case(workload, scale, config_name, mode, engine)
     expected = golden[key]
     mismatches = {
         field: (expected.get(field), actual[field])

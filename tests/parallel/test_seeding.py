@@ -1,0 +1,159 @@
+"""Warm-dictionary shard seeding: ratio, determinism, journal binding.
+
+Sharding a stream cold costs compression ratio — every shard re-learns
+the phrases its predecessors already knew.  The seed planner closes
+that gap: ``preamble`` trains one snapshot on the leading bits and
+shares it, ``wave`` chains each shard from its predecessor's final
+dictionary state, recovering the serial ratio while the workload axis
+still parallelises.  These tests pin the ratio recovery, byte-level
+determinism across worker counts, and the checkpoint journal's seed
+binding (a cold journal must never resume a warm batch — the bytes
+would differ).
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.container import SEED_BLOB, SEED_CHAIN, SEED_COLD, container_version, load_seeded
+from repro.core import LZWConfig
+from repro.observability import CounterRecorder
+from repro.observability import schema as ev
+from repro.parallel import SeedPlan, compress_batch
+from repro.reliability import ConfigError
+from repro.reliability.chaos import ChaosPlan
+
+CONFIG = LZWConfig(char_bits=4, dict_size=128, entry_bits=24)
+SHARD_BITS = 700
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TernaryVector.random(2800, x_density=0.75, rng=random.Random(42))
+
+
+@pytest.fixture(scope="module")
+def serial_ratio(stream):
+    return compress_batch(CONFIG, [stream], workers=1, shard_bits=0)[0].ratio_percent
+
+
+def warm_batch(stream, mode, **kw):
+    return compress_batch(
+        CONFIG, [stream], workers=1, shard_bits=SHARD_BITS, seed_plan=mode, **kw
+    )[0]
+
+
+class TestSeedPlans:
+    @pytest.mark.parametrize("mode", ["preamble", "wave"])
+    def test_warm_output_covers_and_marks_segments(self, stream, mode):
+        item = warm_batch(stream, mode)
+        assert item.verify(stream)
+        assert container_version(item.container) == 4
+        segments = load_seeded(item.container)
+        assert len(segments) == item.num_shards == 4
+        if mode == "preamble":
+            assert all(s.seed_mode == SEED_BLOB for s in segments)
+        else:
+            assert segments[0].seed_mode == SEED_COLD
+            assert all(s.seed_mode == SEED_CHAIN for s in segments[1:])
+
+    def test_warm_sharding_recovers_the_serial_ratio(self, stream, serial_ratio):
+        cold = warm_batch(stream, "cold").ratio_percent
+        preamble = warm_batch(stream, "preamble").ratio_percent
+        wave = warm_batch(stream, "wave").ratio_percent
+        # Cold sharding pays for 4 empty dictionaries; both warm modes
+        # must win it back and land within 3 points of serial.
+        assert preamble > cold + 5
+        assert wave > cold + 5
+        assert serial_ratio - wave <= 3.0
+        assert serial_ratio - preamble <= 3.0
+
+    @pytest.mark.parametrize("mode", ["preamble", "wave"])
+    def test_bytes_identical_for_any_worker_count(self, stream, mode):
+        one = warm_batch(stream, mode).container
+        three = compress_batch(
+            CONFIG, [stream], workers=3, shard_bits=SHARD_BITS, seed_plan=mode
+        )[0].container
+        assert one == three
+
+    def test_mode_string_matches_explicit_plan(self, stream):
+        assert (
+            warm_batch(stream, "wave").container
+            == warm_batch(stream, SeedPlan(mode="wave")).container
+        )
+
+    def test_seeded_shard_counter(self, stream):
+        recorder = CounterRecorder()
+        item = warm_batch(stream, "wave", recorder=recorder)
+        # Every shard after the first in the wave encodes seeded.
+        assert recorder.counters[ev.BATCH_SEEDED_SHARDS] == item.num_shards - 1
+
+    def test_wave_dependency_failure_skips_the_chain_tail(self, stream):
+        items = compress_batch(
+            CONFIG,
+            [stream],
+            workers=1,
+            shard_bits=SHARD_BITS,
+            seed_plan="wave",
+            chaos=ChaosPlan("exception", rate=1.0, attempts=10),
+            on_failure="skip",
+        )
+        item = items[0]
+        assert not item.ok
+        kinds = {error.kind for error in item.errors}
+        # Shard 0 exhausts its retries; every successor is abandoned as
+        # a dependency failure instead of encoding under a wrong seed.
+        assert "dependency" in kinds
+        assert len(item.errors) == 4
+
+
+class TestJournalSeedBinding:
+    def test_cold_journal_cannot_resume_a_warm_batch(self, stream, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        compress_batch(
+            CONFIG, [stream], workers=1, shard_bits=SHARD_BITS, checkpoint=path
+        )
+        with pytest.raises(ConfigError):
+            compress_batch(
+                CONFIG,
+                [stream],
+                workers=1,
+                shard_bits=SHARD_BITS,
+                seed_plan="wave",
+                checkpoint=path,
+                resume=True,
+            )
+
+    @pytest.mark.parametrize("mode", ["preamble", "wave"])
+    def test_warm_resume_is_byte_identical(self, stream, tmp_path, mode):
+        reference = warm_batch(stream, mode).container
+        path = tmp_path / "ck.jsonl"
+        warm_batch(stream, mode, checkpoint=path)
+        resumed = warm_batch(stream, mode, checkpoint=path, resume=True)
+        assert resumed.container == reference
+
+    def test_lost_final_state_is_rederived_not_fatal(self, stream, tmp_path):
+        reference = warm_batch(stream, "wave").container
+        path = tmp_path / "ck.jsonl"
+        warm_batch(stream, "wave", checkpoint=path)
+        # Keep only shard 0's journal entry and strip its final-state
+        # snapshot: the resumed wave must re-derive shard 1's seed from
+        # shard 0's codes instead of failing (or silently going cold).
+        lines = path.read_text().splitlines()
+        kept = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("kind") == "shard":
+                if record["shard"] != 0:
+                    continue
+                record.pop("final_state", None)
+            kept.append(json.dumps(record))
+        path.write_text("\n".join(kept) + "\n")
+        recorder = CounterRecorder()
+        resumed = warm_batch(
+            stream, "wave", checkpoint=path, resume=True, recorder=recorder
+        )
+        assert resumed.container == reference
+        assert recorder.counters[ev.BATCH_SEED_REDERIVATIONS] >= 1

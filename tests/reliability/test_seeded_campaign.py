@@ -1,0 +1,208 @@
+"""Fault-injection coverage of the seeded (v4) framing.
+
+Extends the reliability campaign to warm-dictionary containers: every
+generic injector plus the two v4-specific ones — ``snapshot_tamper``
+(a seed-blob bit flip hidden behind three re-signed CRCs) and
+``seed_mismatch`` (a structurally valid lie about a segment's seed
+mode) — must end in a typed error or a provably-correct decode, never
+silent corruption.  ``repro verify`` must stage the seed resolution
+per segment and per blob, and the salvage decoder must refuse to
+fabricate output for a segment whose seed it cannot trust.
+"""
+
+import random
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.container import SEED_BLOB, SEED_CHAIN, load_seeded
+from repro.core import LZWConfig
+from repro.parallel import SeedPlan, compress_batch
+from repro.reliability.campaign import TrialOutcome, run_campaign
+from repro.reliability.errors import ContainerError
+from repro.reliability.inject import INJECTORS, SEEDED_INJECTORS, inject
+from repro.reliability.salvage import salvage_container
+from repro.reliability.verify import verify_container
+
+CONFIG = LZWConfig(char_bits=4, dict_size=128, entry_bits=24)
+
+
+@pytest.fixture(scope="module")
+def original():
+    return TernaryVector.random(2400, x_density=0.75, rng=random.Random(99))
+
+
+@pytest.fixture(scope="module")
+def preamble_container(original):
+    item = compress_batch(
+        CONFIG, [original], workers=1, shard_bits=700,
+        seed_plan=SeedPlan(mode="preamble"),
+    )[0]
+    assert item.num_shards >= 3
+    segments = load_seeded(item.container)
+    assert all(s.seed_mode == SEED_BLOB for s in segments)
+    return item.container
+
+
+@pytest.fixture(scope="module")
+def wave_container(original):
+    item = compress_batch(
+        CONFIG, [original], workers=1, shard_bits=700,
+        seed_plan=SeedPlan(mode="wave"),
+    )[0]
+    assert item.num_shards >= 3
+    segments = load_seeded(item.container)
+    assert all(s.seed_mode == SEED_CHAIN for s in segments[1:])
+    return item.container
+
+
+class TestSeededCampaign:
+    def test_preamble_no_silent_corruption(self, preamble_container, original):
+        names = tuple(sorted(INJECTORS)) + tuple(sorted(SEEDED_INJECTORS))
+        result = run_campaign(
+            preamble_container, original, injectors=names, seeds=range(50)
+        )
+        assert result.ok, result.summary()
+        counts = result.counts
+        assert counts[TrialOutcome.SILENT] == 0
+        assert counts[TrialOutcome.ESCAPED] == 0
+        assert counts[TrialOutcome.DETECTED] > 0
+
+    def test_wave_no_silent_corruption(self, wave_container, original):
+        # A wave container stores no blobs (chain seeds are derived at
+        # load), so snapshot_tamper has nothing to bite on.
+        names = tuple(sorted(INJECTORS)) + ("seed_mismatch",)
+        result = run_campaign(
+            wave_container, original, injectors=names, seeds=range(50)
+        )
+        assert result.ok, result.summary()
+        assert result.counts[TrialOutcome.DETECTED] > 0
+
+    @pytest.mark.parametrize("injector", sorted(SEEDED_INJECTORS))
+    def test_seeded_injectors_are_deterministic(
+        self, preamble_container, injector
+    ):
+        assert inject(preamble_container, injector, 7) == inject(
+            preamble_container, injector, 7
+        )
+        assert inject(preamble_container, injector, 7) != inject(
+            preamble_container, injector, 8
+        )
+
+    @pytest.mark.parametrize("injector", sorted(SEEDED_INJECTORS))
+    def test_seeded_injectors_require_v4(self, injector):
+        with pytest.raises(ValueError):
+            inject(b"LZWT\x02" + bytes(60), injector, 0)
+
+    def test_snapshot_tamper_needs_blobs(self, wave_container):
+        with pytest.raises(ValueError):
+            inject(wave_container, "snapshot_tamper", 0)
+
+
+class TestVerifyStagesSeeds:
+    def test_clean_preamble_report_stages_blobs_and_seeds(
+        self, preamble_container, original
+    ):
+        report = verify_container(preamble_container, original)
+        assert report.ok and report.exit_code == 0
+        assert report.version == 4
+        names = [check.name for check in report.checks]
+        assert any(name.startswith("blob[0]") for name in names)
+        for index in range(report.segments):
+            assert f"segment[{index}] seed" in names
+        assert "coverage" in names
+
+    def test_clean_wave_report_chains_seeds(self, wave_container, original):
+        report = verify_container(wave_container, original)
+        assert report.ok and report.exit_code == 0
+        chained = [
+            check
+            for check in report.checks
+            if check.name.endswith("seed") and "chained" in check.detail
+        ]
+        assert len(chained) == report.segments - 1
+
+    def test_snapshot_tamper_is_staged(self, preamble_container, original):
+        corrupted = inject(preamble_container, "snapshot_tamper", seed=11)
+        report = verify_container(corrupted, original)
+        assert not report.ok
+        assert report.exit_code == 4
+        failing = [check.name for check in report.checks if not check.ok]
+        assert failing
+        # All transport CRCs were re-signed: the failure must surface in
+        # the snapshot parse/replay or in the seeded decode stages.
+        assert all("crc" not in name or "blob" in name for name in failing)
+
+    def test_seed_mismatch_is_detected_or_correct(
+        self, preamble_container, original
+    ):
+        for seed in range(20):
+            corrupted = inject(preamble_container, "seed_mismatch", seed)
+            try:
+                segments = load_seeded(corrupted)
+            except ContainerError:
+                continue  # typed rejection: the lie was caught
+            # The lie survived the digest only if the bytes decode
+            # identically (seed did not influence the stream).
+            from repro.core import decode
+
+            decoded = TernaryVector.concat_all(
+                [
+                    decode(s.compressed, seed=s.seed, link=s.link)
+                    for s in segments
+                ]
+            )
+            assert decoded.covers(original)
+
+    def test_chain_successor_reports_failed_predecessor(self, wave_container):
+        # Corrupt segment 0's payload: its own decode fails AND every
+        # chained successor must report an unresolvable seed instead of
+        # decoding under a fabricated dictionary.
+        segments = load_seeded(wave_container)
+        corrupted = bytearray(wave_container)
+        corrupted[-len(corrupted) // 4] ^= 0xFF  # land inside the payload area
+        report = verify_container(bytes(corrupted))
+        if report.ok:  # the flip landed in dead padding; nothing to assert
+            pytest.skip("corruption landed in padding")
+        failing = [check.name for check in report.checks if not check.ok]
+        assert failing
+
+
+class TestSeededSalvage:
+    def test_intact_containers_salvage_completely(
+        self, preamble_container, wave_container, original
+    ):
+        for data in (preamble_container, wave_container):
+            result = salvage_container(data)
+            assert result.complete, result.describe()
+            assert result.stream.covers(original)
+
+    def test_unreadable_blob_stops_blob_seeded_segments(
+        self, preamble_container
+    ):
+        corrupted = inject(preamble_container, "snapshot_tamper", seed=3)
+        result = salvage_container(corrupted)
+        # Either the tampered snapshot fails replay (segments seeded
+        # from it are not attempted) or it replays into a different
+        # trie and some segment fails to decode under it.  Both must
+        # surface as an incomplete, diagnosed salvage — or, rarely, the
+        # flip hits a bit the decode never consults and everything
+        # still decodes.
+        if not result.complete:
+            assert result.failed_segment is not None
+            assert result.error is not None
+
+    def test_wave_predecessor_failure_stops_the_chain(self, wave_container):
+        segments = load_seeded(wave_container)
+        assert len(segments) >= 3
+        # Truncate into the first segment's payload: successors chain
+        # from it and must not be attempted.
+        header_and_tables = len(wave_container) - sum(
+            (len(s.compressed.codes) * CONFIG.code_bits + 7) // 8
+            for s in segments
+        )
+        cut = header_and_tables + 1
+        result = salvage_container(wave_container[:cut] )
+        assert not result.complete
+        assert result.failed_segment == 0
+        assert any("not attempted" in note for note in result.notes)

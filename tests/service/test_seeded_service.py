@@ -1,0 +1,112 @@
+"""Warm-dictionary compression over the wire.
+
+A client that has trained a dictionary locally (or received one from a
+planner) can ship it as the base64 ``seed`` request field; the server
+compresses under that snapshot and replies with a single-segment
+seeded (v4) container that carries it, so the reply is self-contained
+and round-trips through ``decompress``/``verify`` like any other.
+"""
+
+import base64
+
+import pytest
+
+from repro.container import SEED_BLOB, container_version, load_seeded
+from repro.core import LZWConfig, compress, decode, derive_final_snapshot
+from repro.service import CompressionServer, ServiceClient, ServiceConfig
+from repro.testfile import parse_test_text
+
+TRAIN = "01X0\n1XX1\nX01X\n0110\nXXXX\n" * 4
+TEXT = "01X0\n1XX1\nX01X\n0110\n1001\n" * 4
+
+
+def trained_snapshot(config=None):
+    config = config or LZWConfig()
+    result = compress(parse_test_text(TRAIN).to_stream(), config)
+    return derive_final_snapshot(result.compressed.codes, config)
+
+
+@pytest.fixture
+def server():
+    srv = CompressionServer(ServiceConfig(workers=2, queue_depth=8))
+    srv.start()
+    yield srv
+    if srv.state != "stopped":
+        srv.drain()
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.address) as c:
+        yield c
+
+
+def test_seeded_compress_round_trips(client):
+    seed = trained_snapshot()
+    header, container = client.compress(TEXT, seed=seed.to_bytes())
+    assert header["ok"] and header["code"] == 0
+    assert header["seed_digest"] == seed.digest
+    assert container_version(container) == 4
+    (segment,) = load_seeded(container)
+    assert segment.seed_mode == SEED_BLOB
+    assert segment.seed == seed
+    decoded = decode(segment.compressed, seed=segment.seed)
+    assert decoded.covers(parse_test_text(TEXT).to_stream())
+
+    # The self-contained reply decompresses server-side too.
+    header, text = client.decompress(container)
+    assert header["ok"]
+    header, _ = client.verify(container)
+    assert header["verify_exit_code"] == 0
+
+
+def test_seeded_compress_matches_local_library_call(client):
+    seed = trained_snapshot()
+    header, _ = client.compress(TEXT, seed=seed.to_bytes())
+    local = compress(parse_test_text(TEXT).to_stream(), LZWConfig(), seed=seed)
+    assert header["compressed_bits"] == local.compressed_bits
+    assert header["num_codes"] == local.compressed.num_codes
+
+
+def test_seed_accepts_pre_encoded_base64(client):
+    seed = trained_snapshot()
+    encoded = base64.b64encode(seed.to_bytes()).decode("ascii")
+    header, container = client.compress(TEXT, seed=encoded)
+    assert header["ok"]
+    assert header["seed_digest"] == seed.digest
+
+
+def test_invalid_base64_seed_is_a_client_error(client):
+    header, _ = client.request("compress", TEXT.encode(), seed="@@not-base64@@")
+    assert not header["ok"]
+    assert header["error"]["type"] == "ProtocolError"
+    assert "seed" in header["error"]["message"]
+
+
+def test_corrupt_snapshot_seed_is_a_client_error(client):
+    blob = bytearray(trained_snapshot().to_bytes())
+    blob[10] ^= 0x40
+    header, _ = client.compress(TEXT, seed=bytes(blob))
+    assert not header["ok"]
+    assert header["error"]["type"] == "SnapshotError"
+
+
+def test_config_mismatched_seed_is_a_client_error(client):
+    seed = trained_snapshot()  # trained under the default config
+    header, _ = client.compress(
+        TEXT,
+        config={"char_bits": 3, "dict_size": 32, "entry_bits": 12},
+        seed=seed.to_bytes(),
+    )
+    assert not header["ok"]
+    assert header["error"]["type"] == "SnapshotError"
+
+
+def test_cold_requests_are_unchanged(client):
+    from repro.container import dump_bytes
+
+    header, payload = client.compress(TEXT)
+    assert header["ok"]
+    assert "seed_digest" not in header
+    local = compress(parse_test_text(TEXT).to_stream(), LZWConfig())
+    assert payload == dump_bytes(local.compressed, local.assigned_stream)
