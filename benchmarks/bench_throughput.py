@@ -60,6 +60,25 @@ def _mb(bits: int) -> float:
     return bits / 8 / 1e6
 
 
+def _peak_rss_bytes() -> int:
+    """The process's peak resident set size so far, in bytes.
+
+    ``ru_maxrss`` is a lifetime high-water mark: sampled after each
+    stage it tells you which stage *raised* the peak (the first stage
+    whose sample equals the final value is the memory-dominant one),
+    not each stage's isolated footprint.  Linux reports kilobytes,
+    macOS bytes; 0 on platforms without ``resource``.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return peak
+
+
 def run_serial(streams, engine="auto"):
     """Unsharded baseline: one plain ``compress`` per workload.
 
@@ -140,7 +159,9 @@ def run_experiment(scale: float, workers=WORKER_COUNTS) -> dict:
     # process so the engine speedup is a same-machine, same-load ratio.
     serial_seconds, serial_results, serial_stages = run_serial(streams, "fast")
     serial_bits = sum(r.compressed_bits for r in serial_results)
+    rss_after_serial = _peak_rss_bytes()
     ref_seconds, ref_results, ref_stages = run_serial(streams, "reference")
+    rss_after_reference = _peak_rss_bytes()
     for fast_r, ref_r in zip(serial_results, ref_results):
         if fast_r.compressed.codes != ref_r.compressed.codes:
             raise AssertionError(
@@ -180,6 +201,7 @@ def run_experiment(scale: float, workers=WORKER_COUNTS) -> dict:
                 "mb_per_s": round(_mb(total_bits) / seconds, 5),
                 "speedup_vs_serial": round(serial_seconds / seconds, 3),
                 "stages": stages,
+                "peak_rss_bytes": _peak_rss_bytes(),
             }
         )
 
@@ -277,6 +299,7 @@ def run_experiment(scale: float, workers=WORKER_COUNTS) -> dict:
             ),
             "ratio_percent": round(ratio_serial, 2),
             "stages": serial_stages,
+            "peak_rss_bytes": rss_after_serial,
         },
         "serial_reference": {
             "engine": "reference",
@@ -284,6 +307,7 @@ def run_experiment(scale: float, workers=WORKER_COUNTS) -> dict:
             "mb_per_s": round(_mb(total_bits) / ref_seconds, 5),
             "encode_mb_per_s": round(_mb(total_bits) / ref_stages["encode"], 5),
             "stages": ref_stages,
+            "peak_rss_bytes": rss_after_reference,
         },
         # Same-run, same-machine ratio of the two engines — the
         # machine-independent number the perf gate checks.
@@ -308,7 +332,11 @@ def run_experiment(scale: float, workers=WORKER_COUNTS) -> dict:
             "speedup_vs_reference_serial": round(warm_speedup, 2),
         },
         "deterministic_across_workers": True,
+        "peak_rss_bytes": _peak_rss_bytes(),
         "note": (
+            "peak_rss_bytes samples the process high-water mark after "
+            "each stage (ru_maxrss; monotone, so the stage that first "
+            "reaches the final value set the peak). "
             "Speedup is bounded by the machine's cpu_count; per-shard "
             "dictionaries trade ratio_delta_percent for parallelism — "
             "seed_mode_ablation shows the warm planner buying that "

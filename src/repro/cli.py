@@ -175,7 +175,172 @@ def _config_from(args: argparse.Namespace) -> LZWConfig:
     )
 
 
+def _open_source(spec: str):
+    """A binary read handle for a path, or stdin for ``-``."""
+    if spec == "-":
+        return sys.stdin.buffer, False
+    return open(spec, "rb"), True
+
+
+def _cmd_compress_stream(args: argparse.Namespace) -> int:
+    """``repro compress --stream``: raw bytes in, v5 frame journal out.
+
+    The input (a file or stdin) is read ``--chunk-bytes`` at a time and
+    mapped to an X-density-0 ternary stream (bit *i* of the stream is
+    bit *i* of the little-endian byte string), so peak memory stays
+    bounded by the chunk size plus the dictionary no matter how large
+    the input grows.  Output to a path goes through the durable
+    append-only writer (fsync per frame); ``-o -`` streams frames to
+    stdout for piping into ``repro decompress --stream -``.
+    """
+    from .reliability.atomic import DurableAppendFile
+    from .streamio import StreamContainerWriter
+    from .core.stream import StreamEncoder
+    from .observability import schema as ev
+
+    if not args.output:
+        raise ConfigError(
+            "--stream requires -o/--output (a path, or '-' for stdout)",
+            field="output",
+        )
+    if args.chunk_bytes < 1:
+        raise ConfigError(
+            "--chunk-bytes must be >= 1", field="chunk_bytes",
+            value=args.chunk_bytes,
+        )
+    config = _config_from(args)
+    recorder = _metrics_recorder(args)
+    # Frames on stdout would interleave with the report; send it to
+    # stderr so `repro compress --stream - -o - | ...` stays clean.
+    report = sys.stderr if args.output == "-" else sys.stdout
+    source, close_source = _open_source(args.file)
+    sink = None
+    try:
+        if args.output == "-":
+            sink = sys.stdout.buffer
+        else:
+            sink = DurableAppendFile(Path(args.output))
+        encoder = StreamEncoder(config, recorder=recorder)
+        writer = StreamContainerWriter(
+            config, sink, codes_per_frame=args.codes_per_frame,
+            recorder=recorder,
+        )
+        total_in = 0
+        with _interruptible_metrics(recorder, args):
+            while True:
+                buf = source.read(args.chunk_bytes)
+                if not buf:
+                    break
+                total_in += len(buf)
+                chunk = TernaryVector.from_int(
+                    int.from_bytes(buf, "little"), len(buf) * 8
+                )
+                writer.write_codes(encoder.feed(chunk))
+                if recorder is not None and recorder.enabled:
+                    recorder.incr(ev.STREAM_CHUNKS_FED)
+            writer.finalize(encoder.finalize(), encoder.original_bits)
+    finally:
+        if close_source:
+            source.close()
+        if isinstance(sink, DurableAppendFile):
+            sink.close()
+    ratio = (
+        100.0 * (1.0 - writer.bytes_written / total_in) if total_in else 0.0
+    )
+    print(f"config: {config.describe()}", file=report)
+    print(
+        f"streamed {total_in} bytes -> {writer.bytes_written} bytes "
+        f"in {writer.frames_written} frame(s) "
+        f"(ratio {ratio:.2f}%, chunk {args.chunk_bytes} bytes)",
+        file=report,
+    )
+    if args.output != "-":
+        print(f"wrote {args.output}", file=report)
+    _emit_metrics(recorder, args)
+    return 0
+
+
+def _cmd_decompress_stream(args: argparse.Namespace, source, close_source) -> int:
+    """Frame-by-frame expansion of a v5 journal back to raw bytes.
+
+    The inverse of ``compress --stream``: each verified frame's
+    characters are packed back into little-endian bytes as they decode,
+    so only one frame (plus the dictionary) is ever resident.
+    """
+    from .streamio import StreamContainerReader, iter_decode_stream
+
+    if args.width:
+        raise ConfigError(
+            "--width applies to cube containers; a v5 stream holds raw "
+            "bytes (drop --width)",
+            field="width",
+        )
+    recorder = _metrics_recorder(args)
+    report = sys.stderr if args.output == "-" else sys.stdout
+    out = None
+    close_out = False
+    try:
+        if args.output == "-":
+            out = sys.stdout.buffer
+        else:
+            out = open(args.output, "wb")
+            close_out = True
+        reader = StreamContainerReader(source, recorder=recorder)
+        char_bits = reader.config.char_bits
+        acc = 0
+        acc_bits = 0
+        emitted_bits = 0
+        frames = 0
+        num_codes = 0
+        for chars, frame in iter_decode_stream(reader, recorder=recorder):
+            for char in chars:
+                acc |= char << acc_bits
+                acc_bits += char_bits
+            frames += 1
+            num_codes += frame.num_codes
+            # Never emit past the attested cumulative bit count — the
+            # final frame's X-padded partial character stays buffered.
+            avail = min(acc_bits, frame.original_bits_cum - emitted_bits)
+            nbytes = avail // 8
+            if nbytes:
+                out.write(
+                    (acc & ((1 << (nbytes * 8)) - 1)).to_bytes(nbytes, "little")
+                )
+                acc >>= nbytes * 8
+                acc_bits -= nbytes * 8
+                emitted_bits += nbytes * 8
+        total_bits = reader.terminal.total_original_bits
+        tail_bits = total_bits - emitted_bits
+        if tail_bits > 0:
+            acc &= (1 << tail_bits) - 1
+            out.write(acc.to_bytes((tail_bits + 7) // 8, "little"))
+        if out is not sys.stdout.buffer:
+            out.flush()
+    finally:
+        if close_source:
+            source.close()
+        if close_out and out is not None:
+            out.close()
+    print(
+        f"decoded {total_bits} bits from {num_codes} codes in "
+        f"{frames} frame(s) ({reader.config.describe()})",
+        file=report,
+    )
+    if total_bits % 8:
+        print(
+            f"note: {total_bits} bits is not a whole number of bytes; "
+            "the last byte is zero-padded",
+            file=report,
+        )
+    if args.output != "-":
+        print(f"wrote {args.output}", file=report)
+    _emit_metrics(recorder, args)
+    return 0
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
+    if args.stream:
+        return _cmd_compress_stream(args)
     test_set = read_test_file(args.file)
     print(test_set.summary())
     stream = test_set.to_stream()
@@ -317,6 +482,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
+    from .streamio import VERSION_STREAM
+
+    if args.file == "-":
+        # Only the framed v5 journal can arrive on stdin; the reader
+        # validates the magic/version itself.
+        return _cmd_decompress_stream(args, sys.stdin.buffer, False)
+    source = open(args.file, "rb")
+    head = source.read(5)
+    source.seek(0)
+    if len(head) == 5 and head[:4] == b"LZWT" and head[4] == VERSION_STREAM:
+        return _cmd_decompress_stream(args, source, True)
+    source.close()
     data = Path(args.file).read_bytes()
     segments = load_seeded(data)
     stream = TernaryVector.concat_all(
@@ -359,7 +536,70 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_stats_raw(args: argparse.Namespace) -> int:
+    """``repro stats --raw``: the X-density-0 degenerate mode.
+
+    Treats the input as opaque bytes (every bit a care bit — zero
+    don't-cares, so the X-aware machinery degenerates to classical
+    LZW), round-trips it through the streaming codec, and reports the
+    v5 container ratio next to ``zlib`` and ``lzma`` on the same
+    corpus.  The round-trip is verified byte for byte before any
+    number is printed.
+    """
+    import io as _io
+    import lzma
+    import zlib as _zlib
+
+    from .core.stream import StreamEncoder
+    from .streamio import decode_stream_bytes, StreamContainerWriter
+
+    source, close_source = _open_source(args.file)
+    try:
+        data = source.read()
+    finally:
+        if close_source:
+            source.close()
+    config = _config_from(args)
+    encoder = StreamEncoder(config)
+    sink = _io.BytesIO()
+    writer = StreamContainerWriter(config, sink)
+    for start in range(0, len(data), args.chunk_bytes):
+        buf = data[start : start + args.chunk_bytes]
+        writer.write_codes(
+            encoder.feed(
+                TernaryVector.from_int(
+                    int.from_bytes(buf, "little"), len(buf) * 8
+                )
+            )
+        )
+    writer.finalize(encoder.finalize(), encoder.original_bits)
+    container = sink.getvalue()
+    decoded = decode_stream_bytes(container)
+    nbytes = len(decoded) // 8
+    if decoded.value_mask.to_bytes(nbytes, "little") != data:
+        print("ERROR: streaming round-trip diverged from the input")
+        return 1
+    print(f"raw corpus: {len(data)} bytes (X-density 0: every bit a care bit)")
+    print(f"config: {config.describe()}")
+
+    def _row(name: str, size: int) -> None:
+        ratio = 100.0 * (1.0 - size / len(data)) if data else 0.0
+        print(f"  {name:<18} {size:>10} bytes  ({ratio:+7.2f}%)")
+
+    print("compressed size vs general-purpose baselines:")
+    _row("lzw-stream (v5)", len(container))
+    _row("zlib -9", len(_zlib.compress(data, 9)))
+    _row("lzma", len(lzma.compress(data)))
+    print(
+        "(v5 includes per-frame integrity headers; "
+        f"{writer.frames_written} frame(s) of {writer.codes_per_frame} codes)"
+    )
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.raw:
+        return _cmd_stats_raw(args)
     test_set = read_test_file(args.file)
     profile = testset_profile(test_set)
     print(test_set.summary())
@@ -606,8 +846,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compress", help="compress a test-vector file")
-    p.add_argument("file", help="vector file (one 01X cube per line)")
+    p.add_argument(
+        "file",
+        help="vector file (one 01X cube per line); with --stream, raw "
+        "bytes (or '-' for stdin)",
+    )
     _add_lzw_options(p)
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="bounded-memory mode: read FILE (or stdin) as raw bytes in "
+        "--chunk-bytes pieces and append a crash-safe v5 frame journal "
+        "to -o (or stdout); peak memory is flat no matter the input size",
+    )
+    p.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=1 << 16,
+        help="streaming read granularity in bytes (default 65536)",
+    )
+    p.add_argument(
+        "--codes-per-frame",
+        type=int,
+        default=4096,
+        help="codes per durable v5 frame; smaller frames bound crash "
+        "loss tighter at more fsync cost (default 4096)",
+    )
     p.add_argument(
         "--clock-ratio",
         type=int,
@@ -716,8 +980,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("decompress", help="expand a .lzwt container")
-    p.add_argument("file", help="container written by `repro compress -o`")
-    p.add_argument("-o", "--output", required=True, help="output file")
+    p.add_argument(
+        "file",
+        help="container written by `repro compress -o` ('-' reads a v5 "
+        "stream from stdin); v5 journals are expanded frame by frame",
+    )
+    p.add_argument(
+        "-o", "--output", required=True,
+        help="output file ('-' streams raw bytes to stdout for v5 input)",
+    )
     p.add_argument(
         "--width",
         type=int,
@@ -746,8 +1017,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("stats", help="analyse a test-vector file")
-    p.add_argument("file", help="vector file (one 01X cube per line)")
+    p.add_argument(
+        "file",
+        help="vector file (one 01X cube per line); with --raw, any "
+        "bytes (or '-' for stdin)",
+    )
     _add_lzw_options(p)
+    p.add_argument(
+        "--raw",
+        action="store_true",
+        help="X-density-0 degenerate mode: treat FILE as opaque bytes, "
+        "round-trip it through the streaming codec and report the v5 "
+        "ratio against zlib/lzma",
+    )
+    p.add_argument(
+        "--chunk-bytes",
+        type=int,
+        default=1 << 16,
+        help="streaming feed granularity for --raw (default 65536)",
+    )
     p.add_argument(
         "--encode",
         action="store_true",

@@ -152,6 +152,7 @@ _MAGIC = b"LZWT"
 _VERSION = 2
 _VERSION_MULTI = 3
 _VERSION_SEEDED = 4
+_VERSION_STREAM = 5
 _HEADER_V1 = struct.Struct(">4sBBIIQQI")
 _HEADER_V2 = struct.Struct(">4sBBIIQQIII")
 _HEADER_V3 = struct.Struct(">4sBBIIII")
@@ -272,6 +273,12 @@ def _parse_header(data: bytes) -> _Header:
     elif version == _VERSION_SEEDED:
         raise ContainerError(
             "seeded (v4) container; load it with load_seeded()",
+            byte_offset=4,
+            field="version",
+        )
+    elif version == _VERSION_STREAM:
+        raise ContainerError(
+            "streaming (v5) container; load it with repro.streamio",
             byte_offset=4,
             field="version",
         )
@@ -1047,6 +1054,13 @@ def load_seeded(
     :class:`SnapshotError` for malformed blobs).
     """
     version = container_version(data)
+    if version == _VERSION_STREAM:
+        raise ContainerError(
+            "streaming (v5) container; decode it with decode_container() "
+            "or repro.streamio",
+            byte_offset=4,
+            field="version",
+        )
     if version != _VERSION_SEEDED:
         return tuple(
             LoadedSegment(compressed, None, None, SEED_COLD)
@@ -1116,9 +1130,14 @@ def decode_container(
 
     For multi-segment containers this is the concatenation of the
     per-segment decodes in table order; v4 segments decode under their
-    declared seeding state.
+    declared seeding state; v5 streaming containers decode frame by
+    frame with per-frame digest verification.
     """
     rec = recorder if recorder is not None else NULL_RECORDER
+    if container_version(data) == _VERSION_STREAM:
+        from .streamio import decode_stream_bytes
+
+        return decode_stream_bytes(data, recorder=recorder)
     return TernaryVector.concat_all(
         [
             decode(segment.compressed, recorder=rec, seed=segment.seed, link=segment.link)

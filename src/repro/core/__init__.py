@@ -29,6 +29,7 @@ from .multichain import (
     partition_chains,
 )
 from .pipeline import CompressionResult, compress, compress_batch, decompress
+from .stream import StreamDecoder, StreamEncoder, chars_to_vector
 
 __all__ = [
     "ENGINES",
@@ -47,7 +48,10 @@ __all__ = [
     "LZWDictionary",
     "LZWEncoder",
     "MultiChainResult",
+    "StreamDecoder",
+    "StreamEncoder",
     "chain_streams",
+    "chars_to_vector",
     "compress",
     "compress_batch",
     "compress_interleaved",

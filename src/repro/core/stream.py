@@ -1,0 +1,464 @@
+"""Bounded-memory incremental LZW codec (the streaming state machines).
+
+One-shot :func:`repro.core.compress` materialises the whole input, the
+whole character list and the whole code stream.  This module provides
+the same algorithm as a pair of incremental state machines that consume
+and emit bounded chunks:
+
+* :class:`StreamEncoder` — feed ternary chunks, collect codes as they
+  are committed, ``finalize()`` to flush the tail.  Output is
+  **byte-identical** to the one-shot encoder for the same input and
+  configuration (and therefore to both engines, whose equivalence the
+  differential conformance suite locks).
+* :class:`StreamDecoder` — push codes one at a time, collect character
+  expansions; an exact incremental mirror of
+  :func:`repro.core.decoder.iter_decode` built on a real
+  :class:`~repro.core.dictionary.LZWDictionary`, so the decoder can
+  also answer :meth:`StreamDecoder.snapshot` — the
+  :class:`~repro.core.dictionary.DictionarySnapshot` a resumed session
+  seeds from.
+
+Byte-identity under chunking
+----------------------------
+The only part of the encoder whose decision at character ``i`` depends
+on characters *after* ``i`` is the ``"lookahead"`` policy: a decision
+at index ``i`` inspects at most ``chars[i .. i+W-1]`` (window ``W``,
+per-decision node budget reset in ``ChildSelector._lookahead_best``),
+**and** returns shallower continuation depths when the buffer ends
+early.  The streaming encoder therefore only commits the decision at
+index ``i`` once at least ``W`` characters from ``i`` are buffered —
+or the input is finalized, at which point the buffer end *is* the true
+end of the stream.  With that single rule every decision sees exactly
+the window the one-shot encoder saw, so the emitted codes are equal.
+
+Memory bounds
+-------------
+The encoder retains only the characters of the current (uncommitted)
+phrase plus the ``W``-character slack; a phrase never exceeds
+``max_entry_chars`` (trie depth is capped by ``C_MDATA``), so peak
+retention is ``O(max_entry_chars + W + chunk)`` characters regardless
+of input length.  The dictionary is capped at ``N`` codes as always.
+The decoder retains only the dictionary and the previous expansion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..bitstream import TernaryVector, pad_length
+from ..observability import NULL_RECORDER, Recorder
+from ..observability import schema as ev
+from ..reliability.errors import DecodeError
+from .config import LZWConfig
+from .dictionary import DictionarySnapshot, LZWDictionary
+from .dontcare import ChildSelector
+from .encoder import EncodeStats, LZWEncoder
+
+__all__ = ["StreamDecoder", "StreamEncoder", "chars_to_vector"]
+
+
+def chars_to_vector(chars: Tuple[int, ...], char_bits: int) -> TernaryVector:
+    """Concatenate decoded character values into a fully specified vector."""
+    value = 0
+    shift = 0
+    for char in chars:
+        value |= char << shift
+        shift += char_bits
+    return TernaryVector.from_masks(value, (1 << shift) - 1 if shift else 0, shift)
+
+
+class StreamEncoder:
+    """Incremental don't-care-aware LZW encoder.
+
+    Usage::
+
+        enc = StreamEncoder(config)
+        for chunk in chunks:          # TernaryVector pieces, any sizes
+            codes.extend(enc.feed(chunk))
+        codes.extend(enc.finalize())
+
+    ``codes`` then equals ``compress(concat(chunks), config)``'s code
+    sequence exactly.  ``seed``/``link`` start from a warm dictionary
+    (the resume path: a crashed streaming session continues from the
+    salvaged journal's derived snapshot and last code, byte-identical
+    to the uninterrupted encode — the same contract the pipelined-wave
+    shards rely on).
+
+    ``recorder`` and ``cancel`` behave as in :class:`~repro.core.
+    encoder.LZWEncoder`: the same ``encode.*``/``dict.*`` counters are
+    emitted (identical totals to the one-shot run) and the cancellation
+    token is checked every 1024 consumed characters.
+    """
+
+    def __init__(
+        self,
+        config: Optional[LZWConfig] = None,
+        recorder: Optional[Recorder] = None,
+        cancel: Optional[object] = None,
+        seed: Optional[DictionarySnapshot] = None,
+        link: Optional[int] = None,
+    ) -> None:
+        self.config = config or LZWConfig()
+        self.dictionary = LZWDictionary(self.config)
+        if seed is not None:
+            self.dictionary.restore(seed)
+        if link is not None and not 0 <= link < self.dictionary.next_code:
+            from ..reliability.errors import SnapshotError
+
+            raise SnapshotError(
+                f"seed link {link} is not a live code in the seeded "
+                f"dictionary (next free {self.dictionary.next_code})",
+                actual=link,
+                expected=self.dictionary.next_code,
+            )
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.cancel = cancel
+        self._link = link
+        self._selector = ChildSelector(self.dictionary, self.config)
+        # How many characters from the decision index must be visible
+        # before a decision is safe to commit pre-finalize (see module
+        # docstring).  Non-lookahead policies read only chars[i].
+        self._slack = (
+            self.config.lookahead if self.config.policy == "lookahead" else 1
+        )
+        self._chars: List[TernaryVector] = []
+        self._pending: TernaryVector = TernaryVector.xs(0)
+        self._pos = 0
+        self._phrase_start = 0
+        self._buffer: Optional[int] = None
+        self._started = False
+        self._finished = False
+        self._original_bits = 0
+        self._total_chars = 0
+        self._abs_index = 0
+        self._codes_emitted = 0
+        self._longest_phrase = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def original_bits(self) -> int:
+        """Total bits fed so far (the stream's ``original_bits``)."""
+        return self._original_bits
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finalize` has run."""
+        return self._finished
+
+    @property
+    def buffered_chars(self) -> int:
+        """Characters currently retained (memory-bound diagnostics)."""
+        return len(self._chars)
+
+    def stats(self) -> EncodeStats:
+        """Statistics of the completed run (call after :meth:`finalize`)."""
+        if not self._finished:
+            raise RuntimeError("finalize() has not been called yet")
+        return EncodeStats(
+            entries_allocated=self.dictionary.allocated,
+            dictionary_full=self.dictionary.is_full,
+            longest_entry_chars=self.dictionary.longest_entry_chars(),
+            longest_phrase_chars=self._longest_phrase,
+            total_chars=self._total_chars,
+        )
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def feed(self, chunk: TernaryVector) -> List[int]:
+        """Consume one input chunk; return the codes committed by it."""
+        if self._finished:
+            raise RuntimeError("feed() after finalize()")
+        if not len(chunk):
+            return []
+        self._original_bits += len(chunk)
+        combined = self._pending + chunk if len(self._pending) else chunk
+        char_bits = self.config.char_bits
+        full = (len(combined) // char_bits) * char_bits
+        if full:
+            new_chars = combined[:full].chunks(char_bits)
+            self._chars.extend(new_chars)
+            self._total_chars += len(new_chars)
+            if self.recorder.enabled:
+                self.recorder.incr(ev.ENCODE_CHARS, len(new_chars))
+            self._pending = combined[full:]
+            return self._drain(final=False)
+        self._pending = combined
+        return []
+
+    def finalize(self) -> List[int]:
+        """Flush the tail (padding the final partial character with X).
+
+        Returns the remaining codes; after this the concatenation of
+        every ``feed()`` return value plus this one is the one-shot
+        code sequence.
+        """
+        if self._finished:
+            raise RuntimeError("finalize() called twice")
+        self._finished = True
+        rec = self.recorder
+        recording = rec.enabled
+        if len(self._pending):
+            pad = pad_length(len(self._pending), self.config.char_bits)
+            self._chars.append(self._pending + TernaryVector.xs(pad))
+            self._total_chars += 1
+            if recording:
+                rec.incr(ev.ENCODE_CHARS, 1)
+            self._pending = TernaryVector.xs(0)
+        codes = self._drain(final=True)
+        if self._started:
+            codes.append(self._buffer)
+            self._codes_emitted += 1
+            tail = len(self._chars) - self._phrase_start
+            if tail > self._longest_phrase:
+                self._longest_phrase = tail
+            if recording:
+                LZWEncoder._record_phrase(
+                    rec, self._chars, self._phrase_start, len(self._chars)
+                )
+        if self._total_chars and recording:
+            rec.incr(ev.ENCODE_CODES, self._codes_emitted)
+            rec.observe(
+                ev.HIST_CODES_PER_WIDTH, self.config.code_bits, self._codes_emitted
+            )
+        self._chars.clear()
+        return codes
+
+    # ------------------------------------------------------------------
+    # The committed-decision loop (mirrors LZWEncoder._encode_reference)
+    # ------------------------------------------------------------------
+    def _drain(self, final: bool) -> List[int]:
+        dictionary = self.dictionary
+        selector = self._selector
+        chars = self._chars
+        slack = self._slack
+        rec = self.recorder
+        recording = rec.enabled
+        cancel = self.cancel
+        cancelling = cancel is not None
+        codes: List[int] = []
+        navail = len(chars)
+
+        if not self._started:
+            if not navail or (navail < slack and not final):
+                return codes
+            self._buffer = selector.choose_base(chars, 0)
+            if self._link is not None:
+                # Warm continuation: replay the cross-boundary
+                # allocation the serial encoder would have performed
+                # between the previous session's last phrase and this
+                # one (after the head is chosen, before any character
+                # is consumed) — LZWEncoder._seed_boundary's contract.
+                self._boundary(dictionary, rec, recording, self._link, self._buffer)
+                self._link = None
+            self._started = True
+            self._pos = 1
+            self._phrase_start = 0
+
+        pos = self._pos
+        while pos < navail and (final or navail - pos >= slack):
+            self._abs_index += 1
+            if cancelling and not (self._abs_index & 1023):
+                cancel.check()
+            choice = selector.choose_child(self._buffer, chars, pos)
+            if choice is not None:
+                _char, child = choice
+                self._buffer = child
+                pos += 1
+                continue
+            codes.append(self._buffer)
+            self._codes_emitted += 1
+            if pos - self._phrase_start > self._longest_phrase:
+                self._longest_phrase = pos - self._phrase_start
+            if recording:
+                LZWEncoder._record_phrase(rec, chars, self._phrase_start, pos)
+            head = selector.choose_base(chars, pos)
+            self._boundary(dictionary, rec, recording, self._buffer, head)
+            self._buffer = head
+            self._phrase_start = pos
+            pos += 1
+        self._pos = pos
+
+        # Trim the committed prefix: decisions only ever read forward
+        # from the current index, and phrase recording reads back only
+        # to phrase_start, so everything before it is dead.  Phrase
+        # length is capped by max_entry_chars, which bounds retention.
+        if self._phrase_start > 0:
+            del chars[: self._phrase_start]
+            self._pos -= self._phrase_start
+            self._phrase_start = 0
+        return codes
+
+    def _boundary(
+        self,
+        dictionary: LZWDictionary,
+        rec: Recorder,
+        recording: bool,
+        tail_code: int,
+        head: int,
+    ) -> None:
+        """The maybe-reset-or-allocate step at a phrase boundary."""
+        cfg = self.config
+        if (
+            cfg.reset_on_full
+            and not dictionary.is_full
+            and dictionary.can_extend(tail_code)
+            and dictionary.next_code == cfg.dict_size - 1
+        ):
+            dictionary.reset()
+            if recording:
+                rec.incr(ev.DICT_RESETS)
+            return
+        added = dictionary.add(tail_code, head)
+        if recording:
+            if added is not None:
+                rec.incr(ev.DICT_ALLOCS)
+            elif dictionary.is_full:
+                rec.incr(ev.DICT_FULL_SKIPS)
+            elif not dictionary.can_extend(tail_code):
+                rec.incr(ev.DICT_CMDATA_TRUNCATIONS)
+
+
+class StreamDecoder:
+    """Incremental LZW decoder mirroring :func:`iter_decode` exactly.
+
+    :meth:`push` consumes one code and returns its character expansion;
+    the dictionary between pushes evolves precisely as the one-shot
+    decoder's would, including the adaptive reset and the KwKwK case.
+    Because the state lives in a real :class:`LZWDictionary`,
+    :meth:`snapshot` returns at any code boundary the same
+    :class:`DictionarySnapshot` :func:`~repro.core.decoder.
+    derive_final_snapshot` would derive from the codes pushed so far —
+    the per-frame dictionary digests of the v5 streaming container and
+    the crash-resume seed both come from it.
+    """
+
+    def __init__(
+        self,
+        config: LZWConfig,
+        recorder: Optional[Recorder] = None,
+        seed: Optional[DictionarySnapshot] = None,
+        link: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.dictionary = LZWDictionary(config)
+        self._seeded = seed is not None
+        if seed is not None:
+            self.dictionary.restore(seed)
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._prev: Optional[Tuple[int, ...]] = None
+        self._prev_code: Optional[int] = None
+        self._index = 0
+        self._chars_decoded = 0
+        if link is not None:
+            if not 0 <= link < self.dictionary.next_code:
+                raise DecodeError(
+                    f"seed link {link} is not a live code in the seeded "
+                    f"dictionary (next free {self.dictionary.next_code})",
+                    code_index=0,
+                    code=link,
+                    bit_offset=0,
+                    dict_next_code=self.dictionary.next_code,
+                    chars_decoded=0,
+                )
+            self._prev = self.dictionary.string(link)
+            self._prev_code = link
+
+    @property
+    def codes_decoded(self) -> int:
+        """Number of codes pushed so far."""
+        return self._index
+
+    @property
+    def chars_decoded(self) -> int:
+        """Number of characters produced so far."""
+        return self._chars_decoded
+
+    def snapshot(self) -> DictionarySnapshot:
+        """Dictionary state at the current code boundary (seed/digest)."""
+        return self.dictionary.snapshot()
+
+    def push(self, code: int) -> Tuple[int, ...]:
+        """Decode one code; returns its expansion, raises DecodeError."""
+        rec = self.recorder
+        recording = rec.enabled
+        dictionary = self.dictionary
+        config = self.config
+        n_base = config.base_codes
+        capacity = config.dict_size
+        index = self._index
+
+        if self._prev is None:
+            # First code of a cold or blob-seeded stream.
+            limit = dictionary.next_code if self._seeded else n_base
+            if not 0 <= code < limit:
+                raise DecodeError(
+                    (
+                        f"first code {code} must be a base code (< {n_base})"
+                        if not self._seeded
+                        else f"first code {code} not in seeded dictionary "
+                        f"(next free {dictionary.next_code})"
+                    ),
+                    code_index=index,
+                    code=code,
+                    bit_offset=index * config.code_bits,
+                    dict_next_code=dictionary.next_code,
+                    chars_decoded=0,
+                )
+            current = dictionary.string(code)
+            self._prev = current
+            self._prev_code = code
+            self._index = index + 1
+            self._chars_decoded += len(current)
+            if recording:
+                rec.incr(ev.DECODE_CODES)
+                rec.incr(ev.DECODE_CHARS, len(current))
+            return current
+
+        prev = self._prev
+        prev_code = self._prev_code
+        # Will the encoder have allocated string(prev)+head after
+        # emitting prev?  (Arithmetic, not can_extend(): prev_code may
+        # predate an adaptive reset, when its node no longer exists.)
+        will_add = (
+            dictionary.next_code < capacity and len(prev) + 1 <= config.max_entry_chars
+        )
+        if config.reset_on_full and will_add and dictionary.next_code == capacity - 1:
+            dictionary.reset()
+            will_add = False
+            if recording:
+                rec.incr(ev.DECODE_RESETS)
+        if 0 <= code < dictionary.next_code:
+            current = dictionary.string(code)
+        elif (
+            code == dictionary.next_code
+            and will_add
+            and dictionary.lookup_child(prev_code, prev[0]) is None
+        ):
+            # KwKwK (Figure 4f): the code names the entry being created.
+            current = prev + (prev[0],)
+        else:
+            raise DecodeError(
+                f"code {code} not yet in dictionary "
+                f"(next free {dictionary.next_code})",
+                code_index=index,
+                code=code,
+                bit_offset=index * config.code_bits,
+                dict_next_code=dictionary.next_code,
+                chars_decoded=self._chars_decoded,
+            )
+        if will_add:
+            # add() no-ops (None) on an existing child — the same
+            # allocations the encoder skipped are skipped here.
+            if dictionary.add(prev_code, current[0]) is not None and recording:
+                rec.incr(ev.DECODE_DICT_ENTRIES)
+        if recording:
+            rec.incr(ev.DECODE_CODES)
+            rec.incr(ev.DECODE_CHARS, len(current))
+        self._prev = current
+        self._prev_code = code
+        self._index = index + 1
+        self._chars_decoded += len(current)
+        return current

@@ -199,11 +199,22 @@ class FleetDispatcher(CompressionServer):
     def _execute_job(self, job: _Job) -> Tuple[Dict[str, Any], bytes]:
         rec = self.recorder
         routing_started = time.monotonic()
+        # Streaming-aware: codes_per_frame changes the v5 framing bytes
+        # so it routes distinctly (an omitted field is the documented
+        # default — same reply, same fingerprint); chunk_bytes does not
+        # change the reply and stays out of the fingerprint.
+        codes_per_frame = None
+        if job.op == "compress_stream":
+            from ..streamio import DEFAULT_CODES_PER_FRAME
+
+            raw = job.header.get("codes_per_frame")
+            codes_per_frame = raw if isinstance(raw, int) else DEFAULT_CODES_PER_FRAME
         fingerprint = workload_fingerprint(
             job.op,
             job.header.get("config"),
             job.payload,
             seed=job.header.get("seed"),
+            codes_per_frame=codes_per_frame,
         )
         cacheable = self.cache is not None and job.op == "compress"
         if cacheable:

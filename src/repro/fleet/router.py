@@ -37,6 +37,7 @@ def workload_fingerprint(
     config: Optional[Dict[str, Any]],
     payload: bytes,
     seed: Optional[str] = None,
+    codes_per_frame: Optional[int] = None,
 ) -> str:
     """Stable hex digest identifying one unit of routable work.
 
@@ -46,10 +47,14 @@ def workload_fingerprint(
     dictionary ``seed`` (the request's base64 snapshot field, or
     ``None`` for a cold compress — the emitted codes depend on the
     seed, so a cold and a warm compress of identical cubes must never
-    share a cache entry).  The ``engine`` knob is normalised *out*:
-    both engines are byte-identical (locked by the differential
-    conformance suite), so requests that differ only in engine
-    selection share cached results and route to the same backend.
+    share a cache entry), and — for ``compress_stream`` — the same
+    ``codes_per_frame``, which changes the v5 container's framing
+    bytes.  Two knobs are normalised *out* because they provably do not
+    change the reply: ``engine`` (both engines are byte-identical,
+    locked by the differential conformance suite) and the streaming
+    ``chunk_bytes`` (the incremental encoder emits identical codes for
+    any chunking of the same input, locked by the chunk-boundary
+    suite), so requests differing only there share routing and cache.
     """
     if config and "engine" in config:
         config = {k: v for k, v in config.items() if k != "engine"}
@@ -63,6 +68,9 @@ def workload_fingerprint(
     digest.update(b"\x00")
     if seed is not None:
         digest.update(seed.encode("ascii", "replace"))
+    digest.update(b"\x00")
+    if codes_per_frame is not None:
+        digest.update(str(codes_per_frame).encode("ascii"))
     digest.update(b"\x00")
     digest.update(payload)
     return digest.hexdigest()

@@ -56,6 +56,10 @@ __all__ = [
     "CONTAINER_BYTES_READ",
     "CONTAINER_SEGMENTS_WRITTEN",
     "CONTAINER_SEGMENTS_READ",
+    "STREAM_CHUNKS_FED",
+    "STREAM_FRAMES_WRITTEN",
+    "STREAM_FRAMES_READ",
+    "STREAM_FRAMES_SALVAGED",
     "BATCH_WORKLOADS",
     "BATCH_SHARDS",
     "BATCH_RETRIES",
@@ -129,6 +133,16 @@ CONTAINER_BYTES_WRITTEN = "container.bytes_written"
 CONTAINER_BYTES_READ = "container.bytes_read"
 CONTAINER_SEGMENTS_WRITTEN = "container.segments_written"
 CONTAINER_SEGMENTS_READ = "container.segments_read"
+
+# -- streaming (v5) container counters ---------------------------------
+#: Input chunks fed to a StreamEncoder (any size, including empty).
+STREAM_CHUNKS_FED = "stream.chunks_fed"
+#: v5 data frames written (terminal frames not counted).
+STREAM_FRAMES_WRITTEN = "stream.frames_written"
+#: v5 data frames read and structurally validated.
+STREAM_FRAMES_READ = "stream.frames_read"
+#: Complete frames recovered by salvage from a damaged v5 container.
+STREAM_FRAMES_SALVAGED = "stream.frames_salvaged"
 
 # -- batch-engine counters ---------------------------------------------
 BATCH_WORKLOADS = "batch.workloads"

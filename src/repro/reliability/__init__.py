@@ -57,8 +57,12 @@ __all__ = [
     "CampaignResult",
     "ChaosPlan",
     "Check",
+    "DurableAppendFile",
     "INJECTORS",
+    "MULTI_INJECTORS",
     "PROCESS_FAULTS",
+    "SEEDED_INJECTORS",
+    "STREAM_INJECTORS",
     "PartialDecodeResult",
     "ProcessCampaignResult",
     "ProcessTrial",
@@ -77,7 +81,11 @@ __all__ = [
 _LAZY = {
     "atomic_write_bytes": "atomic",
     "atomic_write_text": "atomic",
+    "DurableAppendFile": "atomic",
     "INJECTORS": "inject",
+    "MULTI_INJECTORS": "inject",
+    "SEEDED_INJECTORS": "inject",
+    "STREAM_INJECTORS": "inject",
     "inject": "inject",
     "ChaosPlan": "chaos",
     "PROCESS_FAULTS": "chaos",

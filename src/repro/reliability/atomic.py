@@ -36,7 +36,7 @@ from typing import Union
 
 from .errors import ContainerError
 
-__all__ = ["atomic_write_bytes", "atomic_write_text"]
+__all__ = ["DurableAppendFile", "atomic_write_bytes", "atomic_write_text"]
 
 #: Errnos mapped to a typed ContainerError (environmental, actionable).
 _TYPED_ERRNOS = frozenset(
@@ -94,3 +94,68 @@ def atomic_write_text(
 ) -> None:
     """Text-mode convenience wrapper over :func:`atomic_write_bytes`."""
     atomic_write_bytes(path, text.encode(encoding))
+
+
+class DurableAppendFile:
+    """Durable append-only journal writes (the streaming-frame sibling
+    of :func:`atomic_write_bytes`).
+
+    A whole-file tmp+rename cannot serve a stream that grows for hours,
+    so the v5 streaming container appends *frames* instead and makes
+    each one durable before the next begins: :meth:`sync` flushes and
+    ``fsync``\\ s after every frame, and the directory entry is fsynced
+    once at creation.  A crash therefore leaves a prefix of whole
+    frames plus at most one torn tail — exactly what the v5 reader's
+    salvage path recovers from.
+
+    The same environmental errnos as :func:`atomic_write_bytes` map to
+    a typed :class:`ContainerError`; other ``OSError``\\ s propagate.
+    """
+
+    def __init__(self, path: Union[str, Path], overwrite: bool = True) -> None:
+        self.path = Path(path)
+        mode = "wb" if overwrite else "ab"
+        try:
+            self._handle = open(self.path, mode)
+        except OSError as exc:
+            raise self._typed(exc) from exc
+        _fsync_dir(self.path.parent)
+
+    def _typed(self, exc: OSError):
+        if exc.errno in _TYPED_ERRNOS:
+            return ContainerError(
+                f"cannot write {self.path}: {exc.strerror}",
+                path=str(self.path),
+                errno=errno.errorcode.get(exc.errno, exc.errno),
+            )
+        return exc
+
+    def write(self, data: bytes) -> None:
+        """Append ``data`` (buffered; not yet durable)."""
+        try:
+            self._handle.write(data)
+        except OSError as exc:
+            raise self._typed(exc) from exc
+
+    def sync(self) -> None:
+        """Make everything appended so far durable (flush + fsync)."""
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            raise self._typed(exc) from exc
+
+    def close(self, sync: bool = True) -> None:
+        if self._handle.closed:
+            return
+        try:
+            if sync:
+                self.sync()
+        finally:
+            self._handle.close()
+
+    def __enter__(self) -> "DurableAppendFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(sync=exc_type is None)

@@ -48,6 +48,26 @@ aimed at the warm-dictionary machinery:
     stream then decodes under the wrong dictionary, which the seeded
     decode or the stream digest must reject.
 
+Streaming (v5) containers get three more in :data:`STREAM_INJECTORS`,
+modelling the failure modes of an append-only frame journal:
+
+``frame_torn``
+    the file cut mid-frame (header or payload) — the crash signature
+    of a writer killed between ``write`` and ``fsync``; the reader must
+    report a typed torn-tail error and salvage must keep every frame
+    before the tear;
+``frame_crc_tamper``
+    the adversarial case: a payload bit of one data frame is flipped
+    **with that frame's payload CRC, chain CRC and header CRC all
+    re-signed**, so the frame is self-consistent — detection must come
+    from the *next* frame's (or the terminal's) chain CRC, from the
+    dictionary digest, or from the decode itself;
+``mid_stream_truncate``
+    the file cut exactly at a frame boundary, losing the terminal (and
+    possibly trailing frames): a structurally clean but unsealed
+    journal — the reader must refuse it as incomplete
+    (``missing_terminal``), never pass it off as the whole stream.
+
 These injectors corrupt *bytes at rest*.  Their process-level
 counterparts — worker exceptions, SIGKILL, hangs and corrupt results
 inside a live batch — live in :mod:`repro.reliability.chaos` and drive
@@ -83,7 +103,13 @@ from ..container import (
     _NO_BLOB,
 )
 
-__all__ = ["INJECTORS", "MULTI_INJECTORS", "SEEDED_INJECTORS", "inject"]
+__all__ = [
+    "INJECTORS",
+    "MULTI_INJECTORS",
+    "SEEDED_INJECTORS",
+    "STREAM_INJECTORS",
+    "inject",
+]
 
 Injector = Callable[[bytes, random.Random], bytes]
 
@@ -313,6 +339,95 @@ def _seed_mismatch(data: bytes, rng: random.Random) -> bytes:
     return bytes(out)
 
 
+def _require_stream(data: bytes):
+    """Scan of a valid v5 container (injector precondition check)."""
+    if len(data) < 5 or data[4] != 5:
+        raise ValueError("this injector needs a streaming (v5) container")
+    from ..streamio import scan_stream
+
+    scan = scan_stream(data)
+    if scan.error is not None or scan.terminal is None:
+        raise ValueError("malformed streaming container")
+    return scan
+
+
+def _frame_torn(data: bytes, rng: random.Random) -> bytes:
+    """Cut the journal mid-frame: the crash-between-write-and-fsync case.
+
+    The cut lands strictly inside a randomly chosen frame (data or
+    terminal) — never on a frame boundary — so the survivor is a clean
+    prefix plus one torn trailing frame.
+    """
+    scan = _require_stream(data)
+    spans = [(f.header_offset, f.end_offset) for f in scan.frames]
+    spans.append((scan.terminal.header_offset, scan.terminal.end_offset))
+    start, end = rng.choice(spans)
+    return data[: rng.randrange(start + 1, end)]
+
+
+def _frame_crc_tamper(data: bytes, rng: random.Random) -> bytes:
+    """Flip a payload bit in one data frame and re-sign that frame.
+
+    The frame's payload CRC, chain CRC and header CRC are all
+    recomputed, so the tampered frame passes its own checks — the v5
+    analogue of ``crc_tamper``.  Detection must come from the next
+    frame's (or terminal's) chain CRC, the dictionary digest, or the
+    decode itself.
+    """
+    from ..streamio import (
+        DATA_CHAIN_CRC_OFFSET,
+        DATA_HEADER_CRC_OFFSET,
+        DATA_PAYLOAD_CRC_OFFSET,
+        FRAME_DATA_HEADER_SIZE,
+    )
+
+    scan = _require_stream(data)
+    candidates = [f for f in scan.frames if f.end_offset - f.header_offset > FRAME_DATA_HEADER_SIZE]
+    if not candidates:
+        raise ValueError("frame_crc_tamper needs a data frame with a payload")
+    frame = rng.choice(candidates)
+    out = bytearray(data)
+    payload_start = frame.header_offset + FRAME_DATA_HEADER_SIZE
+    payload_len = frame.end_offset - payload_start
+    position = rng.randrange(payload_len * 8)
+    out[payload_start + position // 8] ^= 1 << (7 - position % 8)
+    payload = bytes(out[payload_start : frame.end_offset])
+    struct.pack_into(
+        ">I", out, frame.header_offset + DATA_PAYLOAD_CRC_OFFSET, zlib.crc32(payload)
+    )
+    # The chain CRC through this frame, recomputed over the tampered
+    # payload (earlier frames are untouched, so their chain stands).
+    prev_chain = scan.frames[frame.index - 1].chain_crc if frame.index else 0
+    struct.pack_into(
+        ">I",
+        out,
+        frame.header_offset + DATA_CHAIN_CRC_OFFSET,
+        zlib.crc32(payload, prev_chain),
+    )
+    struct.pack_into(
+        ">I",
+        out,
+        frame.header_offset + DATA_HEADER_CRC_OFFSET,
+        zlib.crc32(bytes(out[frame.header_offset : frame.header_offset + DATA_HEADER_CRC_OFFSET])),
+    )
+    return bytes(out)
+
+
+def _mid_stream_truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the journal exactly at a frame boundary, losing the terminal.
+
+    The survivor is structurally clean — every kept frame verifies —
+    but unsealed; readers must refuse it as incomplete rather than
+    silently return a prefix of the stream.
+    """
+    scan = _require_stream(data)
+    boundaries = [f.end_offset for f in scan.frames]
+    boundaries.append(scan.terminal.header_offset)  # header + frames, no terminal
+    if len(scan.frames):
+        boundaries.append(scan.frames[0].header_offset)  # header only
+    return data[: rng.choice(sorted(set(boundaries)))]
+
+
 #: Injector classes applicable to any container, keyed by campaign name.
 INJECTORS: Dict[str, Injector] = {
     "bit_flip": _flip_bit,
@@ -334,10 +449,22 @@ SEEDED_INJECTORS: Dict[str, Injector] = {
     "seed_mismatch": _seed_mismatch,
 }
 
+#: Additional injectors that target the streaming (v5) frame journal.
+STREAM_INJECTORS: Dict[str, Injector] = {
+    "frame_torn": _frame_torn,
+    "frame_crc_tamper": _frame_crc_tamper,
+    "mid_stream_truncate": _mid_stream_truncate,
+}
+
 
 def inject(data: bytes, injector: str, seed: int) -> bytes:
     """Apply the named injector to ``data`` under a deterministic seed."""
-    known = {**INJECTORS, **MULTI_INJECTORS, **SEEDED_INJECTORS}
+    known = {
+        **INJECTORS,
+        **MULTI_INJECTORS,
+        **SEEDED_INJECTORS,
+        **STREAM_INJECTORS,
+    }
     try:
         fn = known[injector]
     except KeyError:

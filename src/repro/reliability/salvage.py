@@ -154,7 +154,7 @@ def _decode_partial_codes(
     )
 
 
-def salvage_container(data: bytes) -> PartialDecodeResult:
+def salvage_container(data: bytes, recorder=None) -> PartialDecodeResult:
     """Best-effort decode starting from raw ``.lzwt`` container bytes.
 
     The header must still parse (magic, version, a valid configuration —
@@ -169,7 +169,10 @@ def salvage_container(data: bytes) -> PartialDecodeResult:
     ``repro verify``'s exit-code-4 errors).  A seeded (v4) container
     additionally resolves each segment's dictionary seed first — an
     unreadable seed blob or an underivable chain seed makes that
-    segment undecodable (see :func:`_salvage_seeded`).
+    segment undecodable (see :func:`_salvage_seeded`).  A streaming
+    (v5) journal salvages frame by frame, recovering every complete
+    digest-verified frame before the first fault (see
+    :func:`_salvage_stream`).
 
     Raises :class:`~repro.reliability.errors.ContainerError` only when
     the header (or v3 segment table) itself is unusable.
@@ -185,6 +188,8 @@ def salvage_container(data: bytes) -> PartialDecodeResult:
         return _salvage_multi(data)
     if version == 4:
         return _salvage_seeded(data)
+    if version == 5:
+        return _salvage_stream(data, recorder=recorder)
     header = _parse_header(data)
     config = header.config
     notes = []
@@ -210,6 +215,126 @@ def salvage_container(data: bytes) -> PartialDecodeResult:
         notes.append("payload ended mid-code")
     return _decode_partial_codes(
         tuple(codes), config, header.original_bits, notes=tuple(notes)
+    )
+
+
+def _salvage_stream(data: bytes, recorder=None) -> PartialDecodeResult:
+    """Frame-by-frame best-effort decode of a streaming (v5) journal.
+
+    Every structurally valid, digest-verified frame before the first
+    fault is recovered — the crash-recovery contract of the append-only
+    format: a torn tail (the crash signature) or a missing terminal
+    costs only the unfinished suffix, and is distinguished in the notes
+    from mid-file corruption.  A frame whose dictionary digest
+    mismatches is dropped along with everything after it (a diverged
+    dictionary would expand every later code to the wrong string).
+
+    Raises :class:`~repro.reliability.errors.ContainerError` only when
+    the 19-byte stream header itself is unusable.
+    """
+    from ..core.stream import StreamDecoder
+    from ..observability import NULL_RECORDER
+    from ..observability import schema as ev
+    from ..streamio import frame_seal, pack_chars, scan_stream
+
+    rec = recorder if recorder is not None else NULL_RECORDER
+    scan = scan_stream(data)  # raises only for an unusable header
+    config = scan.config
+    notes = []
+    decoder = StreamDecoder(config)
+    chars = []
+    chars_crc = 0
+    codes_decoded = 0
+    frames_kept = 0
+    error: Optional[ReproError] = scan.error
+    failed_frame: Optional[int] = None
+    failed_code_index: Optional[int] = None
+    failed_bit_offset: Optional[int] = None
+
+    for frame in scan.frames:
+        frame_chars = []
+        try:
+            for code in frame.codes:
+                frame_chars.extend(decoder.push(code))
+        except DecodeError as exc:
+            error = exc
+            failed_frame = frame.index
+            failed_code_index = getattr(exc, "code_index", None)
+            failed_bit_offset = getattr(exc, "bit_offset", None)
+            notes.append(f"frame {frame.index} undecodable")
+            break
+        next_crc = zlib.crc32(pack_chars(frame_chars), chars_crc)
+        if frame_seal(decoder.snapshot(), next_crc) != frame.dict_digest:
+            error = DecodeError(
+                f"frame {frame.index} seal mismatch "
+                "(decoded content diverges from the writer's)",
+                frame=frame.index,
+            )
+            failed_frame = frame.index
+            notes.append(f"frame {frame.index} seal mismatch")
+            break
+        chars_crc = next_crc
+        chars.extend(frame_chars)
+        codes_decoded += frame.num_codes
+        frames_kept += 1
+        if rec.enabled:
+            rec.incr(ev.STREAM_FRAMES_SALVAGED)
+
+    if failed_frame is not None and failed_frame + 1 < len(scan.frames):
+        notes.append(
+            f"frames {failed_frame + 1}..{len(scan.frames) - 1} not attempted"
+        )
+    if failed_frame is None and scan.error is not None:
+        reason = getattr(scan.error, "reason", None)
+        if reason == "torn_tail":
+            notes.append(
+                f"torn tail after frame {frames_kept - 1} (crash while "
+                "appending); complete frames recovered"
+                if frames_kept
+                else "torn tail before the first complete frame"
+            )
+        elif reason == "missing_terminal":
+            notes.append(
+                "journal unsealed: no terminal frame (crash before "
+                f"finalize); {frames_kept} complete frames recovered"
+            )
+        else:
+            notes.append(
+                f"frame {len(scan.frames)} unreadable "
+                f"({scan.error.message}); later frames not attempted"
+            )
+        failed_frame = len(scan.frames)
+
+    if scan.terminal is not None:
+        total_codes = scan.terminal.total_codes
+    else:
+        total_codes = sum(frame.num_codes for frame in scan.frames)
+        notes.append("total code count unknown (journal unsealed)")
+
+    prefix = _chars_to_stream(chars, config, None)
+    complete = error is None and scan.terminal is not None
+    if complete:
+        total_bits = scan.terminal.total_original_bits
+        if total_bits > len(prefix):
+            error = DecodeError(
+                f"decoded {len(prefix)} bits but {total_bits} expected",
+                decoded_bits=len(prefix),
+                expected_bits=total_bits,
+            )
+            complete = False
+        else:
+            prefix = prefix[:total_bits]
+    return PartialDecodeResult(
+        stream=prefix,
+        chars=tuple(chars),
+        codes_decoded=codes_decoded,
+        total_codes=total_codes,
+        complete=complete,
+        error=error,
+        failed_code_index=failed_code_index,
+        failed_bit_offset=failed_bit_offset,
+        notes=tuple(notes),
+        failed_segment=failed_frame,
     )
 
 

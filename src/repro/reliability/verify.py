@@ -21,6 +21,10 @@ own ``segment[i] payload-crc`` / ``segment[i] decode`` /
 by index; the optional coverage stage then checks the concatenated
 decode against the reference stream.
 
+Streaming (v5) frame journals run ``frame[i] payload-crc`` /
+``frame[i] decode`` stages per frame plus a ``terminal`` stage that
+fails for an unsealed journal (see :func:`_verify_stream`).
+
 The report distinguishes *not a container* (bad magic / truncated
 header / unknown version → CLI exit 3) from *recognised but failing
 integrity* (→ CLI exit 4).
@@ -155,6 +159,8 @@ def verify_container(
         return _verify_multi(data, original, rec)
     if len(data) >= 5 and data[:4] == _MAGIC and data[4] == 4:
         return _verify_seeded(data, original, rec)
+    if len(data) >= 5 and data[:4] == _MAGIC and data[4] == 5:
+        return _verify_stream(data, original, rec)
     checks = []
     try:
         with rec.span("verify.header"):
@@ -442,6 +448,251 @@ def _verify_multi(
         num_codes=total_codes,
         original_bits=total_bits,
         segments=count,
+        metrics=metrics(),
+    )
+
+
+def _verify_stream(
+    data: bytes,
+    original: Optional[TernaryVector] = None,
+    rec: Recorder = NULL_RECORDER,
+) -> VerifyReport:
+    """Staged verification of a streaming (v5) frame journal.
+
+    After the header stages, every data frame gets a
+    ``frame[i] payload-crc`` stage (header CRC, payload CRC, chain CRC,
+    index sequencing) and a ``frame[i] decode`` stage (the codes decode
+    and the dictionary digest + cumulative original-bits match).  The
+    walk stops at the first *framing* fault — the chain structure means
+    nothing after a torn or corrupt frame can be trusted — and a
+    journal without a terminal frame fails the ``terminal`` stage
+    (unsealed: the crash-before-finalize signature).
+    """
+    import io
+
+    from ..core.stream import StreamDecoder, chars_to_vector
+    from ..streamio import (
+        _HEADER_V5,
+        V5_HEADER_CRC_OFFSET,
+        V5_HEADER_SIZE,
+        StreamContainerReader,
+        frame_seal,
+        pack_chars,
+    )
+
+    metrics = (lambda: metrics_snapshot(rec) if rec.enabled else None)
+    if len(data) < V5_HEADER_SIZE:
+        return VerifyReport(
+            checks=(Check("header", False, "truncated container header"),),
+            recognised=False,
+            version=5,
+            metrics=metrics(),
+        )
+    _, _, char_bits, dict_size, entry_bits, flags, header_crc = _HEADER_V5.unpack_from(
+        data
+    )
+    if flags & ~0x01:
+        return VerifyReport(
+            checks=(Check("header", False, f"unknown flags 0x{flags:02x}"),),
+            recognised=True,
+            version=5,
+            metrics=metrics(),
+        )
+    try:
+        config = LZWConfig(
+            char_bits=char_bits,
+            dict_size=dict_size,
+            entry_bits=entry_bits,
+            reset_on_full=bool(flags & 0x01),
+        )
+    except ConfigError as exc:
+        return VerifyReport(
+            checks=(
+                Check("header", False, f"invalid configuration: {exc.message}"),
+            ),
+            recognised=False,
+            version=5,
+            metrics=metrics(),
+        )
+    checks = [Check("header", True, f"v5 streaming, {config.describe()}")]
+    actual_crc = zlib.crc32(data[:V5_HEADER_CRC_OFFSET])
+    header_crc_ok = actual_crc == header_crc
+    checks.append(
+        Check(
+            "header-crc",
+            header_crc_ok,
+            f"stored {header_crc:#010x}, computed {actual_crc:#010x}",
+        )
+    )
+    if not header_crc_ok:
+        return VerifyReport(
+            checks=tuple(checks),
+            recognised=True,
+            version=5,
+            config_summary=config.describe(),
+            metrics=metrics(),
+        )
+
+    reader = StreamContainerReader(io.BytesIO(data), recorder=rec)
+    decoder = StreamDecoder(config, recorder=rec)
+    chars: list = []
+    chars_crc = 0
+    decode_ok = True
+    framing_ok = True
+    last_cum_bits = 0
+    total_codes = 0
+    frame_count = 0
+    with rec.span("verify.frames"):
+        while True:
+            try:
+                frame = reader.read_frame()
+            except ContainerError as exc:
+                checks.append(Check(f"frame[{frame_count}] payload-crc", False, str(exc)))
+                framing_ok = False
+                break
+            if frame is None:
+                break
+            frame_count += 1
+            total_codes += frame.num_codes
+            checks.append(
+                Check(
+                    f"frame[{frame.index}] payload-crc",
+                    True,
+                    f"{frame.num_codes} codes, chain {frame.chain_crc:#010x}",
+                )
+            )
+            if not decode_ok:
+                checks.append(
+                    Check(
+                        f"frame[{frame.index}] decode",
+                        False,
+                        "not attempted (decoder state diverged earlier)",
+                    )
+                )
+                continue
+            frame_chars: list = []
+            try:
+                for code in frame.codes:
+                    frame_chars.extend(decoder.push(code))
+            except DecodeError as exc:
+                checks.append(Check(f"frame[{frame.index}] decode", False, str(exc)))
+                decode_ok = False
+                continue
+            next_crc = zlib.crc32(pack_chars(frame_chars), chars_crc)
+            actual_seal = frame_seal(decoder.snapshot(), next_crc)
+            cum_bits = decoder.chars_decoded * config.char_bits
+            diff = cum_bits - frame.original_bits_cum
+            if actual_seal != frame.dict_digest:
+                checks.append(
+                    Check(
+                        f"frame[{frame.index}] decode",
+                        False,
+                        f"seal mismatch (stored "
+                        f"{frame.dict_digest.hex()}, computed "
+                        f"{actual_seal.hex()})",
+                    )
+                )
+                decode_ok = False
+            elif diff < 0 or diff >= config.char_bits or (
+                frame.original_bits_cum < last_cum_bits
+            ):
+                checks.append(
+                    Check(
+                        f"frame[{frame.index}] decode",
+                        False,
+                        f"cumulative original_bits {frame.original_bits_cum} "
+                        f"inconsistent with decode ({cum_bits} bits)",
+                    )
+                )
+                decode_ok = False
+            else:
+                checks.append(
+                    Check(
+                        f"frame[{frame.index}] decode",
+                        True,
+                        f"{frame.num_codes} codes -> {len(frame_chars)} chars, "
+                        f"seal {actual_seal.hex()[:12]}",
+                    )
+                )
+                chars.extend(frame_chars)
+                chars_crc = next_crc
+                last_cum_bits = frame.original_bits_cum
+
+    terminal = reader.terminal
+    if framing_ok:
+        if terminal is None:  # pragma: no cover — read_frame raises first
+            checks.append(
+                Check("terminal", False, "no terminal frame (unsealed journal)")
+            )
+        elif decode_ok:
+            actual_seal = frame_seal(decoder.snapshot(), chars_crc)
+            decoded_bits = decoder.chars_decoded * config.char_bits
+            diff = decoded_bits - terminal.total_original_bits
+            if actual_seal != terminal.dict_digest:
+                checks.append(
+                    Check(
+                        "terminal",
+                        False,
+                        f"final seal mismatch (stored "
+                        f"{terminal.dict_digest.hex()}, computed "
+                        f"{actual_seal.hex()})",
+                    )
+                )
+            elif diff < 0 or (diff >= config.char_bits and decoded_bits):
+                checks.append(
+                    Check(
+                        "terminal",
+                        False,
+                        f"declares {terminal.total_original_bits} original "
+                        f"bits, decode produced {decoded_bits}",
+                    )
+                )
+            else:
+                checks.append(
+                    Check(
+                        "terminal",
+                        True,
+                        f"{terminal.frame_count} frames, "
+                        f"{terminal.total_codes} codes, "
+                        f"{terminal.total_original_bits} original bits",
+                    )
+                )
+        else:
+            checks.append(
+                Check("terminal", False, "not attempted (a frame failed to decode)")
+            )
+
+    if (
+        original is not None
+        and framing_ok
+        and decode_ok
+        and terminal is not None
+        and all(check.ok for check in checks)
+    ):
+        with rec.span("verify.coverage"):
+            decoded = chars_to_vector(tuple(chars), config.char_bits)[
+                : terminal.total_original_bits
+            ]
+            covers = decoded.covers(original)
+        if covers:
+            checks.append(
+                Check(
+                    "coverage", True, f"covers all {original.care_count} specified bits"
+                )
+            )
+        else:
+            checks.append(
+                Check("coverage", False, "decoded stream does not cover original")
+            )
+
+    return VerifyReport(
+        checks=tuple(checks),
+        recognised=True,
+        version=5,
+        config_summary=config.describe(),
+        num_codes=total_codes,
+        original_bits=terminal.total_original_bits if terminal is not None else None,
+        segments=frame_count,
         metrics=metrics(),
     )
 

@@ -6,11 +6,14 @@ line followed by a binary payload of exactly ``payload_len`` bytes::
     {"op": "compress", "id": 7, "deadline_ms": 2000, "payload_len": 96}\\n
     <96 raw payload bytes>
 
-Requests carry ``op`` (``compress`` / ``decompress`` / ``verify`` /
-``ping`` / ``metrics``), an optional client-chosen ``id`` (echoed back
-verbatim), an optional ``config`` object of LZW parameters and an
-optional ``deadline_ms``.  The payload is the operation's input: cube
-text for ``compress``, container bytes for ``decompress``/``verify``.
+Requests carry ``op`` (``compress`` / ``compress_stream`` /
+``decompress`` / ``verify`` / ``ping`` / ``metrics``), an optional
+client-chosen ``id`` (echoed back verbatim), an optional ``config``
+object of LZW parameters and an optional ``deadline_ms``.  The payload
+is the operation's input: cube text for ``compress``, raw bytes for
+``compress_stream`` (encoded incrementally, ``chunk_bytes`` at a time,
+with a cancellation checkpoint between chunks), container bytes for
+``decompress``/``verify``.
 
 Replies carry ``ok``, a numeric ``code`` (0 on success, HTTP-flavoured
 on failure — see :func:`error_code`), the echoed ``id``, per-op result
@@ -518,6 +521,35 @@ class ServiceClient:
             fields["seed"] = seed
         return self.request(
             "compress", payload, config=config, deadline_ms=deadline_ms, **fields
+        )
+
+    def compress_stream(
+        self,
+        data: bytes,
+        config: Optional[Dict[str, Any]] = None,
+        deadline_ms: Optional[int] = None,
+        chunk_bytes: Optional[int] = None,
+        codes_per_frame: Optional[int] = None,
+    ) -> Tuple[Dict[str, Any], bytes]:
+        """Compress raw bytes into a v5 streaming frame journal.
+
+        The worker feeds the payload to the incremental encoder
+        ``chunk_bytes`` at a time with a cancellation checkpoint between
+        chunks, so a ``deadline_ms`` that expires mid-stream replies 408
+        at the next chunk boundary.  The reply payload is byte-identical
+        to ``repro compress --stream`` on the same input and settings.
+        """
+        fields: Dict[str, Any] = {}
+        if chunk_bytes is not None:
+            fields["chunk_bytes"] = chunk_bytes
+        if codes_per_frame is not None:
+            fields["codes_per_frame"] = codes_per_frame
+        return self.request(
+            "compress_stream",
+            data,
+            config=config,
+            deadline_ms=deadline_ms,
+            **fields,
         )
 
     def decompress(self, container: bytes, **kw: Any) -> Tuple[Dict[str, Any], bytes]:

@@ -87,7 +87,9 @@ __all__ = ["ServiceConfig", "CompressionServer", "FORCED_EXIT_CODE"]
 FORCED_EXIT_CODE = 70
 
 #: Ops that run on the worker pool (and therefore meet the breaker).
-POOL_OPS = frozenset({"compress", "decompress", "verify", "sleep", "fail"})
+POOL_OPS = frozenset(
+    {"compress", "compress_stream", "decompress", "verify", "sleep", "fail"}
+)
 #: Ops answered inline on the connection thread (cheap, never queued).
 INLINE_OPS = frozenset({"ping", "metrics"})
 #: Ops only enabled by ``debug_ops`` (test/soak instrumentation).
@@ -689,6 +691,8 @@ class CompressionServer:
         op = job.op
         if op == "compress":
             return self._op_compress(job)
+        if op == "compress_stream":
+            return self._op_compress_stream(job)
         if op == "decompress":
             stream = decode_container(job.payload, recorder=self.recorder)
             token.check()
@@ -753,6 +757,79 @@ class CompressionServer:
         }
         if seed is not None:
             fields["seed_digest"] = seed.digest
+        return fields, container
+
+    def _op_compress_stream(self, job: _Job) -> Tuple[Dict[str, Any], bytes]:
+        """Chunked raw-bytes compression into a v5 frame journal.
+
+        The payload is opaque bytes (the X-density-0 degenerate mode);
+        the worker feeds it to the incremental encoder ``chunk_bytes``
+        at a time, checking the request's cancellation token *between
+        every chunk* — a deadline that expires mid-stream stops at the
+        next chunk boundary and replies 408 instead of finishing a
+        doomed encode.  Backpressure is the service's existing
+        admission envelope: the bounded queue and rate limiter shed
+        with typed 429s before a stream is ever started, and worker
+        memory stays bounded by one chunk plus the dictionary
+        regardless of payload size.  The reply payload is the complete
+        v5 container — byte-identical to
+        ``repro compress --stream`` on the same bytes and settings.
+        """
+        import io
+
+        from ..bitstream import TernaryVector
+        from ..core.stream import StreamEncoder
+        from ..streamio import DEFAULT_CODES_PER_FRAME, StreamContainerWriter
+
+        rec = self.recorder
+        config = job.config or LZWConfig()
+        chunk_bytes = job.header.get("chunk_bytes", 1 << 16)
+        if not isinstance(chunk_bytes, int) or chunk_bytes < 1:
+            raise ProtocolError(
+                "chunk_bytes must be a positive integer",
+                reason="bad_field",
+                field="chunk_bytes",
+            )
+        codes_per_frame = job.header.get("codes_per_frame", DEFAULT_CODES_PER_FRAME)
+        if not isinstance(codes_per_frame, int) or codes_per_frame < 1:
+            raise ProtocolError(
+                "codes_per_frame must be a positive integer",
+                reason="bad_field",
+                field="codes_per_frame",
+            )
+        data = job.payload
+        encoder = StreamEncoder(config, recorder=rec, cancel=job.token)
+        sink = io.BytesIO()
+        writer = StreamContainerWriter(
+            config, sink, codes_per_frame=codes_per_frame, recorder=rec
+        )
+        chunks = 0
+        for start in range(0, len(data), chunk_bytes):
+            job.token.check()  # per-chunk deadline/cancellation checkpoint
+            buf = data[start : start + chunk_bytes]
+            writer.write_codes(
+                encoder.feed(
+                    TernaryVector.from_int(
+                        int.from_bytes(buf, "little"), len(buf) * 8
+                    )
+                )
+            )
+            chunks += 1
+            if rec.enabled:
+                rec.incr(ev.STREAM_CHUNKS_FED)
+        job.token.check()
+        writer.finalize(encoder.finalize(), encoder.original_bits)
+        container = sink.getvalue()
+        ratio = (
+            100.0 * (1.0 - len(container) / len(data)) if data else 0.0
+        )
+        fields = {
+            "original_bits": encoder.original_bits,
+            "container_bytes": len(container),
+            "frames": writer.frames_written,
+            "chunks": chunks,
+            "ratio_percent": round(ratio, 4),
+        }
         return fields, container
 
     @staticmethod

@@ -1,0 +1,189 @@
+"""Incremental codec vs one-shot: the byte-identity contract.
+
+``StreamEncoder`` must emit *exactly* the code sequence of the one-shot
+``compress()`` for the same input and config, no matter how the input
+is chunked — including the adversarial chunkings: one bit at a time,
+a boundary splitting a phrase mid-match, an empty final chunk.  The
+suite runs the comparison under both engines (the one-shot side picks
+the engine; the streaming side is engine-agnostic by construction, so
+agreement with both is the full conformance statement).
+"""
+
+import random
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, StreamDecoder, StreamEncoder, compress
+from repro.core.decoder import derive_final_snapshot, iter_decode
+
+CFG = LZWConfig(char_bits=4, dict_size=64, entry_bits=32)
+
+ENGINES = ("reference", "fast")
+
+
+def one_shot_codes(stream, config, engine):
+    return list(compress(stream, LZWConfig(
+        char_bits=config.char_bits,
+        dict_size=config.dict_size,
+        entry_bits=config.entry_bits,
+        policy=config.policy,
+        lookahead=config.lookahead,
+        reset_on_full=config.reset_on_full,
+        engine=engine,
+    )).compressed.codes)
+
+
+def stream_codes(stream, config, chunk_bits):
+    enc = StreamEncoder(config)
+    codes = []
+    if chunk_bits == 0:
+        chunks = [stream]
+    else:
+        chunks = [
+            stream[i : i + chunk_bits] for i in range(0, len(stream), chunk_bits)
+        ]
+    for chunk in chunks:
+        codes.extend(enc.feed(chunk))
+    codes.extend(enc.finalize())
+    assert enc.original_bits == len(stream)
+    return codes
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_empty_input(engine):
+    enc = StreamEncoder(CFG)
+    assert enc.feed(TernaryVector.xs(0)) == []
+    assert enc.finalize() == []
+    assert enc.original_bits == 0
+    assert one_shot_codes(TernaryVector.xs(0), CFG, engine) == []
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_input_smaller_than_one_chunk(engine):
+    stream = TernaryVector("01X")
+    assert stream_codes(stream, CFG, 4096) == one_shot_codes(
+        stream, CFG, engine
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("chunk_bits", [1, 2, 3, 7, 64, 0])
+def test_chunk_boundary_splits_phrase_mid_match(engine, chunk_bits):
+    # A highly repetitive stream grows long dictionary phrases, so any
+    # small chunking is guaranteed to cut through matches in progress.
+    stream = TernaryVector("0110X01X" * 40)
+    assert stream_codes(stream, CFG, chunk_bits) == one_shot_codes(
+        stream, CFG, engine
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "policy,lookahead", [("first", 4), ("popular", 4), ("lookahead", 2),
+                         ("lookahead", 4)]
+)
+def test_differential_random_streams(engine, policy, lookahead):
+    rng = random.Random(hash((engine, policy, lookahead)) & 0xFFFF)
+    for reset in (False, True):
+        config = LZWConfig(
+            char_bits=4,
+            dict_size=48,
+            entry_bits=32,
+            policy=policy,
+            lookahead=lookahead,
+            reset_on_full=reset,
+        )
+        for _ in range(6):
+            n = rng.randrange(0, 700)
+            stream = TernaryVector.random(
+                n, x_density=rng.choice([0.0, 0.25, 0.6]), rng=rng
+            )
+            chunk = rng.choice([1, 5, 37, 128, 0])
+            assert stream_codes(stream, config, chunk) == one_shot_codes(
+                stream, config, engine
+            ), (n, chunk, reset)
+
+
+def test_final_partial_character_padding():
+    # A length that is not a multiple of char_bits exercises the
+    # X-padded partial character on the finalize path.
+    stream = TernaryVector("0110X01X0110X01X011")
+    assert len(stream) % CFG.char_bits != 0
+    for engine in ENGINES:
+        assert stream_codes(stream, CFG, 3) == one_shot_codes(
+            stream, CFG, engine
+        )
+
+
+def test_stream_decoder_matches_iter_decode():
+    rng = random.Random(7)
+    stream = TernaryVector.random(900, x_density=0.3, rng=rng)
+    result = compress(stream, CFG)
+    dec = StreamDecoder(CFG)
+    pushed = []
+    for code in result.compressed.codes:
+        pushed.extend(dec.push(code))
+    expected = []
+    for _index, chars in iter_decode(result.compressed.codes, CFG):
+        expected.extend(chars)
+    assert pushed == expected
+
+
+def test_stream_decoder_snapshot_equals_derived():
+    rng = random.Random(8)
+    stream = TernaryVector.random(600, x_density=0.2, rng=rng)
+    codes = compress(stream, CFG).compressed.codes
+    dec = StreamDecoder(CFG)
+    for code in codes:
+        dec.push(code)
+    derived = derive_final_snapshot(codes, CFG)
+    assert dec.snapshot().digest == derived.digest
+
+
+def test_resume_from_boundary_is_byte_identical():
+    """The crash-resume contract: seed+link from a code boundary, then
+    refeed the remaining bits — the continuation emits exactly the codes
+    the uninterrupted encode would have."""
+    rng = random.Random(9)
+    stream = TernaryVector.random(800, x_density=0.3, rng=rng)
+    full = stream_codes(stream, CFG, 64)
+
+    # Split the *code* sequence at an arbitrary prefix, derive the
+    # boundary dictionary + link, and count the bits that prefix covers.
+    cut = len(full) // 2
+    prefix_codes = full[:cut]
+    dec = StreamDecoder(CFG)
+    chars = []
+    for code in prefix_codes:
+        chars.extend(dec.push(code))
+    consumed_bits = len(chars) * CFG.char_bits
+    snapshot = dec.snapshot()
+
+    resumed = StreamEncoder(CFG, seed=snapshot, link=prefix_codes[-1])
+    tail_codes = []
+    remaining = stream[consumed_bits:]
+    for i in range(0, len(remaining), 50):
+        tail_codes.extend(resumed.feed(remaining[i : i + 50]))
+    tail_codes.extend(resumed.finalize())
+    assert prefix_codes + tail_codes == full
+
+
+def test_encoder_retention_is_bounded():
+    """Deterministic memory-flatness proxy: the encoder's retained
+    character buffer must stay bounded by the longest dictionary entry
+    plus the lookahead window plus one chunk, however long the input
+    grows (the RSS assertion under setrlimit lives in the CI smoke)."""
+    config = LZWConfig(char_bits=4, dict_size=64, entry_bits=32,
+                       policy="lookahead", lookahead=4)
+    enc = StreamEncoder(config)
+    rng = random.Random(10)
+    chunk_chars = 32
+    bound = config.max_entry_chars + config.lookahead + chunk_chars + 2
+    high_water = 0
+    for _ in range(200):
+        enc.feed(TernaryVector.random(
+            chunk_chars * config.char_bits, x_density=0.3, rng=rng
+        ))
+        high_water = max(high_water, enc.buffered_chars)
+    assert high_water <= bound, (high_water, bound)

@@ -1,0 +1,130 @@
+"""Streaming-aware fleet behaviour: fingerprints and passthrough."""
+
+import io
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, StreamEncoder
+from repro.fleet import FleetConfig, FleetDispatcher
+from repro.fleet.router import workload_fingerprint
+from repro.observability import schema as ev
+from repro.service import CompressionServer, ServiceClient, ServiceConfig
+from repro.streamio import DEFAULT_CODES_PER_FRAME, StreamContainerWriter
+
+PAYLOAD = b"compressible compressible compressible bytes " * 20
+
+
+class TestStreamingFingerprint:
+    def test_codes_per_frame_is_result_affecting(self):
+        base = workload_fingerprint("compress_stream", None, PAYLOAD)
+        framed = workload_fingerprint(
+            "compress_stream", None, PAYLOAD, codes_per_frame=8
+        )
+        assert base != framed
+
+    def test_omitted_codes_per_frame_equals_documented_default(self):
+        # A request that says nothing and a request that spells out the
+        # default produce the same container bytes, so the dispatcher
+        # normalises the omitted field to DEFAULT_CODES_PER_FRAME — both
+        # must share one routing key.
+        explicit = workload_fingerprint(
+            "compress_stream", None, PAYLOAD,
+            codes_per_frame=DEFAULT_CODES_PER_FRAME,
+        )
+        assert explicit == workload_fingerprint(
+            "compress_stream", None, PAYLOAD,
+            codes_per_frame=DEFAULT_CODES_PER_FRAME,
+        )
+        assert explicit != workload_fingerprint(
+            "compress_stream", None, PAYLOAD
+        )  # raw helper does not normalise; the dispatcher does
+
+    def test_chunk_bytes_never_reaches_the_fingerprint(self):
+        # chunk_bytes is result-neutral (byte-identity under any
+        # chunking) so the fingerprint API deliberately has no such
+        # parameter; requests differing only there share routing.
+        import inspect
+
+        params = inspect.signature(workload_fingerprint).parameters
+        assert "chunk_bytes" not in params
+
+    def test_stream_and_one_shot_ops_never_collide(self):
+        assert workload_fingerprint(
+            "compress", None, PAYLOAD
+        ) != workload_fingerprint("compress_stream", None, PAYLOAD)
+
+
+@pytest.fixture
+def backends():
+    servers = [
+        CompressionServer(ServiceConfig(workers=2, queue_depth=8))
+        for _ in range(2)
+    ]
+    for server in servers:
+        server.start()
+    yield servers
+    for server in servers:
+        if server.state != "stopped":
+            server.drain()
+
+
+@pytest.fixture
+def fleet(backends, tmp_path):
+    dispatcher = FleetDispatcher(
+        FleetConfig(
+            port=0,
+            workers=2,
+            queue_depth=16,
+            backends=tuple(server.address_str for server in backends),
+            probe_interval=0.5,
+            probe_timeout=1.0,
+            backend_timeout=5.0,
+            backend_connect_timeout=2.0,
+            backend_breaker_threshold=2,
+            backend_breaker_cooldown=0.3,
+            cache_dir=str(tmp_path / "cache"),
+        )
+    )
+    dispatcher.start()
+    yield dispatcher
+    if dispatcher.state != "stopped":
+        dispatcher.drain()
+
+
+@pytest.fixture
+def client(fleet):
+    with ServiceClient(fleet.address) as c:
+        yield c
+
+
+def local_stream_container(data, codes_per_frame=DEFAULT_CODES_PER_FRAME):
+    config = LZWConfig()
+    enc = StreamEncoder(config)
+    sink = io.BytesIO()
+    writer = StreamContainerWriter(config, sink, codes_per_frame=codes_per_frame)
+    writer.write_codes(
+        enc.feed(TernaryVector.from_int(
+            int.from_bytes(data, "little"), len(data) * 8
+        ))
+    )
+    writer.finalize(enc.finalize(), enc.original_bits)
+    return sink.getvalue()
+
+
+def test_stream_through_fleet_is_byte_identical(fleet, client):
+    header, payload = client.compress_stream(PAYLOAD, chunk_bytes=77)
+    assert header["ok"] and header["code"] == 0
+    assert payload == local_stream_container(PAYLOAD)
+
+
+def test_stream_requests_are_routed_but_never_cached(fleet, client):
+    for _ in range(2):
+        header, _ = client.compress_stream(PAYLOAD)
+        assert header["ok"]
+    counters = fleet.recorder.snapshot()["counters"]
+    assert counters[ev.FLEET_REQUESTS] == 2
+    # A repeated one-shot compress would hit the cache; the streaming op
+    # is deliberately uncached (unbounded reply sizes), so both requests
+    # must have gone to a backend.
+    assert counters.get(ev.FLEET_CACHE_HITS, 0) == 0

@@ -1,0 +1,110 @@
+"""The ``compress_stream`` service op: chunked encode, deadlines, errors."""
+
+import io
+
+import pytest
+
+from repro.bitstream import TernaryVector
+from repro.core import LZWConfig, StreamEncoder
+from repro.service import CompressionServer, ServiceClient, ServiceConfig
+from repro.streamio import StreamContainerWriter, decode_stream_bytes
+
+PAYLOAD = (b"the quick brown fox jumps over the lazy dog. " * 40)[:1600]
+
+
+def local_stream_container(data, config=None, codes_per_frame=4096):
+    """Reference container: one-shot feed through the same writer."""
+    config = config or LZWConfig()
+    enc = StreamEncoder(config)
+    sink = io.BytesIO()
+    writer = StreamContainerWriter(config, sink, codes_per_frame=codes_per_frame)
+    chunk = TernaryVector.from_int(
+        int.from_bytes(data, "little"), len(data) * 8
+    )
+    writer.write_codes(enc.feed(chunk))
+    writer.finalize(enc.finalize(), enc.original_bits)
+    return sink.getvalue()
+
+
+@pytest.fixture
+def server():
+    srv = CompressionServer(
+        ServiceConfig(workers=2, queue_depth=8, debug_ops=True)
+    )
+    srv.start()
+    yield srv
+    if srv.state != "stopped":
+        srv.drain()
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.address) as c:
+        yield c
+
+
+def test_container_is_chunking_independent(client):
+    # The server feeds 64 bytes at a time; the local reference feeds
+    # everything at once.  Byte-identical output is the streaming
+    # codec's core contract.
+    header, payload = client.compress_stream(PAYLOAD, chunk_bytes=64)
+    assert header["ok"] and header["code"] == 0
+    assert payload == local_stream_container(PAYLOAD)
+    assert header["chunks"] == (len(PAYLOAD) + 63) // 64
+    assert header["original_bits"] == len(PAYLOAD) * 8
+    assert header["frames"] >= 1
+
+
+def test_round_trip_restores_payload_bytes(client):
+    header, payload = client.compress_stream(PAYLOAD, chunk_bytes=100)
+    assert header["ok"]
+    stream = decode_stream_bytes(payload)
+    assert stream.value_mask.to_bytes(len(PAYLOAD), "little") == PAYLOAD
+
+
+def test_codes_per_frame_changes_framing_only(client):
+    _, dense = client.compress_stream(PAYLOAD, codes_per_frame=8)
+    _, default = client.compress_stream(PAYLOAD)
+    assert dense != default  # more frame headers
+    assert decode_stream_bytes(dense) == decode_stream_bytes(default)
+    assert dense == local_stream_container(PAYLOAD, codes_per_frame=8)
+
+
+def test_honours_request_config(client):
+    config = {"char_bits": 8, "dict_size": 512, "entry_bits": 40}
+    header, payload = client.compress_stream(PAYLOAD, config=config)
+    assert header["ok"]
+    assert payload == local_stream_container(
+        PAYLOAD, config=LZWConfig(**config)
+    )
+
+
+def test_deadline_mid_stream_replies_408(client):
+    # A deadline that cannot cover the encode: the per-chunk checkpoint
+    # must convert it into a typed 408, never a half-written reply.
+    header, payload = client.compress_stream(
+        PAYLOAD * 64, deadline_ms=1, chunk_bytes=64
+    )
+    assert not header["ok"]
+    assert header["code"] == 408
+    assert payload == b""
+
+
+@pytest.mark.parametrize("field,value", [
+    ("chunk_bytes", 0),
+    ("chunk_bytes", "sixty-four"),
+    ("codes_per_frame", -1),
+    ("codes_per_frame", "lots"),
+])
+def test_bad_streaming_fields_reply_400(client, field, value):
+    header, _ = client.request("compress_stream", PAYLOAD, **{field: value})
+    assert not header["ok"]
+    assert header["code"] == 400
+    assert header["error"]["diagnostics"]["reason"] == "bad_field"
+
+
+def test_empty_payload_is_valid(client):
+    header, payload = client.compress_stream(b"")
+    assert header["ok"]
+    assert header["original_bits"] == 0
+    assert len(decode_stream_bytes(payload)) == 0

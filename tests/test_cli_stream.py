@@ -1,0 +1,145 @@
+"""CLI streaming surface: --stream round-trips, auto-detect, stats --raw."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.reliability.errors import ConfigError
+from repro.streamio import scan_stream
+
+CORPUS = (
+    b"A text corpus with some structure, repeated phrases, repeated "
+    b"phrases, and enough length to span several chunks.\n" * 30
+)
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    path = tmp_path / "corpus.txt"
+    path.write_bytes(CORPUS)
+    return str(path)
+
+
+class TestStreamRoundTrip:
+    def test_file_to_file(self, corpus_file, tmp_path, capsys):
+        container = tmp_path / "out.lzwt"
+        restored = tmp_path / "back.txt"
+        rc = main([
+            "compress", corpus_file, "--stream",
+            "--chunk-bytes", "256", "-o", str(container),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "frame(s)" in out and "streamed" in out
+
+        scan = scan_stream(container.read_bytes())
+        assert scan.error is None
+        assert scan.terminal.total_original_bits == len(CORPUS) * 8
+
+        assert main(["decompress", str(container), "-o", str(restored)]) == 0
+        assert restored.read_bytes() == CORPUS
+
+    def test_chunk_size_does_not_change_container(
+        self, corpus_file, tmp_path
+    ):
+        a, b = tmp_path / "a.lzwt", tmp_path / "b.lzwt"
+        assert main([
+            "compress", corpus_file, "--stream",
+            "--chunk-bytes", "64", "-o", str(a),
+        ]) == 0
+        assert main([
+            "compress", corpus_file, "--stream",
+            "--chunk-bytes", "4096", "-o", str(b),
+        ]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_codes_per_frame_changes_framing(self, corpus_file, tmp_path):
+        a, b = tmp_path / "a.lzwt", tmp_path / "b.lzwt"
+        assert main([
+            "compress", corpus_file, "--stream",
+            "--codes-per-frame", "32", "-o", str(a),
+        ]) == 0
+        assert main([
+            "compress", corpus_file, "--stream", "-o", str(b),
+        ]) == 0
+        assert len(scan_stream(a.read_bytes()).frames) > len(
+            scan_stream(b.read_bytes()).frames
+        )
+
+    def test_stdin_stdout_pipe(self, tmp_path, capsys, monkeypatch):
+        # compress from stdin to stdout, then decompress the captured
+        # bytes back — the report must ride on stderr, not the pipe.
+        monkeypatch.setattr(
+            "sys.stdin", io.TextIOWrapper(io.BytesIO(CORPUS))
+        )
+        capsysbinary = capsys  # alias for clarity
+
+        class _BinaryOut(io.BytesIO):
+            pass
+
+        out = _BinaryOut()
+        monkeypatch.setattr(
+            "sys.stdout", io.TextIOWrapper(out)
+        )
+        rc = main([
+            "compress", "-", "--stream", "--chunk-bytes", "128", "-o", "-",
+        ])
+        assert rc == 0
+        import sys
+
+        sys.stdout.flush()
+        container = out.getvalue()
+        assert scan_stream(container).error is None
+
+        restored = tmp_path / "back.txt"
+        monkeypatch.setattr(
+            "sys.stdin", io.TextIOWrapper(io.BytesIO(container))
+        )
+        assert main(["decompress", "-", "-o", str(restored)]) == 0
+        assert restored.read_bytes() == CORPUS
+
+
+class TestErrors:
+    def test_width_is_rejected_on_v5(self, corpus_file, tmp_path):
+        container = tmp_path / "c.lzwt"
+        assert main([
+            "compress", corpus_file, "--stream", "-o", str(container),
+        ]) == 0
+        rc = main([
+            "decompress", str(container),
+            "-o", str(tmp_path / "x"), "--width", "8",
+        ])
+        assert rc == 2  # ConfigError exit code
+
+    def test_stream_requires_output(self, corpus_file):
+        rc = main(["compress", corpus_file, "--stream"])
+        assert rc == 2
+
+    def test_bad_chunk_bytes(self, corpus_file, tmp_path):
+        rc = main([
+            "compress", corpus_file, "--stream",
+            "--chunk-bytes", "0", "-o", str(tmp_path / "c"),
+        ])
+        assert rc == 2
+
+    def test_truncated_container_fails_typed(self, corpus_file, tmp_path):
+        container = tmp_path / "c.lzwt"
+        assert main([
+            "compress", corpus_file, "--stream", "-o", str(container),
+        ]) == 0
+        data = container.read_bytes()
+        container.write_bytes(data[: len(data) - 7])
+        rc = main([
+            "decompress", str(container), "-o", str(tmp_path / "x"),
+        ])
+        assert rc == 4  # ContainerError exit code
+
+
+class TestStatsRaw:
+    def test_reports_ratios_against_stdlib(self, corpus_file, capsys):
+        rc = main(["stats", corpus_file, "--raw"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "zlib" in out and "lzma" in out
+        assert "round-trip" in out.lower() or "ok" in out.lower()
