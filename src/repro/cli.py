@@ -12,6 +12,10 @@ Subcommands::
     repro atpg       FILE.bench | --builtin c17 | --random N  [-o OUT]
     repro synth      BENCHMARK  [-o OUT --scale S]
     repro verify     FILE.lzwt  [--against FILE.test]
+    repro fsck       PATH...  [--repair --scrub --json REPORT]  (deep
+                     scan/repair of any artefact: containers v1-v5,
+                     checkpoint journals, snapshot blobs, cache
+                     entries, stale tmp files)
     repro stats      FILE  [--encode]  (structure, entropy bound, scan
                      power; with --encode an instrumented compression
                      pass with per-decision counters and stage spans)
@@ -536,6 +540,31 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """``repro fsck``: unified deep scan/repair over on-disk artefacts.
+
+    Exit codes mirror ``repro verify``: 0 everything clean (or
+    repaired), 3 only unrecognised/unreadable paths, 4 integrity
+    faults remain (unrepaired, or repair refused).
+    """
+    from .reliability.fsck import fsck_paths
+
+    recorder = CounterRecorder()
+    report = fsck_paths(
+        args.paths, repair=args.repair, scrub=args.scrub, recorder=recorder
+    )
+    print(report.describe())
+    if args.json:
+        payload = report.to_json()
+        payload["metrics"] = metrics_snapshot(recorder)
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        else:
+            atomic_write_text(args.json, json.dumps(payload, indent=2) + "\n")
+    return report.exit_code
+
+
 def _cmd_stats_raw(args: argparse.Namespace) -> int:
     """``repro stats --raw``: the X-density-0 degenerate mode.
 
@@ -1015,6 +1044,41 @@ def build_parser() -> argparse.ArgumentParser:
         "write the repro.metrics/1 envelope here",
     )
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "fsck",
+        help="deep-scan (and with --repair fix) any on-disk artefact: "
+        "containers v1-v5, checkpoint journals, snapshot blobs, fleet "
+        "cache entries, stale *.tmp.* files (exit 0 clean or repaired / "
+        "3 unrecognised paths only / 4 faults remain)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories to scan (directories are walked "
+        "recursively)",
+    )
+    p.add_argument(
+        "--repair",
+        action="store_true",
+        help="rewrite salvageable artefacts atomically (original kept "
+        "as <name>.quarantine), quarantine corrupt cache entries and "
+        "sweep stale tmp files; clean artefacts are never touched",
+    )
+    p.add_argument(
+        "--scrub",
+        action="store_true",
+        help="treat directories as fleet result-cache roots and sweep "
+        "every entry through the read-side verifier (the background-"
+        "scrubber entry point; with --repair corrupt entries are "
+        "quarantined)",
+    )
+    p.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the repro.fsck/1 report here ('-' for stdout)",
+    )
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser("stats", help="analyse a test-vector file")
     p.add_argument(

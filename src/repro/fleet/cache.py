@@ -133,6 +133,66 @@ class ResultCache:
         if self.recorder.enabled:
             self.recorder.incr(ev.FLEET_CACHE_CORRUPT)
 
+    # -- scrubbing -----------------------------------------------------
+
+    def scrub(self, repair: bool = False) -> Dict[str, int]:
+        """Sweep every entry through the read-side verifier.
+
+        The background-scrubber entry point behind ``repro fsck
+        --scrub``: bit rot is found *now*, on the operator's schedule,
+        instead of at the next unlucky ``get``.  Corrupt entries bump
+        ``fleet.cache_corrupt`` and — with ``repair`` — are moved aside
+        to ``<entry>.quarantine`` (kept for forensics, invisible to
+        ``get``); without ``repair`` they are only counted, so a
+        dry-run scrub never mutates the cache.  Stale ``*.tmp.*``
+        leftovers from crashed writers are swept the same way.
+
+        Returns counters: ``scanned`` / ``clean`` / ``corrupt`` /
+        ``quarantined`` / ``stale_tmp``.
+        """
+        stats = {
+            "scanned": 0,
+            "clean": 0,
+            "corrupt": 0,
+            "quarantined": 0,
+            "stale_tmp": 0,
+        }
+        for path in sorted(self._entries()):
+            stats["scanned"] += 1
+            fingerprint = path.name[: -len(_SUFFIX)]
+            try:
+                data = path.read_bytes()
+            except OSError:
+                continue  # vanished underneath us: not corruption
+            if self._verify(fingerprint, data) is not None:
+                stats["clean"] += 1
+                continue
+            stats["corrupt"] += 1
+            if self.recorder.enabled:
+                self.recorder.incr(ev.FLEET_CACHE_CORRUPT)
+            if repair:
+                try:
+                    os.replace(path, path.with_name(path.name + ".quarantine"))
+                    stats["quarantined"] += 1
+                except OSError:
+                    pass
+        try:
+            tmp_files = [
+                path
+                for path in self.directory.glob("*/*.tmp.*")
+                if path.is_file()
+            ]
+        except OSError:
+            tmp_files = []
+        for path in sorted(tmp_files):
+            stats["stale_tmp"] += 1
+            if repair:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return stats
+
     # -- writes --------------------------------------------------------
 
     def put(self, fingerprint: str, fields: Dict[str, Any], container: bytes) -> None:

@@ -33,7 +33,6 @@ import binascii
 import errno
 import hashlib
 import json
-import os
 import zlib
 from dataclasses import asdict
 from pathlib import Path
@@ -45,6 +44,7 @@ from ..core.config import LZWConfig
 from ..core.decoder import decode
 from ..core.dictionary import DictionarySnapshot
 from ..core.encoder import CompressedStream, EncodeStats
+from ..reliability.atomic import current_backend
 from ..reliability.errors import (
     ConfigError,
     ContainerError,
@@ -111,6 +111,7 @@ class ShardJournal:
         self.fingerprint = fingerprint
         self.completed: Dict[Key, "object"] = {}
         self._handle = None
+        self._fs = None
 
     @classmethod
     def open(
@@ -129,8 +130,11 @@ class ShardJournal:
         journal = cls(Path(path), fingerprint)
         if resume and journal.path.exists():
             journal._load()
-        journal._handle = journal.path.open(
-            "a" if journal.completed else "w", encoding="utf-8"
+        # Binary handles through the FSBackend seam so the crash-point
+        # harness can interpose a simulated disk under journal appends.
+        journal._fs = current_backend()
+        journal._handle = journal._fs.open(
+            journal.path, "ab" if journal.completed else "wb"
         )
         if not journal.completed:
             journal._write_line(
@@ -145,13 +149,14 @@ class ShardJournal:
     # -- persistence ---------------------------------------------------
 
     def _write_line(self, record: dict) -> None:
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
         # fsync per entry: a completed shard recorded here must survive
         # the very crash the journal exists for.  ENOSPC/EACCES surface
         # as typed ContainerErrors like every other artefact write.
         try:
-            os.fsync(self._handle.fileno())
+            self._handle.write(line)
+            self._handle.flush()
+            self._fs.fsync(self._handle)
         except OSError as exc:
             if exc.errno in (errno.ENOSPC, errno.EDQUOT, errno.EACCES, errno.EROFS):
                 raise ContainerError(

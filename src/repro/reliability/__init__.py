@@ -17,7 +17,12 @@ that *proves* the decode stack fails loudly:
 * :mod:`~repro.reliability.salvage` — :func:`decode_partial`, the
   graceful-degradation decoder for debugging bad ATE dumps;
 * :mod:`~repro.reliability.verify` — staged container integrity
-  verification backing ``repro verify``.
+  verification backing ``repro verify``;
+* :mod:`~repro.reliability.crashsim` — the power-cut simulator behind
+  the :class:`~repro.reliability.atomic.FSBackend` seam, enumerating a
+  crash at every I/O boundary of every artefact writer;
+* :mod:`~repro.reliability.fsck` — unified deep scan/repair over every
+  on-disk artefact kind, backing ``repro fsck``.
 
 Only the error taxonomy is imported eagerly; the tooling modules import
 the rest of the package, so they are loaded lazily to keep this package
@@ -57,7 +62,13 @@ __all__ = [
     "CampaignResult",
     "ChaosPlan",
     "Check",
+    "CrashCampaignResult",
+    "CrashFS",
+    "CrashWriterSpec",
     "DurableAppendFile",
+    "FSBackend",
+    "FsckReport",
+    "SimulatedCrash",
     "INJECTORS",
     "MULTI_INJECTORS",
     "PROCESS_FAULTS",
@@ -69,12 +80,16 @@ __all__ = [
     "Trial",
     "TrialOutcome",
     "VerifyReport",
+    "current_backend",
     "decode_partial",
+    "fsck_paths",
     "inject",
     "run_campaign",
+    "run_crash_campaign",
     "run_process_campaign",
     "run_trial",
     "salvage_container",
+    "use_backend",
     "verify_container",
 ]
 
@@ -82,6 +97,16 @@ _LAZY = {
     "atomic_write_bytes": "atomic",
     "atomic_write_text": "atomic",
     "DurableAppendFile": "atomic",
+    "FSBackend": "atomic",
+    "current_backend": "atomic",
+    "use_backend": "atomic",
+    "CrashCampaignResult": "crashsim",
+    "CrashFS": "crashsim",
+    "CrashWriterSpec": "crashsim",
+    "SimulatedCrash": "crashsim",
+    "run_crash_campaign": "crashsim",
+    "FsckReport": "fsck",
+    "fsck_paths": "fsck",
     "INJECTORS": "inject",
     "MULTI_INJECTORS": "inject",
     "SEEDED_INJECTORS": "inject",

@@ -6,9 +6,11 @@ corruption — indistinguishable from real bit rot.  Every artefact
 writer in the package now goes through :func:`atomic_write_bytes` /
 :func:`atomic_write_text` instead:
 
-1. the data is written to a ``<name>.tmp.<pid>`` sibling in the target
-   directory (same filesystem, so the final rename cannot cross a
-   device boundary);
+1. the data is written to a ``<name>.tmp.<pid>.<seq>`` sibling in the
+   target directory (same filesystem, so the final rename cannot cross
+   a device boundary; the per-process sequence number keeps concurrent
+   writers of the same path — e.g. service worker threads — from
+   clobbering each other's temp file);
 2. the file is flushed and ``fsync``\\ ed so the bytes are durable
    before they become visible;
 3. ``os.replace`` atomically installs the file under its final name —
@@ -24,41 +26,132 @@ filesystems (``EROFS``) — are mapped to a typed
 errno, so the CLI reports them on its documented integrity/input exit
 paths instead of leaking a raw traceback.  The temp file is unlinked on
 any failure; a crash between write and rename leaves only a
-``*.tmp.*`` file that never shadows the real artefact.
+``*.tmp.*`` file that never shadows the real artefact (``repro fsck``
+sweeps those leftovers).
+
+The FSBackend seam
+------------------
+
+Every OS-level operation these writers perform goes through an
+injectable :class:`FSBackend` (default: the real OS calls).  That seam
+is what lets :mod:`repro.reliability.crashsim` put a *simulated* disk
+with power-cut semantics underneath the real writer code paths and
+enumerate a crash at every I/O boundary — the durability claims in
+this docstring are proven by that harness, not just asserted.  Install
+a backend for a scope with :func:`use_backend`; production code never
+passes one explicitly and gets the OS.
 """
 
 from __future__ import annotations
 
 import errno
+import itertools
 import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from .errors import ContainerError
 
-__all__ = ["DurableAppendFile", "atomic_write_bytes", "atomic_write_text"]
+__all__ = [
+    "DurableAppendFile",
+    "FSBackend",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "current_backend",
+    "use_backend",
+]
 
 #: Errnos mapped to a typed ContainerError (environmental, actionable).
 _TYPED_ERRNOS = frozenset(
     {errno.ENOSPC, errno.EDQUOT, errno.EACCES, errno.EPERM, errno.EROFS}
 )
 
+#: Per-process sequence for temp names: two threads writing the same
+#: target concurrently must not share a temp file (``next()`` on a
+#: ``count`` is atomic under the GIL).
+_TMP_COUNTER = itertools.count()
+
+
+class FSBackend:
+    """The file operations the durable writers perform, as a seam.
+
+    The default implementation is the real OS.  A test backend (see
+    :class:`~repro.reliability.crashsim.CrashFS`) substitutes a
+    simulated disk so every call site below doubles as a crash point.
+    Handles returned by :meth:`open` must support ``write``/``flush``/
+    ``close``/``closed`` and be usable as context managers.
+    """
+
+    def open(self, path: Union[str, Path], mode: str):
+        return open(path, mode)
+
+    def fsync(self, handle) -> None:
+        os.fsync(handle.fileno())
+
+    def replace(self, src: Union[str, Path], dst: Union[str, Path]) -> None:
+        os.replace(src, dst)
+
+    def unlink(self, path: Union[str, Path]) -> None:
+        os.unlink(path)
+
+    def fsync_dir(self, directory: Union[str, Path]) -> None:
+        """Persist renames in ``directory`` by fsyncing it (best effort)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return  # e.g. Windows: directories cannot be opened for fsync
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+
+_OS_BACKEND = FSBackend()
+_active_backend: FSBackend = _OS_BACKEND
+
+
+def current_backend() -> FSBackend:
+    """The backend writers resolve when none is passed explicitly."""
+    return _active_backend
+
+
+@contextmanager
+def use_backend(backend: FSBackend):
+    """Install ``backend`` as the process-wide default for the scope.
+
+    Intended for the crash-injection harness and tests; not
+    thread-scoped (a campaign owns the process while it runs).
+    """
+    global _active_backend
+    previous = _active_backend
+    _active_backend = backend
+    try:
+        yield backend
+    finally:
+        _active_backend = previous
+
+
+def _typed_error(path: Path, exc: OSError):
+    if exc.errno in _TYPED_ERRNOS:
+        return ContainerError(
+            f"cannot write {path}: {exc.strerror}",
+            path=str(path),
+            errno=errno.errorcode.get(exc.errno, exc.errno),
+        )
+    return exc
+
 
 def _fsync_dir(directory: Path) -> None:
-    """Persist a rename by fsyncing its directory (best effort)."""
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return  # e.g. Windows: directories cannot be opened for fsync
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+    """Backwards-compatible alias used by older call sites."""
+    _active_backend.fsync_dir(directory)
 
 
-def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+def atomic_write_bytes(
+    path: Union[str, Path], data: bytes, fs: Optional[FSBackend] = None
+) -> None:
     """Write ``data`` to ``path`` atomically (tmp + fsync + replace).
 
     Raises :class:`ContainerError` for environmental write failures
@@ -66,27 +159,33 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
     propagate unchanged.  On any failure the temp file is removed and
     ``path`` is untouched.
     """
+    fs = fs if fs is not None else _active_backend
     path = Path(path)
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
     try:
-        with open(tmp, "wb") as handle:
+        handle = fs.open(tmp, "wb")
+        try:
             handle.write(data)
             handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+            fs.fsync(handle)
+        except OSError:
+            # Close before unlinking, but never let a secondary close
+            # failure (the kernel retrying a failed buffered write)
+            # mask the root cause.
+            try:
+                handle.close()
+            except OSError:
+                pass
+            raise
+        handle.close()
+        fs.replace(tmp, path)
     except OSError as exc:
         try:
-            tmp.unlink()
+            fs.unlink(tmp)
         except OSError:
             pass
-        if exc.errno in _TYPED_ERRNOS:
-            raise ContainerError(
-                f"cannot write {path}: {exc.strerror}",
-                path=str(path),
-                errno=errno.errorcode.get(exc.errno, exc.errno),
-            ) from exc
-        raise
-    _fsync_dir(path.parent)
+        raise _typed_error(path, exc) from exc
+    fs.fsync_dir(path.parent)
 
 
 def atomic_write_text(
@@ -110,25 +209,28 @@ class DurableAppendFile:
 
     The same environmental errnos as :func:`atomic_write_bytes` map to
     a typed :class:`ContainerError`; other ``OSError``\\ s propagate.
+    :meth:`close` never leaks the handle: even when the final ``sync``
+    fails (disk full at the last frame), the descriptor is closed and
+    the *sync* error — the root cause — is the one raised.
     """
 
-    def __init__(self, path: Union[str, Path], overwrite: bool = True) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        overwrite: bool = True,
+        fs: Optional[FSBackend] = None,
+    ) -> None:
         self.path = Path(path)
+        self._fs = fs if fs is not None else _active_backend
         mode = "wb" if overwrite else "ab"
         try:
-            self._handle = open(self.path, mode)
+            self._handle = self._fs.open(self.path, mode)
         except OSError as exc:
-            raise self._typed(exc) from exc
-        _fsync_dir(self.path.parent)
+            raise _typed_error(self.path, exc) from exc
+        self._fs.fsync_dir(self.path.parent)
 
     def _typed(self, exc: OSError):
-        if exc.errno in _TYPED_ERRNOS:
-            return ContainerError(
-                f"cannot write {self.path}: {exc.strerror}",
-                path=str(self.path),
-                errno=errno.errorcode.get(exc.errno, exc.errno),
-            )
-        return exc
+        return _typed_error(self.path, exc)
 
     def write(self, data: bytes) -> None:
         """Append ``data`` (buffered; not yet durable)."""
@@ -141,18 +243,33 @@ class DurableAppendFile:
         """Make everything appended so far durable (flush + fsync)."""
         try:
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            self._fs.fsync(self._handle)
         except OSError as exc:
             raise self._typed(exc) from exc
 
     def close(self, sync: bool = True) -> None:
+        """Close the handle, optionally syncing first.
+
+        The handle is *always* closed.  If the sync fails, its typed
+        error is raised after the close; a secondary failure from the
+        close itself (the kernel flushing the same doomed buffer) never
+        masks it.
+        """
         if self._handle.closed:
             return
-        try:
-            if sync:
+        sync_error: Optional[BaseException] = None
+        if sync:
+            try:
                 self.sync()
-        finally:
+            except BaseException as exc:
+                sync_error = exc
+        try:
             self._handle.close()
+        except OSError as exc:
+            if sync_error is None:
+                raise self._typed(exc) from exc
+        if sync_error is not None:
+            raise sync_error
 
     def __enter__(self) -> "DurableAppendFile":
         return self

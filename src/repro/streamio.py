@@ -117,6 +117,7 @@ __all__ = [
     "read_stream_header",
     "scan_stream",
     "stream_header_bytes",
+    "terminal_frame_bytes",
 ]
 
 _MAGIC = b"LZWT"
@@ -238,6 +239,32 @@ def read_stream_header(data: bytes) -> LZWConfig:
         ) from None
 
 
+def terminal_frame_bytes(
+    frame_count: int,
+    total_codes: int,
+    total_original_bits: int,
+    chain_crc: int,
+    seal: bytes,
+) -> bytes:
+    """The 37-byte terminal frame sealing the given totals.
+
+    The writer's :meth:`StreamContainerWriter.finalize` emits exactly
+    this; it is public so repair (``repro fsck --repair``) can re-seal
+    a verified frame prefix after a torn tail is cut away.
+    """
+    without_crc = _FRAME_TERMINAL_HEADER.pack(
+        FRAME_TERMINAL,
+        frame_count,
+        total_codes,
+        total_original_bits,
+        chain_crc,
+        seal,
+        0,
+    )
+    crc = zlib.crc32(without_crc[: FRAME_TERMINAL_HEADER_SIZE - 4])
+    return without_crc[: FRAME_TERMINAL_HEADER_SIZE - 4] + struct.pack(">I", crc)
+
+
 class FrameRecord(NamedTuple):
     """One structurally validated data frame."""
 
@@ -357,18 +384,14 @@ class StreamContainerWriter:
             frame = self._pending[: self.codes_per_frame]
             del self._pending[: self.codes_per_frame]
             self._flush_frame(frame)
-        terminal_wo_crc = _FRAME_TERMINAL_HEADER.pack(
-            FRAME_TERMINAL,
-            self._frame_index,
-            self._total_codes,
-            total_original_bits,
-            self._chain_crc,
-            frame_seal(self._shadow.snapshot(), self._chars_crc),
-            0,
-        )
-        crc = zlib.crc32(terminal_wo_crc[: FRAME_TERMINAL_HEADER_SIZE - 4])
         self._emit(
-            terminal_wo_crc[: FRAME_TERMINAL_HEADER_SIZE - 4] + struct.pack(">I", crc)
+            terminal_frame_bytes(
+                self._frame_index,
+                self._total_codes,
+                total_original_bits,
+                self._chain_crc,
+                frame_seal(self._shadow.snapshot(), self._chars_crc),
+            )
         )
         self._sync()
         self._finished = True
